@@ -1,0 +1,323 @@
+(* permcli — a small SQL shell over the Perm reproduction.
+
+   Examples:
+     dune exec bin/permcli.exe -- --demo \
+       -e "SELECT PROVENANCE * FROM r WHERE a = ANY (SELECT c FROM s)"
+     dune exec bin/permcli.exe -- --tpch 0.1          # interactive REPL
+     dune exec bin/permcli.exe -- --load t=data.csv -e "SELECT * FROM t"
+
+   REPL commands:  \d [table]    list tables / describe one
+                   \strategy S   rewrite strategy (gen|left|move|unn|auto)
+                   \plan         toggle plan printing
+                   \timing       toggle timing
+                   \stats        toggle EXPLAIN-ANALYZE-style counters
+                   \influence    rank witnesses of the last provenance result
+                   \graph FILE   write the last provenance result as Graphviz
+                   \q            quit                                       *)
+
+open Relalg
+open Core
+
+type strategy_choice = Fixed of Strategy.t | Auto
+
+type session = {
+  db : Database.t;
+  mutable strategy : strategy_choice;
+  mutable show_plan : bool;
+  mutable timing : bool;
+  mutable show_stats : bool;
+  mutable last_provenance : (Relation.t * Pschema.prov_rel list) option;
+      (* most recent provenance result, for \influence and \graph *)
+}
+
+let strategy_name = function
+  | Fixed s -> Strategy.to_string s
+  | Auto -> "auto"
+
+let demo_db () =
+  let r_schema =
+    Schema.of_list [ Schema.attr "a" Vtype.TInt; Schema.attr "b" Vtype.TInt ]
+  in
+  let s_schema =
+    Schema.of_list [ Schema.attr "c" Vtype.TInt; Schema.attr "d" Vtype.TInt ]
+  in
+  Database.of_list
+    [
+      ( "r",
+        Relation.of_values r_schema
+          [
+            [ Value.Int 1; Value.Int 1 ];
+            [ Value.Int 2; Value.Int 1 ];
+            [ Value.Int 3; Value.Int 2 ];
+          ] );
+      ( "s",
+        Relation.of_values s_schema
+          [
+            [ Value.Int 1; Value.Int 3 ];
+            [ Value.Int 2; Value.Int 4 ];
+            [ Value.Int 4; Value.Int 5 ];
+          ] );
+    ]
+
+let run_statement session sql =
+  match session.strategy with
+  | Fixed strategy -> Perm.exec session.db ~strategy sql
+  | Auto -> (
+      (* the advisor handles SELECTs; DDL does not need a strategy *)
+      match Sql_frontend.Parser.parse_statement sql with
+      | Sql_frontend.Ast.Stmt_select _ ->
+          let strategy, result = Advisor.run session.db sql in
+          if result.Perm.provenance <> [] then
+            Printf.printf "advisor chose: %s\n" (Strategy.to_string strategy);
+          Perm.Rows result
+      | _ -> Perm.exec session.db sql)
+
+let execute session sql =
+  let t0 = Unix.gettimeofday () in
+  match run_statement session sql with
+  | Perm.Rows result ->
+      let dt = Unix.gettimeofday () -. t0 in
+      if session.show_plan then begin
+        print_endline "plan:";
+        print_string (Pp.query_to_string result.Perm.plan)
+      end;
+      Table_pp.print result.Perm.relation;
+      if result.Perm.provenance <> [] then begin
+        Printf.printf "provenance of: %s\n"
+          (String.concat ", "
+             (List.map (fun p -> p.Pschema.pr_rel) result.Perm.provenance));
+        session.last_provenance <-
+          Some (result.Perm.relation, result.Perm.provenance)
+      end;
+      if session.timing then Printf.printf "time: %.4f s\n" dt;
+      if session.show_stats then begin
+        let _, st = Eval.query_stats session.db result.Perm.plan in
+        Printf.printf "exec: %s\n" (Eval.stats_to_string st)
+      end
+  | Perm.Created_view name -> Printf.printf "created view %s\n" name
+  | Perm.Created_table (name, n) ->
+      Printf.printf "created table %s (%d rows)\n" name n
+  | Perm.Dropped name -> Printf.printf "dropped %s\n" name
+  | exception Sql_frontend.Lexer.Lex_error (msg, line, col) ->
+      Printf.printf "lex error at %d:%d: %s\n" line col msg
+  | exception Sql_frontend.Parser.Parse_error (msg, line, col) ->
+      Printf.printf "parse error at %d:%d: %s\n" line col msg
+  | exception Sql_frontend.Analyzer.Analyze_error msg ->
+      Printf.printf "analysis error: %s\n" msg
+  | exception Typecheck.Type_error msg -> Printf.printf "type error: %s\n" msg
+  | exception Eval.Eval_error msg -> Printf.printf "runtime error: %s\n" msg
+  | exception Strategy.Unsupported msg ->
+      Printf.printf "strategy %s not applicable: %s\n"
+        (strategy_name session.strategy)
+        msg
+  | exception Value.Type_clash msg -> Printf.printf "value error: %s\n" msg
+
+let describe session = function
+  | None ->
+      List.iter
+        (fun name ->
+          Printf.printf "  %-12s %6d rows\n" name
+            (Relation.cardinality (Database.find session.db name)))
+        (Database.names session.db);
+      List.iter
+        (fun name -> Printf.printf "  %-12s (view)\n" name)
+        (Database.view_names session.db)
+  | Some name -> (
+      match Database.find_opt session.db name with
+      | Some rel -> Printf.printf "%s %s\n" name (Schema.to_string (Relation.schema rel))
+      | None -> Printf.printf "unknown table %S\n" name)
+
+let handle_command session line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "\\q" ] -> `Quit
+  | [ "\\d" ] ->
+      describe session None;
+      `Continue
+  | [ "\\d"; name ] ->
+      describe session (Some name);
+      `Continue
+  | [ "\\strategy"; "auto" ] ->
+      session.strategy <- Auto;
+      print_endline "strategy set to auto (cost-based advisor)";
+      `Continue
+  | [ "\\strategy"; s ] ->
+      (match Strategy.of_string s with
+      | strategy ->
+          session.strategy <- Fixed strategy;
+          Printf.printf "strategy set to %s\n" s
+      | exception Invalid_argument msg -> print_endline msg);
+      `Continue
+  | [ "\\influence" ] ->
+      (match session.last_provenance with
+      | None -> print_endline "no provenance result yet"
+      | Some (rel, provs) ->
+          let n_orig =
+            Schema.arity (Relation.schema rel) - Pschema.width provs
+          in
+          print_string (Analysis.influence_report_cols ~n_orig rel provs));
+      `Continue
+  | [ "\\graph"; path ] ->
+      (match session.last_provenance with
+      | None -> print_endline "no provenance result yet"
+      | Some (rel, provs) ->
+          let n_orig =
+            Schema.arity (Relation.schema rel) - Pschema.width provs
+          in
+          let oc = open_out path in
+          output_string oc (Analysis.to_dot_cols ~n_orig rel provs);
+          close_out oc;
+          Printf.printf "wrote %s (render with: dot -Tsvg %s)\n" path path);
+      `Continue
+  | [ "\\plan" ] ->
+      session.show_plan <- not session.show_plan;
+      Printf.printf "plan printing %s\n" (if session.show_plan then "on" else "off");
+      `Continue
+  | [ "\\timing" ] ->
+      session.timing <- not session.timing;
+      Printf.printf "timing %s\n" (if session.timing then "on" else "off");
+      `Continue
+  | [ "\\stats" ] ->
+      session.show_stats <- not session.show_stats;
+      Printf.printf "execution statistics %s\n"
+        (if session.show_stats then "on" else "off");
+      `Continue
+  | _ ->
+      Printf.printf "unknown command: %s\n" line;
+      `Continue
+
+let repl session =
+  Printf.printf
+    "permcli — Perm provenance shell. \\d lists tables, \\q quits,\n\
+     \\influence and \\graph analyze the last provenance result.\n\
+     Statements end with ';'. Use SELECT PROVENANCE ... for provenance.\n";
+  let buffer = Buffer.create 256 in
+  let rec loop () =
+    if Buffer.length buffer = 0 then print_string "perm> "
+    else print_string "  ... ";
+    flush stdout;
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line when Buffer.length buffer = 0 && String.length (String.trim line) > 0
+                && (String.trim line).[0] = '\\' -> (
+        match handle_command session line with
+        | `Quit -> ()
+        | `Continue -> loop ())
+    | line ->
+        Buffer.add_string buffer line;
+        Buffer.add_char buffer '\n';
+        let text = Buffer.contents buffer in
+        if String.contains line ';' then begin
+          Buffer.clear buffer;
+          let stmt = String.trim text in
+          if stmt <> ";" && stmt <> "" then execute session stmt;
+          loop ()
+        end
+        else loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                         *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let tpch_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "tpch" ] ~docv:"SF" ~doc:"Load generated TPC-H data at scale $(docv).")
+
+let demo_arg =
+  Arg.(value & flag & info [ "demo" ] ~doc:"Load the paper's Figure 3 demo tables.")
+
+let load_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "load" ] ~docv:"NAME=FILE"
+        ~doc:"Load a CSV file as table $(docv) (repeatable).")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Run a ';'-separated SQL script and exit.")
+
+let exec_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "e"; "execute" ] ~docv:"SQL" ~doc:"Execute one statement and exit.")
+
+let strategy_arg =
+  Arg.(
+    value & opt string "gen"
+    & info [ "strategy" ] ~docv:"S"
+        ~doc:"Sublink strategy: gen, left, move, unn, or auto (cost-based).")
+
+let plan_arg = Arg.(value & flag & info [ "plan" ] ~doc:"Print executed plans.")
+
+let main tpch demo loads exec file strategy plan =
+  let db = Database.create () in
+  if demo then
+    List.iter (fun n -> Database.add db n (Database.find (demo_db ()) n)) [ "r"; "s" ];
+  (match tpch with
+  | Some sf ->
+      Printf.printf "generating TPC-H at sf=%.2f ...\n%!" sf;
+      let t = Tpch.Tpch_gen.generate ~sf () in
+      List.iter (fun name -> Database.add db name (Database.find t name))
+        (Database.names t)
+  | None -> ());
+  List.iter
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | Some k ->
+          let name = String.sub spec 0 k in
+          let path = String.sub spec (k + 1) (String.length spec - k - 1) in
+          Database.add db name (Csv.load path);
+          Printf.printf "loaded %s (%d rows)\n" name
+            (Relation.cardinality (Database.find db name))
+      | None -> Printf.printf "ignoring --load %s (expected NAME=FILE)\n" spec)
+    loads;
+  if Database.names db = [] then
+    List.iter (fun n -> Database.add db n (Database.find (demo_db ()) n)) [ "r"; "s" ];
+  let session =
+    {
+      db;
+      strategy =
+        (if strategy = "auto" then Auto else Fixed (Strategy.of_string strategy));
+      show_plan = plan;
+      timing = false;
+      show_stats = false;
+      last_provenance = None;
+    }
+  in
+  match (exec, file) with
+  | Some sql, _ -> execute session sql
+  | None, Some path ->
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let script = really_input_string ic len in
+      close_in ic;
+      List.iter
+        (fun result ->
+          match result with
+          | Perm.Rows r -> Table_pp.print r.Perm.relation
+          | Perm.Created_view name -> Printf.printf "created view %s\n" name
+          | Perm.Created_table (name, n) ->
+              Printf.printf "created table %s (%d rows)\n" name n
+          | Perm.Dropped name -> Printf.printf "dropped %s\n" name)
+        (let strategy =
+           match session.strategy with Fixed s -> s | Auto -> Strategy.Gen
+         in
+         Perm.exec_script session.db ~strategy script)
+  | None, None -> repl session
+
+let cmd =
+  Cmd.v
+    (Cmd.info "permcli" ~doc:"SQL shell with Perm-style provenance")
+    Term.(
+      const main $ tpch_arg $ demo_arg $ load_arg $ exec_arg $ file_arg
+      $ strategy_arg $ plan_arg)
+
+let () = Stdlib.exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Database List Perm Printf Relalg Relation Schema Strategy Table_pp Value Vtype

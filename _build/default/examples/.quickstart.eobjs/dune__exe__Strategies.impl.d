@@ -1,0 +1,1 @@
+examples/strategies.ml: Core Eval List Perm Pp Printf Relalg Relation Rewrite Strategy String Synthetic Table_pp Unix

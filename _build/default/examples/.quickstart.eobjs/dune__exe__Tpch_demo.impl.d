@@ -1,0 +1,1 @@
+examples/tpch_demo.ml: Core Database List Perm Printf Relalg Relation Strategy Table_pp Tpch Tuple Unix Value

@@ -1,0 +1,1 @@
+examples/tpch_demo.mli:

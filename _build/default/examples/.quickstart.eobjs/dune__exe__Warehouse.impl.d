@@ -1,0 +1,1 @@
+examples/warehouse.ml: Analysis Core Database Filename Perm Printf Pschema Relalg Relation Schema String Table_pp Value Vtype

@@ -1,0 +1,89 @@
+(* TPC-H demo: generate a small warehouse, run the paper's uncorrelated
+   sublink query Q11 ("important stock in a nation") with provenance
+   under each applicable strategy, and drill into one result row.
+
+   Run with: dune exec examples/tpch_demo.exe *)
+
+open Relalg
+open Core
+
+let () =
+  let sf = 0.1 in
+  Printf.printf "Generating TPC-H data at scale factor %.2f ...\n%!" sf;
+  let db = Tpch.Tpch_gen.generate ~sf () in
+  List.iter
+    (fun (name, _) ->
+      Printf.printf "  %-10s %6d rows\n" name
+        (Relation.cardinality (Database.find db name)))
+    Tpch.Tpch_schema.all;
+
+  (* pick a parameterization with a non-empty answer *)
+  let rec find seed =
+    if seed > 60 then Tpch.Tpch_queries.instantiate ~seed:1 11
+    else
+      let q = Tpch.Tpch_queries.instantiate ~seed 11 in
+      let rel = (Perm.run db q.Tpch.Tpch_queries.sql).Perm.relation in
+      if Relation.cardinality rel > 0 then q else find (seed + 1)
+  in
+  let q = find 1 in
+  Printf.printf "\nTPC-H Q11 (uncorrelated scalar sublink in HAVING):\n%s\n"
+    q.Tpch.Tpch_queries.sql;
+
+  let plain = Perm.run db q.Tpch.Tpch_queries.sql in
+  Printf.printf "\nPlain result (%d rows):\n" (Relation.cardinality plain.Perm.relation);
+  Table_pp.print ~max_rows:5 plain.Perm.relation;
+
+  let prov_sql = Tpch.Tpch_queries.with_provenance q in
+  Printf.printf "Provenance per strategy:\n";
+  let results =
+    List.filter_map
+      (fun strategy ->
+        match
+          let t0 = Unix.gettimeofday () in
+          let r = Perm.run db ~strategy prov_sql in
+          (r, Unix.gettimeofday () -. t0)
+        with
+        | r, dt ->
+            Printf.printf "  %-5s: %8.4f s, %6d provenance rows\n"
+              (Strategy.to_string strategy)
+              dt
+              (Relation.cardinality r.Perm.relation);
+            Some (strategy, r)
+        | exception Strategy.Unsupported msg ->
+            Printf.printf "  %-5s: not applicable (%s)\n"
+              (Strategy.to_string strategy) msg;
+            None)
+      Strategy.all
+  in
+
+  (match results with
+  | (_, first) :: rest ->
+      List.iter
+        (fun (strategy, r) ->
+          if
+            not (Relation.equal_set r.Perm.relation first.Perm.relation)
+          then
+            Printf.printf "  WARNING: %s disagrees with the first strategy!\n"
+              (Strategy.to_string strategy))
+        rest;
+      Printf.printf "  (all strategies returned the same provenance)\n";
+
+      (* Drill-down: which partsupp/supplier/nation rows feed the first
+         reported part? The provenance result is an ordinary relation. *)
+      let rel = first.Perm.relation in
+      (match Relation.tuples rel with
+      | [] -> print_endline "\n(no qualifying parts at this scale/parameter)"
+      | t :: _ ->
+          let partkey = Tuple.get t 0 in
+          Database.add db "q11_prov" rel;
+          let drill =
+            Perm.run db
+              (Printf.sprintf
+                 "SELECT DISTINCT prov_partsupp_ps_suppkey, \
+                  prov_supplier_s_name, prov_nation_n_name FROM q11_prov WHERE \
+                  ps_partkey = %s"
+                 (Value.to_string partkey))
+          in
+          Printf.printf "\nWitnesses behind part %s:\n" (Value.to_string partkey);
+          Table_pp.print ~max_rows:10 drill.Perm.relation)
+  | [] -> print_endline "no strategy applied")

@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Algebra Database Float List Optimizer Perm Relalg Relation Rewrite Scope Sql_frontend Strategy Value

@@ -1,0 +1,1 @@
+lib/core/advisor.mli: Algebra Database Perm Relalg Strategy

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Buffer Hashtbl List Printf Pschema Relalg Relation Scope String Tuple Value

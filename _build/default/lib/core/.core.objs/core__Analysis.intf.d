@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Algebra Database Pschema Relalg Relation Tuple

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Algebra Array Database Eval Format List Relalg Relation Schema Tuple Typecheck Value

@@ -1,0 +1,1 @@
+lib/core/oracle.mli: Algebra Database Eval Relalg Tuple Value

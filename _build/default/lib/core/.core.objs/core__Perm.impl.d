@@ -1,0 +1,1 @@
+lib/core/perm.ml: Algebra Array Database Eval List Optimizer Pp Pschema Relalg Relation Rewrite Schema Scope Sql_frontend Strategy Tuple Typecheck Value

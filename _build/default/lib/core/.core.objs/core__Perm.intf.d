@@ -1,0 +1,1 @@
+lib/core/perm.mli: Algebra Database Pschema Relalg Relation Strategy

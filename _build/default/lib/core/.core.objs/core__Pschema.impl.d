@@ -1,0 +1,1 @@
+lib/core/pschema.ml: Algebra Database Hashtbl List Printf Relalg Relation Schema Vtype

@@ -1,0 +1,1 @@
+lib/core/pschema.mli: Algebra Database Relalg Schema Vtype

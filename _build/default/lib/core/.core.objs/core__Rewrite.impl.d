@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Algebra Database List Pp Pschema Relalg Relation Schema Scope Strategy Tuple Value

@@ -1,0 +1,1 @@
+lib/core/rewrite.mli: Algebra Database Pschema Relalg Strategy

@@ -1,0 +1,141 @@
+(** Cost-based strategy selection — the "provenance-aware cost model"
+    the paper's Section 4.2.1 proposes as future work after observing
+    that PostgreSQL's estimates for the rewritten plans were "extremely
+    inaccurate".
+
+    The model is deliberately coarse: cardinalities are estimated from
+    base relation sizes and fixed per-predicate selectivities, and cost
+    counts tuples touched, distinguishing hash-joinable conditions from
+    nested loops and accounting for sublinks in conditions (memoized
+    per correlation binding, like the evaluator). Its only job is to
+    rank the four strategies' plans for one query — which it does
+    reliably, because the plans differ by orders of magnitude. *)
+
+open Relalg
+open Algebra
+
+(* Selectivity of a condition: crude textbook constants. *)
+let rec selectivity (e : expr) : float =
+  match e with
+  | Const (Value.Bool true) -> 1.0
+  | Const (Value.Bool false) -> 0.0
+  | Cmp ((Eq | EqNull), _, _) -> 0.1
+  | Cmp (Neq, _, _) -> 0.9
+  | Cmp ((Lt | Leq | Gt | Geq), _, _) -> 0.33
+  | And (a, b) -> selectivity a *. selectivity b
+  | Or (a, b) ->
+      let sa = selectivity a and sb = selectivity b in
+      sa +. sb -. (sa *. sb)
+  | Not a -> 1.0 -. selectivity a
+  | Like _ -> 0.1
+  | InList (_, es) -> min 1.0 (0.1 *. float_of_int (List.length es))
+  | IsNull _ -> 0.05
+  | Sublink { kind = Exists; _ } -> 0.5
+  | Sublink _ -> 0.5
+  | Case _ | FunCall _ | Attr _ | Const _ | TypedNull _ | Binop _ -> 0.5
+
+(* Estimated output cardinality of a plan. *)
+let rec card db (q : query) : float =
+  match q with
+  | Base name -> float_of_int (Relation.cardinality (Database.find db name))
+  | TableExpr rel -> float_of_int (Relation.cardinality rel)
+  | Select (c, input) -> max 1.0 (card db input *. selectivity c)
+  | Project { distinct; proj_input; _ } ->
+      let n = card db proj_input in
+      if distinct then max 1.0 (n *. 0.8) else n
+  | Cross (a, b) -> card db a *. card db b
+  | Join (c, a, b) -> max 1.0 (card db a *. card db b *. selectivity c)
+  | LeftJoin (c, a, b) ->
+      max (card db a) (card db a *. card db b *. selectivity c)
+  | Agg { group_by = []; _ } -> 1.0
+  | Agg { agg_input; _ } -> max 1.0 (card db agg_input ** 0.75)
+  | Union (_, a, b) -> card db a +. card db b
+  | Inter (_, a, b) -> Float.min (card db a) (card db b)
+  | Diff (_, a, b) ->
+      ignore b;
+      card db a
+  | Order (_, input) -> card db input
+  | Limit (n, input) -> Float.min (float_of_int n) (card db input)
+
+(* Cost of evaluating the sublinks of an expression once per distinct
+   binding, [rows] times: uncorrelated sublinks are materialized once,
+   correlated ones once per row (the evaluator memoizes per binding;
+   distinct bindings ~ rows). *)
+let rec sublink_eval_cost db rows (e : expr) : float =
+  List.fold_left
+    (fun acc s ->
+      let per = cost db s.query in
+      let repeats = if Scope.is_uncorrelated db s then 1.0 else rows in
+      acc +. (repeats *. per) +. rows)
+    0.0 (sublinks_of_expr e)
+
+(* Total cost in touched tuples. *)
+and cost db (q : query) : float =
+  match q with
+  | Base name -> float_of_int (Relation.cardinality (Database.find db name))
+  | TableExpr rel -> float_of_int (Relation.cardinality rel)
+  | Select (c, input) ->
+      let n = card db input in
+      cost db input +. n +. sublink_eval_cost db n c
+  | Project { cols; proj_input; _ } ->
+      let n = card db proj_input in
+      cost db proj_input +. n
+      +. List.fold_left (fun acc (e, _) -> acc +. sublink_eval_cost db n e) 0.0 cols
+  | Cross (a, b) -> cost db a +. cost db b +. (card db a *. card db b)
+  | Join (c, a, b) | LeftJoin (c, a, b) ->
+      let ca = card db a and cb = card db b in
+      let hashable =
+        List.exists
+          (fun conj ->
+            match conj with
+            | Cmp ((Eq | EqNull), e1, e2) ->
+                (not (has_sublink e1)) && not (has_sublink e2)
+            | _ -> false)
+          (conjuncts c)
+      in
+      let join_work = if hashable then ca +. cb else ca *. cb in
+      let pairs = if hashable then Float.max ca cb else ca *. cb in
+      cost db a +. cost db b +. join_work +. sublink_eval_cost db pairs c
+  | Agg { agg_input; _ } -> cost db agg_input +. card db agg_input
+  | Union (_, a, b) | Inter (_, a, b) | Diff (_, a, b) ->
+      cost db a +. cost db b +. card db a +. card db b
+  | Order (_, input) ->
+      let n = card db input in
+      cost db input +. (n *. Float.max 1.0 (log (n +. 1.0)))
+  | Limit (_, input) -> cost db input
+
+type estimate = {
+  est_strategy : Strategy.t;
+  est_cost : float;  (** estimated tuples touched; infinite if huge *)
+}
+
+(** [estimates db q] costs every applicable strategy's optimized plan,
+    cheapest first. *)
+let estimates db (q : query) : estimate list =
+  List.filter_map
+    (fun strategy ->
+      match Rewrite.rewrite db ~strategy q with
+      | q_plus, _ ->
+          let plan = Optimizer.optimize db q_plus in
+          Some { est_strategy = strategy; est_cost = cost db plan }
+      | exception Strategy.Unsupported _ -> None)
+    Strategy.all
+  |> List.sort (fun a b -> compare a.est_cost b.est_cost)
+
+(** [choose db q] is the estimated-cheapest applicable strategy.
+    Raises {!Strategy.Unsupported} when none applies (e.g. LIMIT). *)
+let choose db (q : query) : Strategy.t =
+  match estimates db q with
+  | { est_strategy; _ } :: _ -> est_strategy
+  | [] -> Strategy.unsupported "no strategy can rewrite this query"
+
+(** [run db ?optimize sql] is {!Perm.run} with the strategy chosen by
+    the cost model. Returns the chosen strategy alongside the result. *)
+let run db ?(optimize = true) sql : Strategy.t * Perm.result =
+  let analyzed = Sql_frontend.Analyzer.analyze_string db sql in
+  let q = analyzed.Sql_frontend.Analyzer.query in
+  if analyzed.Sql_frontend.Analyzer.wants_provenance then begin
+    let strategy = choose db q in
+    (strategy, Perm.run_query db ~strategy ~optimize ~provenance:true q)
+  end
+  else (Strategy.Gen, Perm.run_query db ~optimize ~provenance:false q)

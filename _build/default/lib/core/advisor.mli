@@ -1,0 +1,30 @@
+(** Cost-based strategy selection — the "provenance-aware cost model"
+    that the paper's evaluation proposes as future work. The model is a
+    coarse tuples-touched estimate whose only job is to rank the
+    strategies' rewritten plans, which differ by orders of magnitude. *)
+
+open Relalg
+
+(** Estimated output cardinality of a plan. *)
+val card : Database.t -> Algebra.query -> float
+
+(** Estimated cost (tuples touched) of evaluating a plan, accounting
+    for hash-joinable conditions and per-binding sublink memoization. *)
+val cost : Database.t -> Algebra.query -> float
+
+type estimate = {
+  est_strategy : Strategy.t;
+  est_cost : float;
+}
+
+(** [estimates db q]: every applicable strategy's optimized-plan cost,
+    cheapest first. *)
+val estimates : Database.t -> Algebra.query -> estimate list
+
+(** [choose db q] is the estimated-cheapest applicable strategy;
+    raises {!Strategy.Unsupported} when none applies. *)
+val choose : Database.t -> Algebra.query -> Strategy.t
+
+(** [run db ?optimize sql] is {!Perm.run} with an advisor-chosen
+    strategy; returns the choice alongside the result. *)
+val run : Database.t -> ?optimize:bool -> string -> Strategy.t * Perm.result

@@ -1,0 +1,197 @@
+(** Working with computed provenance: influence statistics and a
+    Graphviz export of the result–witness bipartite graph.
+
+    Both consume the single-relation provenance representation produced
+    by {!Perm.run} / {!Perm.provenance} — one of the paper's selling
+    points is precisely that such downstream analyses are ordinary
+    relational processing. *)
+
+open Relalg
+
+(* Column offset of each provenance relation inside a provenance result
+   whose original output has [n_orig] columns. *)
+let offsets_of n_orig (provs : Pschema.prov_rel list) =
+  let _, offs =
+    List.fold_left
+      (fun (pos, acc) (pr : Pschema.prov_rel) ->
+        (pos + List.length pr.Pschema.pr_cols, acc @ [ (pr, pos) ]))
+      (n_orig, []) provs
+  in
+  offs
+
+let witness_of_row t pos width =
+  let w = Tuple.project t (List.init width (fun i -> pos + i)) in
+  if Array.for_all Value.is_null (w : Tuple.t :> Value.t array) then None
+  else Some w
+
+(** Influence of one base tuple: in how many distinct result rows it
+    appears as a witness. *)
+type influence = {
+  inf_relation : string;
+  inf_tuple : Tuple.t;
+  inf_count : int;
+}
+
+(** [influence db q rel provs] ranks every contributing base tuple by
+    the number of distinct result tuples it witnesses, descending.
+    A data engineer reads this as "which source rows matter most for
+    this report". *)
+let influence_cols ~n_orig (rel : Relation.t) (provs : Pschema.prov_rel list) :
+    influence list =
+  let offs = offsets_of n_orig provs in
+  let counts : (string * Tuple.t, unit Tuple.Tbl.t) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun t ->
+      let result_key = Tuple.project t (List.init n_orig (fun i -> i)) in
+      List.iter
+        (fun ((pr : Pschema.prov_rel), pos) ->
+          match witness_of_row t pos (List.length pr.Pschema.pr_cols) with
+          | None -> ()
+          | Some w ->
+              let key = (pr.Pschema.pr_rel, w) in
+              let seen =
+                match Hashtbl.find_opt counts key with
+                | Some tbl -> tbl
+                | None ->
+                    let tbl = Tuple.Tbl.create 4 in
+                    Hashtbl.add counts key tbl;
+                    tbl
+              in
+              if not (Tuple.Tbl.mem seen result_key) then
+                Tuple.Tbl.add seen result_key ())
+        offs)
+    (Relation.tuples rel);
+  Hashtbl.fold
+    (fun (rel_name, w) seen acc ->
+      { inf_relation = rel_name; inf_tuple = w; inf_count = Tuple.Tbl.length seen }
+      :: acc)
+    counts []
+  |> List.sort (fun a b ->
+         match compare b.inf_count a.inf_count with
+         | 0 -> compare (a.inf_relation, Tuple.to_string a.inf_tuple)
+                  (b.inf_relation, Tuple.to_string b.inf_tuple)
+         | c -> c)
+
+(** [influence db q rel provs] is {!influence_cols} with the original
+    column count taken from the analyzed query. *)
+let influence db q rel provs =
+  influence_cols ~n_orig:(List.length (Scope.out_names db q)) rel provs
+
+(** [influence_report_cols ~n_orig rel provs] renders the influence
+    ranking as aligned text. *)
+let influence_report_cols ~n_orig rel provs : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "relation     results  tuple\n";
+  List.iter
+    (fun inf ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-12s %7d  %s\n" inf.inf_relation inf.inf_count
+           (Tuple.to_string inf.inf_tuple)))
+    (influence_cols ~n_orig rel provs);
+  Buffer.contents buf
+
+(** [influence_report db q rel provs] — see {!influence_report_cols}. *)
+let influence_report db q rel provs : string =
+  influence_report_cols ~n_orig:(List.length (Scope.out_names db q)) rel provs
+
+(* ------------------------------------------------------------------ *)
+(* Graphviz                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let dot_escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+(** [to_dot db q rel provs] renders the provenance as a Graphviz
+    digraph: one node per distinct result tuple, one per contributing
+    base tuple (clustered by relation), an edge from each witness to
+    each result tuple it contributes to. Render with
+    [dot -Tsvg provenance.dot -o provenance.svg]. *)
+let to_dot_cols ~n_orig (rel : Relation.t) (provs : Pschema.prov_rel list) : string =
+  let offs = offsets_of n_orig provs in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph provenance {\n  rankdir=LR;\n";
+  Buffer.add_string buf "  node [shape=box, fontsize=10];\n";
+  (* result nodes *)
+  let result_ids = Tuple.Tbl.create 16 in
+  let next_result = ref 0 in
+  let result_id key =
+    match Tuple.Tbl.find_opt result_ids key with
+    | Some id -> id
+    | None ->
+        let id = Printf.sprintf "res%d" !next_result in
+        incr next_result;
+        Tuple.Tbl.add result_ids key id;
+        Buffer.add_string buf
+          (Printf.sprintf "  %s [label=\"%s\", style=filled, fillcolor=lightblue];\n"
+             id
+             (dot_escape (Tuple.to_string key)));
+        id
+  in
+  (* witness nodes, per relation *)
+  let witness_ids : (string * Tuple.t, string) Hashtbl.t = Hashtbl.create 16 in
+  let next_witness = ref 0 in
+  let cluster_members : (string, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let witness_id rel_name w =
+    match Hashtbl.find_opt witness_ids (rel_name, w) with
+    | Some id -> id
+    | None ->
+        let id = Printf.sprintf "wit%d" !next_witness in
+        incr next_witness;
+        Hashtbl.add witness_ids (rel_name, w) id;
+        let members =
+          match Hashtbl.find_opt cluster_members rel_name with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.add cluster_members rel_name l;
+              l
+        in
+        members :=
+          Printf.sprintf "    %s [label=\"%s\"];" id (dot_escape (Tuple.to_string w))
+          :: !members;
+        id
+  in
+  (* collect edges, deduplicated *)
+  let edges = Hashtbl.create 32 in
+  List.iter
+    (fun t ->
+      let rk = Tuple.project t (List.init n_orig (fun i -> i)) in
+      let rid = result_id rk in
+      List.iter
+        (fun ((pr : Pschema.prov_rel), pos) ->
+          match witness_of_row t pos (List.length pr.Pschema.pr_cols) with
+          | None -> ()
+          | Some w ->
+              let wid = witness_id pr.Pschema.pr_rel w in
+              Hashtbl.replace edges (wid, rid) ())
+        offs)
+    (Relation.tuples rel);
+  (* emit clusters *)
+  Hashtbl.iter
+    (fun rel_name members ->
+      Buffer.add_string buf
+        (Printf.sprintf "  subgraph \"cluster_%s\" {\n    label=\"%s\";\n"
+           (dot_escape rel_name) (dot_escape rel_name));
+      List.iter
+        (fun line ->
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n')
+        !members;
+      Buffer.add_string buf "  }\n")
+    cluster_members;
+  Hashtbl.iter
+    (fun (wid, rid) () -> Buffer.add_string buf (Printf.sprintf "  %s -> %s;\n" wid rid))
+    edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(** [to_dot db q rel provs] — see {!to_dot_cols}. *)
+let to_dot db q rel provs =
+  to_dot_cols ~n_orig:(List.length (Scope.out_names db q)) rel provs

@@ -1,0 +1,42 @@
+(** Working with computed provenance: influence statistics and a
+    Graphviz export of the result–witness bipartite graph. Both consume
+    the single-relation representation of {!Perm.run} /
+    {!Perm.provenance}. *)
+
+open Relalg
+
+(** Influence of one base tuple: in how many distinct result rows it
+    appears as a witness. *)
+type influence = {
+  inf_relation : string;
+  inf_tuple : Tuple.t;
+  inf_count : int;
+}
+
+(** [influence_cols ~n_orig rel provs] ranks every contributing base
+    tuple by the number of distinct result tuples it witnesses,
+    descending; [n_orig] is the number of original (non-provenance)
+    columns of [rel]. *)
+val influence_cols :
+  n_orig:int -> Relation.t -> Pschema.prov_rel list -> influence list
+
+(** [influence db q rel provs] — {!influence_cols} with [n_orig] taken
+    from the analyzed query [q]. *)
+val influence :
+  Database.t -> Algebra.query -> Relation.t -> Pschema.prov_rel list ->
+  influence list
+
+(** Aligned-text rendering of the influence ranking. *)
+val influence_report_cols :
+  n_orig:int -> Relation.t -> Pschema.prov_rel list -> string
+
+val influence_report :
+  Database.t -> Algebra.query -> Relation.t -> Pschema.prov_rel list -> string
+
+(** Graphviz digraph: one node per distinct result tuple, one per
+    contributing base tuple (clustered by relation), an edge from each
+    witness to each result it contributes to. *)
+val to_dot_cols : n_orig:int -> Relation.t -> Pschema.prov_rel list -> string
+
+val to_dot :
+  Database.t -> Algebra.query -> Relation.t -> Pschema.prov_rel list -> string

@@ -1,0 +1,30 @@
+(** Direct (non-rewriting) provenance computation — the test oracle.
+
+    Computes, by enumeration, the provenance relation prescribed by
+    Definitions 1 and 2: one row per result tuple and combination of
+    contributing base tuples, with the sublink witness sets [Tsub*] of
+    Figure 2 under the extended Definition 2. Shares only the
+    expression evaluator with the rewriter, so agreement between
+    [Eval (Rewrite q)] and [Oracle q] is a meaningful end-to-end check
+    of Theorems 1–4. *)
+
+open Relalg
+
+exception Unsupported of string
+
+(** One provenance row: result tuple plus flattened witness values
+    (NULL = the relation access did not contribute). *)
+type prow = { pt : Tuple.t; pw : Value.t array }
+
+(** Number of witness slots of [q]'s provenance, matching the
+    rewriter's provenance schema. *)
+val width : Database.t -> Algebra.query -> int
+
+(** [rows db env q] is the provenance rows of [q] under correlation
+    environment [env]. *)
+val rows : Database.t -> Eval.env -> Algebra.query -> prow list
+
+(** [provenance db q] is the oracle's provenance for [q] as bare rows
+    (result tuple concatenated with witness values), comparable with
+    the rewriter's output by content. *)
+val provenance : Database.t -> Algebra.query -> Tuple.t list

@@ -1,0 +1,216 @@
+(** Public API of the Perm reproduction: parse SQL (with the
+    [SELECT PROVENANCE] extension), rewrite with a chosen sublink
+    strategy, and evaluate.
+
+    Typical use:
+    {[
+      let result =
+        Perm.run db "SELECT PROVENANCE * FROM r WHERE a = ANY (SELECT c FROM s)"
+      in
+      Relalg.Table_pp.print result.Perm.relation
+    ]} *)
+
+open Relalg
+
+type result = {
+  relation : Relation.t;  (** the evaluated result *)
+  provenance : Pschema.prov_rel list;
+      (** provenance attribute descriptions; empty when no provenance was
+          requested *)
+  plan : Algebra.query;  (** the plan that was executed *)
+}
+
+(** [rewrite db ?strategy q] is the provenance-propagating plan [q+] and
+    its provenance schema. Raises {!Strategy.Unsupported} when the
+    strategy cannot handle [q]. *)
+let rewrite db ?(strategy = Strategy.Gen) q = Rewrite.rewrite db ~strategy q
+
+(** [provenance db ?strategy ?optimize q] evaluates the provenance of an
+    algebra query directly. *)
+let provenance db ?(strategy = Strategy.Gen) ?(optimize = true) q =
+  let q_plus, provs = Rewrite.rewrite db ~strategy q in
+  Typecheck.check db q_plus;
+  let plan = if optimize then Optimizer.optimize db q_plus else q_plus in
+  (Eval.query db plan, provs)
+
+(** [run db ?strategy ?optimize sql] parses, analyzes and evaluates [sql].
+    If the statement carries the [PROVENANCE] marker, the provenance
+    rewrite with [strategy] is applied first. *)
+let run db ?(strategy = Strategy.Gen) ?(optimize = true) sql : result =
+  let analyzed = Sql_frontend.Analyzer.analyze_string db sql in
+  let q = analyzed.Sql_frontend.Analyzer.query in
+  if analyzed.Sql_frontend.Analyzer.wants_provenance then begin
+    let q_plus, provs = Rewrite.rewrite db ~strategy q in
+    Typecheck.check db q_plus;
+    let plan = if optimize then Optimizer.optimize db q_plus else q_plus in
+    { relation = Eval.query db plan; provenance = provs; plan }
+  end
+  else begin
+    let plan = if optimize then Optimizer.optimize db q else q in
+    { relation = Eval.query db plan; provenance = []; plan }
+  end
+
+(** [run_query db ?strategy ?optimize ~provenance q] is [run] for an
+    already-analyzed algebra query. *)
+let run_query db ?(strategy = Strategy.Gen) ?(optimize = true)
+    ~provenance:wants q : result =
+  if wants then begin
+    let q_plus, provs = Rewrite.rewrite db ~strategy q in
+    Typecheck.check db q_plus;
+    let plan = if optimize then Optimizer.optimize db q_plus else q_plus in
+    { relation = Eval.query db plan; provenance = provs; plan }
+  end
+  else begin
+    let plan = if optimize then Optimizer.optimize db q else q in
+    { relation = Eval.query db plan; provenance = []; plan }
+  end
+
+(** {1 Statements} *)
+
+type exec_result =
+  | Rows of result  (** a SELECT's result *)
+  | Created_view of string
+  | Created_table of string * int  (** name and materialized row count *)
+  | Dropped of string
+
+(* Execute one already-parsed statement. *)
+let exec_parsed db ~strategy ~optimize stmt : exec_result =
+  let analyze sel =
+    let analyzed = Sql_frontend.Analyzer.analyze db sel in
+    let q = analyzed.Sql_frontend.Analyzer.query in
+    if analyzed.Sql_frontend.Analyzer.wants_provenance then begin
+      let q_plus, provs = Rewrite.rewrite db ~strategy q in
+      Typecheck.check db q_plus;
+      (q_plus, provs)
+    end
+    else (q, [])
+  in
+  match stmt with
+  | Sql_frontend.Ast.Stmt_select sel ->
+      let q, provs = analyze sel in
+      let plan = if optimize then Optimizer.optimize db q else q in
+      Rows { relation = Eval.query db plan; provenance = provs; plan }
+  | Sql_frontend.Ast.Stmt_create_view (name, sel) ->
+      let q, _ = analyze sel in
+      Database.add_view db name q;
+      Created_view name
+  | Sql_frontend.Ast.Stmt_create_table_as (name, sel) ->
+      let q, _ = analyze sel in
+      let plan = if optimize then Optimizer.optimize db q else q in
+      let rel = Eval.query db plan in
+      Database.add db name rel;
+      Created_table (name, Relation.cardinality rel)
+  | Sql_frontend.Ast.Stmt_drop name ->
+      if Database.drop db name then Dropped name
+      else raise (Sql_frontend.Analyzer.Analyze_error ("unknown table or view " ^ name))
+
+(** [exec db ?strategy ?optimize sql] executes one statement. SELECTs
+    behave like {!run}. [CREATE VIEW v AS SELECT PROVENANCE ...] stores
+    the *rewritten* query, so querying [v] later sees the provenance
+    columns — Perm's "provenance as a view". [CREATE TABLE t AS ...]
+    materializes the result. *)
+let exec db ?(strategy = Strategy.Gen) ?(optimize = true) sql : exec_result =
+  exec_parsed db ~strategy ~optimize (Sql_frontend.Parser.parse_statement sql)
+
+(** [exec_script db ?strategy ?optimize sql] runs a [;]-separated
+    statement sequence, returning each statement's result in order.
+    Execution stops at the first error (exception propagates). *)
+let exec_script db ?(strategy = Strategy.Gen) ?(optimize = true) sql :
+    exec_result list =
+  List.map
+    (exec_parsed db ~strategy ~optimize)
+    (Sql_frontend.Parser.parse_script sql)
+
+(** {1 Alternative views of the provenance} *)
+
+(** Witnesses of one result tuple, grouped per base relation access —
+    the tuple-of-relations representation of Cui & Widom that Section
+    3.1 contrasts with Perm's single-relation representation. Derived
+    from the relational result, so the association between witnesses of
+    different relations (Perm's advantage) is intentionally forgotten. *)
+type witness_sets = {
+  ws_tuple : Relation.t;  (** the result tuple, as a 1-row relation *)
+  ws_witnesses : (string * Relation.t) list;
+      (** per base relation access: the contributing tuples (NULL
+          padding rows removed, duplicates eliminated) *)
+}
+
+(** [witness_sets db q rel provs] regroups a provenance relation
+    (produced by {!run} or {!provenance} for query [q]) into
+    Cui–Widom-style witness sets, one entry per distinct result tuple. *)
+let witness_sets db q (rel : Relation.t) (provs : Pschema.prov_rel list) :
+    witness_sets list =
+  let schema = Relation.schema rel in
+  let orig_names = Scope.out_names db q in
+  let n_orig = List.length orig_names in
+  let orig_positions = List.init n_orig (fun i -> i) in
+  let groups : Tuple.t list Tuple.Tbl.t = Tuple.Tbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun t ->
+      let key = Tuple.project t orig_positions in
+      match Tuple.Tbl.find_opt groups key with
+      | Some rows -> Tuple.Tbl.replace groups key (t :: rows)
+      | None ->
+          Tuple.Tbl.add groups key [ t ];
+          order := key :: !order)
+    (Relation.tuples rel);
+  let offsets =
+    (* starting column of each prov_rel in the provenance result *)
+    let _, offs =
+      List.fold_left
+        (fun (pos, acc) (pr : Pschema.prov_rel) ->
+          (pos + List.length pr.Pschema.pr_cols, acc @ [ (pr, pos) ]))
+        (n_orig, []) provs
+    in
+    offs
+  in
+  List.rev_map
+    (fun key ->
+      let rows = List.rev (Tuple.Tbl.find groups key) in
+      let ws_tuple =
+        Relation.make
+          (Schema.of_list
+             (List.filteri (fun i _ -> i < n_orig) (Schema.to_list schema)))
+          [ key ]
+      in
+      let ws_witnesses =
+        List.map
+          (fun ((pr : Pschema.prov_rel), pos) ->
+            let base_schema =
+              Relation.schema (Database.find db pr.Pschema.pr_rel)
+            in
+            let width = List.length pr.Pschema.pr_cols in
+            let tuples =
+              List.filter_map
+                (fun t ->
+                  let w =
+                    Tuple.project t (List.init width (fun i -> pos + i))
+                  in
+                  if Array.for_all Value.is_null (w : Tuple.t :> Value.t array)
+                  then None
+                  else Some w)
+                rows
+            in
+            (pr.Pschema.pr_rel, Relation.distinct (Relation.make base_schema tuples)))
+          offsets
+      in
+      { ws_tuple; ws_witnesses })
+    !order
+
+(** [explain db ?strategy q] is a printable rendering of the rewritten,
+    optimized plan for [q]. *)
+let explain db ?(strategy = Strategy.Gen) ?(optimize = true) q =
+  let q_plus, _ = Rewrite.rewrite db ~strategy q in
+  let plan = if optimize then Optimizer.optimize db q_plus else q_plus in
+  Pp.query_to_string plan
+
+(** Strategies whose applicability conditions [q] satisfies, by actually
+    attempting the rewrite (cheap — rewriting is syntactic). *)
+let applicable_strategies db q =
+  List.filter
+    (fun s ->
+      match Rewrite.rewrite db ~strategy:s q with
+      | _ -> true
+      | exception Strategy.Unsupported _ -> false)
+    Strategy.all

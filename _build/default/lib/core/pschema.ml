@@ -1,0 +1,82 @@
+(** Provenance schemas: the [P(.)] renaming of Section 3.1.
+
+    The provenance of a query [q] over base relations [R1 ... Rn] is a
+    single relation with schema [(q, P(R1), ..., P(Rn))]. [P(R)] renames
+    every attribute of [R] to a fresh provenance attribute; multiple
+    occurrences of the same base relation get distinct names (footnote 1
+    of the paper), which the [naming] state guarantees. *)
+
+open Relalg
+
+type prov_col = {
+  pc_name : string;  (** provenance attribute name *)
+  pc_src : string;  (** source attribute in the base relation *)
+  pc_type : Vtype.t;
+}
+
+type prov_rel = {
+  pr_rel : string;  (** base relation name *)
+  pr_cols : prov_col list;
+}
+
+(** Mutable name supply used during one rewrite. *)
+type naming = {
+  occurrence : (string, int) Hashtbl.t;  (** per-base-relation counter *)
+  mutable fresh_counter : int;
+}
+
+let create_naming () = { occurrence = Hashtbl.create 8; fresh_counter = 0 }
+
+(** [fresh naming prefix] is a name unique within this rewrite. *)
+let fresh naming prefix =
+  naming.fresh_counter <- naming.fresh_counter + 1;
+  Printf.sprintf "%s_%d" prefix naming.fresh_counter
+
+(** [for_base naming db rel] allocates the provenance columns for one
+    occurrence of base relation [rel]: the first occurrence is named
+    [prov_rel_attr], later ones [prov_rel#k_attr]. *)
+let for_base naming db rel =
+  let schema = Relation.schema (Database.find db rel) in
+  let k =
+    match Hashtbl.find_opt naming.occurrence rel with
+    | Some k ->
+        Hashtbl.replace naming.occurrence rel (k + 1);
+        k + 1
+    | None ->
+        Hashtbl.add naming.occurrence rel 0;
+        0
+  in
+  let tag = if k = 0 then rel else Printf.sprintf "%s#%d" rel k in
+  let pr_cols =
+    List.map
+      (fun a ->
+        {
+          pc_name = Printf.sprintf "prov_%s_%s" tag a.Schema.name;
+          pc_src = a.Schema.name;
+          pc_type = a.Schema.ty;
+        })
+      (Schema.to_list schema)
+  in
+  { pr_rel = rel; pr_cols }
+
+(** Flattened provenance columns of a list of provenance relations. *)
+let cols (prels : prov_rel list) : prov_col list =
+  List.concat_map (fun pr -> pr.pr_cols) prels
+
+let attr_names prels = List.map (fun c -> c.pc_name) (cols prels)
+
+let width prels = List.length (cols prels)
+
+(** Identity projection columns passing the provenance attributes
+    through unchanged. *)
+let identity_cols prels =
+  List.map (fun c -> (Algebra.Attr c.pc_name, c.pc_name)) (cols prels)
+
+(** Typed NULL padding columns for the provenance attributes (used by
+    set-operation rewrites and the Gen strategy's empty case). *)
+let null_cols prels =
+  List.map (fun c -> (Algebra.TypedNull c.pc_type, c.pc_name)) (cols prels)
+
+(** Output schema attributes for the provenance columns. *)
+let schema_attrs prels =
+  List.map (fun c -> Schema.attr c.pc_name c.pc_type) (cols prels)

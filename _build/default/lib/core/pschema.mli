@@ -1,0 +1,48 @@
+(** Provenance schemas: the [P(.)] renaming of Section 3.1.
+
+    The provenance of a query over base relations [R1 ... Rn] is a
+    single relation with schema [(q, P(R1), ..., P(Rn))]; multiple
+    occurrences of one base relation get distinct names (footnote 1 of
+    the paper). *)
+
+open Relalg
+
+type prov_col = {
+  pc_name : string;  (** provenance attribute name *)
+  pc_src : string;  (** source attribute in the base relation *)
+  pc_type : Vtype.t;
+}
+
+type prov_rel = {
+  pr_rel : string;  (** base relation name *)
+  pr_cols : prov_col list;
+}
+
+(** Mutable name supply used during one rewrite. *)
+type naming
+
+val create_naming : unit -> naming
+
+(** [fresh naming prefix] is a name unique within this rewrite. *)
+val fresh : naming -> string -> string
+
+(** [for_base naming db rel] allocates the provenance columns for one
+    occurrence of base relation [rel] ([prov_rel_attr], then
+    [prov_rel#k_attr] for later occurrences). *)
+val for_base : naming -> Database.t -> string -> prov_rel
+
+(** Flattened provenance columns of a list of provenance relations. *)
+val cols : prov_rel list -> prov_col list
+
+val attr_names : prov_rel list -> string list
+val width : prov_rel list -> int
+
+(** Identity projection columns passing the provenance attributes
+    through unchanged. *)
+val identity_cols : prov_rel list -> (Algebra.expr * string) list
+
+(** Typed NULL padding columns for the provenance attributes. *)
+val null_cols : prov_rel list -> (Algebra.expr * string) list
+
+(** Output schema attributes for the provenance columns. *)
+val schema_attrs : prov_rel list -> Schema.attr list

@@ -1,0 +1,33 @@
+(** The four sublink rewrite strategies of Section 3.
+
+    - [Gen] (rules G1/G2) is applicable to every query, including
+      correlated and nested sublinks, at the cost of a [CrossBase]
+      cross product per sublink.
+    - [Left] (L1/L2) and [Move] (T1/T2) require every sublink of the
+      rewritten operator to be uncorrelated.
+    - [Unn] (U1/U2) additionally requires each sublink to be an
+      uncorrelated [EXISTS] or an equality [ANY] in a conjunctive
+      selection condition. *)
+
+type t = Gen | Left | Move | Unn
+
+(** Raised when a strategy's applicability conditions are violated, or a
+    construct has no provenance rewrite (e.g. LIMIT). *)
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+let to_string = function
+  | Gen -> "gen"
+  | Left -> "left"
+  | Move -> "move"
+  | Unn -> "unn"
+
+let of_string = function
+  | "gen" -> Gen
+  | "left" -> Left
+  | "move" -> Move
+  | "unn" -> Unn
+  | s -> invalid_arg (Printf.sprintf "unknown strategy %S" s)
+
+let all = [ Gen; Left; Move; Unn ]

@@ -1,0 +1,25 @@
+(** The four sublink rewrite strategies of Section 3.
+
+    [Gen] applies to every query (correlated and nested sublinks
+    included) at CrossBase cost; [Left] and [Move] require uncorrelated
+    sublinks; [Unn] un-nests [EXISTS] / equality-[ANY] forms (extended
+    here to equality-correlated [EXISTS], [NOT EXISTS] and [NOT IN] —
+    see DESIGN.md). *)
+
+type t = Gen | Left | Move | Unn
+
+(** Raised when a strategy's applicability conditions are violated or a
+    construct has no provenance rewrite (e.g. LIMIT). *)
+exception Unsupported of string
+
+(** [unsupported fmt ...] raises {!Unsupported} with a formatted
+    message. *)
+val unsupported : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val to_string : t -> string
+
+(** Raises [Invalid_argument] on unknown names. *)
+val of_string : string -> t
+
+(** All strategies, Gen first. *)
+val all : t list

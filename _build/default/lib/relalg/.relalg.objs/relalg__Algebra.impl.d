@@ -1,0 +1,1 @@
+lib/relalg/algebra.ml: List Option Relation Schema Value Vtype

@@ -1,0 +1,1 @@
+lib/relalg/algebra.mli: Relation Schema Value Vtype

@@ -1,0 +1,1 @@
+lib/relalg/builtin.ml: Float Hashtbl List String Value Vtype

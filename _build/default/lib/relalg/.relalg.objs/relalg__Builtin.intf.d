@@ -1,0 +1,1 @@
+lib/relalg/builtin.mli: Value Vtype

@@ -1,0 +1,1 @@
+lib/relalg/csv.ml: Buffer Format List Relation Schema String Tuple Value Vtype

@@ -1,0 +1,1 @@
+lib/relalg/csv.mli: Relation

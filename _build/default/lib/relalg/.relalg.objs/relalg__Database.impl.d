@@ -1,0 +1,1 @@
+lib/relalg/database.ml: Algebra Hashtbl List Relation

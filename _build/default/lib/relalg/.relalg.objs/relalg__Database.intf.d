@@ -1,0 +1,1 @@
+lib/relalg/database.mli: Algebra Relation

@@ -1,0 +1,1 @@
+lib/relalg/eval.ml: Algebra Builtin Database Format Hashtbl List Option Printf Relation Schema Scope Tuple Typecheck Value Vtype

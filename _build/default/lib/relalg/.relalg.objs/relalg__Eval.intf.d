@@ -1,0 +1,1 @@
+lib/relalg/eval.mli: Algebra Database Relation Schema Tuple Value

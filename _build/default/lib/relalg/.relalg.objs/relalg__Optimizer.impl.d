@@ -1,0 +1,1 @@
+lib/relalg/optimizer.ml: Algebra List Option Scope Simplify Value

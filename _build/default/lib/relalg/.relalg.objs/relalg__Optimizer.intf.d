@@ -1,0 +1,1 @@
+lib/relalg/optimizer.mli: Algebra Database

@@ -1,0 +1,1 @@
+lib/relalg/pp.ml: Algebra Format List Option Relation String Value Vtype

@@ -1,0 +1,1 @@
+lib/relalg/pp.mli: Algebra Format

@@ -1,0 +1,1 @@
+lib/relalg/relation.ml: Format List Schema Tuple

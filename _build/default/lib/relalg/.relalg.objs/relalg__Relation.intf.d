@@ -1,0 +1,1 @@
+lib/relalg/relation.mli: Format Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relalg/schema.ml: Array Format Hashtbl List String Vtype

@@ -1,0 +1,1 @@
+lib/relalg/scope.ml: Algebra Database List Option Relation Schema Set String

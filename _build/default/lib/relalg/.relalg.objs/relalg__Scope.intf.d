@@ -1,0 +1,1 @@
+lib/relalg/scope.mli: Algebra Database

@@ -1,0 +1,1 @@
+lib/relalg/simplify.ml: Algebra Builtin Eval List Option Value

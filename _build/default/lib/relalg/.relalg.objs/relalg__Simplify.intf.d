@@ -1,0 +1,1 @@
+lib/relalg/simplify.mli: Algebra

@@ -1,0 +1,1 @@
+lib/relalg/table_pp.ml: Array Buffer List Printf Relation Schema String Tuple Value

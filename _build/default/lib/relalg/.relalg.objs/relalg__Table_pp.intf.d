@@ -1,0 +1,1 @@
+lib/relalg/table_pp.mli: Relation

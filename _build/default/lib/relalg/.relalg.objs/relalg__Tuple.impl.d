@@ -1,0 +1,1 @@
+lib/relalg/tuple.ml: Array Format Hashtbl Value

@@ -1,0 +1,1 @@
+lib/relalg/tuple.mli: Format Hashtbl Value

@@ -1,0 +1,1 @@
+lib/relalg/typecheck.ml: Algebra Builtin Database Format List Option Relation Schema String Value Vtype

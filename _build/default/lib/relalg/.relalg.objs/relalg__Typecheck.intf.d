@@ -1,0 +1,1 @@
+lib/relalg/typecheck.mli: Algebra Database Schema Vtype

@@ -1,0 +1,1 @@
+lib/relalg/value.ml: Buffer Format Hashtbl Printf String Vtype

@@ -1,0 +1,1 @@
+lib/relalg/vtype.ml: Format

@@ -1,0 +1,289 @@
+(** The extended relational algebra of Figure 1: bag operators plus
+    sublinks ([ANY], [ALL], [EXISTS] and scalar subqueries) embeddable in
+    selection, projection and join conditions.
+
+    Expressions and queries are mutually recursive because a sublink
+    carries a whole query. Each sublink gets a unique [id] used by the
+    evaluator for (hashed-subplan style) memoization. *)
+
+type binop = Add | Sub | Mul | Div | Mod | Concat
+
+type cmpop =
+  | Eq
+  | Neq
+  | Lt
+  | Leq
+  | Gt
+  | Geq
+  | EqNull  (** the null-aware [=n] comparison from Section 3.3 *)
+
+type expr =
+  | Const of Value.t
+  | TypedNull of Vtype.t
+      (** NULL with an explicit static type — used by the provenance
+          rewrites to pad provenance attributes (e.g. set operations and
+          the Gen strategy's empty-sublink case). *)
+  | Attr of string
+      (** Attribute reference, resolved by name against the operator's
+          input schema or — for correlation — an enclosing scope. *)
+  | Binop of binop * expr * expr
+  | Cmp of cmpop * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | IsNull of expr
+  | Case of (expr * expr) list * expr option
+      (** [CASE WHEN c1 THEN e1 ... ELSE e END]; missing ELSE is NULL. *)
+  | Like of expr * string  (** SQL LIKE with [%] and [_] wildcards *)
+  | InList of expr * expr list  (** [e IN (e1, ..., en)] over literals *)
+  | FunCall of string * expr list  (** scalar builtin function *)
+  | Sublink of sublink
+
+and sublink = {
+  id : int;  (** unique id, for evaluator memoization *)
+  kind : sublink_kind;
+  query : query;  (** the sublink query [Tsub] *)
+}
+
+and sublink_kind =
+  | Exists  (** [EXISTS Tsub] *)
+  | Scalar  (** bare [Tsub]: single-column; NULL on empty result *)
+  | AnyOp of cmpop * expr  (** [A op ANY Tsub]; [A] evaluated in outer scope *)
+  | AllOp of cmpop * expr  (** [A op ALL Tsub] *)
+
+and agg_call = {
+  agg_func : string;  (** sum, count, avg, min, max *)
+  agg_distinct : bool;
+  agg_arg : expr option;  (** [None] encodes [COUNT( * )] *)
+  agg_name : string;  (** output attribute name *)
+}
+
+and query =
+  | Base of string  (** named relation from the database catalog *)
+  | TableExpr of Relation.t  (** literal relation (test fixtures, VALUES) *)
+  | Select of expr * query  (** sigma *)
+  | Project of projection
+  | Cross of query * query
+  | Join of expr * query * query
+  | LeftJoin of expr * query * query
+  | Agg of aggregation
+  | Union of semantics * query * query
+  | Inter of semantics * query * query
+  | Diff of semantics * query * query
+  | Order of (expr * direction) list * query
+  | Limit of int * query
+
+and projection = {
+  distinct : bool;  (** true = set projection, false = bag projection *)
+  cols : (expr * string) list;  (** expression and output attribute name *)
+  proj_input : query;
+}
+
+and aggregation = {
+  group_by : (expr * string) list;
+  aggs : agg_call list;
+  agg_input : query;
+}
+
+and semantics = Bag | SetSem
+and direction = Asc | Desc
+
+(** {1 Constructors} *)
+
+let sublink_counter = ref 0
+
+(** [mk_sublink kind query] allocates a sublink with a fresh id. *)
+let mk_sublink kind query =
+  incr sublink_counter;
+  { id = !sublink_counter; kind; query }
+
+let exists q = Sublink (mk_sublink Exists q)
+let scalar q = Sublink (mk_sublink Scalar q)
+let any_op op lhs q = Sublink (mk_sublink (AnyOp (op, lhs)) q)
+let all_op op lhs q = Sublink (mk_sublink (AllOp (op, lhs)) q)
+
+let int i = Const (Value.Int i)
+let str s = Const (Value.String s)
+let flt f = Const (Value.Float f)
+let bool b = Const (Value.Bool b)
+let attr a = Attr a
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+let eq a b = Cmp (Eq, a, b)
+let lt a b = Cmp (Lt, a, b)
+let gt a b = Cmp (Gt, a, b)
+
+(** Conjunction of a condition list; empty list is [true]. *)
+let conj = function
+  | [] -> Const Value.vtrue
+  | c :: cs -> List.fold_left ( &&& ) c cs
+
+(** Split a condition into its top-level conjuncts. *)
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | Const (Value.Bool true) -> []
+  | e -> [ e ]
+
+(** Identity projection columns for a schema (used to express renamings
+    a -> pa by pairing [Attr a] with a new name). *)
+let identity_cols schema = List.map (fun n -> (Attr n, n)) (Schema.names schema)
+
+(** [project ?distinct cols q] smart constructor. *)
+let project ?(distinct = false) cols q =
+  Project { distinct; cols; proj_input = q }
+
+let aggregate ~group_by ~aggs q = Agg { group_by; aggs; agg_input = q }
+
+(** {1 Traversals} *)
+
+(** [map_expr_query f e] rebuilds [e], applying [f] to every embedded
+    sublink query (outermost sublinks only; [f] may recurse itself). *)
+let rec map_expr_query f = function
+  | (Const _ | TypedNull _ | Attr _) as e -> e
+  | Binop (op, a, b) -> Binop (op, map_expr_query f a, map_expr_query f b)
+  | Cmp (op, a, b) -> Cmp (op, map_expr_query f a, map_expr_query f b)
+  | And (a, b) -> And (map_expr_query f a, map_expr_query f b)
+  | Or (a, b) -> Or (map_expr_query f a, map_expr_query f b)
+  | Not a -> Not (map_expr_query f a)
+  | IsNull a -> IsNull (map_expr_query f a)
+  | Case (whens, els) ->
+      Case
+        ( List.map (fun (c, e) -> (map_expr_query f c, map_expr_query f e)) whens,
+          Option.map (map_expr_query f) els )
+  | Like (a, pat) -> Like (map_expr_query f a, pat)
+  | InList (a, es) -> InList (map_expr_query f a, List.map (map_expr_query f) es)
+  | FunCall (name, es) -> FunCall (name, List.map (map_expr_query f) es)
+  | Sublink s ->
+      let kind =
+        match s.kind with
+        | (Exists | Scalar) as k -> k
+        | AnyOp (op, lhs) -> AnyOp (op, map_expr_query f lhs)
+        | AllOp (op, lhs) -> AllOp (op, map_expr_query f lhs)
+      in
+      Sublink { s with kind; query = f s.query }
+
+(** [fold_expr f acc e] folds [f] over every sub-expression of [e]
+    (including [e] itself), not descending into sublink queries. *)
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Const _ | TypedNull _ | Attr _ -> acc
+  | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      fold_expr f (fold_expr f acc a) b
+  | Not a | IsNull a | Like (a, _) -> fold_expr f acc a
+  | Case (whens, els) ->
+      let acc =
+        List.fold_left
+          (fun acc (c, x) -> fold_expr f (fold_expr f acc c) x)
+          acc whens
+      in
+      Option.fold ~none:acc ~some:(fold_expr f acc) els
+  | InList (a, es) -> List.fold_left (fold_expr f) (fold_expr f acc a) es
+  | FunCall (_, es) -> List.fold_left (fold_expr f) acc es
+  | Sublink s -> (
+      match s.kind with
+      | Exists | Scalar -> acc
+      | AnyOp (_, lhs) | AllOp (_, lhs) -> fold_expr f acc lhs)
+
+(** Top-level sublinks of an expression, left to right. Sublinks nested
+    inside another sublink's query are not included — they are handled
+    when the sublink query itself is rewritten (Section 2.7). *)
+let sublinks_of_expr e =
+  List.rev
+    (fold_expr (fun acc x -> match x with Sublink s -> s :: acc | _ -> acc) [] e)
+
+let has_sublink e = sublinks_of_expr e <> []
+
+(** [replace_sublinks subst e] replaces each sublink (by id) with the
+    expression bound to it in [subst]; used by the Move strategy to hoist
+    sublinks into projections. *)
+let rec replace_sublinks subst = function
+  | (Const _ | TypedNull _ | Attr _) as e -> e
+  | Binop (op, a, b) -> Binop (op, replace_sublinks subst a, replace_sublinks subst b)
+  | Cmp (op, a, b) -> Cmp (op, replace_sublinks subst a, replace_sublinks subst b)
+  | And (a, b) -> And (replace_sublinks subst a, replace_sublinks subst b)
+  | Or (a, b) -> Or (replace_sublinks subst a, replace_sublinks subst b)
+  | Not a -> Not (replace_sublinks subst a)
+  | IsNull a -> IsNull (replace_sublinks subst a)
+  | Case (whens, els) ->
+      Case
+        ( List.map
+            (fun (c, e) -> (replace_sublinks subst c, replace_sublinks subst e))
+            whens,
+          Option.map (replace_sublinks subst) els )
+  | Like (a, pat) -> Like (replace_sublinks subst a, pat)
+  | InList (a, es) ->
+      InList (replace_sublinks subst a, List.map (replace_sublinks subst) es)
+  | FunCall (name, es) -> FunCall (name, List.map (replace_sublinks subst) es)
+  | Sublink s -> (
+      match List.assoc_opt s.id subst with
+      | Some replacement -> replacement
+      | None -> Sublink s)
+
+(** [map_queries f q] applies [f] to every direct child query of [q]
+    (including sublink queries inside conditions). *)
+let map_queries f = function
+  | (Base _ | TableExpr _) as q -> q
+  | Select (c, q) -> Select (map_expr_query f c, f q)
+  | Project p ->
+      Project
+        {
+          p with
+          cols = List.map (fun (e, n) -> (map_expr_query f e, n)) p.cols;
+          proj_input = f p.proj_input;
+        }
+  | Cross (a, b) -> Cross (f a, f b)
+  | Join (c, a, b) -> Join (map_expr_query f c, f a, f b)
+  | LeftJoin (c, a, b) -> LeftJoin (map_expr_query f c, f a, f b)
+  | Agg a ->
+      Agg
+        {
+          group_by = List.map (fun (e, n) -> (map_expr_query f e, n)) a.group_by;
+          aggs =
+            List.map
+              (fun c -> { c with agg_arg = Option.map (map_expr_query f) c.agg_arg })
+              a.aggs;
+          agg_input = f a.agg_input;
+        }
+  | Union (s, a, b) -> Union (s, f a, f b)
+  | Inter (s, a, b) -> Inter (s, f a, f b)
+  | Diff (s, a, b) -> Diff (s, f a, f b)
+  | Order (keys, q) ->
+      Order (List.map (fun (e, d) -> (map_expr_query f e, d)) keys, f q)
+  | Limit (n, q) -> Limit (n, f q)
+
+(** All expressions syntactically present in the root operator of [q]
+    (conditions, projection columns, group/agg/order expressions). *)
+let root_exprs = function
+  | Base _ | TableExpr _ | Cross _ | Limit _ -> []
+  | Select (c, _) | Join (c, _, _) | LeftJoin (c, _, _) -> [ c ]
+  | Project p -> List.map fst p.cols
+  | Agg a ->
+      List.map fst a.group_by
+      @ List.filter_map (fun c -> c.agg_arg) a.aggs
+  | Union _ | Inter _ | Diff _ -> []
+  | Order (keys, _) -> List.map fst keys
+
+(** Base relation names accessed anywhere in [q] (including sublink
+    queries), left-to-right with duplicates for multiple references —
+    matching footnote 1 of the paper: multiple references to one relation
+    are treated as distinct provenance inputs. *)
+let rec base_relations q =
+  let from_exprs es =
+    List.concat_map
+      (fun e ->
+        List.concat_map (fun s -> base_relations s.query) (sublinks_of_expr e))
+      es
+  in
+  match q with
+  | Base name -> [ name ]
+  | TableExpr _ -> []
+  | Select (c, q) -> from_exprs [ c ] @ base_relations q
+  | Project p -> from_exprs (List.map fst p.cols) @ base_relations p.proj_input
+  | Cross (a, b) -> base_relations a @ base_relations b
+  | Join (c, a, b) | LeftJoin (c, a, b) ->
+      from_exprs [ c ] @ base_relations a @ base_relations b
+  | Agg a -> base_relations a.agg_input
+  | Union (_, a, b) | Inter (_, a, b) | Diff (_, a, b) ->
+      base_relations a @ base_relations b
+  | Order (_, q) | Limit (_, q) -> base_relations q

@@ -1,0 +1,154 @@
+(** The extended relational algebra of Figure 1: bag operators plus
+    sublinks ([ANY], [ALL], [EXISTS] and scalar subqueries) embeddable
+    in selection, projection and join conditions.
+
+    Expressions and queries are mutually recursive because a sublink
+    carries a whole query; each sublink has a unique [id] used by the
+    evaluator for hashed-subplan memoization. *)
+
+type binop = Add | Sub | Mul | Div | Mod | Concat
+
+type cmpop =
+  | Eq
+  | Neq
+  | Lt
+  | Leq
+  | Gt
+  | Geq
+  | EqNull  (** the null-aware [=n] comparison of Section 3.3 *)
+
+type expr =
+  | Const of Value.t
+  | TypedNull of Vtype.t
+      (** NULL with an explicit static type — used by the provenance
+          rewrites to pad provenance attributes *)
+  | Attr of string
+      (** resolved by name against the operator's input schema or — for
+          correlation — an enclosing scope *)
+  | Binop of binop * expr * expr
+  | Cmp of cmpop * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | IsNull of expr
+  | Case of (expr * expr) list * expr option
+      (** CASE WHEN...THEN... [ELSE]; missing ELSE is NULL *)
+  | Like of expr * string
+  | InList of expr * expr list
+  | FunCall of string * expr list
+  | Sublink of sublink
+
+and sublink = {
+  id : int;  (** unique id, for evaluator memoization *)
+  kind : sublink_kind;
+  query : query;  (** the sublink query [Tsub] *)
+}
+
+and sublink_kind =
+  | Exists
+  | Scalar  (** single-column; NULL on empty result *)
+  | AnyOp of cmpop * expr  (** [A op ANY Tsub]; [A] in the outer scope *)
+  | AllOp of cmpop * expr
+
+and agg_call = {
+  agg_func : string;
+  agg_distinct : bool;
+  agg_arg : expr option;  (** [None] encodes [count( * )] *)
+  agg_name : string;
+}
+
+and query =
+  | Base of string
+  | TableExpr of Relation.t
+  | Select of expr * query
+  | Project of projection
+  | Cross of query * query
+  | Join of expr * query * query
+  | LeftJoin of expr * query * query
+  | Agg of aggregation
+  | Union of semantics * query * query
+  | Inter of semantics * query * query
+  | Diff of semantics * query * query
+  | Order of (expr * direction) list * query
+  | Limit of int * query
+
+and projection = {
+  distinct : bool;
+  cols : (expr * string) list;
+  proj_input : query;
+}
+
+and aggregation = {
+  group_by : (expr * string) list;
+  aggs : agg_call list;
+  agg_input : query;
+}
+
+and semantics = Bag | SetSem
+and direction = Asc | Desc
+
+(** {1 Constructors} *)
+
+(** [mk_sublink kind query] allocates a sublink with a fresh id. *)
+val mk_sublink : sublink_kind -> query -> sublink
+
+val exists : query -> expr
+val scalar : query -> expr
+val any_op : cmpop -> expr -> query -> expr
+val all_op : cmpop -> expr -> query -> expr
+
+val int : int -> expr
+val str : string -> expr
+val flt : float -> expr
+val bool : bool -> expr
+val attr : string -> expr
+val ( &&& ) : expr -> expr -> expr
+val ( ||| ) : expr -> expr -> expr
+val eq : expr -> expr -> expr
+val lt : expr -> expr -> expr
+val gt : expr -> expr -> expr
+
+(** Conjunction of a condition list; empty list is [true]. *)
+val conj : expr list -> expr
+
+(** Top-level conjuncts of a condition. *)
+val conjuncts : expr -> expr list
+
+(** Identity projection columns for a schema. *)
+val identity_cols : Schema.t -> (expr * string) list
+
+val project : ?distinct:bool -> (expr * string) list -> query -> query
+
+val aggregate :
+  group_by:(expr * string) list -> aggs:agg_call list -> query -> query
+
+(** {1 Traversals} *)
+
+(** Rebuild an expression, applying [f] to every embedded sublink
+    query (outermost sublinks only). *)
+val map_expr_query : (query -> query) -> expr -> expr
+
+(** Fold over every sub-expression (including the root), not descending
+    into sublink queries. *)
+val fold_expr : ('a -> expr -> 'a) -> 'a -> expr -> 'a
+
+(** Top-level sublinks of an expression, left to right (sublinks nested
+    inside another sublink's query are not included — Section 2.7). *)
+val sublinks_of_expr : expr -> sublink list
+
+val has_sublink : expr -> bool
+
+(** Replace sublinks (matched by id) with bound expressions — the Move
+    strategy's hoisting substitution. *)
+val replace_sublinks : (int * expr) list -> expr -> expr
+
+(** Apply [f] to every direct child query (including sublink queries
+    inside conditions). *)
+val map_queries : (query -> query) -> query -> query
+
+(** Expressions syntactically present in the root operator of a query. *)
+val root_exprs : query -> expr list
+
+(** Base relation names accessed anywhere in a query (including sublink
+    queries), with duplicates for multiple references (footnote 1). *)
+val base_relations : query -> string list

@@ -1,0 +1,198 @@
+(** Scalar and aggregate builtin functions.
+
+    Scalar functions follow SQL convention: they return [Null] when any
+    argument is [Null] (except [coalesce]). Aggregates ignore NULLs,
+    except [count( * )]. *)
+
+exception Unknown_function of string
+
+(* ------------------------------------------------------------------ *)
+(* Scalar functions                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let strict1 f = function
+  | [ Value.Null ] -> Value.Null
+  | [ v ] -> f v
+  | args -> Value.type_clash "expected 1 argument, got %d" (List.length args)
+
+let scalar_abs =
+  strict1 (function
+    | Value.Int i -> Value.Int (abs i)
+    | Value.Float f -> Value.Float (Float.abs f)
+    | v -> Value.type_clash "abs(%s)" (Value.to_string v))
+
+let scalar_sqrt = strict1 (fun v -> Value.Float (sqrt (Value.as_float v)))
+
+let scalar_round =
+  strict1 (fun v -> Value.Float (Float.round (Value.as_float v)))
+
+let scalar_floor = strict1 (fun v -> Value.Float (Float.of_int (int_of_float (floor (Value.as_float v)))))
+let scalar_ceil = strict1 (fun v -> Value.Float (Float.of_int (int_of_float (ceil (Value.as_float v)))))
+
+let scalar_upper =
+  strict1 (function
+    | Value.String s -> Value.String (String.uppercase_ascii s)
+    | v -> Value.type_clash "upper(%s)" (Value.to_string v))
+
+let scalar_lower =
+  strict1 (function
+    | Value.String s -> Value.String (String.lowercase_ascii s)
+    | v -> Value.type_clash "lower(%s)" (Value.to_string v))
+
+let scalar_length =
+  strict1 (function
+    | Value.String s -> Value.Int (String.length s)
+    | v -> Value.type_clash "length(%s)" (Value.to_string v))
+
+(* SQL substring: 1-based start, clamped to the string bounds. *)
+let scalar_substring = function
+  | [ Value.Null; _; _ ] | [ _; Value.Null; _ ] | [ _; _; Value.Null ] -> Value.Null
+  | [ Value.String s; Value.Int start; Value.Int len ] ->
+      let n = String.length s in
+      let from = max 0 (start - 1) in
+      let upto = min n (from + max 0 len) in
+      if from >= n then Value.String ""
+      else Value.String (String.sub s from (upto - from))
+  | args ->
+      Value.type_clash "substring: bad arguments (%s)"
+        (String.concat ", " (List.map Value.to_string args))
+
+let scalar_coalesce args =
+  match List.find_opt (fun v -> not (Value.is_null v)) args with
+  | Some v -> v
+  | None -> Value.Null
+
+let scalar_table : (string, Value.t list -> Value.t) Hashtbl.t = Hashtbl.create 16
+
+let () =
+  List.iter
+    (fun (name, f) -> Hashtbl.replace scalar_table name f)
+    [
+      ("abs", scalar_abs);
+      ("sqrt", scalar_sqrt);
+      ("round", scalar_round);
+      ("floor", scalar_floor);
+      ("ceil", scalar_ceil);
+      ("upper", scalar_upper);
+      ("lower", scalar_lower);
+      ("length", scalar_length);
+      ("substring", scalar_substring);
+      ("coalesce", scalar_coalesce);
+    ]
+
+(** [apply_scalar name args] evaluates the builtin [name]. *)
+let apply_scalar name args =
+  match Hashtbl.find_opt scalar_table name with
+  | Some f -> f args
+  | None -> raise (Unknown_function name)
+
+(** Result type of scalar builtin [name] on argument types [arg_tys]. *)
+let scalar_result_type name (arg_tys : Vtype.t list) : Vtype.t =
+  match (name, arg_tys) with
+  | "abs", [ t ] when Vtype.is_numeric t -> t
+  | ("sqrt" | "round" | "floor" | "ceil"), [ t ] when Vtype.is_numeric t ->
+      Vtype.TFloat
+  | ("upper" | "lower"), [ Vtype.TString ] -> Vtype.TString
+  | "length", [ Vtype.TString ] -> Vtype.TInt
+  | "substring", [ Vtype.TString; Vtype.TInt; Vtype.TInt ] -> Vtype.TString
+  | "coalesce", t :: rest when List.for_all (Vtype.compatible t) rest -> t
+  | _, _ ->
+      if Hashtbl.mem scalar_table name then
+        Value.type_clash "function %s: bad argument types (%s)" name
+          (String.concat ", " (List.map Vtype.to_string arg_tys))
+      else raise (Unknown_function name)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate functions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let is_aggregate = function
+  | "sum" | "count" | "avg" | "min" | "max" -> true
+  | _ -> false
+
+(** [apply_aggregate func ~distinct values] computes aggregate [func]
+    over a group's argument values. [values] excludes NULLs already for
+    SQL conformance — the caller filters. [count] of an empty group is 0;
+    other aggregates return NULL on empty input. *)
+let apply_aggregate func ~distinct values =
+  let values =
+    if distinct then begin
+      let seen = Hashtbl.create 16 in
+      List.filter
+        (fun v ->
+          let k = Value.hash v in
+          let bucket = Hashtbl.find_all seen k in
+          if List.exists (Value.equal_null v) bucket then false
+          else begin
+            Hashtbl.add seen k v;
+            true
+          end)
+        values
+    end
+    else values
+  in
+  match func with
+  | "count" -> Value.Int (List.length values)
+  | "sum" -> (
+      match values with
+      | [] -> Value.Null
+      | v :: vs -> List.fold_left Value.add v vs)
+  | "avg" -> (
+      match values with
+      | [] -> Value.Null
+      | vs ->
+          let total = List.fold_left (fun acc v -> acc +. Value.as_float v) 0. vs in
+          Value.Float (total /. float_of_int (List.length vs)))
+  | "min" -> (
+      match values with
+      | [] -> Value.Null
+      | v :: vs ->
+          List.fold_left
+            (fun acc x -> if Value.cmp_sql x acc = Some (-1) then x else acc)
+            v vs)
+  | "max" -> (
+      match values with
+      | [] -> Value.Null
+      | v :: vs ->
+          List.fold_left
+            (fun acc x -> if Value.cmp_sql x acc = Some 1 then x else acc)
+            v vs)
+  | _ -> raise (Unknown_function func)
+
+(** Result type of aggregate [func] on argument type [arg_ty]
+    ([None] for [count( * )]). *)
+let aggregate_result_type func (arg_ty : Vtype.t option) : Vtype.t =
+  match (func, arg_ty) with
+  | "count", _ -> Vtype.TInt
+  | "sum", Some t when Vtype.is_numeric t -> t
+  | "avg", Some t when Vtype.is_numeric t -> Vtype.TFloat
+  | ("min" | "max"), Some t -> t
+  | ("sum" | "avg"), Some t ->
+      Value.type_clash "%s over non-numeric type %s" func (Vtype.to_string t)
+  | ("sum" | "avg" | "min" | "max"), None ->
+      Value.type_clash "%s requires an argument" func
+  | _ -> raise (Unknown_function func)
+
+(* ------------------------------------------------------------------ *)
+(* LIKE pattern matching                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** [like_match ~pattern s] implements SQL LIKE: [%] matches any
+    sequence, [_] any single character; other characters literally. *)
+let like_match ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  (* Classic two-pointer algorithm with backtracking on the last '%'. *)
+  let rec go pi si star_pi star_si =
+    if si = ns then
+      (* consume trailing '%'s *)
+      let rec only_percents i = i >= np || (pattern.[i] = '%' && only_percents (i + 1)) in
+      if only_percents pi then true
+      else if star_pi >= 0 then false
+      else false
+    else if pi < np && pattern.[pi] = '%' then go (pi + 1) si pi si
+    else if pi < np && (pattern.[pi] = '_' || pattern.[pi] = s.[si]) then
+      go (pi + 1) (si + 1) star_pi star_si
+    else if star_pi >= 0 then go (star_pi + 1) (star_si + 1) star_pi (star_si + 1)
+    else false
+  in
+  go 0 0 (-1) (-1)

@@ -1,0 +1,30 @@
+(** Scalar and aggregate builtin functions.
+
+    Scalar functions are NULL-strict except [coalesce]; aggregates
+    follow SQL (NULLs ignored, [count] of empty is 0, other aggregates
+    of empty are NULL). *)
+
+exception Unknown_function of string
+
+(** [apply_scalar name args] evaluates builtin [name]; raises
+    {!Unknown_function} or {!Relalg.Value.Type_clash}. Available:
+    abs, sqrt, round, floor, ceil, upper, lower, length,
+    substring(s, from, len), coalesce. *)
+val apply_scalar : string -> Value.t list -> Value.t
+
+(** Result type of scalar builtin [name] on the given argument types. *)
+val scalar_result_type : string -> Vtype.t list -> Vtype.t
+
+(** Recognized aggregate names: sum, count, avg, min, max. *)
+val is_aggregate : string -> bool
+
+(** [apply_aggregate func ~distinct values] computes an aggregate over
+    a group's (already NULL-filtered) argument values. *)
+val apply_aggregate : string -> distinct:bool -> Value.t list -> Value.t
+
+(** Result type of aggregate [func]; [None] argument type encodes
+    [count( * )]. *)
+val aggregate_result_type : string -> Vtype.t option -> Vtype.t
+
+(** SQL LIKE: [%] matches any sequence, [_] any single character. *)
+val like_match : pattern:string -> string -> bool

@@ -1,0 +1,143 @@
+(** Minimal CSV import/export for relations.
+
+    The first line is the header. Types are inferred per column from the
+    data rows (int if every non-empty cell parses as an int, else float,
+    else bool, else string); empty cells are NULL. Quoting follows RFC
+    4180: fields may be enclosed in double quotes, with [""] escaping. *)
+
+exception Csv_error of string
+
+let csv_error fmt = Format.kasprintf (fun s -> raise (Csv_error s)) fmt
+
+(* Split one CSV record (line) into fields. *)
+let split_record line =
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let n = String.length line in
+  let rec field i =
+    if i >= n then finish i
+    else if line.[i] = '"' then quoted (i + 1)
+    else plain i
+  and plain i =
+    if i >= n || line.[i] = ',' then finish i
+    else begin
+      Buffer.add_char buf line.[i];
+      plain (i + 1)
+    end
+  and quoted i =
+    if i >= n then csv_error "unterminated quoted field"
+    else if line.[i] = '"' then
+      if i + 1 < n && line.[i + 1] = '"' then begin
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      end
+      else plain (i + 1)
+    else begin
+      Buffer.add_char buf line.[i];
+      quoted (i + 1)
+    end
+  and finish i =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf;
+    if i < n && line.[i] = ',' then field (i + 1)
+  in
+  if n = 0 then fields := [ "" ] else field 0;
+  List.rev !fields
+
+let infer_type cells : Vtype.t =
+  let non_empty = List.filter (fun c -> c <> "") cells in
+  let all p = non_empty <> [] && List.for_all p non_empty in
+  if all (fun c -> int_of_string_opt c <> None) then Vtype.TInt
+  else if all (fun c -> float_of_string_opt c <> None) then Vtype.TFloat
+  else if all (fun c -> c = "true" || c = "false") then Vtype.TBool
+  else Vtype.TString
+
+let cell_value ty (c : string) : Value.t =
+  if c = "" then Value.Null
+  else
+    match ty with
+    | Vtype.TInt -> Value.Int (int_of_string c)
+    | Vtype.TFloat -> Value.Float (float_of_string c)
+    | Vtype.TBool -> Value.Bool (c = "true")
+    | Vtype.TString -> Value.String c
+
+(** [of_lines lines] parses a header plus data rows. *)
+let of_lines = function
+  | [] -> csv_error "empty CSV input"
+  | header :: data ->
+      let names = split_record header in
+      let rows = List.map split_record data in
+      let ncols = List.length names in
+      List.iteri
+        (fun k row ->
+          if List.length row <> ncols then
+            csv_error "row %d has %d fields, expected %d" (k + 2)
+              (List.length row) ncols)
+        rows;
+      let columns =
+        List.mapi (fun i _ -> List.map (fun row -> List.nth row i) rows) names
+      in
+      let types = List.map infer_type columns in
+      let schema =
+        Schema.of_list (List.map2 (fun n ty -> Schema.attr n ty) names types)
+      in
+      let tuples =
+        List.map
+          (fun row -> Tuple.of_list (List.map2 cell_value types row))
+          rows
+      in
+      Relation.make schema tuples
+
+(** [load path] reads a relation from a CSV file. *)
+let load path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       let line =
+         (* tolerate CRLF *)
+         if String.length line > 0 && line.[String.length line - 1] = '\r' then
+           String.sub line 0 (String.length line - 1)
+         else line
+       in
+       if line <> "" then lines := line :: !lines
+     done
+   with End_of_file -> close_in ic);
+  of_lines (List.rev !lines)
+
+let quote_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c -> if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+(** [to_string rel] renders a relation as CSV text (NULL = empty cell). *)
+let to_string rel =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (String.concat "," (List.map quote_field (Schema.names (Relation.schema rel))));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun t ->
+      let cells =
+        List.map
+          (fun v -> if Value.is_null v then "" else quote_field (Value.to_string v))
+          (Tuple.to_list t)
+      in
+      Buffer.add_string buf (String.concat "," cells);
+      Buffer.add_char buf '\n')
+    (Relation.tuples rel);
+  Buffer.contents buf
+
+(** [save path rel] writes a relation to a CSV file. *)
+let save path rel =
+  let oc = open_out path in
+  output_string oc (to_string rel);
+  close_out oc

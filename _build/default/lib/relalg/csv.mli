@@ -1,0 +1,19 @@
+(** Minimal CSV import/export for relations.
+
+    The first line is the header; column types are inferred (int, then
+    float, then bool, else string); empty cells are NULL. Quoting
+    follows RFC 4180. *)
+
+exception Csv_error of string
+
+(** [of_lines lines] parses a header line plus data rows. *)
+val of_lines : string list -> Relation.t
+
+(** [load path] reads a relation from a CSV file. *)
+val load : string -> Relation.t
+
+(** [to_string rel] renders CSV text (NULL as empty cell). *)
+val to_string : Relation.t -> string
+
+(** [save path rel] writes a relation to a CSV file. *)
+val save : string -> Relation.t -> unit

@@ -1,0 +1,59 @@
+(** A database: a catalog of named base relations, plus a catalog of
+    named views (stored algebra queries, inlined by the SQL analyzer —
+    which is how Perm lets provenance queries be stored and reused). *)
+
+type t = {
+  catalog : (string, Relation.t) Hashtbl.t;
+  views : (string, Algebra.query) Hashtbl.t;
+}
+
+exception Unknown_relation of string
+
+let create () = { catalog = Hashtbl.create 16; views = Hashtbl.create 4 }
+
+(** [add db name rel] registers or replaces relation [name]. *)
+let add db name rel = Hashtbl.replace db.catalog name rel
+
+let of_list pairs =
+  let db = create () in
+  List.iter (fun (name, rel) -> add db name rel) pairs;
+  db
+
+let mem db name = Hashtbl.mem db.catalog name
+
+let find db name =
+  match Hashtbl.find_opt db.catalog name with
+  | Some rel -> rel
+  | None -> raise (Unknown_relation name)
+
+let find_opt db name = Hashtbl.find_opt db.catalog name
+
+let names db =
+  Hashtbl.fold (fun name _ acc -> name :: acc) db.catalog [] |> List.sort compare
+
+(** {1 Views} *)
+
+(** [add_view db name q] registers or replaces view [name]. *)
+let add_view db name q = Hashtbl.replace db.views name q
+
+let find_view db name = Hashtbl.find_opt db.views name
+let mem_view db name = Hashtbl.mem db.views name
+
+let view_names db =
+  Hashtbl.fold (fun name _ acc -> name :: acc) db.views [] |> List.sort compare
+
+(** [drop db name] removes a table or view; [false] when neither exists. *)
+let drop db name =
+  if Hashtbl.mem db.catalog name then begin
+    Hashtbl.remove db.catalog name;
+    true
+  end
+  else if Hashtbl.mem db.views name then begin
+    Hashtbl.remove db.views name;
+    true
+  end
+  else false
+
+(** Total number of tuples across all relations (bench reporting). *)
+let total_tuples db =
+  Hashtbl.fold (fun _ rel acc -> acc + Relation.cardinality rel) db.catalog 0

@@ -1,0 +1,34 @@
+(** A database: a catalog of named base relations. *)
+
+type t
+
+exception Unknown_relation of string
+
+val create : unit -> t
+
+(** [add db name rel] registers or replaces relation [name]. *)
+val add : t -> string -> Relation.t -> unit
+
+val of_list : (string * Relation.t) list -> t
+val mem : t -> string -> bool
+
+(** [find db name] raises {!Unknown_relation} when absent. *)
+val find : t -> string -> Relation.t
+
+val find_opt : t -> string -> Relation.t option
+
+(** Sorted relation names. *)
+val names : t -> string list
+
+(** {1 Views} — named algebra queries, inlined by the SQL analyzer. *)
+
+val add_view : t -> string -> Algebra.query -> unit
+val find_view : t -> string -> Algebra.query option
+val mem_view : t -> string -> bool
+val view_names : t -> string list
+
+(** [drop db name] removes a table or view; [false] if neither exists. *)
+val drop : t -> string -> bool
+
+(** Total number of tuples across all relations. *)
+val total_tuples : t -> int

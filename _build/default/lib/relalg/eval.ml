@@ -1,0 +1,637 @@
+(** Evaluator for the extended algebra of Figure 1.
+
+    Design points that matter for reproducing the paper's performance
+    shape (these mirror what PostgreSQL gives the original Perm):
+    - equi-join conjuncts (including the null-aware [=n]) are executed as
+      hash joins;
+    - sublink results are memoized per binding of their correlated
+      attributes (PostgreSQL's hashed/materialized subplans);
+    - [ANY]/[ALL] sublinks are answered from a constant-size summary
+      (value set, min/max, null flags) instead of re-scanning the
+      materialized sublink;
+    - a selection directly above a cross product is evaluated as a join,
+      streaming pairs instead of materializing the product.
+
+    Everything else is naive: cross products enumerate, non-equi joins
+    are nested loops — which is exactly why the Gen strategy's
+    [CrossBase] plans are expensive here, as they are in the paper. *)
+
+open Algebra
+
+exception Eval_error of string
+
+let eval_error fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+(** {1 Environments} *)
+
+type frame = { f_schema : Schema.t; f_tuple : Tuple.t }
+
+type env = frame list
+
+let frame schema tuple = { f_schema = schema; f_tuple = tuple }
+let schemas_of_env env = List.map (fun f -> f.f_schema) env
+
+(** [lookup env name] resolves an attribute innermost-first. *)
+let lookup (env : env) name =
+  let rec go = function
+    | [] -> eval_error "unknown attribute %S at evaluation time" name
+    | f :: rest -> (
+        match Schema.find f.f_schema name with
+        | Some i -> Tuple.get f.f_tuple i
+        | None -> go rest)
+  in
+  go env
+
+(** {1 Three-valued comparison} *)
+
+(** [cmp3 op a b] is the truth value ([Bool]/[Null]) of [a op b]. *)
+let cmp3 (op : cmpop) a b : Value.t =
+  match op with
+  | EqNull -> Value.Bool (Value.equal_null a b)
+  | _ -> (
+      match Value.cmp_sql a b with
+      | None -> Value.Null
+      | Some c ->
+          Value.Bool
+            (match op with
+            | Eq -> c = 0
+            | Neq -> c <> 0
+            | Lt -> c < 0
+            | Leq -> c <= 0
+            | Gt -> c > 0
+            | Geq -> c >= 0
+            | EqNull -> assert false))
+
+(** {1 ANY/ALL semantics}
+
+    [naive_any]/[naive_all] are the reference 3VL folds from Figure 1
+    (existential / universal quantification); the summary-based versions
+    below are the fast path. Property tests check their agreement. *)
+
+let naive_any op lhs values =
+  List.fold_left (fun acc v -> Value.or3 acc (cmp3 op lhs v)) Value.vfalse values
+
+let naive_all op lhs values =
+  List.fold_left (fun acc v -> Value.and3 acc (cmp3 op lhs v)) Value.vtrue values
+
+type summary = {
+  s_empty : bool;
+  s_has_null : bool;
+  s_min : Value.t option;  (** min over non-null values *)
+  s_max : Value.t option;
+  s_set : unit Tuple.Tbl.t;  (** distinct non-null values, as 1-ary tuples *)
+  s_distinct : int;
+  s_sample : Value.t option;  (** an arbitrary non-null value *)
+}
+
+let summarize values =
+  let set = Tuple.Tbl.create 64 in
+  let has_null = ref false in
+  let min_v = ref None and max_v = ref None and sample = ref None in
+  List.iter
+    (fun v ->
+      if Value.is_null v then has_null := true
+      else begin
+        if !sample = None then sample := Some v;
+        (match !min_v with
+        | Some m when Value.cmp_sql v m <> Some (-1) -> ()
+        | _ -> min_v := Some v);
+        (match !max_v with
+        | Some m when Value.cmp_sql v m <> Some 1 -> ()
+        | _ -> max_v := Some v);
+        let key = [| v |] in
+        if not (Tuple.Tbl.mem set key) then Tuple.Tbl.add set key ()
+      end)
+    values;
+  {
+    s_empty = values = [];
+    s_has_null = !has_null;
+    s_min = !min_v;
+    s_max = !max_v;
+    s_set = set;
+    s_distinct = Tuple.Tbl.length set;
+    s_sample = !sample;
+  }
+
+let set_mem s v = Tuple.Tbl.mem s.s_set [| v |]
+
+let unknown_or s base = if s.s_has_null then Value.Null else base
+
+(** [any_of_summary op lhs s] = [lhs op ANY Tsub] from the summary. *)
+let any_of_summary op lhs s : Value.t =
+  if s.s_empty then Value.vfalse
+  else if op = EqNull then begin
+    (* =n is two-valued: NULL matches NULL. *)
+    if Value.is_null lhs then Value.Bool s.s_has_null
+    else Value.Bool (set_mem s lhs)
+  end
+  else if Value.is_null lhs then Value.Null
+  else
+    match op with
+    | Eq -> if set_mem s lhs then Value.vtrue else unknown_or s Value.vfalse
+    | Neq ->
+        if s.s_distinct >= 2 then Value.vtrue
+        else if
+          s.s_distinct = 1 && not (Value.equal_null (Option.get s.s_sample) lhs)
+        then Value.vtrue
+        else unknown_or s Value.vfalse
+    | Lt | Leq ->
+        (* exists v with lhs < v  <=>  lhs < max *)
+        let sat =
+          match s.s_max with
+          | None -> false
+          | Some m -> Value.is_true (cmp3 op lhs m)
+        in
+        if sat then Value.vtrue else unknown_or s Value.vfalse
+    | Gt | Geq ->
+        let sat =
+          match s.s_min with
+          | None -> false
+          | Some m -> Value.is_true (cmp3 op lhs m)
+        in
+        if sat then Value.vtrue else unknown_or s Value.vfalse
+    | EqNull -> assert false
+
+(** [all_of_summary op lhs s] = [lhs op ALL Tsub] from the summary. *)
+let all_of_summary op lhs s : Value.t =
+  if s.s_empty then Value.vtrue
+  else if op = EqNull then begin
+    if Value.is_null lhs then Value.Bool (s.s_distinct = 0)
+    else
+      Value.Bool
+        (s.s_distinct = 1
+        && (not s.s_has_null)
+        && Value.equal_null (Option.get s.s_sample) lhs)
+  end
+  else if Value.is_null lhs then Value.Null
+  else
+    match op with
+    | Eq ->
+        if s.s_distinct >= 2 then Value.vfalse
+        else if
+          s.s_distinct = 1 && not (Value.equal_null (Option.get s.s_sample) lhs)
+        then Value.vfalse
+        else if s.s_distinct = 0 then Value.Null (* only NULLs *)
+        else unknown_or s Value.vtrue
+    | Neq -> if set_mem s lhs then Value.vfalse else unknown_or s Value.vtrue
+    | Lt | Leq ->
+        (* forall v: lhs < v  <=>  lhs < min; a single violating v makes
+           it definitely false regardless of NULLs. *)
+        let violated =
+          match s.s_min with
+          | None -> false
+          | Some m -> Value.is_false (cmp3 op lhs m)
+        in
+        if violated then Value.vfalse
+        else if s.s_has_null || s.s_min = None then Value.Null
+        else Value.vtrue
+    | Gt | Geq ->
+        let violated =
+          match s.s_max with
+          | None -> false
+          | Some m -> Value.is_false (cmp3 op lhs m)
+        in
+        if violated then Value.vfalse
+        else if s.s_has_null || s.s_max = None then Value.Null
+        else Value.vtrue
+    | EqNull -> assert false
+
+(** {1 Evaluation context} *)
+
+(** Execution counters, in the spirit of EXPLAIN ANALYZE: how the
+    evaluator actually executed a plan. *)
+type stats = {
+  mutable st_hash_joins : int;  (** joins executed via hashing *)
+  mutable st_nested_loop_joins : int;  (** joins without usable equi-pairs *)
+  mutable st_nested_pairs : int;  (** tuple pairs examined by nested loops *)
+  mutable st_sublink_evals : int;  (** sublink materializations (cache misses) *)
+  mutable st_sublink_hits : int;  (** sublink memoization hits *)
+  mutable st_rows_emitted : int;  (** rows produced across all operators *)
+}
+
+let fresh_stats () =
+  {
+    st_hash_joins = 0;
+    st_nested_loop_joins = 0;
+    st_nested_pairs = 0;
+    st_sublink_evals = 0;
+    st_sublink_hits = 0;
+    st_rows_emitted = 0;
+  }
+
+let stats_to_string st =
+  Printf.sprintf
+    "hash joins: %d | nested-loop joins: %d (%d pairs) | sublink evals: %d (%d memo hits) | rows emitted: %d"
+    st.st_hash_joins st.st_nested_loop_joins st.st_nested_pairs
+    st.st_sublink_evals st.st_sublink_hits st.st_rows_emitted
+
+type ctx = {
+  db : Database.t;
+  sub_results : (int * Value.t list, Relation.t) Hashtbl.t;
+  sub_summaries : (int * Value.t list, summary) Hashtbl.t;
+  sub_free : (int, string list) Hashtbl.t;
+  stats : stats;
+}
+
+let mk_ctx db =
+  {
+    db;
+    sub_results = Hashtbl.create 64;
+    sub_summaries = Hashtbl.create 64;
+    sub_free = Hashtbl.create 16;
+    stats = fresh_stats ();
+  }
+
+let free_names ctx (s : sublink) =
+  match Hashtbl.find_opt ctx.sub_free s.id with
+  | Some names -> names
+  | None ->
+      let names = Scope.free_of_query ctx.db s.query in
+      Hashtbl.add ctx.sub_free s.id names;
+      names
+
+(** {1 Expression evaluation} *)
+
+let rec eval_expr ctx (env : env) (e : expr) : Value.t =
+  match e with
+  | Const v -> v
+  | TypedNull _ -> Value.Null
+  | Attr name -> lookup env name
+  | Binop (op, a, b) -> (
+      let va = eval_expr ctx env a and vb = eval_expr ctx env b in
+      match op with
+      | Add -> Value.add va vb
+      | Sub -> Value.sub va vb
+      | Mul -> Value.mul va vb
+      | Div -> Value.div va vb
+      | Mod -> Value.modulo va vb
+      | Concat -> Value.concat va vb)
+  | Cmp (op, a, b) -> cmp3 op (eval_expr ctx env a) (eval_expr ctx env b)
+  | And (a, b) ->
+      let va = eval_expr ctx env a in
+      if Value.is_false va then Value.vfalse else Value.and3 va (eval_expr ctx env b)
+  | Or (a, b) ->
+      let va = eval_expr ctx env a in
+      if Value.is_true va then Value.vtrue else Value.or3 va (eval_expr ctx env b)
+  | Not a -> Value.not3 (eval_expr ctx env a)
+  | IsNull a -> Value.Bool (Value.is_null (eval_expr ctx env a))
+  | Case (whens, els) -> (
+      let rec go = function
+        | (c, e) :: rest ->
+            if Value.is_true (eval_expr ctx env c) then eval_expr ctx env e
+            else go rest
+        | [] -> ( match els with Some e -> eval_expr ctx env e | None -> Value.Null)
+      in
+      go whens)
+  | Like (a, pattern) -> (
+      match eval_expr ctx env a with
+      | Value.Null -> Value.Null
+      | Value.String s -> Value.Bool (Builtin.like_match ~pattern s)
+      | v -> eval_error "LIKE over non-string %s" (Value.to_string v))
+  | InList (a, es) ->
+      let x = eval_expr ctx env a in
+      let rec go acc = function
+        | [] -> acc
+        | e :: rest ->
+            let r = cmp3 Eq x (eval_expr ctx env e) in
+            if Value.is_true r then Value.vtrue else go (Value.or3 acc r) rest
+      in
+      go Value.vfalse es
+  | FunCall (name, args) ->
+      if Builtin.is_aggregate name then
+        eval_error "aggregate function %s in scalar context" name
+      else Builtin.apply_scalar name (List.map (eval_expr ctx env) args)
+  | Sublink s -> eval_sublink ctx env s
+
+and eval_sublink ctx env (s : sublink) : Value.t =
+  let key = (s.id, List.map (lookup env) (free_names ctx s)) in
+  match s.kind with
+  | Exists -> Value.Bool (not (Relation.is_empty (materialize ctx env key s)))
+  | Scalar -> (
+      let rel = materialize ctx env key s in
+      match Relation.tuples rel with
+      | [] -> Value.Null
+      | [ t ] -> Tuple.get t 0
+      | _ -> eval_error "scalar sublink returned more than one row")
+  | AnyOp (op, lhs) ->
+      any_of_summary op (eval_expr ctx env lhs) (summary ctx env key s)
+  | AllOp (op, lhs) ->
+      all_of_summary op (eval_expr ctx env lhs) (summary ctx env key s)
+
+and materialize ctx env key (s : sublink) : Relation.t =
+  match Hashtbl.find_opt ctx.sub_results key with
+  | Some rel ->
+      ctx.stats.st_sublink_hits <- ctx.stats.st_sublink_hits + 1;
+      rel
+  | None ->
+      ctx.stats.st_sublink_evals <- ctx.stats.st_sublink_evals + 1;
+      let rel = eval_query ctx env s.query in
+      Hashtbl.add ctx.sub_results key rel;
+      rel
+
+and summary ctx env key s : summary =
+  match Hashtbl.find_opt ctx.sub_summaries key with
+  | Some sm -> sm
+  | None ->
+      let rel = materialize ctx env key s in
+      let sm =
+        summarize (List.map (fun t -> Tuple.get t 0) (Relation.tuples rel))
+      in
+      Hashtbl.add ctx.sub_summaries key sm;
+      sm
+
+(** {1 Query evaluation} *)
+
+and eval_query ctx (env : env) (q : query) : Relation.t =
+  match q with
+  | Base name -> Database.find ctx.db name
+  | TableExpr rel -> rel
+  (* Fuse a selection over a product/join so pairs stream instead of the
+     product being materialized first. *)
+  | Select (cond, Cross (a, b)) -> eval_join ctx env ~outer:false cond a b
+  | Select (cond, Join (c, a, b)) ->
+      eval_join ctx env ~outer:false (And (c, cond)) a b
+  | Select (cond, input) ->
+      let rel = eval_query ctx env input in
+      let schema = Relation.schema rel in
+      let keep =
+        List.filter
+          (fun t -> Value.is_true (eval_expr ctx (frame schema t :: env) cond))
+          (Relation.tuples rel)
+      in
+      Relation.make schema keep
+  | Project { distinct; cols; proj_input } ->
+      let rel = eval_query ctx env proj_input in
+      let in_schema = Relation.schema rel in
+      let out_schema = projection_schema ctx env in_schema cols in
+      let exprs = List.map fst cols in
+      let rows =
+        List.map
+          (fun t ->
+            let fenv = frame in_schema t :: env in
+            Tuple.of_list (List.map (eval_expr ctx fenv) exprs))
+          (Relation.tuples rel)
+      in
+      let out = Relation.make out_schema rows in
+      if distinct then Relation.distinct out else out
+  | Cross (a, b) ->
+      let ra = eval_query ctx env a and rb = eval_query ctx env b in
+      let schema = Schema.concat (Relation.schema ra) (Relation.schema rb) in
+      let rows =
+        List.concat_map
+          (fun ta ->
+            List.map (fun tb -> Tuple.concat ta tb) (Relation.tuples rb))
+          (Relation.tuples ra)
+      in
+      Relation.make schema rows
+  | Join (cond, a, b) -> eval_join ctx env ~outer:false cond a b
+  | LeftJoin (cond, a, b) -> eval_join ctx env ~outer:true cond a b
+  | Agg spec -> eval_agg ctx env spec
+  | Union (sem, a, b) ->
+      let op = match sem with Bag -> Relation.union_bag | SetSem -> Relation.union_set in
+      op (eval_query ctx env a) (eval_query ctx env b)
+  | Inter (sem, a, b) ->
+      let op = match sem with Bag -> Relation.inter_bag | SetSem -> Relation.inter_set in
+      op (eval_query ctx env a) (eval_query ctx env b)
+  | Diff (sem, a, b) ->
+      let op = match sem with Bag -> Relation.diff_bag | SetSem -> Relation.diff_set in
+      op (eval_query ctx env a) (eval_query ctx env b)
+  | Order (keys, input) ->
+      let rel = eval_query ctx env input in
+      let schema = Relation.schema rel in
+      let decorated =
+        List.map
+          (fun t ->
+            let fenv = frame schema t :: env in
+            (List.map (fun (e, d) -> (eval_expr ctx fenv e, d)) keys, t))
+          (Relation.tuples rel)
+      in
+      let cmp (ka, _) (kb, _) =
+        let rec go = function
+          | [] -> 0
+          | ((va, d), (vb, _)) :: rest ->
+              let c = Value.compare_total va vb in
+              let c = match d with Asc -> c | Desc -> -c in
+              if c <> 0 then c else go rest
+        in
+        go (List.combine ka kb)
+      in
+      Relation.make schema (List.map snd (List.stable_sort cmp decorated))
+  | Limit (n, input) ->
+      let rel = eval_query ctx env input in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | t :: rest -> t :: take (n - 1) rest
+      in
+      Relation.make (Relation.schema rel) (take n (Relation.tuples rel))
+
+and projection_schema ctx env in_schema cols =
+  let tys = in_schema :: schemas_of_env env in
+  Schema.of_list
+    (List.map
+       (fun (e, name) ->
+         let ty =
+           Option.value ~default:Vtype.TString (Typecheck.infer_expr ctx.db tys e)
+         in
+         Schema.attr name ty)
+       cols)
+
+(* ---------------- joins ---------------- *)
+
+and eval_join ctx env ~outer cond a b : Relation.t =
+  let ra = eval_query ctx env a and rb = eval_query ctx env b in
+  let sa = Relation.schema ra and sb = Relation.schema rb in
+  let schema = Schema.concat sa sb in
+  let pairs, residual = split_equi ctx sa sb cond in
+  let rows =
+    if pairs = [] then begin
+      ctx.stats.st_nested_loop_joins <- ctx.stats.st_nested_loop_joins + 1;
+      ctx.stats.st_nested_pairs <-
+        ctx.stats.st_nested_pairs
+        + (Relation.cardinality ra * Relation.cardinality rb);
+      nested_loop ctx env ~outer schema sa sb ra rb cond
+    end
+    else begin
+      ctx.stats.st_hash_joins <- ctx.stats.st_hash_joins + 1;
+      hash_join ctx env ~outer schema sa sb ra rb pairs residual
+    end
+  in
+  ctx.stats.st_rows_emitted <- ctx.stats.st_rows_emitted + List.length rows;
+  Relation.make schema rows
+
+(* Classify each conjunct as a hashable equi-pair (left-expr, right-expr,
+   null_safe) or a residual condition. *)
+and split_equi ctx sa sb cond =
+  let left_names = Schema.names sa and right_names = Schema.names sb in
+  let touches names e =
+    List.exists (fun n -> List.mem n names) (Scope.refs_of_expr ctx.db e)
+  in
+  List.fold_left
+    (fun (pairs, residual) conjunct ->
+      match conjunct with
+      | Cmp (((Eq | EqNull) as op), e1, e2)
+        when (not (has_sublink e1)) && not (has_sublink e2) -> (
+          let null_safe = op = EqNull in
+          match (touches right_names e1, touches left_names e2) with
+          | false, false -> (pairs @ [ (e1, e2, null_safe) ], residual)
+          | true, true when (not (touches left_names e1)) && not (touches right_names e2)
+            ->
+              (pairs @ [ (e2, e1, null_safe) ], residual)
+          | _ -> (pairs, residual @ [ conjunct ]))
+      | c -> (pairs, residual @ [ c ]))
+    ([], []) (conjuncts cond)
+
+and hash_join ctx env ~outer schema sa sb ra rb pairs residual =
+  let residual_cond = conj residual in
+  let key_of fschema t exprs =
+    let fenv = frame fschema t :: env in
+    List.map (fun e -> eval_expr ctx fenv e) exprs
+  in
+  let left_exprs = List.map (fun (e, _, _) -> e) pairs in
+  let right_exprs = List.map (fun (_, e, _) -> e) pairs in
+  let safe_flags = List.map (fun (_, _, s) -> s) pairs in
+  (* A NULL in a non-null-safe key position can never match. *)
+  let usable key = List.for_all2 (fun v safe -> safe || not (Value.is_null v)) key safe_flags in
+  let table = Tuple.Tbl.create (max 16 (Relation.cardinality rb)) in
+  List.iter
+    (fun tb ->
+      let key = key_of sb tb right_exprs in
+      if usable key then begin
+        let k = Tuple.of_list key in
+        let existing = try Tuple.Tbl.find table k with Not_found -> [] in
+        Tuple.Tbl.replace table k (tb :: existing)
+      end)
+    (Relation.tuples rb);
+  let pad = Tuple.nulls (Schema.arity sb) in
+  let emit_left acc ta =
+    let key = key_of sa ta left_exprs in
+    let matches =
+      if usable key then
+        match Tuple.Tbl.find_opt table (Tuple.of_list key) with
+        | Some tbs -> List.rev tbs
+        | None -> []
+      else []
+    in
+    let hits =
+      List.filter_map
+        (fun tb ->
+          let combined = Tuple.concat ta tb in
+          if Value.is_true (eval_expr ctx (frame schema combined :: env) residual_cond)
+          then Some combined
+          else None)
+        matches
+    in
+    match hits with
+    | [] -> if outer then Tuple.concat ta pad :: acc else acc
+    | hs -> List.rev_append hs acc
+  in
+  List.rev (List.fold_left emit_left [] (Relation.tuples ra))
+
+and nested_loop ctx env ~outer schema sa sb ra rb cond =
+  ignore sa;
+  let pad = Tuple.nulls (Schema.arity sb) in
+  ignore sb;
+  let emit_left acc ta =
+    let hits =
+      List.filter_map
+        (fun tb ->
+          let combined = Tuple.concat ta tb in
+          if Value.is_true (eval_expr ctx (frame schema combined :: env) cond) then
+            Some combined
+          else None)
+        (Relation.tuples rb)
+    in
+    match hits with
+    | [] -> if outer then Tuple.concat ta pad :: acc else acc
+    | hs -> List.rev_append hs acc
+  in
+  List.rev (List.fold_left emit_left [] (Relation.tuples ra))
+
+(* ---------------- aggregation ---------------- *)
+
+and eval_agg ctx env { group_by; aggs; agg_input } : Relation.t =
+  let rel = eval_query ctx env agg_input in
+  let in_schema = Relation.schema rel in
+  let tys = in_schema :: schemas_of_env env in
+  let group_attrs =
+    List.map
+      (fun (e, name) ->
+        let ty =
+          Option.value ~default:Vtype.TString (Typecheck.infer_expr ctx.db tys e)
+        in
+        Schema.attr name ty)
+      group_by
+  in
+  let agg_attrs =
+    List.map
+      (fun call ->
+        let arg_ty =
+          Option.map
+            (fun e ->
+              Option.value ~default:Vtype.TString (Typecheck.infer_expr ctx.db tys e))
+            call.agg_arg
+        in
+        Schema.attr call.agg_name
+          (Builtin.aggregate_result_type call.agg_func arg_ty))
+      aggs
+  in
+  let out_schema = Schema.of_list (group_attrs @ agg_attrs) in
+  let group_exprs = List.map fst group_by in
+  let groups = Tuple.Tbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun t ->
+      let fenv = frame in_schema t :: env in
+      let key = Tuple.of_list (List.map (eval_expr ctx fenv) group_exprs) in
+      match Tuple.Tbl.find_opt groups key with
+      | Some members -> Tuple.Tbl.replace groups key (t :: members)
+      | None ->
+          Tuple.Tbl.add groups key [ t ];
+          order := key :: !order)
+    (Relation.tuples rel);
+  let keys =
+    if group_by = [] && Relation.is_empty rel then [ Tuple.of_list [] ]
+    else List.rev !order
+  in
+  let compute_group key =
+    let members =
+      match Tuple.Tbl.find_opt groups key with
+      | Some ms -> List.rev ms
+      | None -> []
+    in
+    let agg_values =
+      List.map
+        (fun call ->
+          let raw =
+            match call.agg_arg with
+            | None -> List.map (fun _ -> Value.Int 1) members (* COUNT( * ) *)
+            | Some e ->
+                List.filter_map
+                  (fun t ->
+                    let v = eval_expr ctx (frame in_schema t :: env) e in
+                    if Value.is_null v then None else Some v)
+                  members
+          in
+          Builtin.apply_aggregate call.agg_func ~distinct:call.agg_distinct raw)
+        aggs
+    in
+    Tuple.concat key (Tuple.of_list agg_values)
+  in
+  Relation.make out_schema (List.map compute_group keys)
+
+(** {1 Public API} *)
+
+(** [query db q] evaluates [q] against [db] with a fresh context. *)
+let query ?(env = []) db q = eval_query (mk_ctx db) env q
+
+(** [query_stats db q] additionally reports the execution counters —
+    an EXPLAIN-ANALYZE-style summary of how the plan ran. *)
+let query_stats ?(env = []) db q =
+  let ctx = mk_ctx db in
+  let rel = eval_query ctx env q in
+  (rel, ctx.stats)
+
+(** [expr db env e] evaluates a scalar expression (used by tests and the
+    provenance oracle). *)
+let expr ?(env = []) db e = eval_expr (mk_ctx db) env e

@@ -1,0 +1,153 @@
+(** Rule-based plan rewrites, mirroring the PostgreSQL facilities the
+    paper's measurements rely on:
+
+    - split conjunctive selections and push each conjunct as deep as its
+      attribute references allow (into the sides of products and joins);
+    - merge a residual selection over a product into a join, so the
+      evaluator can run it as a hash join / streaming nested loop.
+
+    The rewrites never look inside [Project]/[Agg] (no renaming-aware
+    pushdown) — enough for the plans produced by the provenance rewriter,
+    whose hot paths are selections over products and joins. *)
+
+open Algebra
+
+(* A conjunct can move to a side of a binary operator when all its
+   attribute references are produced by that side. References to
+   attributes of neither side are correlated (bound by an enclosing
+   sublink scope) and do not block the move. *)
+let movable_to db side_names e =
+  let refs = Scope.refs_of_expr db e in
+  ignore refs;
+  (* A conjunct is movable to [side] iff none of its references belong to
+     the opposite side; the caller passes the names of the opposite side. *)
+  not (List.exists (fun n -> List.mem n side_names) (Scope.refs_of_expr db e))
+
+(* Rewrite attribute references through a projection's renaming map.
+   Only valid on sublink-free expressions whose references are all in
+   the map. *)
+let rec rename_attrs map (e : expr) : expr =
+  match e with
+  | Attr n -> (
+      match List.assoc_opt n map with Some src -> Attr src | None -> Attr n)
+  | Const _ | TypedNull _ -> e
+  | Binop (op, a, b) -> Binop (op, rename_attrs map a, rename_attrs map b)
+  | Cmp (op, a, b) -> Cmp (op, rename_attrs map a, rename_attrs map b)
+  | And (a, b) -> And (rename_attrs map a, rename_attrs map b)
+  | Or (a, b) -> Or (rename_attrs map a, rename_attrs map b)
+  | Not a -> Not (rename_attrs map a)
+  | IsNull a -> IsNull (rename_attrs map a)
+  | Case (whens, els) ->
+      Case
+        ( List.map (fun (c, x) -> (rename_attrs map c, rename_attrs map x)) whens,
+          Option.map (rename_attrs map) els )
+  | Like (a, p) -> Like (rename_attrs map a, p)
+  | InList (a, es) -> InList (rename_attrs map a, List.map (rename_attrs map) es)
+  | FunCall (f, es) -> FunCall (f, List.map (rename_attrs map) es)
+  | Sublink _ -> invalid_arg "rename_attrs: sublink"
+
+let rec push_select db (conds : expr list) (q : query) : query =
+  match q with
+  | Cross (a, b) | Join (Const (Value.Bool true), a, b) ->
+      distribute db conds a b ~mk:(fun residual a b ->
+          match residual with
+          | [] -> Cross (a, b)
+          | cs -> Join (conj cs, a, b))
+  | Join (c, a, b) ->
+      distribute db (conds @ conjuncts c) a b ~mk:(fun residual a b ->
+          Join (conj residual, a, b))
+  | LeftJoin (c, a, b) ->
+      (* Only push into the left (preserved) side: conditions on the
+         nullable side would change outer-join semantics. The join
+         condition itself stays put. *)
+      let a_names = Scope.out_names db a in
+      let b_names = Scope.out_names db b in
+      ignore a_names;
+      let to_left, residual =
+        List.partition (fun e -> movable_to db b_names e) conds
+      in
+      let a' = push_select db to_left (optimize db a) in
+      let b' = optimize db b in
+      let inner = LeftJoin (c, a', b') in
+      if residual = [] then inner else Select (conj residual, inner)
+  | Select (c, input) -> push_select db (conds @ conjuncts c) input
+  | Project p ->
+      (* Push conjuncts whose references all map to rename-only columns
+         through the projection (filtering before or after a pure
+         rename/dedup is equivalent). Sublink conjuncts stay above: the
+         substitution cannot see into sublink scopes. *)
+      let rename_map =
+        List.filter_map
+          (fun (e, n) -> match e with Attr src -> Some (n, src) | _ -> None)
+          p.cols
+      in
+      let pushable, rest =
+        List.partition
+          (fun c ->
+            (not (has_sublink c))
+            && List.for_all
+                 (fun n -> List.mem_assoc n rename_map)
+                 (Scope.refs_of_expr db c))
+          conds
+      in
+      let renamed = List.map (rename_attrs rename_map) pushable in
+      let inner = push_select db renamed p.proj_input in
+      let cols =
+        List.map (fun (e, n) -> (map_expr_query (optimize db) e, n)) p.cols
+      in
+      let projected = Project { p with cols; proj_input = inner } in
+      if rest = [] then projected else Select (conj rest, projected)
+  | _ ->
+      let q' = optimize_children db q in
+      if conds = [] then q' else Select (conj conds, q')
+
+and distribute db conds a b ~mk =
+  let a_names = Scope.out_names db a and b_names = Scope.out_names db b in
+  let to_a, rest = List.partition (fun e -> movable_to db b_names e) conds in
+  let to_b, residual = List.partition (fun e -> movable_to db a_names e) rest in
+  let a' = push_select db to_a (optimize db a) in
+  let b' = push_select db to_b (optimize db b) in
+  mk residual a' b'
+
+and optimize_children db q = map_queries (optimize db) q
+
+(* Merge Project-over-Project when the outer projection only reorders,
+   renames or drops columns (plain attribute references) and the inner
+   one performs no duplicate elimination. The provenance rewriter's
+   final normalization projection creates exactly this pattern. *)
+and merge_projects q =
+  match q with
+  | Project
+      ({ cols = outer_cols; proj_input = Project inner; distinct = _ } as outer)
+    when (not inner.distinct)
+         && List.for_all (fun (e, _) -> match e with Attr _ -> true | _ -> false)
+              outer_cols ->
+      let resolve = function
+        | Attr n, out_name -> (
+            match List.assoc_opt n (List.map (fun (e, m) -> (m, e)) inner.cols) with
+            | Some e -> (e, out_name)
+            | None -> (Attr n, out_name) (* correlated reference *))
+        | other -> other
+      in
+      merge_projects
+        (Project
+           {
+             outer with
+             cols = List.map resolve outer_cols;
+             proj_input = inner.proj_input;
+           })
+  | q -> q
+
+(** [optimize db q] rewrites [q] into an equivalent, typically faster
+    plan. Sublink queries embedded in conditions are optimized too. *)
+and optimize db (q : query) : query =
+  match merge_projects q with
+  | Select (c, input) ->
+      let c = map_expr_query (optimize db) c in
+      push_select db (conjuncts c) input
+  | (Cross _ | Join _ | LeftJoin _) as q -> push_select db [] q
+  | q -> optimize_children db q
+
+(* Entry point: simplify first (constant folding may expose TRUE/FALSE
+   selections and negation-free comparisons), then push selections. *)
+let optimize db q = optimize db (Simplify.query q)

@@ -1,0 +1,10 @@
+(** Rule-based plan rewrites mirroring the PostgreSQL facilities the
+    paper's measurements rely on: conjunct splitting, selection pushdown
+    (into join/product sides and through rename-only projections),
+    selection-over-product to join conversion, and merging of adjacent
+    projections. Semantics-preserving; property-tested against the
+    unoptimized plans. *)
+
+(** [optimize db q] rewrites [q] into an equivalent, typically faster
+    plan. Sublink queries embedded in conditions are optimized too. *)
+val optimize : Database.t -> Algebra.query -> Algebra.query

@@ -1,0 +1,186 @@
+(** Pretty-printing of expressions and algebra trees.
+
+    Two renderings: a compact one-line form for expressions (used in
+    error messages and plan labels) and an indented tree for plans,
+    matching the operator names of Figure 1 (Π, σ, ×, ⋈, α, ...). *)
+
+open Algebra
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Concat -> "||"
+
+let cmpop_symbol = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Leq -> "<="
+  | Gt -> ">"
+  | Geq -> ">="
+  | EqNull -> "=n"
+
+let rec pp_expr ppf (e : expr) =
+  match e with
+  | Const v -> Format.pp_print_string ppf (Value.to_literal v)
+  | TypedNull ty -> Format.fprintf ppf "NULL::%a" Vtype.pp ty
+  | Attr name -> Format.pp_print_string ppf name
+  | Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+  | Cmp (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (cmpop_symbol op) pp_expr b
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp_expr a pp_expr b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp_expr a pp_expr b
+  | Not a -> Format.fprintf ppf "(NOT %a)" pp_expr a
+  | IsNull a -> Format.fprintf ppf "(%a IS NULL)" pp_expr a
+  | Case (whens, els) ->
+      Format.fprintf ppf "CASE";
+      List.iter
+        (fun (c, e) -> Format.fprintf ppf " WHEN %a THEN %a" pp_expr c pp_expr e)
+        whens;
+      Option.iter (fun e -> Format.fprintf ppf " ELSE %a" pp_expr e) els;
+      Format.fprintf ppf " END"
+  | Like (a, pattern) ->
+      Format.fprintf ppf "(%a LIKE %s)" pp_expr a
+        (Value.to_literal (Value.String pattern))
+  | InList (a, es) ->
+      Format.fprintf ppf "(%a IN (%a))" pp_expr a
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_expr)
+        es
+  | FunCall (name, args) ->
+      Format.fprintf ppf "%s(%a)" name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_expr)
+        args
+  | Sublink s -> pp_sublink ppf s
+
+and pp_sublink ppf (s : sublink) =
+  match s.kind with
+  | Exists -> Format.fprintf ppf "EXISTS[%a]" pp_query_flat s.query
+  | Scalar -> Format.fprintf ppf "SCALAR[%a]" pp_query_flat s.query
+  | AnyOp (op, lhs) ->
+      Format.fprintf ppf "(%a %s ANY [%a])" pp_expr lhs (cmpop_symbol op)
+        pp_query_flat s.query
+  | AllOp (op, lhs) ->
+      Format.fprintf ppf "(%a %s ALL [%a])" pp_expr lhs (cmpop_symbol op)
+        pp_query_flat s.query
+
+(* One-line rendering of a query, for embedding in expressions. *)
+and pp_query_flat ppf (q : query) =
+  match q with
+  | Base name -> Format.pp_print_string ppf name
+  | TableExpr rel ->
+      Format.fprintf ppf "<table:%d rows>" (Relation.cardinality rel)
+  | Select (c, input) ->
+      Format.fprintf ppf "Sel{%a}(%a)" pp_expr c pp_query_flat input
+  | Project { distinct; cols; proj_input } ->
+      Format.fprintf ppf "Proj%s{%a}(%a)"
+        (if distinct then "D" else "")
+        pp_cols cols pp_query_flat proj_input
+  | Cross (a, b) -> Format.fprintf ppf "(%a x %a)" pp_query_flat a pp_query_flat b
+  | Join (c, a, b) ->
+      Format.fprintf ppf "(%a Join{%a} %a)" pp_query_flat a pp_expr c pp_query_flat b
+  | LeftJoin (c, a, b) ->
+      Format.fprintf ppf "(%a LeftJoin{%a} %a)" pp_query_flat a pp_expr c
+        pp_query_flat b
+  | Agg { group_by; aggs; agg_input } ->
+      Format.fprintf ppf "Agg{%a; %a}(%a)" pp_cols group_by pp_aggs aggs
+        pp_query_flat agg_input
+  | Union (sem, a, b) ->
+      Format.fprintf ppf "(%a U%s %a)" pp_query_flat a (sem_tag sem) pp_query_flat b
+  | Inter (sem, a, b) ->
+      Format.fprintf ppf "(%a I%s %a)" pp_query_flat a (sem_tag sem) pp_query_flat b
+  | Diff (sem, a, b) ->
+      Format.fprintf ppf "(%a -%s %a)" pp_query_flat a (sem_tag sem) pp_query_flat b
+  | Order (keys, input) ->
+      Format.fprintf ppf "Ord{%a}(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf (e, d) ->
+             Format.fprintf ppf "%a %s" pp_expr e
+               (match d with Asc -> "asc" | Desc -> "desc")))
+        keys pp_query_flat input
+  | Limit (n, input) -> Format.fprintf ppf "Limit{%d}(%a)" n pp_query_flat input
+
+and sem_tag = function Bag -> "b" | SetSem -> "s"
+
+and pp_cols ppf cols =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    (fun ppf (e, name) ->
+      match e with
+      | Attr a when a = name -> Format.pp_print_string ppf name
+      | _ -> Format.fprintf ppf "%a->%s" pp_expr e name)
+    ppf cols
+
+and pp_aggs ppf aggs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    (fun ppf c ->
+      Format.fprintf ppf "%s(%s%s)->%s" c.agg_func
+        (if c.agg_distinct then "distinct " else "")
+        (match c.agg_arg with
+        | None -> "*"
+        | Some e -> Format.asprintf "%a" pp_expr e)
+        c.agg_name)
+    ppf aggs
+
+(** Indented multi-line plan rendering. *)
+let pp_query ppf q =
+  let rec go indent q =
+    let pad = String.make indent ' ' in
+    let line fmt = Format.fprintf ppf ("%s" ^^ fmt ^^ "@.") pad in
+    match q with
+    | Base name -> line "Base %s" name
+    | TableExpr rel -> line "Table (%d rows)" (Relation.cardinality rel)
+    | Select (c, input) ->
+        line "Select %a" pp_expr c;
+        go (indent + 2) input
+    | Project { distinct; cols; proj_input } ->
+        line "Project%s [%a]" (if distinct then " distinct" else "") pp_cols cols;
+        go (indent + 2) proj_input
+    | Cross (a, b) ->
+        line "Cross";
+        go (indent + 2) a;
+        go (indent + 2) b
+    | Join (c, a, b) ->
+        line "Join %a" pp_expr c;
+        go (indent + 2) a;
+        go (indent + 2) b
+    | LeftJoin (c, a, b) ->
+        line "LeftJoin %a" pp_expr c;
+        go (indent + 2) a;
+        go (indent + 2) b
+    | Agg { group_by; aggs; agg_input } ->
+        line "Aggregate group[%a] aggs[%a]" pp_cols group_by pp_aggs aggs;
+        go (indent + 2) agg_input
+    | Union (sem, a, b) ->
+        line "Union(%s)" (sem_tag sem);
+        go (indent + 2) a;
+        go (indent + 2) b
+    | Inter (sem, a, b) ->
+        line "Intersect(%s)" (sem_tag sem);
+        go (indent + 2) a;
+        go (indent + 2) b
+    | Diff (sem, a, b) ->
+        line "Except(%s)" (sem_tag sem);
+        go (indent + 2) a;
+        go (indent + 2) b
+    | Order (keys, input) ->
+        line "Order (%d keys)" (List.length keys);
+        go (indent + 2) input
+    | Limit (n, input) ->
+        line "Limit %d" n;
+        go (indent + 2) input
+  in
+  go 0 q
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let query_to_string q = Format.asprintf "%a" pp_query q
+let query_to_line q = Format.asprintf "%a" pp_query_flat q

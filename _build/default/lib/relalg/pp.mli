@@ -1,0 +1,17 @@
+(** Pretty-printing of expressions and algebra trees. *)
+
+val binop_symbol : Algebra.binop -> string
+val cmpop_symbol : Algebra.cmpop -> string
+
+(** Compact one-line expression rendering. *)
+val pp_expr : Format.formatter -> Algebra.expr -> unit
+
+(** One-line query rendering (for embedding in messages). *)
+val pp_query_flat : Format.formatter -> Algebra.query -> unit
+
+(** Indented multi-line plan rendering. *)
+val pp_query : Format.formatter -> Algebra.query -> unit
+
+val expr_to_string : Algebra.expr -> string
+val query_to_string : Algebra.query -> string
+val query_to_line : Algebra.query -> string

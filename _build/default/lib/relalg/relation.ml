@@ -1,0 +1,154 @@
+(** Bag relations: a schema plus a multiset of tuples.
+
+    The multiset is a list in which a tuple's multiplicity is its number
+    of occurrences, mirroring the bag algebra of Figure 1 in the paper.
+    Both bag and duplicate-removing (set) variants of the operations are
+    provided. *)
+
+type t = { schema : Schema.t; tuples : Tuple.t list }
+
+exception Relation_error of string
+
+let relation_error fmt = Format.kasprintf (fun s -> raise (Relation_error s)) fmt
+
+let make schema tuples =
+  List.iter
+    (fun tup ->
+      if Tuple.arity tup <> Schema.arity schema then
+        relation_error "tuple arity %d does not match schema arity %d"
+          (Tuple.arity tup) (Schema.arity schema))
+    tuples;
+  { schema; tuples }
+
+let empty schema = { schema; tuples = [] }
+let schema r = r.schema
+let tuples r = r.tuples
+let cardinality r = List.length r.tuples
+let is_empty r = r.tuples = []
+
+(** [of_values schema rows] builds a relation from value-list rows. *)
+let of_values schema rows = make schema (List.map Tuple.of_list rows)
+
+(** {1 Multiplicity bookkeeping} *)
+
+(** [counts r] maps each distinct tuple to its multiplicity. *)
+let counts r =
+  let tbl = Tuple.Tbl.create (max 16 (cardinality r)) in
+  List.iter
+    (fun t ->
+      match Tuple.Tbl.find_opt tbl t with
+      | Some n -> Tuple.Tbl.replace tbl t (n + 1)
+      | None -> Tuple.Tbl.add tbl t 1)
+    r.tuples;
+  tbl
+
+let multiplicity r t =
+  match Tuple.Tbl.find_opt (counts r) t with Some n -> n | None -> 0
+
+let mem r t = List.exists (Tuple.equal t) r.tuples
+
+(** [distinct r] removes duplicates, keeping first occurrences in order. *)
+let distinct r =
+  let seen = Tuple.Tbl.create (max 16 (cardinality r)) in
+  let keep =
+    List.filter
+      (fun t ->
+        if Tuple.Tbl.mem seen t then false
+        else begin
+          Tuple.Tbl.add seen t ();
+          true
+        end)
+      r.tuples
+  in
+  { r with tuples = keep }
+
+
+let check_compatible op a b =
+  if not (Schema.equal_types a.schema b.schema) then
+    relation_error "%s: incompatible schemas %s vs %s" op
+      (Schema.to_string a.schema) (Schema.to_string b.schema)
+
+(** {1 Bag set-operations (Figure 1, right column)} *)
+
+let union_bag a b =
+  check_compatible "union" a b;
+  { a with tuples = a.tuples @ b.tuples }
+
+let inter_bag a b =
+  check_compatible "intersect" a b;
+  let cb = counts b in
+  let taken = Tuple.Tbl.create 16 in
+  let keep =
+    List.filter
+      (fun t ->
+        let avail = match Tuple.Tbl.find_opt cb t with Some n -> n | None -> 0 in
+        let used = match Tuple.Tbl.find_opt taken t with Some n -> n | None -> 0 in
+        if used < avail then begin
+          Tuple.Tbl.replace taken t (used + 1);
+          true
+        end
+        else false)
+      a.tuples
+  in
+  { a with tuples = keep }
+
+let diff_bag a b =
+  check_compatible "except" a b;
+  let cb = counts b in
+  let removed = Tuple.Tbl.create 16 in
+  let keep =
+    List.filter
+      (fun t ->
+        let avail = match Tuple.Tbl.find_opt cb t with Some n -> n | None -> 0 in
+        let used = match Tuple.Tbl.find_opt removed t with Some n -> n | None -> 0 in
+        if used < avail then begin
+          Tuple.Tbl.replace removed t (used + 1);
+          false
+        end
+        else true)
+      a.tuples
+  in
+  { a with tuples = keep }
+
+(** {1 Set semantics variants (Figure 1, left column)} *)
+
+let union_set a b = distinct (union_bag a b)
+let inter_set a b = distinct (inter_bag a b)
+
+let diff_set a b =
+  check_compatible "except" a b;
+  let cb = counts b in
+  distinct { a with tuples = List.filter (fun t -> not (Tuple.Tbl.mem cb t)) a.tuples }
+
+(** {1 Comparison} *)
+
+(** Bag equality: same schema types, same tuples with same multiplicities. *)
+let equal_bag a b =
+  Schema.equal_types a.schema b.schema
+  && cardinality a = cardinality b
+  &&
+  let ca = counts a and cb = counts b in
+  let ok = ref true in
+  Tuple.Tbl.iter
+    (fun t n -> if Tuple.Tbl.find_opt cb t <> Some n then ok := false)
+    ca;
+  !ok
+
+(** Set equality: same distinct tuples, multiplicities ignored. *)
+let equal_set a b =
+  Schema.equal_types a.schema b.schema
+  &&
+  let ca = counts a and cb = counts b in
+  Tuple.Tbl.length ca = Tuple.Tbl.length cb
+  &&
+  let ok = ref true in
+  Tuple.Tbl.iter (fun t _ -> if not (Tuple.Tbl.mem cb t) then ok := false) ca;
+  !ok
+
+(** Canonical sorted tuple list — handy for deterministic test output. *)
+let sorted_tuples r = List.sort Tuple.compare r.tuples
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%a@,%a@]" Schema.pp r.schema
+    (Format.pp_print_list Tuple.pp)
+    (sorted_tuples r)

@@ -1,0 +1,53 @@
+(** Bag relations: a schema plus a multiset of tuples (a tuple's
+    multiplicity is its number of occurrences), with the bag and
+    duplicate-removing set operations of Figure 1. *)
+
+type t
+
+exception Relation_error of string
+
+(** [make schema tuples] checks every tuple's arity against [schema]. *)
+val make : Schema.t -> Tuple.t list -> t
+
+val empty : Schema.t -> t
+val schema : t -> Schema.t
+val tuples : t -> Tuple.t list
+val cardinality : t -> int
+val is_empty : t -> bool
+
+(** [of_values schema rows] builds a relation from value-list rows. *)
+val of_values : Schema.t -> Value.t list list -> t
+
+(** [counts r] maps each distinct tuple to its multiplicity. *)
+val counts : t -> int Tuple.Tbl.t
+
+val multiplicity : t -> Tuple.t -> int
+val mem : t -> Tuple.t -> bool
+
+(** [distinct r] removes duplicates, keeping first occurrences. *)
+val distinct : t -> t
+
+(** {1 Bag operations} *)
+
+val union_bag : t -> t -> t
+val inter_bag : t -> t -> t
+val diff_bag : t -> t -> t
+
+(** {1 Set (duplicate-removing) operations} *)
+
+val union_set : t -> t -> t
+val inter_set : t -> t -> t
+val diff_set : t -> t -> t
+
+(** {1 Comparison} *)
+
+(** Same types, same tuples with the same multiplicities. *)
+val equal_bag : t -> t -> bool
+
+(** Same distinct tuples, multiplicities ignored. *)
+val equal_set : t -> t -> bool
+
+(** Canonically sorted tuple list, for deterministic test output. *)
+val sorted_tuples : t -> Tuple.t list
+
+val pp : Format.formatter -> t -> unit

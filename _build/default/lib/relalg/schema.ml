@@ -1,0 +1,84 @@
+(** Relation schemas: ordered lists of named, typed attributes.
+
+    Attribute names are plain strings; the SQL analyzer qualifies them
+    ("alias.column") so that every schema an operator sees has unique
+    names, which is what makes name-based correlation resolution sound. *)
+
+type attr = { name : string; ty : Vtype.t }
+
+type t = {
+  attrs : attr array;
+  index : (string, int) Hashtbl.t; (* name -> position *)
+}
+
+exception Schema_error of string
+
+let schema_error fmt = Format.kasprintf (fun s -> raise (Schema_error s)) fmt
+
+let attr name ty = { name; ty }
+
+(** [of_list attrs] builds a schema, rejecting duplicate attribute names. *)
+let of_list attrs =
+  let arr = Array.of_list attrs in
+  let index = Hashtbl.create (max 8 (Array.length arr)) in
+  Array.iteri
+    (fun i a ->
+      if Hashtbl.mem index a.name then
+        schema_error "duplicate attribute name %S in schema" a.name
+      else Hashtbl.add index a.name i)
+    arr;
+  { attrs = arr; index }
+
+let to_list s = Array.to_list s.attrs
+let arity s = Array.length s.attrs
+let attr_at s i = s.attrs.(i)
+let names s = Array.to_list (Array.map (fun a -> a.name) s.attrs)
+let types s = Array.to_list (Array.map (fun a -> a.ty) s.attrs)
+
+(** [find s name] is the position of attribute [name], if any. *)
+let find s name = Hashtbl.find_opt s.index name
+
+let mem s name = Hashtbl.mem s.index name
+
+(** [position_exn s name] is like [find] but raises [Schema_error]. *)
+let position_exn s name =
+  match find s name with
+  | Some i -> i
+  | None ->
+      schema_error "unknown attribute %S (schema: %s)" name
+        (String.concat ", " (names s))
+
+let type_of_exn s name = (attr_at s (position_exn s name)).ty
+
+(** [concat a b] juxtaposes two schemas; duplicate names are rejected. *)
+let concat a b = of_list (to_list a @ to_list b)
+
+(** [rename s f] renames every attribute through [f]. *)
+let rename s f = of_list (List.map (fun a -> { a with name = f a.name }) (to_list s))
+
+(** [rename_positional s new_names] assigns fresh names positionally. *)
+let rename_positional s new_names =
+  if List.length new_names <> arity s then
+    schema_error "rename: %d names for arity %d" (List.length new_names) (arity s);
+  of_list (List.map2 (fun a n -> { a with name = n }) (to_list s) new_names)
+
+(** [equal_types a b] holds when both schemas have the same arity and
+    pointwise compatible types (used to validate set operations). *)
+let equal_types a b =
+  arity a = arity b
+  && List.for_all2 (fun x y -> Vtype.compatible x.ty y.ty) (to_list a) (to_list b)
+
+let equal a b =
+  arity a = arity b
+  && List.for_all2
+       (fun x y -> String.equal x.name y.name && Vtype.equal x.ty y.ty)
+       (to_list a) (to_list b)
+
+let pp ppf s =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf a -> Format.fprintf ppf "%s:%a" a.name Vtype.pp a.ty))
+    (to_list s)
+
+let to_string s = Format.asprintf "%a" pp s

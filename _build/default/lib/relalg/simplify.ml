@@ -1,0 +1,165 @@
+(** Expression and plan simplification: constant folding, boolean
+    identities and comparison negation, all chosen to be exact under
+    SQL's three-valued logic (e.g. [NOT (a < b)] is [a >= b] even for
+    NULLs, and [x AND FALSE] is [FALSE] regardless of [x]).
+
+    The provenance rewrites are fertile ground for these rules: the Gen
+    and Left strategies build conditions like
+    [(C =n true) OR NOT (... =n true)] around constant sub-terms, and
+    the [Jsub] of an EXISTS sublink is the constant [true]. *)
+
+open Algebra
+
+let vtrue = Const Value.vtrue
+let vfalse = Const Value.vfalse
+
+let is_const = function Const _ | TypedNull _ -> true | _ -> false
+
+let const_value = function
+  | Const v -> v
+  | TypedNull _ -> Value.Null
+  | _ -> invalid_arg "const_value"
+
+(* Constant-fold a pure operation, keeping the original expression if
+   evaluation raises (e.g. division by zero must stay a runtime error
+   for rows that actually reach it). *)
+let try_fold original f = try f () with Value.Type_clash _ -> original
+
+let negate_cmp = function
+  | Eq -> Some Neq
+  | Neq -> Some Eq
+  | Lt -> Some Geq
+  | Leq -> Some Gt
+  | Gt -> Some Leq
+  | Geq -> Some Lt
+  | EqNull -> None (* =n is two-valued; NOT (a =n b) has no cmpop form *)
+
+let rec expr (e : Algebra.expr) : Algebra.expr =
+  match e with
+  | Const _ | TypedNull _ | Attr _ -> e
+  | Binop (op, a, b) -> (
+      let a = expr a and b = expr b in
+      let folded = Binop (op, a, b) in
+      match (a, b) with
+      | (Const _ | TypedNull _), (Const _ | TypedNull _) ->
+          try_fold folded (fun () ->
+              let va = const_value a and vb = const_value b in
+              Const
+                (match op with
+                | Add -> Value.add va vb
+                | Sub -> Value.sub va vb
+                | Mul -> Value.mul va vb
+                | Div -> Value.div va vb
+                | Mod -> Value.modulo va vb
+                | Concat -> Value.concat va vb))
+      | _ -> folded)
+  | Cmp (op, a, b) -> (
+      let a = expr a and b = expr b in
+      let folded = Cmp (op, a, b) in
+      match (a, b) with
+      | (Const _ | TypedNull _), (Const _ | TypedNull _) ->
+          try_fold folded (fun () ->
+              Const (Eval.cmp3 op (const_value a) (const_value b)))
+      | _ -> folded)
+  | And (a, b) -> (
+      match (expr a, expr b) with
+      | Const (Value.Bool false), _ | _, Const (Value.Bool false) -> vfalse
+      | Const (Value.Bool true), x | x, Const (Value.Bool true) -> x
+      | a, b -> And (a, b))
+  | Or (a, b) -> (
+      match (expr a, expr b) with
+      | Const (Value.Bool true), _ | _, Const (Value.Bool true) -> vtrue
+      | Const (Value.Bool false), x | x, Const (Value.Bool false) -> x
+      | a, b -> Or (a, b))
+  | Not a -> (
+      match expr a with
+      | Const v -> try_fold (Not (Const v)) (fun () -> Const (Value.not3 v))
+      | Not inner -> inner
+      | Cmp (op, x, y) as cmp -> (
+          match negate_cmp op with
+          | Some op' -> Cmp (op', x, y)
+          | None -> Not cmp)
+      | a -> Not a)
+  | IsNull a -> (
+      match expr a with
+      | (Const _ | TypedNull _) as c -> Const (Value.Bool (Value.is_null (const_value c)))
+      | a -> IsNull a)
+  | Case (whens, els) -> (
+      let els = Option.map expr els in
+      (* drop branches with constant-false conditions; stop at the first
+         constant-true condition *)
+      let rec prune = function
+        | [] -> ([], els)
+        | (c, x) :: rest -> (
+            match expr c with
+            | Const (Value.Bool true) -> ([], Some (expr x))
+            | Const (Value.Bool false) | Const Value.Null | TypedNull _ -> prune rest
+            | c ->
+                let whens, final = prune rest in
+                ((c, expr x) :: whens, final))
+      in
+      match prune whens with
+      | [], Some e -> e
+      | [], None -> Const Value.Null
+      | whens, final -> Case (whens, final))
+  | Like (a, pattern) -> (
+      match expr a with
+      | Const (Value.String s) -> Const (Value.Bool (Builtin.like_match ~pattern s))
+      | Const Value.Null | TypedNull _ -> Const Value.Null
+      | a -> Like (a, pattern))
+  | InList (a, es) -> (
+      let a = expr a and es = List.map expr es in
+      let folded = InList (a, es) in
+      if is_const a && List.for_all is_const es then
+        try_fold folded (fun () ->
+            let x = const_value a in
+            Const
+              (List.fold_left
+                 (fun acc e -> Value.or3 acc (Eval.cmp3 Eq x (const_value e)))
+                 Value.vfalse es))
+      else folded)
+  | FunCall (name, args) -> FunCall (name, List.map expr args)
+  | Sublink s -> Sublink { s with kind = sublink_kind s.kind }
+
+and sublink_kind = function
+  | (Exists | Scalar) as k -> k
+  | AnyOp (op, lhs) -> AnyOp (op, expr lhs)
+  | AllOp (op, lhs) -> AllOp (op, expr lhs)
+
+(** [query q] simplifies every expression in the plan (including inside
+    sublink queries) and drops selections whose condition folded to
+    [TRUE]. *)
+let rec query (q : Algebra.query) : Algebra.query =
+  let q = map_queries query q in
+  let q =
+    match q with
+    | Select (c, input) -> (
+        match expr (map_expr_query query c) with
+        | Const (Value.Bool true) -> input
+        | c -> Select (c, input))
+    | Project p ->
+        Project
+          {
+            p with
+            cols = List.map (fun (e, n) -> (expr (map_expr_query query e), n)) p.cols;
+          }
+    | Join (c, a, b) -> (
+        match expr (map_expr_query query c) with
+        | Const (Value.Bool true) -> Cross (a, b)
+        | c -> Join (c, a, b))
+    | LeftJoin (c, a, b) -> LeftJoin (expr (map_expr_query query c), a, b)
+    | Agg spec ->
+        Agg
+          {
+            spec with
+            group_by = List.map (fun (e, n) -> (expr e, n)) spec.group_by;
+            aggs =
+              List.map
+                (fun call -> { call with agg_arg = Option.map expr call.agg_arg })
+                spec.aggs;
+          }
+    | Order (keys, input) ->
+        Order (List.map (fun (e, d) -> (expr e, d)) keys, input)
+    | q -> q
+  in
+  q

@@ -1,0 +1,11 @@
+(** Expression and plan simplification, exact under SQL's three-valued
+    logic: constant folding, boolean identities ([x AND FALSE] = FALSE,
+    double negation), comparison negation ([NOT (a < b)] = [a >= b]),
+    CASE pruning, and removal of constant-TRUE selections/joins.
+    Run by {!Optimizer.optimize} before pushdown. *)
+
+val expr : Algebra.expr -> Algebra.expr
+
+(** [query q] simplifies every expression in the plan, including inside
+    sublink queries. *)
+val query : Algebra.query -> Algebra.query

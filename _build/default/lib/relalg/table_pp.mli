@@ -1,0 +1,7 @@
+(** ASCII rendering of relations, for the CLI and the examples. *)
+
+(** [render ?max_rows rel] draws an ASCII table (default 50 rows shown;
+    a trailer reports the total). *)
+val render : ?max_rows:int -> Relation.t -> string
+
+val print : ?max_rows:int -> Relation.t -> unit

@@ -1,0 +1,34 @@
+(** Tuples: arrays of values, treated as immutable.
+
+    Tuple identity ({!equal}, {!hash}) treats [Null] as equal to [Null]
+    and numerically equal ints/floats as equal — the SQL notion used by
+    DISTINCT, GROUP BY and bag counting. *)
+
+type t = Value.t array
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+val arity : t -> int
+val get : t -> int -> Value.t
+val concat : t -> t -> t
+
+(** [project t positions] keeps the values at [positions], in order. *)
+val project : t -> int list -> t
+
+(** All-NULL tuple of arity [n] — the [null(R)] padding tuple of the
+    Gen strategy (Section 3.3). *)
+val nulls : int -> t
+
+val equal : t -> t -> bool
+
+(** Total order (lexicographic over {!Value.compare_total}). *)
+val compare : t -> t -> int
+
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Hashtbl key module over tuple identity. *)
+module Key : Hashtbl.HashedType with type t = t
+
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,26 @@
+(** Static checking and schema inference for algebra trees.
+
+    An environment is a stack of schemas, innermost first; attribute
+    references resolve against the innermost schema defining the name,
+    mirroring evaluation-time correlation binding (Section 2.2). *)
+
+exception Type_error of string
+
+type env = Schema.t list
+
+(** [resolve env name] is the type of [name], innermost-first. *)
+val resolve : env -> string -> Vtype.t
+
+(** [infer_expr db env e] is [e]'s type; [None] means statically unknown
+    (a bare NULL literal), which unifies with every type. *)
+val infer_expr : Database.t -> env -> Algebra.expr -> Vtype.t option
+
+(** [infer_query_env db outer q] is the output schema of [q] with
+    correlation scopes [outer] available. *)
+val infer_query_env : Database.t -> env -> Algebra.query -> Schema.t
+
+(** [infer db q] is the output schema of a top-level query. *)
+val infer : Database.t -> Algebra.query -> Schema.t
+
+(** [check db q] validates [q], raising {!Type_error} on failure. *)
+val check : Database.t -> Algebra.query -> unit

@@ -1,0 +1,190 @@
+(** Runtime SQL values with [NULL] and three-valued logic.
+
+    The module provides the two equality notions the paper relies on:
+    - SQL equality ([cmp_sql Eq]-style), where any comparison involving
+      [Null] is unknown, and
+    - the null-aware equality [=n] from Section 3.3 of the paper
+      ([equal_null]), where [Null =n Null] is true. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+exception Type_clash of string
+
+let type_clash fmt = Format.kasprintf (fun s -> raise (Type_clash s)) fmt
+
+(** {1 Construction and inspection} *)
+
+let of_int i = Int i
+let of_float f = Float f
+let of_string s = String s
+let of_bool b = Bool b
+let vtrue = Bool true
+let vfalse = Bool false
+
+let is_null = function Null -> true | Int _ | Float _ | String _ | Bool _ -> false
+
+(** Dynamic type of a value; [None] for [Null] (which inhabits all types). *)
+let vtype_of = function
+  | Null -> None
+  | Int _ -> Some Vtype.TInt
+  | Float _ -> Some Vtype.TFloat
+  | String _ -> Some Vtype.TString
+  | Bool _ -> Some Vtype.TBool
+
+(** [zero_of ty] is the neutral value used to seed numeric aggregates. *)
+let zero_of = function
+  | Vtype.TInt -> Int 0
+  | Vtype.TFloat -> Float 0.
+  | ty -> type_clash "no zero for type %s" (Vtype.to_string ty)
+
+let to_string = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f ->
+      (* Avoid "3." which the SQL lexer would not round-trip. *)
+      let s = Printf.sprintf "%.6g" f in
+      if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+      then s
+      else s ^ ".0"
+  | String s -> s
+  | Bool b -> if b then "true" else "false"
+
+(** SQL-literal rendering: strings are quoted and escaped. *)
+let to_literal = function
+  | String s ->
+      let buf = Buffer.create (String.length s + 2) in
+      Buffer.add_char buf '\'';
+      String.iter
+        (fun c ->
+          if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '\'';
+      Buffer.contents buf
+  | v -> to_string v
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+(** {1 Numeric coercion} *)
+
+let as_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | v -> type_clash "expected a number, got %s" (to_string v)
+
+(** {1 Comparison} *)
+
+(** SQL comparison: [None] when either operand is [Null], otherwise
+    [Some c] with [c] the usual negative/zero/positive convention.
+    Int/float operands are compared numerically. *)
+let cmp_sql a b =
+  match (a, b) with
+  | Null, _ | _, Null -> None
+  | Int x, Int y -> Some (compare x y)
+  | (Int _ | Float _), (Int _ | Float _) -> Some (compare (as_float a) (as_float b))
+  | String x, String y -> Some (compare x y)
+  | Bool x, Bool y -> Some (compare x y)
+  | _ -> type_clash "cannot compare %s with %s" (to_string a) (to_string b)
+
+(** Total order used for ORDER BY and canonical sorting: [Null] sorts
+    first, then values ordered within their type, types ordered
+    bool < int/float < string. Never raises. *)
+let compare_total a b =
+  let rank = function
+    | Null -> 0
+    | Bool _ -> 1
+    | Int _ | Float _ -> 2
+    | String _ -> 3
+  in
+  match (a, b) with
+  | Null, Null -> 0
+  | (Int _ | Float _), (Int _ | Float _) -> compare (as_float a) (as_float b)
+  | _ when rank a <> rank b -> compare (rank a) (rank b)
+  | _ -> compare a b
+
+(** Structural equality treating [Null] as equal to [Null] and [Int i]
+    equal to [Float f] when numerically equal. This is the tuple-identity
+    notion used for grouping, duplicate elimination and bag counting. *)
+let equal_null a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Null, _ | _, Null -> false
+  | _ -> cmp_sql a b = Some 0
+
+(** {1 Three-valued logic}
+
+    Truth values are encoded as [Bool true], [Bool false] and [Null]
+    (unknown). *)
+
+let is_true = function Bool true -> true | _ -> false
+let is_false = function Bool false -> true | _ -> false
+
+let and3 a b =
+  match (a, b) with
+  | Bool false, _ | _, Bool false -> Bool false
+  | Bool true, Bool true -> Bool true
+  | (Null | Bool true), (Null | Bool true) -> Null
+  | _ -> type_clash "AND over non-boolean %s / %s" (to_string a) (to_string b)
+
+let or3 a b =
+  match (a, b) with
+  | Bool true, _ | _, Bool true -> Bool true
+  | Bool false, Bool false -> Bool false
+  | (Null | Bool false), (Null | Bool false) -> Null
+  | _ -> type_clash "OR over non-boolean %s / %s" (to_string a) (to_string b)
+
+let not3 = function
+  | Bool b -> Bool (not b)
+  | Null -> Null
+  | v -> type_clash "NOT over non-boolean %s" (to_string v)
+
+(** {1 Arithmetic} *)
+
+let arith op_name int_op float_op a b =
+  match (a, b) with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> Int (int_op x y)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (float_op (as_float a) (as_float b))
+  | _ ->
+      type_clash "%s over non-numeric %s / %s" op_name (to_string a) (to_string b)
+
+let add = arith "+" ( + ) ( +. )
+let sub = arith "-" ( - ) ( -. )
+let mul = arith "*" ( * ) ( *. )
+
+let div a b =
+  match (a, b) with
+  | Null, _ | _, Null -> Null
+  | _, Int 0 -> type_clash "division by zero"
+  | _, Float 0. -> type_clash "division by zero"
+  | Int x, Int y -> Int (x / y)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (as_float a /. as_float b)
+  | _ -> type_clash "/ over non-numeric %s / %s" (to_string a) (to_string b)
+
+let modulo a b =
+  match (a, b) with
+  | Null, _ | _, Null -> Null
+  | _, Int 0 -> type_clash "modulo by zero"
+  | Int x, Int y -> Int (x mod y)
+  | _ -> type_clash "%% over non-integer %s / %s" (to_string a) (to_string b)
+
+let concat a b =
+  match (a, b) with
+  | Null, _ | _, Null -> Null
+  | String x, String y -> String (x ^ y)
+  | _ -> String (to_string a ^ to_string b)
+
+(** {1 Hashing}
+
+    Hash compatible with [equal_null]: numerically equal ints and floats
+    hash alike, which lets hash joins mix the two numeric types. *)
+let hash = function
+  | Null -> 17
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f -> Hashtbl.hash f
+  | String s -> Hashtbl.hash s
+  | Bool b -> Hashtbl.hash b

@@ -1,0 +1,1 @@
+lib/sql/analyzer.ml: Algebra Ast Builtin Database Format Hashtbl List Option Parser Printf Relalg Relation Schema Scope Typecheck Value

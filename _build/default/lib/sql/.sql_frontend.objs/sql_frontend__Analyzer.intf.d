@@ -1,0 +1,1 @@
+lib/sql/analyzer.mli: Algebra Ast Database Relalg

@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Array Ast Format Lexer List Option Token

@@ -1,0 +1,1 @@
+lib/sql/sql_pp.ml: Ast Buffer List Option Printf String

@@ -1,0 +1,1 @@
+lib/sql/sql_pp.mli: Ast

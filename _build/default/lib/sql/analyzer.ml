@@ -1,0 +1,562 @@
+(** Name resolution and translation from the SQL AST to the algebra of
+    {!Relalg.Algebra}.
+
+    Every attribute an operator produces is given a qualified, unique
+    name ("alias.column"), which makes name-based correlation resolution
+    in the evaluator unambiguous. A scope is a stack of frames, one per
+    query nesting level; resolution is innermost-first, so a reference
+    that does not resolve in the current query level becomes a
+    correlated reference to an enclosing level (Section 2.2). *)
+
+open Relalg
+
+exception Analyze_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Analyze_error s)) fmt
+
+type frame =
+  | From_frame of (string * string list) list
+      (** visible FROM items: alias -> unqualified column names *)
+  | Agg_frame of agg_frame
+      (** a query level that has been aggregated *)
+
+and agg_frame = {
+  af_groups : (Algebra.expr * string) list;
+      (** analyzed group expression -> output attribute *)
+  af_aggs : (Ast.expr * string) list;
+      (** aggregate call (AST) -> output attribute *)
+  af_hidden : frame;  (** the pre-aggregation FROM frame of this level *)
+}
+
+type scopes = frame list
+
+let qualify alias col = if alias = "" then col else alias ^ "." ^ col
+
+(* Resolve a possibly-qualified column against one FROM frame. *)
+let resolve_in_items items qual col =
+  match qual with
+  | Some alias -> (
+      match List.assoc_opt alias items with
+      | Some cols when List.mem col cols -> Some (qualify alias col)
+      | _ -> None)
+  | None -> (
+      let hits =
+        List.filter_map
+          (fun (alias, cols) ->
+            if List.mem col cols then Some (qualify alias col) else None)
+          items
+      in
+      match hits with
+      | [] -> None
+      | [ name ] -> Some name
+      | _ -> err "ambiguous column reference %S" col)
+
+let rec resolve_in_frame frame qual col =
+  match frame with
+  | From_frame items -> resolve_in_items items qual col
+  | Agg_frame af -> (
+      (* Inside an aggregated level, a column is visible iff it is one of
+         the grouping expressions. *)
+      match resolve_in_frame af.af_hidden qual col with
+      | Some name
+        when List.exists
+               (fun (g, _) -> g = Algebra.Attr name)
+               af.af_groups ->
+          (* The group output attribute carries the same qualified name. *)
+          let _, out = List.find (fun (g, _) -> g = Algebra.Attr name) af.af_groups in
+          Some out
+      | Some name ->
+          err "column %S must appear in the GROUP BY clause or be used in an aggregate"
+            name
+      | None -> None)
+
+(* Resolve through the scope stack; innermost frame first. *)
+let resolve (scopes : scopes) qual col =
+  let rec go = function
+    | [] ->
+        err "unknown column %S"
+          (match qual with Some q -> qualify q col | None -> col)
+    | frame :: rest -> (
+        match resolve_in_frame frame qual col with
+        | Some name -> name
+        | None -> go rest)
+  in
+  go scopes
+
+let binop_of : Ast.binop -> Algebra.binop = function
+  | Ast.Plus -> Algebra.Add
+  | Ast.Minus -> Algebra.Sub
+  | Ast.Times -> Algebra.Mul
+  | Ast.Div -> Algebra.Div
+  | Ast.Mod -> Algebra.Mod
+  | Ast.Concat -> Algebra.Concat
+
+let cmpop_of : Ast.cmpop -> Algebra.cmpop = function
+  | Ast.CEq -> Algebra.Eq
+  | Ast.CNeq -> Algebra.Neq
+  | Ast.CLt -> Algebra.Lt
+  | Ast.CLeq -> Algebra.Leq
+  | Ast.CGt -> Algebra.Gt
+  | Ast.CGeq -> Algebra.Geq
+
+(* Fold [f] over the direct children of an AST expression, not
+   descending into sublink queries (a sublink's aggregates belong to the
+   sublink's own SELECT). *)
+let fold_children : 'a. (Ast.expr -> 'a -> 'a) -> Ast.expr -> 'a -> 'a =
+ fun f e acc ->
+  match e with
+  | Ast.ENull | Ast.EInt _ | Ast.EFloat _ | Ast.EString _ | Ast.EBool _
+  | Ast.EColumn _ ->
+      acc
+  | Ast.EBinop (_, a, b) | Ast.ECmp (_, a, b) | Ast.EAnd (a, b) | Ast.EOr (a, b) ->
+      f b (f a acc)
+  | Ast.ENot a | Ast.EIsNull { arg = a; _ } | Ast.ELike { arg = a; _ } -> f a acc
+  | Ast.EBetween { arg; lo; hi; _ } -> f hi (f lo (f arg acc))
+  | Ast.EInList { arg; elems; _ } -> List.fold_left (fun acc e -> f e acc) (f arg acc) elems
+  | Ast.ECase (whens, els) ->
+      let acc = List.fold_left (fun acc (c, x) -> f x (f c acc)) acc whens in
+      Option.fold ~none:acc ~some:(fun e -> f e acc) els
+  | Ast.EFun { args; _ } -> List.fold_left (fun acc e -> f e acc) acc args
+  | Ast.ESub (kind, _) -> (
+      match kind with
+      | Ast.SIn (lhs, _) | Ast.SAnyCmp (_, lhs) | Ast.SAllCmp (_, lhs) -> f lhs acc
+      | Ast.SExists _ | Ast.SScalar -> acc)
+
+(* Aggregate occurrences in an expression, outermost only. *)
+let rec collect_aggregates (e : Ast.expr) (acc : Ast.expr list) : Ast.expr list =
+  match e with
+  | Ast.EFun { name; args; _ } when Builtin.is_aggregate name ->
+      List.iter check_no_aggregate args;
+      if List.mem e acc then acc else acc @ [ e ]
+  | _ -> fold_children collect_aggregates e acc
+
+and check_no_aggregate e =
+  ignore
+    (fold_children
+       (fun e () ->
+         match e with
+         | Ast.EFun { name; _ } when Builtin.is_aggregate name ->
+             err "aggregate calls cannot be nested"
+         | _ ->
+             check_no_aggregate e;
+             ())
+       e ())
+
+(* ------------------------------------------------------------------ *)
+(* Expression analysis                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* [analyze_expr db scopes e] translates [e]; aggregate calls are only
+   legal where an [Agg_frame] is in scope (SELECT/HAVING/ORDER BY of an
+   aggregated query), in which case they resolve to the aggregate output
+   attribute. *)
+let rec analyze_expr db (scopes : scopes) (e : Ast.expr) : Algebra.expr =
+  match group_match db scopes e with
+  | Some attr -> attr
+  | None -> (
+      match e with
+      | Ast.ENull -> Algebra.Const Value.Null
+      | Ast.EInt i -> Algebra.Const (Value.Int i)
+      | Ast.EFloat f -> Algebra.Const (Value.Float f)
+      | Ast.EString s -> Algebra.Const (Value.String s)
+      | Ast.EBool b -> Algebra.Const (Value.Bool b)
+      | Ast.EColumn (qual, col) -> Algebra.Attr (resolve scopes qual col)
+      | Ast.EBinop (op, a, b) ->
+          Algebra.Binop (binop_of op, analyze_expr db scopes a, analyze_expr db scopes b)
+      | Ast.ECmp (op, a, b) ->
+          Algebra.Cmp (cmpop_of op, analyze_expr db scopes a, analyze_expr db scopes b)
+      | Ast.EAnd (a, b) -> Algebra.And (analyze_expr db scopes a, analyze_expr db scopes b)
+      | Ast.EOr (a, b) -> Algebra.Or (analyze_expr db scopes a, analyze_expr db scopes b)
+      | Ast.ENot a -> Algebra.Not (analyze_expr db scopes a)
+      | Ast.EIsNull { negated; arg } ->
+          let inner = Algebra.IsNull (analyze_expr db scopes arg) in
+          if negated then Algebra.Not inner else inner
+      | Ast.EBetween { negated; arg; lo; hi } ->
+          let a = analyze_expr db scopes arg in
+          let between =
+            Algebra.And
+              ( Algebra.Cmp (Algebra.Geq, a, analyze_expr db scopes lo),
+                Algebra.Cmp (Algebra.Leq, a, analyze_expr db scopes hi) )
+          in
+          if negated then Algebra.Not between else between
+      | Ast.EInList { negated; arg; elems } ->
+          let inner =
+            Algebra.InList
+              (analyze_expr db scopes arg, List.map (analyze_expr db scopes) elems)
+          in
+          if negated then Algebra.Not inner else inner
+      | Ast.ELike { negated; arg; pattern } ->
+          let inner = Algebra.Like (analyze_expr db scopes arg, pattern) in
+          if negated then Algebra.Not inner else inner
+      | Ast.ECase (whens, els) ->
+          Algebra.Case
+            ( List.map
+                (fun (c, x) -> (analyze_expr db scopes c, analyze_expr db scopes x))
+                whens,
+              Option.map (analyze_expr db scopes) els )
+      | Ast.EFun { name; distinct; star; args } ->
+          if Builtin.is_aggregate name then
+            aggregate_ref db scopes e name
+          else begin
+            if distinct || star then err "%s: DISTINCT/* only valid in aggregates" name;
+            Algebra.FunCall (name, List.map (analyze_expr db scopes) args)
+          end
+      | Ast.ESub (kind, sub) -> analyze_sublink db scopes kind sub)
+
+(* A sub-expression of an aggregated query that is (syntactically equal
+   to) a grouping expression resolves to the group output attribute. *)
+and group_match db (scopes : scopes) (e : Ast.expr) : Algebra.expr option =
+  match scopes with
+  | Agg_frame af :: rest -> (
+      match
+        try Some (analyze_expr db (af.af_hidden :: rest) e) with
+        | Analyze_error _ -> None
+      with
+      | Some analyzed when not (Algebra.has_sublink analyzed) -> (
+          match List.assoc_opt analyzed af.af_groups with
+          | Some name -> Some (Algebra.Attr name)
+          | None -> None)
+      | _ -> None)
+  | _ -> None
+
+and aggregate_ref db (scopes : scopes) (e : Ast.expr) name : Algebra.expr =
+  ignore db;
+  let rec find = function
+    | [] -> err "aggregate %s not allowed in this context" name
+    | Agg_frame af :: _ -> (
+        match List.assoc_opt e af.af_aggs with
+        | Some attr -> Algebra.Attr attr
+        | None ->
+            err
+              "aggregate %s used here must also appear in the aggregation (internal)"
+              name)
+    | From_frame _ :: rest -> find rest
+  in
+  find scopes
+
+and analyze_sublink db (scopes : scopes) (kind : Ast.sub_kind) (sub : Ast.select) :
+    Algebra.expr =
+  if sub.Ast.sel_provenance then
+    err "PROVENANCE is only supported on the top-level query";
+  let subq = analyze_select db scopes sub in
+  match kind with
+  | Ast.SExists negated ->
+      let e = Algebra.exists subq in
+      if negated then Algebra.Not e else e
+  | Ast.SScalar -> Algebra.scalar subq
+  | Ast.SIn (lhs, negated) ->
+      let e = Algebra.any_op Algebra.Eq (analyze_expr db scopes lhs) subq in
+      if negated then Algebra.Not e else e
+  | Ast.SAnyCmp (op, lhs) ->
+      Algebra.any_op (cmpop_of op) (analyze_expr db scopes lhs) subq
+  | Ast.SAllCmp (op, lhs) ->
+      Algebra.all_op (cmpop_of op) (analyze_expr db scopes lhs) subq
+
+(* ------------------------------------------------------------------ *)
+(* FROM clause                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and analyze_from_item db (outer : scopes) (item : Ast.from_item) :
+    Algebra.query * (string * string list) list =
+  match item with
+  | Ast.FTable { table; alias } ->
+      let alias = Option.value ~default:table alias in
+      let source, cols =
+        match Database.find_opt db table with
+        | Some rel -> (Algebra.Base table, Schema.names (Relation.schema rel))
+        | None -> (
+            (* not a base table: try the view catalog and inline *)
+            match Database.find_view db table with
+            | Some q -> (q, Scope.out_names db q)
+            | None -> err "unknown table or view %S" table)
+      in
+      let renamed =
+        Algebra.project
+          (List.map (fun c -> (Algebra.Attr c, qualify alias c)) cols)
+          source
+      in
+      (renamed, [ (alias, cols) ])
+  | Ast.FSubquery { sub; alias } ->
+      if sub.Ast.sel_provenance then
+        err "PROVENANCE is only supported on the top-level query";
+      let q = analyze_select db outer sub in
+      let cols = Scope.out_names db q in
+      let renamed =
+        Algebra.project (List.map (fun c -> (Algebra.Attr c, qualify alias c)) cols) q
+      in
+      (renamed, [ (alias, cols) ])
+  | Ast.FJoin { kind; left; right; on } -> (
+      let lq, litems = analyze_from_item db outer left in
+      let rq, ritems = analyze_from_item db outer right in
+      List.iter
+        (fun (a, _) ->
+          if List.mem_assoc a litems then err "duplicate table alias %S" a)
+        ritems;
+      let items = litems @ ritems in
+      let cond () =
+        match on with
+        | Some c -> analyze_expr db (From_frame items :: outer) c
+        | None -> Algebra.Const Value.vtrue
+      in
+      match kind with
+      | Ast.JCross -> (Algebra.Cross (lq, rq), items)
+      | Ast.JInner -> (Algebra.Join (cond (), lq, rq), items)
+      | Ast.JLeft -> (Algebra.LeftJoin (cond (), lq, rq), items))
+
+and analyze_from db (outer : scopes) (items : Ast.from_item list) :
+    Algebra.query * (string * string list) list =
+  match items with
+  | [] ->
+      (* FROM-less SELECT: a unit relation with one empty tuple. *)
+      (Algebra.TableExpr (Relation.make (Schema.of_list []) [ [||] ]), [])
+  | first :: rest ->
+      List.fold_left
+        (fun (q, items) item ->
+          let q', items' = analyze_from_item db outer item in
+          List.iter
+            (fun (a, _) ->
+              if List.mem_assoc a items then err "duplicate table alias %S" a)
+            items';
+          (Algebra.Cross (q, q'), items @ items'))
+        (analyze_from_item db outer first)
+        rest
+
+(* ------------------------------------------------------------------ *)
+(* SELECT                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Derive an output column name from a select item, uniquified later. *)
+and output_name idx (item : Ast.select_item) =
+  match item with
+  | Ast.ItemExpr (_, Some alias) -> alias
+  | Ast.ItemExpr (Ast.EColumn (_, col), None) -> col
+  | Ast.ItemExpr (Ast.EFun { name; _ }, None) -> name
+  | _ -> Printf.sprintf "col_%d" idx
+
+and uniquify names =
+  let seen = Hashtbl.create 16 in
+  List.map
+    (fun n ->
+      match Hashtbl.find_opt seen n with
+      | None ->
+          Hashtbl.add seen n 0;
+          n
+      | Some k ->
+          Hashtbl.replace seen n (k + 1);
+          Printf.sprintf "%s_%d" n (k + 1))
+    names
+
+and analyze_select db (outer : scopes) (sel : Ast.select) : Algebra.query =
+  match sel.Ast.sel_setop with
+  | Some (kind, all, rhs) ->
+      let left = analyze_select db outer { sel with Ast.sel_setop = None } in
+      let right = analyze_select db outer rhs in
+      if List.length (Scope.out_names db left) <> List.length (Scope.out_names db right)
+      then err "set operation arms have different numbers of columns";
+      let sem = if all then Algebra.Bag else Algebra.SetSem in
+      let combine =
+        match kind with
+        | Ast.SUnion -> Algebra.Union (sem, left, right)
+        | Ast.SIntersect -> Algebra.Inter (sem, left, right)
+        | Ast.SExcept -> Algebra.Diff (sem, left, right)
+      in
+      combine
+  | None -> analyze_plain_select db outer sel
+
+and analyze_plain_select db (outer : scopes) (sel : Ast.select) : Algebra.query =
+  let from_q, from_items = analyze_from db outer sel.Ast.sel_from in
+  let from_frame = From_frame from_items in
+  let from_scopes = from_frame :: outer in
+  (* WHERE *)
+  let filtered =
+    match sel.Ast.sel_where with
+    | None -> from_q
+    | Some w ->
+        check_no_aggregate_in "WHERE" w;
+        Algebra.Select (analyze_expr db from_scopes w, from_q)
+  in
+  (* Aggregation detection *)
+  let item_exprs =
+    List.filter_map
+      (function Ast.ItemExpr (e, _) -> Some e | _ -> None)
+      sel.Ast.sel_items
+  in
+  let scan_exprs =
+    item_exprs
+    @ (match sel.Ast.sel_having with Some h -> [ h ] | None -> [])
+    @ List.map fst sel.Ast.sel_order_by
+  in
+  let agg_occurrences = List.fold_left (fun acc e -> collect_aggregates e acc) [] scan_exprs in
+  let has_agg = sel.Ast.sel_group_by <> [] || agg_occurrences <> [] in
+  if not has_agg then begin
+    if sel.Ast.sel_having <> None then err "HAVING requires GROUP BY or aggregates";
+    analyze_projection db outer from_scopes from_items sel filtered
+  end
+  else begin
+    if
+      List.exists
+        (function Ast.ItemStar | Ast.ItemQualStar _ -> true | _ -> false)
+        sel.Ast.sel_items
+    then err "* is not allowed in the select list of an aggregated query";
+    (* group-by expressions *)
+    let group_cols =
+      List.mapi
+        (fun i g ->
+          check_no_aggregate_in "GROUP BY" g;
+          let analyzed = analyze_expr db from_scopes g in
+          if Algebra.has_sublink analyzed then
+            err "sublinks in GROUP BY are not supported";
+          let name =
+            match analyzed with
+            | Algebra.Attr n -> n
+            | _ -> Printf.sprintf "group_%d" i
+          in
+          (analyzed, name))
+        sel.Ast.sel_group_by
+    in
+    (* aggregate calls *)
+    let agg_cols =
+      List.mapi
+        (fun i ast_call ->
+          match ast_call with
+          | Ast.EFun { name; distinct; star; args } ->
+              let arg =
+                if star then None
+                else
+                  match args with
+                  | [ a ] -> Some (analyze_expr db from_scopes a)
+                  | _ -> err "%s takes exactly one argument" name
+              in
+              ( ast_call,
+                {
+                  Algebra.agg_func = name;
+                  agg_distinct = distinct;
+                  agg_arg = arg;
+                  agg_name = Printf.sprintf "agg_%d" i;
+                } )
+          | _ -> assert false)
+        agg_occurrences
+    in
+    let agg_node =
+      Algebra.aggregate ~group_by:group_cols
+        ~aggs:(List.map snd agg_cols)
+        filtered
+    in
+    let af =
+      Agg_frame
+        {
+          af_groups = group_cols;
+          af_aggs = List.map (fun (ast, c) -> (ast, c.Algebra.agg_name)) agg_cols;
+          af_hidden = from_frame;
+        }
+    in
+    let agg_scopes = af :: outer in
+    let with_having =
+      match sel.Ast.sel_having with
+      | None -> agg_node
+      | Some h -> Algebra.Select (analyze_expr db agg_scopes h, agg_node)
+    in
+    analyze_projection db outer agg_scopes from_items sel with_having
+  end
+
+and check_no_aggregate_in clause e =
+  ignore
+    (fold_children
+       (fun x () ->
+         (match x with
+         | Ast.EFun { name; _ } when Builtin.is_aggregate name ->
+             err "aggregate not allowed in %s" clause
+         | _ -> ());
+         check_no_aggregate_in clause x)
+       e ())
+
+(* Projection, DISTINCT, ORDER BY, LIMIT — common to both paths.
+   [scopes] is the scope stack in which select items are analyzed. *)
+and analyze_projection db (outer : scopes) (scopes : scopes) from_items sel input :
+    Algebra.query =
+  let expand_star alias_filter =
+    List.concat_map
+      (fun (alias, cols) ->
+        if alias_filter = None || alias_filter = Some alias then
+          List.map (fun c -> (Algebra.Attr (qualify alias c), c)) cols
+        else [])
+      from_items
+  in
+  let cols_raw =
+    List.concat
+      (List.mapi
+         (fun i item ->
+           match item with
+           | Ast.ItemStar -> expand_star None
+           | Ast.ItemQualStar alias ->
+               let expanded = expand_star (Some alias) in
+               if expanded = [] then err "unknown alias %S in %s.*" alias alias;
+               expanded
+           | Ast.ItemExpr (e, _) ->
+               [ (analyze_expr db scopes e, output_name i item) ])
+         sel.Ast.sel_items)
+  in
+  let names = uniquify (List.map snd cols_raw) in
+  let cols = List.map2 (fun (e, _) n -> (e, n)) cols_raw names in
+  let projected = Algebra.project ~distinct:sel.Ast.sel_distinct cols input in
+  (* ORDER BY keys may be output column names, 1-based positions, or
+     expressions; an expression that coincides with a select item (e.g.
+     ORDER BY count of rows when that aggregate is selected) resolves to that
+     item's output column. *)
+  let ordered =
+    match sel.Ast.sel_order_by with
+    | [] -> projected
+    | keys ->
+        let out_frame = From_frame [ ("", names) ] in
+        let analyze_key (e, dir) =
+          let direction =
+            match dir with Ast.OAsc -> Algebra.Asc | Ast.ODesc -> Algebra.Desc
+          in
+          match e with
+          | Ast.EInt k ->
+              if k < 1 || k > List.length names then
+                err "ORDER BY position %d out of range" k;
+              (Algebra.Attr (List.nth names (k - 1)), direction)
+          | _ -> (
+              (* output names shadow everything else *)
+              match analyze_expr db (out_frame :: outer) e with
+              | analyzed -> (analyzed, direction)
+              | exception Analyze_error _ -> (
+                  (* else: an expression over the pre-projection scope
+                     that must match a select item *)
+                  let analyzed = analyze_expr db scopes e in
+                  match
+                    List.find_opt
+                      (fun (ce, _) ->
+                        (not (Algebra.has_sublink ce)) && ce = analyzed)
+                      cols
+                  with
+                  | Some (_, out_name) -> (Algebra.Attr out_name, direction)
+                  | None ->
+                      err
+                        "ORDER BY expression must be an output column or match \
+                         a select item"))
+        in
+        Algebra.Order (List.map analyze_key keys, projected)
+  in
+  match sel.Ast.sel_limit with
+  | None -> ordered
+  | Some n -> Algebra.Limit (n, ordered)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type analyzed = {
+  query : Algebra.query;
+  wants_provenance : bool;  (** the SELECT carried the PROVENANCE marker *)
+}
+
+(** [analyze db sel] resolves and translates a parsed statement. *)
+let analyze db (sel : Ast.select) : analyzed =
+  let query = analyze_select db [] sel in
+  Typecheck.check db query;
+  { query; wants_provenance = sel.Ast.sel_provenance }
+
+(** [analyze_string db sql] parses and analyzes [sql]. *)
+let analyze_string db (sql : string) : analyzed = analyze db (Parser.parse sql)

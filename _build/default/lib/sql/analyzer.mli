@@ -1,0 +1,24 @@
+(** Name resolution and translation from the SQL AST to the algebra of
+    {!Relalg.Algebra}.
+
+    Every attribute an operator produces is given a qualified, unique
+    name ("alias.column"); a reference that does not resolve in the
+    current query level becomes a correlated reference to an enclosing
+    level (Section 2.2). Aggregated queries are translated to an [Agg]
+    node with grouping expressions and hoisted aggregate calls. *)
+
+open Relalg
+
+exception Analyze_error of string
+
+type analyzed = {
+  query : Algebra.query;
+  wants_provenance : bool;  (** the SELECT carried the PROVENANCE marker *)
+}
+
+(** [analyze db sel] resolves and translates a parsed statement, then
+    typechecks the result. *)
+val analyze : Database.t -> Ast.select -> analyzed
+
+(** [analyze_string db sql] parses and analyzes [sql]. *)
+val analyze_string : Database.t -> string -> analyzed

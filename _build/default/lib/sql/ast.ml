@@ -1,0 +1,94 @@
+(** Abstract syntax of the SQL dialect (before name resolution).
+
+    The dialect covers the constructs the paper's workloads need:
+    SELECT [DISTINCT] [PROVENANCE] with FROM/WHERE/GROUP BY/HAVING/
+    ORDER BY/LIMIT, derived tables, explicit joins, set operations, and
+    all four sublink forms ([EXISTS], [IN]/[NOT IN], [op ANY/SOME],
+    [op ALL], scalar) in any expression position. *)
+
+type binop = Plus | Minus | Times | Div | Mod | Concat
+type cmpop = CEq | CNeq | CLt | CLeq | CGt | CGeq
+type order_dir = OAsc | ODesc
+
+type expr =
+  | ENull
+  | EInt of int
+  | EFloat of float
+  | EString of string
+  | EBool of bool
+  | EColumn of string option * string  (** optional qualifier, column *)
+  | EBinop of binop * expr * expr
+  | ECmp of cmpop * expr * expr
+  | EAnd of expr * expr
+  | EOr of expr * expr
+  | ENot of expr
+  | EIsNull of { negated : bool; arg : expr }
+  | EBetween of { negated : bool; arg : expr; lo : expr; hi : expr }
+  | EInList of { negated : bool; arg : expr; elems : expr list }
+  | ELike of { negated : bool; arg : expr; pattern : string }
+  | ECase of (expr * expr) list * expr option
+  | EFun of { name : string; distinct : bool; star : bool; args : expr list }
+      (** scalar or aggregate call; [star] encodes [count( * )] *)
+  | ESub of sub_kind * select  (** sublink *)
+
+and sub_kind =
+  | SExists of bool  (** negated? *)
+  | SScalar
+  | SIn of expr * bool  (** lhs, negated? *)
+  | SAnyCmp of cmpop * expr
+  | SAllCmp of cmpop * expr
+
+and select_item =
+  | ItemStar  (** [*] *)
+  | ItemQualStar of string  (** [alias.*] *)
+  | ItemExpr of expr * string option  (** expression [AS name] *)
+
+and from_item =
+  | FTable of { table : string; alias : string option }
+  | FSubquery of { sub : select; alias : string }
+  | FJoin of { kind : join_kind; left : from_item; right : from_item; on : expr option }
+
+and join_kind = JInner | JLeft | JCross
+
+and setop_kind = SUnion | SIntersect | SExcept
+
+and select = {
+  sel_provenance : bool;  (** Perm's [SELECT PROVENANCE] marker *)
+  sel_distinct : bool;
+  sel_items : select_item list;
+  sel_from : from_item list;
+  sel_where : expr option;
+  sel_group_by : expr list;
+  sel_having : expr option;
+  sel_order_by : (expr * order_dir) list;
+  sel_limit : int option;
+  sel_setop : (setop_kind * bool (* ALL? *) * select) option;
+      (** trailing set operation: [this UNION [ALL] that] *)
+}
+
+(** Top-level statements: queries plus the small DDL surface used to
+    store and reuse (provenance) results. *)
+type statement =
+  | Stmt_select of select
+  | Stmt_create_view of string * select
+  | Stmt_create_table_as of string * select
+      (** materializes the result at creation time *)
+  | Stmt_drop of string  (** drops a table or view *)
+
+let empty_select =
+  {
+    sel_provenance = false;
+    sel_distinct = false;
+    sel_items = [];
+    sel_from = [];
+    sel_where = None;
+    sel_group_by = [];
+    sel_having = None;
+    sel_order_by = [];
+    sel_limit = None;
+    sel_setop = None;
+  }
+
+(** Structural equality on selects — sublinks compare by structure, so
+    this is usable for parser round-trip tests. *)
+let equal_select (a : select) (b : select) = a = b

@@ -1,0 +1,189 @@
+(** Hand-rolled SQL lexer.
+
+    Handles line comments ([--]), block comments ([/* ... */]),
+    single-quoted strings with [''] escaping, numeric literals, and the
+    multi-character operators [<=], [>=], [<>], [!=] and [||]. Every
+    token carries its source position for error reporting. *)
+
+type positioned = { tok : Token.t; pos : int; line : int; col : int }
+
+exception Lex_error of string * int * int  (** message, line, column *)
+
+let lex_error line col fmt =
+  Format.kasprintf (fun s -> raise (Lex_error (s, line, col))) fmt
+
+type state = {
+  src : string;
+  mutable i : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.i < String.length st.src then Some st.src.[st.i] else None
+
+let peek2 st =
+  if st.i + 1 < String.length st.src then Some st.src.[st.i + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.i <- st.i + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '-' when peek2 st = Some '-' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+      let start_line = st.line and start_col = st.col in
+      advance st;
+      advance st;
+      let rec to_close () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | Some _, _ ->
+            advance st;
+            to_close ()
+        | None, _ -> lex_error start_line start_col "unterminated block comment"
+      in
+      to_close ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_string st =
+  let line = st.line and col = st.col in
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> lex_error line col "unterminated string literal"
+    | Some '\'' when peek2 st = Some '\'' ->
+        Buffer.add_char buf '\'';
+        advance st;
+        advance st;
+        go ()
+    | Some '\'' -> advance st
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  Token.STRING (Buffer.contents buf)
+
+let lex_number st =
+  let line = st.line and col = st.col in
+  let start = st.i in
+  let rec digits () =
+    match peek st with
+    | Some c when is_digit c ->
+        advance st;
+        digits ()
+    | _ -> ()
+  in
+  digits ();
+  let is_float = ref false in
+  (match (peek st, peek2 st) with
+  | Some '.', Some c when is_digit c ->
+      is_float := true;
+      advance st;
+      digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance st;
+      (match peek st with
+      | Some ('+' | '-') -> advance st
+      | _ -> ());
+      digits ()
+  | _ -> ());
+  let text = String.sub st.src start (st.i - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Token.FLOAT f
+    | None -> lex_error line col "invalid numeric literal %S" text
+  else
+    match int_of_string_opt text with
+    | Some i -> Token.INT i
+    | None -> lex_error line col "invalid integer literal %S" text
+
+let lex_word st =
+  let start = st.i in
+  let rec go () =
+    match peek st with
+    | Some c when is_ident_char c ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let text = String.sub st.src start (st.i - start) in
+  let upper = String.uppercase_ascii text in
+  if Token.is_keyword upper then Token.KW upper
+  else Token.IDENT (String.lowercase_ascii text)
+
+let lex_symbol st =
+  let line = st.line and col = st.col in
+  let two a b sym =
+    if peek st = Some a && peek2 st = Some b then begin
+      advance st;
+      advance st;
+      Some (Token.SYM sym)
+    end
+    else None
+  in
+  let candidates =
+    [
+      lazy (two '<' '=' "<=");
+      lazy (two '>' '=' ">=");
+      lazy (two '<' '>' "<>");
+      lazy (two '!' '=' "<>");
+      lazy (two '|' '|' "||");
+    ]
+  in
+  match List.find_map (fun c -> Lazy.force c) candidates with
+  | Some tok -> tok
+  | None -> (
+      match peek st with
+      | Some (('(' | ')' | ',' | '.' | ';' | '*' | '+' | '-' | '/' | '%' | '=' | '<' | '>') as c) ->
+          advance st;
+          Token.SYM (String.make 1 c)
+      | Some c -> lex_error line col "unexpected character %C" c
+      | None -> Token.EOF)
+
+(** [tokenize src] is the token stream of [src], ending with [EOF]. *)
+let tokenize (src : string) : positioned list =
+  let st = { src; i = 0; line = 1; col = 1 } in
+  let rec go acc =
+    skip_trivia st;
+    let pos = st.i and line = st.line and col = st.col in
+    match peek st with
+    | None -> List.rev ({ tok = Token.EOF; pos; line; col } :: acc)
+    | Some '\'' -> go ({ tok = lex_string st; pos; line; col } :: acc)
+    | Some c when is_digit c -> go ({ tok = lex_number st; pos; line; col } :: acc)
+    | Some c when is_ident_start c -> go ({ tok = lex_word st; pos; line; col } :: acc)
+    | Some _ -> go ({ tok = lex_symbol st; pos; line; col } :: acc)
+  in
+  go []

@@ -1,0 +1,10 @@
+(** Hand-rolled SQL lexer: line/block comments, quoted strings with ['']
+    escaping, numeric literals, multi-character operators. *)
+
+type positioned = { tok : Token.t; pos : int; line : int; col : int }
+
+(** Message, line, column. *)
+exception Lex_error of string * int * int
+
+(** [tokenize src] is the token stream of [src], ending with [EOF]. *)
+val tokenize : string -> positioned list

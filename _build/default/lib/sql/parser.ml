@@ -1,0 +1,545 @@
+(** Recursive-descent SQL parser over {!Lexer} tokens.
+
+    Expression precedence (loosest to tightest):
+    OR < AND < NOT < comparison/IS/IN/BETWEEN/LIKE < additive [+ - ||]
+    < multiplicative [* / %] < unary minus < postfix/primary. *)
+
+open Ast
+
+exception Parse_error of string * int * int  (** message, line, column *)
+
+type state = { toks : Lexer.positioned array; mutable pos : int }
+
+let error st fmt =
+  let p = st.toks.(min st.pos (Array.length st.toks - 1)) in
+  Format.kasprintf (fun s -> raise (Parse_error (s, p.Lexer.line, p.Lexer.col))) fmt
+
+let current st = st.toks.(st.pos).Lexer.tok
+let lookahead st n =
+  let i = st.pos + n in
+  if i < Array.length st.toks then st.toks.(i).Lexer.tok else Token.EOF
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let accept_kw st kw =
+  match current st with
+  | Token.KW k when k = kw ->
+      advance st;
+      true
+  | _ -> false
+
+let accept_sym st sym =
+  match current st with
+  | Token.SYM s when s = sym ->
+      advance st;
+      true
+  | _ -> false
+
+let expect_kw st kw =
+  if not (accept_kw st kw) then
+    error st "expected %s, found %s" kw (Token.to_string (current st))
+
+let expect_sym st sym =
+  if not (accept_sym st sym) then
+    error st "expected %S, found %s" sym (Token.to_string (current st))
+
+let expect_ident st what =
+  match current st with
+  | Token.IDENT name ->
+      advance st;
+      name
+  | t -> error st "expected %s, found %s" what (Token.to_string t)
+
+let cmp_of_sym = function
+  | "=" -> Some CEq
+  | "<>" -> Some CNeq
+  | "<" -> Some CLt
+  | "<=" -> Some CLeq
+  | ">" -> Some CGt
+  | ">=" -> Some CGeq
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr st : expr = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if accept_kw st "OR" then EOr (lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if accept_kw st "AND" then EAnd (lhs, parse_and st) else lhs
+
+and parse_not st =
+  if accept_kw st "NOT" then
+    if current st = Token.KW "EXISTS" then begin
+      advance st;
+      expect_sym st "(";
+      let sub = parse_select st in
+      expect_sym st ")";
+      ESub (SExists true, sub)
+    end
+    else ENot (parse_not st)
+  else parse_predicate st
+
+and parse_predicate st =
+  let lhs = parse_additive st in
+  parse_predicate_rest st lhs
+
+and parse_predicate_rest st lhs =
+  match current st with
+  | Token.SYM s when cmp_of_sym s <> None -> (
+      let op = Option.get (cmp_of_sym s) in
+      advance st;
+      match current st with
+      | Token.KW ("ANY" | "SOME") ->
+          advance st;
+          expect_sym st "(";
+          let sub = parse_select st in
+          expect_sym st ")";
+          ESub (SAnyCmp (op, lhs), sub)
+      | Token.KW "ALL" ->
+          advance st;
+          expect_sym st "(";
+          let sub = parse_select st in
+          expect_sym st ")";
+          ESub (SAllCmp (op, lhs), sub)
+      | _ -> ECmp (op, lhs, parse_additive st))
+  | Token.KW "IS" ->
+      advance st;
+      let negated = accept_kw st "NOT" in
+      expect_kw st "NULL";
+      EIsNull { negated; arg = lhs }
+  | Token.KW "BETWEEN" ->
+      advance st;
+      let lo = parse_additive st in
+      expect_kw st "AND";
+      let hi = parse_additive st in
+      EBetween { negated = false; arg = lhs; lo; hi }
+  | Token.KW "IN" -> parse_in st lhs ~negated:false
+  | Token.KW "LIKE" -> parse_like st lhs ~negated:false
+  | Token.KW "NOT" -> (
+      advance st;
+      match current st with
+      | Token.KW "BETWEEN" ->
+          advance st;
+          let lo = parse_additive st in
+          expect_kw st "AND";
+          let hi = parse_additive st in
+          EBetween { negated = true; arg = lhs; lo; hi }
+      | Token.KW "IN" -> parse_in st lhs ~negated:true
+      | Token.KW "LIKE" -> parse_like st lhs ~negated:true
+      | t -> error st "expected BETWEEN, IN or LIKE after NOT, found %s" (Token.to_string t))
+  | _ -> lhs
+
+and parse_in st lhs ~negated =
+  expect_kw st "IN";
+  expect_sym st "(";
+  if current st = Token.KW "SELECT" then begin
+    let sub = parse_select st in
+    expect_sym st ")";
+    ESub (SIn (lhs, negated), sub)
+  end
+  else begin
+    let elems = parse_expr_list st in
+    expect_sym st ")";
+    EInList { negated; arg = lhs; elems }
+  end
+
+and parse_like st lhs ~negated =
+  expect_kw st "LIKE";
+  match current st with
+  | Token.STRING pattern ->
+      advance st;
+      ELike { negated; arg = lhs; pattern }
+  | t -> error st "LIKE requires a string literal pattern, found %s" (Token.to_string t)
+
+and parse_expr_list st =
+  let first = parse_expr st in
+  let rec rest acc =
+    if accept_sym st "," then rest (parse_expr st :: acc) else List.rev acc
+  in
+  rest [ first ]
+
+and parse_additive st =
+  let rec go lhs =
+    match current st with
+    | Token.SYM "+" ->
+        advance st;
+        go (EBinop (Plus, lhs, parse_multiplicative st))
+    | Token.SYM "-" ->
+        advance st;
+        go (EBinop (Minus, lhs, parse_multiplicative st))
+    | Token.SYM "||" ->
+        advance st;
+        go (EBinop (Concat, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec go lhs =
+    match current st with
+    | Token.SYM "*" ->
+        advance st;
+        go (EBinop (Times, lhs, parse_unary st))
+    | Token.SYM "/" ->
+        advance st;
+        go (EBinop (Div, lhs, parse_unary st))
+    | Token.SYM "%" ->
+        advance st;
+        go (EBinop (Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  if accept_sym st "-" then
+    match current st with
+    | Token.INT i ->
+        advance st;
+        EInt (-i)
+    | Token.FLOAT f ->
+        advance st;
+        EFloat (-.f)
+    | _ -> EBinop (Minus, EInt 0, parse_unary st)
+  else parse_primary st
+
+and parse_primary st =
+  match current st with
+  | Token.INT i ->
+      advance st;
+      EInt i
+  | Token.FLOAT f ->
+      advance st;
+      EFloat f
+  | Token.STRING s ->
+      advance st;
+      EString s
+  | Token.KW "NULL" ->
+      advance st;
+      ENull
+  | Token.KW "TRUE" ->
+      advance st;
+      EBool true
+  | Token.KW "FALSE" ->
+      advance st;
+      EBool false
+  | Token.KW "CASE" -> parse_case st
+  | Token.KW "EXISTS" ->
+      advance st;
+      expect_sym st "(";
+      let sub = parse_select st in
+      expect_sym st ")";
+      ESub (SExists false, sub)
+  | Token.SYM "(" ->
+      advance st;
+      if current st = Token.KW "SELECT" then begin
+        let sub = parse_select st in
+        expect_sym st ")";
+        ESub (SScalar, sub)
+      end
+      else begin
+        let e = parse_expr st in
+        expect_sym st ")";
+        e
+      end
+  | Token.IDENT name -> parse_ident_expr st name
+  | t -> error st "unexpected %s in expression" (Token.to_string t)
+
+and parse_case st =
+  expect_kw st "CASE";
+  let rec whens acc =
+    if accept_kw st "WHEN" then begin
+      let c = parse_expr st in
+      expect_kw st "THEN";
+      let e = parse_expr st in
+      whens ((c, e) :: acc)
+    end
+    else List.rev acc
+  in
+  let branches = whens [] in
+  if branches = [] then error st "CASE requires at least one WHEN branch";
+  let els = if accept_kw st "ELSE" then Some (parse_expr st) else None in
+  expect_kw st "END";
+  ECase (branches, els)
+
+and parse_ident_expr st name =
+  advance st;
+  match current st with
+  | Token.SYM "(" ->
+      (* function call *)
+      advance st;
+      let distinct = accept_kw st "DISTINCT" in
+      if accept_sym st "*" then begin
+        expect_sym st ")";
+        EFun { name; distinct; star = true; args = [] }
+      end
+      else if accept_sym st ")" then EFun { name; distinct; star = false; args = [] }
+      else begin
+        let args = parse_expr_list st in
+        expect_sym st ")";
+        EFun { name; distinct; star = false; args }
+      end
+  | Token.SYM "." -> (
+      advance st;
+      match current st with
+      | Token.IDENT col ->
+          advance st;
+          EColumn (Some name, col)
+      | t -> error st "expected column name after %S., found %s" name (Token.to_string t))
+  | _ -> EColumn (None, name)
+
+(* ------------------------------------------------------------------ *)
+(* FROM clause                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and parse_from_item st : from_item =
+  let rec joins lhs =
+    match current st with
+    | Token.KW "JOIN" | Token.KW "INNER" ->
+        ignore (accept_kw st "INNER");
+        expect_kw st "JOIN";
+        let rhs = parse_table_primary st in
+        expect_kw st "ON";
+        let on = parse_expr st in
+        joins (FJoin { kind = JInner; left = lhs; right = rhs; on = Some on })
+    | Token.KW "LEFT" ->
+        advance st;
+        ignore (accept_kw st "OUTER");
+        expect_kw st "JOIN";
+        let rhs = parse_table_primary st in
+        expect_kw st "ON";
+        let on = parse_expr st in
+        joins (FJoin { kind = JLeft; left = lhs; right = rhs; on = Some on })
+    | Token.KW "CROSS" ->
+        advance st;
+        expect_kw st "JOIN";
+        let rhs = parse_table_primary st in
+        joins (FJoin { kind = JCross; left = lhs; right = rhs; on = None })
+    | _ -> lhs
+  in
+  joins (parse_table_primary st)
+
+and parse_table_primary st : from_item =
+  match current st with
+  | Token.SYM "(" ->
+      advance st;
+      if current st = Token.KW "SELECT" then begin
+        let sub = parse_select st in
+        expect_sym st ")";
+        ignore (accept_kw st "AS");
+        let alias = expect_ident st "derived-table alias" in
+        FSubquery { sub; alias }
+      end
+      else begin
+        let item = parse_from_item st in
+        expect_sym st ")";
+        item
+      end
+  | Token.IDENT table ->
+      advance st;
+      let alias =
+        if accept_kw st "AS" then Some (expect_ident st "table alias")
+        else
+          match current st with
+          | Token.IDENT a ->
+              advance st;
+              Some a
+          | _ -> None
+      in
+      FTable { table; alias }
+  | t -> error st "expected a table reference, found %s" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* SELECT                                                               *)
+(* ------------------------------------------------------------------ *)
+
+and parse_select_item st : select_item =
+  match (current st, lookahead st 1, lookahead st 2) with
+  | Token.SYM "*", _, _ ->
+      advance st;
+      ItemStar
+  | Token.IDENT alias, Token.SYM ".", Token.SYM "*" ->
+      advance st;
+      advance st;
+      advance st;
+      ItemQualStar alias
+  | _ ->
+      let e = parse_expr st in
+      let alias =
+        if accept_kw st "AS" then Some (expect_ident st "column alias")
+        else
+          match current st with
+          | Token.IDENT a ->
+              advance st;
+              Some a
+          | _ -> None
+      in
+      ItemExpr (e, alias)
+
+and parse_select st : select =
+  expect_kw st "SELECT";
+  let provenance = accept_kw st "PROVENANCE" in
+  let distinct = accept_kw st "DISTINCT" in
+  ignore (accept_kw st "ALL");
+  let provenance = provenance || accept_kw st "PROVENANCE" in
+  let items =
+    let first = parse_select_item st in
+    let rec rest acc =
+      if accept_sym st "," then rest (parse_select_item st :: acc)
+      else List.rev acc
+    in
+    rest [ first ]
+  in
+  let from =
+    if accept_kw st "FROM" then begin
+      let first = parse_from_item st in
+      let rec rest acc =
+        if accept_sym st "," then rest (parse_from_item st :: acc)
+        else List.rev acc
+      in
+      rest [ first ]
+    end
+    else []
+  in
+  let where = if accept_kw st "WHERE" then Some (parse_expr st) else None in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      parse_expr_list st
+    end
+    else []
+  in
+  let having = if accept_kw st "HAVING" then Some (parse_expr st) else None in
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let one () =
+        let e = parse_expr st in
+        let dir =
+          if accept_kw st "DESC" then ODesc
+          else begin
+            ignore (accept_kw st "ASC");
+            OAsc
+          end
+        in
+        (e, dir)
+      in
+      let first = one () in
+      let rec rest acc = if accept_sym st "," then rest (one () :: acc) else List.rev acc in
+      rest [ first ]
+    end
+    else []
+  in
+  let limit =
+    if accept_kw st "LIMIT" then begin
+      match current st with
+      | Token.INT n ->
+          advance st;
+          Some n
+      | t -> error st "LIMIT requires an integer, found %s" (Token.to_string t)
+    end
+    else None
+  in
+  let setop =
+    match current st with
+    | Token.KW "UNION" ->
+        advance st;
+        let all = accept_kw st "ALL" in
+        Some (SUnion, all, parse_select st)
+    | Token.KW "INTERSECT" ->
+        advance st;
+        let all = accept_kw st "ALL" in
+        Some (SIntersect, all, parse_select st)
+    | Token.KW "EXCEPT" ->
+        advance st;
+        let all = accept_kw st "ALL" in
+        Some (SExcept, all, parse_select st)
+    | _ -> None
+  in
+  {
+    sel_provenance = provenance;
+    sel_distinct = distinct;
+    sel_items = items;
+    sel_from = from;
+    sel_where = where;
+    sel_group_by = group_by;
+    sel_having = having;
+    sel_order_by = order_by;
+    sel_limit = limit;
+    sel_setop = setop;
+  }
+
+and parse_statement_at st : statement =
+  match current st with
+  | Token.KW "CREATE" -> (
+      advance st;
+      match current st with
+      | Token.KW "VIEW" ->
+          advance st;
+          let name = expect_ident st "view name" in
+          expect_kw st "AS";
+          Stmt_create_view (name, parse_select st)
+      | Token.KW "TABLE" ->
+          advance st;
+          let name = expect_ident st "table name" in
+          expect_kw st "AS";
+          Stmt_create_table_as (name, parse_select st)
+      | t -> error st "expected VIEW or TABLE after CREATE, found %s" (Token.to_string t))
+  | Token.KW "DROP" ->
+      advance st;
+      (match current st with
+      | Token.KW ("TABLE" | "VIEW") -> advance st
+      | _ -> ());
+      Stmt_drop (expect_ident st "table or view name")
+  | _ -> Stmt_select (parse_select st)
+
+let finish st =
+  ignore (accept_sym st ";");
+  match current st with
+  | Token.EOF -> ()
+  | t -> error st "trailing input: %s" (Token.to_string t)
+
+let init_state src = { toks = Array.of_list (Lexer.tokenize src); pos = 0 }
+
+(** [parse src] parses a single SELECT (optional trailing [;]). *)
+let parse (src : string) : select =
+  let st = init_state src in
+  let sel = parse_select st in
+  finish st;
+  sel
+
+(** [parse_statement src] parses one statement: a SELECT, CREATE VIEW,
+    CREATE TABLE AS, or DROP. *)
+let parse_statement (src : string) : statement =
+  let st = init_state src in
+  let stmt = parse_statement_at st in
+  finish st;
+  stmt
+
+(** [parse_script src] parses a [;]-separated sequence of statements
+    (the separator is required between statements, optional at the
+    end). Comments and string literals are handled by the lexer, so a
+    [;] inside a string does not split. *)
+let parse_script (src : string) : statement list =
+  let st = init_state src in
+  let rec go acc =
+    if current st = Token.EOF then List.rev acc
+    else begin
+      let stmt = parse_statement_at st in
+      (match current st with
+      | Token.EOF -> ()
+      | Token.SYM ";" ->
+          (* swallow any run of separators *)
+          while accept_sym st ";" do
+            ()
+          done
+      | t -> error st "expected ';' between statements, found %s" (Token.to_string t));
+      go (stmt :: acc)
+    end
+  in
+  go []

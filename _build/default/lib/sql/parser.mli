@@ -1,0 +1,16 @@
+(** Recursive-descent SQL parser over {!Lexer} tokens. *)
+
+(** Raised with a message and the source line/column of the offending
+    token. *)
+exception Parse_error of string * int * int
+
+(** [parse src] parses a single SELECT (optional trailing [;]);
+    trailing input is an error. *)
+val parse : string -> Ast.select
+
+(** [parse_statement src] parses one statement: SELECT, CREATE VIEW,
+    CREATE TABLE ... AS, or DROP [TABLE|VIEW]. *)
+val parse_statement : string -> Ast.statement
+
+(** [parse_script src] parses a [;]-separated statement sequence. *)
+val parse_script : string -> Ast.statement list

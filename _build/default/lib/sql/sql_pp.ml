@@ -1,0 +1,158 @@
+(** Rendering of the SQL AST back to SQL text.
+
+    The output is fully parenthesized canonical SQL that the parser
+    accepts again; the parser round-trip property
+    [parse (print (parse s)) = parse s] is checked by the test suite. *)
+
+open Ast
+
+let binop_str = function
+  | Plus -> "+"
+  | Minus -> "-"
+  | Times -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Concat -> "||"
+
+let cmpop_str = function
+  | CEq -> "="
+  | CNeq -> "<>"
+  | CLt -> "<"
+  | CLeq -> "<="
+  | CGt -> ">"
+  | CGeq -> ">="
+
+let quote_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '\'';
+  String.iter
+    (fun c -> if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '\'';
+  Buffer.contents buf
+
+let float_str f =
+  let s = Printf.sprintf "%.12g" f in
+  if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+
+let rec expr_str (e : expr) : string =
+  match e with
+  | ENull -> "NULL"
+  | EInt i -> if i < 0 then Printf.sprintf "(%d)" i else string_of_int i
+  | EFloat f -> if f < 0. then Printf.sprintf "(%s)" (float_str f) else float_str f
+  | EString s -> quote_string s
+  | EBool b -> if b then "TRUE" else "FALSE"
+  | EColumn (None, c) -> c
+  | EColumn (Some q, c) -> q ^ "." ^ c
+  | EBinop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_str a) (binop_str op) (expr_str b)
+  | ECmp (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_str a) (cmpop_str op) (expr_str b)
+  | EAnd (a, b) -> Printf.sprintf "(%s AND %s)" (expr_str a) (expr_str b)
+  | EOr (a, b) -> Printf.sprintf "(%s OR %s)" (expr_str a) (expr_str b)
+  | ENot a -> Printf.sprintf "(NOT %s)" (expr_str a)
+  | EIsNull { negated; arg } ->
+      Printf.sprintf "(%s IS%s NULL)" (expr_str arg) (if negated then " NOT" else "")
+  | EBetween { negated; arg; lo; hi } ->
+      Printf.sprintf "(%s %sBETWEEN %s AND %s)" (expr_str arg)
+        (if negated then "NOT " else "")
+        (expr_str lo) (expr_str hi)
+  | EInList { negated; arg; elems } ->
+      Printf.sprintf "(%s %sIN (%s))" (expr_str arg)
+        (if negated then "NOT " else "")
+        (String.concat ", " (List.map expr_str elems))
+  | ELike { negated; arg; pattern } ->
+      Printf.sprintf "(%s %sLIKE %s)" (expr_str arg)
+        (if negated then "NOT " else "")
+        (quote_string pattern)
+  | ECase (whens, els) ->
+      let whens_str =
+        String.concat " "
+          (List.map
+             (fun (c, e) -> Printf.sprintf "WHEN %s THEN %s" (expr_str c) (expr_str e))
+             whens)
+      in
+      let else_str =
+        match els with Some e -> " ELSE " ^ expr_str e | None -> ""
+      in
+      Printf.sprintf "CASE %s%s END" whens_str else_str
+  | EFun { name; distinct; star; args } ->
+      if star then Printf.sprintf "%s(*)" name
+      else
+        Printf.sprintf "%s(%s%s)" name
+          (if distinct then "DISTINCT " else "")
+          (String.concat ", " (List.map expr_str args))
+  | ESub (kind, sub) -> (
+      match kind with
+      | SExists negated ->
+          Printf.sprintf "(%sEXISTS (%s))"
+            (if negated then "NOT " else "")
+            (select_str sub)
+      | SScalar -> Printf.sprintf "(%s)" (select_str sub)
+      | SIn (lhs, negated) ->
+          Printf.sprintf "(%s %sIN (%s))" (expr_str lhs)
+            (if negated then "NOT " else "")
+            (select_str sub)
+      | SAnyCmp (op, lhs) ->
+          Printf.sprintf "(%s %s ANY (%s))" (expr_str lhs) (cmpop_str op)
+            (select_str sub)
+      | SAllCmp (op, lhs) ->
+          Printf.sprintf "(%s %s ALL (%s))" (expr_str lhs) (cmpop_str op)
+            (select_str sub))
+
+and select_item_str = function
+  | ItemStar -> "*"
+  | ItemQualStar alias -> alias ^ ".*"
+  | ItemExpr (e, None) -> expr_str e
+  | ItemExpr (e, Some alias) -> Printf.sprintf "%s AS %s" (expr_str e) alias
+
+and from_item_str = function
+  | FTable { table; alias = None } -> table
+  | FTable { table; alias = Some a } -> Printf.sprintf "%s AS %s" table a
+  | FSubquery { sub; alias } -> Printf.sprintf "(%s) AS %s" (select_str sub) alias
+  | FJoin { kind; left; right; on } -> (
+      let l = from_item_str left and r = from_item_str right in
+      match (kind, on) with
+      | JInner, Some c -> Printf.sprintf "%s JOIN %s ON %s" l r (expr_str c)
+      | JLeft, Some c -> Printf.sprintf "%s LEFT JOIN %s ON %s" l r (expr_str c)
+      | JCross, _ -> Printf.sprintf "%s CROSS JOIN %s" l r
+      | (JInner | JLeft), None -> Printf.sprintf "%s CROSS JOIN %s" l r)
+
+and select_str (s : select) : string =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  if s.sel_provenance then Buffer.add_string buf "PROVENANCE ";
+  if s.sel_distinct then Buffer.add_string buf "DISTINCT ";
+  Buffer.add_string buf (String.concat ", " (List.map select_item_str s.sel_items));
+  if s.sel_from <> [] then begin
+    Buffer.add_string buf " FROM ";
+    Buffer.add_string buf (String.concat ", " (List.map from_item_str s.sel_from))
+  end;
+  Option.iter (fun w -> Buffer.add_string buf (" WHERE " ^ expr_str w)) s.sel_where;
+  if s.sel_group_by <> [] then
+    Buffer.add_string buf
+      (" GROUP BY " ^ String.concat ", " (List.map expr_str s.sel_group_by));
+  Option.iter (fun h -> Buffer.add_string buf (" HAVING " ^ expr_str h)) s.sel_having;
+  if s.sel_order_by <> [] then begin
+    let one (e, d) =
+      expr_str e ^ match d with OAsc -> " ASC" | ODesc -> " DESC"
+    in
+    Buffer.add_string buf
+      (" ORDER BY " ^ String.concat ", " (List.map one s.sel_order_by))
+  end;
+  Option.iter (fun n -> Buffer.add_string buf (Printf.sprintf " LIMIT %d" n)) s.sel_limit;
+  (match s.sel_setop with
+  | None -> ()
+  | Some (kind, all, rhs) ->
+      let kw =
+        match kind with
+        | SUnion -> "UNION"
+        | SIntersect -> "INTERSECT"
+        | SExcept -> "EXCEPT"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf " %s%s %s" kw (if all then " ALL" else "") (select_str rhs)));
+  Buffer.contents buf
+
+(** [print sel] is canonical SQL text for [sel]. *)
+let print = select_str

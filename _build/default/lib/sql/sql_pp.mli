@@ -1,0 +1,8 @@
+(** Rendering of the SQL AST back to SQL text; the output parses back to
+    the same AST (round-trip property-tested). *)
+
+val expr_str : Ast.expr -> string
+val select_str : Ast.select -> string
+
+(** [print sel] is canonical SQL text for [sel]. *)
+val print : Ast.select -> string

@@ -1,0 +1,39 @@
+(** Tokens of the SQL dialect. Keywords are case-insensitive and carried
+    uppercase; identifiers are lowercased (PostgreSQL folding). *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string  (** uppercase keyword *)
+  | SYM of string  (** operator / punctuation *)
+  | EOF
+
+(** The reserved words recognized by the lexer. [PROVENANCE] is the Perm
+    language extension that triggers provenance rewriting. *)
+let keywords =
+  [
+    "SELECT"; "DISTINCT"; "ALL"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING";
+    "ORDER"; "LIMIT"; "ASC"; "DESC"; "AS"; "ON"; "JOIN"; "INNER"; "LEFT";
+    "OUTER"; "CROSS"; "AND"; "OR"; "NOT"; "IN"; "EXISTS"; "ANY"; "SOME";
+    "BETWEEN"; "LIKE"; "IS"; "NULL"; "TRUE"; "FALSE"; "CASE"; "WHEN"; "THEN";
+    "ELSE"; "END"; "UNION"; "INTERSECT"; "EXCEPT"; "PROVENANCE";
+    "CREATE"; "VIEW"; "TABLE"; "DROP";
+  ]
+
+let keyword_set : (string, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace tbl k ()) keywords;
+  tbl
+
+let is_keyword upper = Hashtbl.mem keyword_set upper
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | KW k -> Printf.sprintf "keyword %s" k
+  | SYM s -> Printf.sprintf "%S" s
+  | EOF -> "end of input"

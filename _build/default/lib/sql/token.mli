@@ -1,0 +1,19 @@
+(** Tokens of the SQL dialect. Keywords are case-insensitive and carried
+    uppercase; identifiers are lowercased (PostgreSQL folding). *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string  (** uppercase keyword *)
+  | SYM of string  (** operator / punctuation *)
+  | EOF
+
+(** The reserved words, including Perm's [PROVENANCE] extension. *)
+val keywords : string list
+
+val is_keyword : string -> bool
+
+(** Human-readable rendering for error messages. *)
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/synthetic/workload.ml: Algebra Core Database Float List Random Relalg Relation Schema Tuple Value Vtype

@@ -1,0 +1,1 @@
+lib/synthetic/workload.mli: Algebra Core Database Random Relalg Relation Schema

@@ -1,0 +1,30 @@
+(** The synthetic workload of Section 4.2.2: two-integer-column tables
+    with Gaussian values, random fixed-width range predicates, and the
+    templates [q1] (equality ANY) and [q2] (inequality ALL). *)
+
+open Relalg
+
+val table_schema : Schema.t
+
+(** [make_table st ~size] draws a [size]-row Gaussian table. *)
+val make_table : Random.State.t -> size:int -> Relation.t
+
+(** [make_db ?seed ~n1 ~n2 ()]: tables [r1] (selection input) and [r2]
+    (sublink relation). Deterministic in [seed]. *)
+val make_db : ?seed:int -> n1:int -> n2:int -> unit -> Database.t
+
+type instance = {
+  query : Algebra.query;
+  n1 : int;  (** size of the selection input relation *)
+  n2 : int;  (** size of the sublink relation *)
+}
+
+(** [q1 ?seed ~n1 ~n2 ()] instantiates the equality-ANY template. *)
+val q1 : ?seed:int -> n1:int -> n2:int -> unit -> instance
+
+(** [q2 ?seed ~n1 ~n2 ()] instantiates the inequality-ALL template. *)
+val q2 : ?seed:int -> n1:int -> n2:int -> unit -> instance
+
+(** Strategies applicable per template, as in the paper: all four for
+    [q1]; Unn has no rule for [q2]'s ALL-sublink. *)
+val strategies_for : [ `Q1 | `Q2 ] -> Core.Strategy.t list

@@ -1,0 +1,1 @@
+lib/tpch/dates.ml: Printf Random Scanf

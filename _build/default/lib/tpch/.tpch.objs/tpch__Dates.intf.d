@@ -1,0 +1,1 @@
+lib/tpch/dates.mli: Random

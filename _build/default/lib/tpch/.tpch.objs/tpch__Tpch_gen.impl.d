@@ -1,0 +1,1 @@
+lib/tpch/tpch_gen.ml: Array Database Dates Float List Printf Random Relalg Relation Tpch_schema Tpch_text Value

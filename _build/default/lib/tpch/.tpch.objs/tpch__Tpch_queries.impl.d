@@ -1,0 +1,1 @@
+lib/tpch/tpch_queries.ml: Array Dates List Printf Random String Tpch_text

@@ -1,0 +1,1 @@
+lib/tpch/tpch_schema.ml: Relalg Schema Vtype

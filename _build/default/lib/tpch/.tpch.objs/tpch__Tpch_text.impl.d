@@ -1,0 +1,1 @@
+lib/tpch/tpch_text.ml: Array List Random String

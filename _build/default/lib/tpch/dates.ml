@@ -1,0 +1,45 @@
+(** Calendar dates represented as ISO-8601 strings ("YYYY-MM-DD"), so
+    that lexicographic comparison is chronological — the only date
+    operation the TPC-H workload needs besides offsetting, which is done
+    here via civil-day arithmetic (Howard Hinnant's algorithm). *)
+
+(** [days_of_civil ~y ~m ~d] is the number of days since 1970-01-01. *)
+let days_of_civil ~y ~m ~d =
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (m + 9) mod 12 in
+  let doy = (((153 * mp) + 2) / 5) + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+(** Inverse of {!days_of_civil}. *)
+let civil_of_days z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  ((if m <= 2 then y + 1 else y), m, d)
+
+let to_string (y, m, d) = Printf.sprintf "%04d-%02d-%02d" y m d
+
+let of_string s =
+  Scanf.sscanf s "%d-%d-%d" (fun y m d -> (y, m, d))
+
+(** [add_days date n] offsets an ISO date string by [n] days. *)
+let add_days s n =
+  let y, m, d = of_string s in
+  to_string (civil_of_days (days_of_civil ~y ~m ~d + n))
+
+(** [random_date st lo hi] draws a uniform date between the ISO dates
+    [lo] and [hi] (inclusive). *)
+let random_date st lo hi =
+  let ly, lm, ld = of_string lo and hy, hm, hd = of_string hi in
+  let a = days_of_civil ~y:ly ~m:lm ~d:ld in
+  let b = days_of_civil ~y:hy ~m:hm ~d:hd in
+  to_string (civil_of_days (a + Random.State.int st (b - a + 1)))

@@ -1,0 +1,17 @@
+(** Calendar dates as ISO-8601 strings ("YYYY-MM-DD"); lexicographic
+    comparison is chronological. *)
+
+(** Days since 1970-01-01 (civil-day arithmetic). *)
+val days_of_civil : y:int -> m:int -> d:int -> int
+
+(** Inverse of {!days_of_civil}: (year, month, day). *)
+val civil_of_days : int -> int * int * int
+
+val to_string : int * int * int -> string
+val of_string : string -> int * int * int
+
+(** [add_days date n] offsets an ISO date string by [n] days. *)
+val add_days : string -> int -> string
+
+(** [random_date st lo hi] draws a uniform date in [lo, hi]. *)
+val random_date : Random.State.t -> string -> string -> string

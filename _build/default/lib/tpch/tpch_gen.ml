@@ -1,0 +1,208 @@
+(** Deterministic, scaled TPC-H data generator (the dbgen substitute —
+    see DESIGN.md). Cardinality ratios follow the official dbgen
+    (supplier : part : partsupp : customer : orders : lineitem =
+    10k : 200k : 800k : 150k : 1.5M : ~6M per official scale factor);
+    one unit of our scale factor is 1/1000 of an official unit, so
+    [generate ~sf:1.0] yields roughly 8 700 tuples. The same seed always
+    produces the same database. *)
+
+open Relalg
+
+type cardinalities = {
+  suppliers : int;
+  parts : int;
+  customers : int;
+  orders : int;
+}
+
+let cardinalities ~sf =
+  let scale base = max 2 (int_of_float (float_of_int base *. sf)) in
+  {
+    suppliers = scale 10;
+    parts = scale 200;
+    customers = scale 150;
+    orders = scale 1500;
+  }
+
+let iv n = Value.Int n
+let fv f = Value.Float f
+let sv s = Value.String s
+
+let money st lo hi = Float.round ((lo +. Random.State.float st (hi -. lo)) *. 100.) /. 100.
+
+let phone st nationkey =
+  Printf.sprintf "%02d-%03d-%03d-%04d" (10 + nationkey)
+    (100 + Random.State.int st 900)
+    (100 + Random.State.int st 900)
+    (1000 + Random.State.int st 9000)
+
+(** [generate ?seed ~sf ()] builds the eight TPC-H tables at scale [sf]
+    and returns them as a {!Relalg.Database.t}. *)
+let generate ?(seed = 42) ~sf () : Database.t =
+  let st = Random.State.make [| seed; int_of_float (sf *. 1000.) |] in
+  let c = cardinalities ~sf in
+  let db = Database.create () in
+
+  (* region *)
+  let region_rows =
+    List.init (Array.length Tpch_text.regions) (fun k ->
+        [ iv k; sv Tpch_text.regions.(k); sv (Tpch_text.comment st 4) ])
+  in
+  Database.add db "region" (Relation.of_values Tpch_schema.region region_rows);
+
+  (* nation *)
+  let nation_rows =
+    List.init (Array.length Tpch_text.nations) (fun k ->
+        let name, region = Tpch_text.nations.(k) in
+        [ iv k; sv name; iv region; sv (Tpch_text.comment st 4) ])
+  in
+  Database.add db "nation" (Relation.of_values Tpch_schema.nation nation_rows);
+
+  let n_nations = Array.length Tpch_text.nations in
+
+  (* supplier; roughly 1 in 20 suppliers carries the Q16 complaint marker. *)
+  let supplier_rows =
+    List.init c.suppliers (fun k ->
+        let key = k + 1 in
+        let nation = Random.State.int st n_nations in
+        let comment =
+          if Random.State.int st 20 = 0 then
+            Tpch_text.comment st 2 ^ " Customer extra Complaints "
+            ^ Tpch_text.comment st 2
+          else Tpch_text.comment st 5
+        in
+        [
+          iv key;
+          sv (Printf.sprintf "Supplier#%09d" key);
+          sv (Tpch_text.comment st 2);
+          iv nation;
+          sv (phone st nation);
+          fv (money st (-999.99) 9999.99);
+          sv comment;
+        ])
+  in
+  Database.add db "supplier" (Relation.of_values Tpch_schema.supplier supplier_rows);
+
+  (* customer *)
+  let customer_rows =
+    List.init c.customers (fun k ->
+        let key = k + 1 in
+        let nation = Random.State.int st n_nations in
+        [
+          iv key;
+          sv (Printf.sprintf "Customer#%09d" key);
+          sv (Tpch_text.comment st 2);
+          iv nation;
+          sv (phone st nation);
+          fv (money st (-999.99) 9999.99);
+          sv (Tpch_text.pick st Tpch_text.segments);
+          sv (Tpch_text.comment st 5);
+        ])
+  in
+  Database.add db "customer" (Relation.of_values Tpch_schema.customer customer_rows);
+
+  (* part *)
+  let part_rows =
+    List.init c.parts (fun k ->
+        let key = k + 1 in
+        let name =
+          Tpch_text.pick st Tpch_text.colors ^ " " ^ Tpch_text.pick st Tpch_text.colors
+        in
+        let mfgr = 1 + Random.State.int st 5 in
+        let brand = Printf.sprintf "Brand#%d%d" mfgr (1 + Random.State.int st 5) in
+        let ptype =
+          Tpch_text.pick st Tpch_text.type_syllable_1
+          ^ " "
+          ^ Tpch_text.pick st Tpch_text.type_syllable_2
+          ^ " "
+          ^ Tpch_text.pick st Tpch_text.type_syllable_3
+        in
+        [
+          iv key;
+          sv name;
+          sv (Printf.sprintf "Manufacturer#%d" mfgr);
+          sv brand;
+          sv ptype;
+          iv (1 + Random.State.int st 50);
+          sv
+            (Tpch_text.pick st Tpch_text.containers_1
+            ^ " "
+            ^ Tpch_text.pick st Tpch_text.containers_2);
+          fv (money st 900. 2000.);
+          sv (Tpch_text.comment st 3);
+        ])
+  in
+  Database.add db "part" (Relation.of_values Tpch_schema.part part_rows);
+
+  (* partsupp: 4 suppliers per part, distinct suppliers per part. *)
+  let partsupp_rows =
+    List.concat
+      (List.init c.parts (fun k ->
+           let part = k + 1 in
+           List.init (min 4 c.suppliers) (fun j ->
+               let supp = 1 + ((k + (j * (c.suppliers / 4)) + j) mod c.suppliers) in
+               [
+                 iv part;
+                 iv supp;
+                 iv (1 + Random.State.int st 9999);
+                 fv (money st 1. 1000.);
+                 sv (Tpch_text.comment st 4);
+               ])))
+  in
+  Database.add db "partsupp" (Relation.of_values Tpch_schema.partsupp partsupp_rows);
+
+  (* orders *)
+  let order_dates = Array.make (c.orders + 1) "" in
+  let orders_rows =
+    List.init c.orders (fun k ->
+        let key = k + 1 in
+        let date = Dates.random_date st "1992-01-01" "1998-08-02" in
+        order_dates.(key) <- date;
+        [
+          iv key;
+          iv (1 + Random.State.int st c.customers);
+          sv [| "F"; "O"; "P" |].(Random.State.int st 3);
+          fv (money st 1000. 400000.);
+          sv date;
+          sv (Tpch_text.pick st Tpch_text.priorities);
+          sv (Printf.sprintf "Clerk#%09d" (1 + Random.State.int st 1000));
+          iv 0;
+          sv (Tpch_text.comment st 5);
+        ])
+  in
+  Database.add db "orders" (Relation.of_values Tpch_schema.orders orders_rows);
+
+  (* lineitem: 1..7 lines per order (4 on average). *)
+  let lineitem_rows =
+    List.concat
+      (List.init c.orders (fun k ->
+           let okey = k + 1 in
+           let odate = order_dates.(okey) in
+           let nlines = 1 + Random.State.int st 7 in
+           List.init nlines (fun line ->
+               let qty = float_of_int (1 + Random.State.int st 50) in
+               let price = money st 900. 10000. in
+               let ship = Dates.add_days odate (1 + Random.State.int st 121) in
+               let commit = Dates.add_days odate (30 + Random.State.int st 61) in
+               let receipt = Dates.add_days ship (1 + Random.State.int st 30) in
+               [
+                 iv okey;
+                 iv (1 + Random.State.int st c.parts);
+                 iv (1 + Random.State.int st c.suppliers);
+                 iv (line + 1);
+                 fv qty;
+                 fv (Float.round (qty *. price) /. 100.);
+                 fv (float_of_int (Random.State.int st 11) /. 100.);
+                 fv (float_of_int (Random.State.int st 9) /. 100.);
+                 sv [| "R"; "A"; "N" |].(Random.State.int st 3);
+                 sv [| "O"; "F" |].(Random.State.int st 2);
+                 sv ship;
+                 sv commit;
+                 sv receipt;
+                 sv (Tpch_text.pick st Tpch_text.ship_instructs);
+                 sv (Tpch_text.pick st Tpch_text.ship_modes);
+                 sv (Tpch_text.comment st 4);
+               ])))
+  in
+  Database.add db "lineitem" (Relation.of_values Tpch_schema.lineitem lineitem_rows);
+  db

@@ -1,0 +1,19 @@
+(** Deterministic, scaled TPC-H data generator (the dbgen substitute).
+
+    Cardinality ratios follow the official dbgen; one unit of this scale
+    factor is 1/1000 of an official unit ([generate ~sf:1.0] is roughly
+    8 700 tuples). The same seed always produces the same database. *)
+
+type cardinalities = {
+  suppliers : int;
+  parts : int;
+  customers : int;
+  orders : int;
+}
+
+(** Row counts at scale [sf] (region is always 5, nation 25, partsupp
+    [min 4 suppliers] per part, lineitem 1–7 per order). *)
+val cardinalities : sf:float -> cardinalities
+
+(** [generate ?seed ~sf ()] builds the eight TPC-H tables. *)
+val generate : ?seed:int -> sf:float -> unit -> Relalg.Database.t

@@ -1,0 +1,357 @@
+(** The nine TPC-H query templates with sublinks used in the paper's
+    evaluation (Section 4.2.1): Q2, Q4, Q11, Q15, Q16, Q17, Q20, Q21 and
+    Q22. Q11, Q15 and Q16 contain only uncorrelated sublinks and are the
+    ones the Left and Move strategies additionally apply to, exactly as
+    in the paper. [instantiate] substitutes random parameters like the
+    TPC-H qgen (ORDER BY / LIMIT clauses are dropped: the paper measures
+    provenance computation, and LIMIT has no provenance rewrite). *)
+
+type query = {
+  number : int;
+  correlated : bool;  (** does the query contain correlated sublinks? *)
+  sql : string;  (** SQL text, without the PROVENANCE marker *)
+}
+
+let pick st arr = arr.(Random.State.int st (Array.length arr))
+
+let q2 st =
+  let size = 1 + Random.State.int st 50 in
+  let metal = pick st Tpch_text.type_syllable_3 in
+  let region = pick st Tpch_text.regions in
+  Printf.sprintf
+    {|SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment
+FROM part, supplier, partsupp, nation, region
+WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+  AND p_size = %d AND p_type LIKE '%%%s'
+  AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey AND r_name = '%s'
+  AND ps_supplycost = (SELECT min(ps_supplycost)
+                       FROM partsupp, supplier, nation, region
+                       WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+                         AND s_nationkey = n_nationkey
+                         AND n_regionkey = r_regionkey AND r_name = '%s')|}
+    size metal region region
+
+let q4 st =
+  let d1 = Printf.sprintf "%d-%02d-01" (1993 + Random.State.int st 5) (1 + Random.State.int st 10) in
+  let d2 = Dates.add_days d1 90 in
+  Printf.sprintf
+    {|SELECT o_orderpriority, count(*) AS order_count
+FROM orders
+WHERE o_orderdate >= '%s' AND o_orderdate < '%s'
+  AND EXISTS (SELECT * FROM lineitem
+              WHERE l_orderkey = o_orderkey AND l_commitdate < l_receiptdate)
+GROUP BY o_orderpriority|}
+    d1 d2
+
+let q11 st =
+  let nation = fst (pick st Tpch_text.nations) in
+  let fraction = 0.01 in
+  Printf.sprintf
+    {|SELECT ps_partkey, sum(ps_supplycost * ps_availqty) AS value
+FROM partsupp, supplier, nation
+WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_name = '%s'
+GROUP BY ps_partkey
+HAVING sum(ps_supplycost * ps_availqty) >
+       (SELECT sum(ps_supplycost * ps_availqty) * %f
+        FROM partsupp, supplier, nation
+        WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_name = '%s')|}
+    nation fraction nation
+
+let q15 st =
+  let d1 = Printf.sprintf "%d-%02d-01" (1993 + Random.State.int st 4) (1 + Random.State.int st 10) in
+  let d2 = Dates.add_days d1 90 in
+  let revenue alias =
+    Printf.sprintf
+      {|(SELECT l_suppkey AS supplier_no, sum(l_extendedprice * (1 - l_discount)) AS total_revenue
+   FROM lineitem WHERE l_shipdate >= '%s' AND l_shipdate < '%s'
+   GROUP BY l_suppkey) AS %s|}
+      d1 d2 alias
+  in
+  Printf.sprintf
+    {|SELECT s_suppkey, s_name, s_address, s_phone, total_revenue
+FROM supplier, %s
+WHERE s_suppkey = supplier_no
+  AND total_revenue = (SELECT max(total_revenue) FROM %s)|}
+    (revenue "revenue") (revenue "revenue_copy")
+
+let q16 st =
+  let mfgr = 1 + Random.State.int st 5 in
+  let brand = Printf.sprintf "Brand#%d%d" mfgr (1 + Random.State.int st 5) in
+  let prefix =
+    pick st Tpch_text.type_syllable_1 ^ " " ^ pick st Tpch_text.type_syllable_2
+  in
+  let sizes =
+    let rec draw acc =
+      if List.length acc >= 8 then acc
+      else
+        let s = 1 + Random.State.int st 50 in
+        if List.mem s acc then draw acc else draw (s :: acc)
+    in
+    draw []
+  in
+  Printf.sprintf
+    {|SELECT p_brand, p_type, p_size, count(DISTINCT ps_suppkey) AS supplier_cnt
+FROM partsupp, part
+WHERE p_partkey = ps_partkey
+  AND p_brand <> '%s' AND p_type NOT LIKE '%s%%'
+  AND p_size IN (%s)
+  AND ps_suppkey NOT IN (SELECT s_suppkey FROM supplier
+                         WHERE s_comment LIKE '%%Customer%%Complaints%%')
+GROUP BY p_brand, p_type, p_size|}
+    brand prefix
+    (String.concat ", " (List.map string_of_int sizes))
+
+let q17 st =
+  let mfgr = 1 + Random.State.int st 5 in
+  let brand = Printf.sprintf "Brand#%d%d" mfgr (1 + Random.State.int st 5) in
+  let container =
+    pick st Tpch_text.containers_1 ^ " " ^ pick st Tpch_text.containers_2
+  in
+  Printf.sprintf
+    {|SELECT sum(l_extendedprice) / 7.0 AS avg_yearly
+FROM lineitem, part
+WHERE p_partkey = l_partkey AND p_brand = '%s' AND p_container = '%s'
+  AND l_quantity < (SELECT 0.2 * avg(l_quantity) FROM lineitem
+                    WHERE l_partkey = p_partkey)|}
+    brand container
+
+let q20 st =
+  let color = pick st Tpch_text.colors in
+  let nation = fst (pick st Tpch_text.nations) in
+  let d1 = Printf.sprintf "%d-01-01" (1993 + Random.State.int st 5) in
+  let d2 = Dates.add_days d1 365 in
+  Printf.sprintf
+    {|SELECT s_name, s_address
+FROM supplier, nation
+WHERE s_suppkey IN
+      (SELECT ps_suppkey FROM partsupp
+       WHERE ps_partkey IN (SELECT p_partkey FROM part WHERE p_name LIKE '%s%%')
+         AND ps_availqty > (SELECT 0.5 * sum(l_quantity) FROM lineitem
+                            WHERE l_partkey = ps_partkey AND l_suppkey = ps_suppkey
+                              AND l_shipdate >= '%s' AND l_shipdate < '%s'))
+  AND s_nationkey = n_nationkey AND n_name = '%s'|}
+    color d1 d2 nation
+
+let q21 st =
+  let nation = fst (pick st Tpch_text.nations) in
+  Printf.sprintf
+    {|SELECT s_name, count(*) AS numwait
+FROM supplier, lineitem AS l1, orders, nation
+WHERE s_suppkey = l1.l_suppkey AND o_orderkey = l1.l_orderkey
+  AND o_orderstatus = 'F' AND l1.l_receiptdate > l1.l_commitdate
+  AND EXISTS (SELECT * FROM lineitem AS l2
+              WHERE l2.l_orderkey = l1.l_orderkey AND l2.l_suppkey <> l1.l_suppkey)
+  AND NOT EXISTS (SELECT * FROM lineitem AS l3
+                  WHERE l3.l_orderkey = l1.l_orderkey AND l3.l_suppkey <> l1.l_suppkey
+                    AND l3.l_receiptdate > l3.l_commitdate)
+  AND s_nationkey = n_nationkey AND n_name = '%s'
+GROUP BY s_name|}
+    nation
+
+let q22 st =
+  let codes =
+    let rec draw acc =
+      if List.length acc >= 7 then acc
+      else
+        let c = Printf.sprintf "%d" (10 + Random.State.int st 25) in
+        if List.mem c acc then draw acc else draw (c :: acc)
+    in
+    draw []
+  in
+  let code_list = String.concat ", " (List.map (Printf.sprintf "'%s'") codes) in
+  Printf.sprintf
+    {|SELECT cntrycode, count(*) AS numcust, sum(c_acctbal) AS totacctbal
+FROM (SELECT substring(c_phone, 1, 2) AS cntrycode, c_acctbal
+      FROM customer
+      WHERE substring(c_phone, 1, 2) IN (%s)
+        AND c_acctbal > (SELECT avg(c_acctbal) FROM customer
+                         WHERE c_acctbal > 0.0 AND substring(c_phone, 1, 2) IN (%s))
+        AND NOT EXISTS (SELECT * FROM orders WHERE o_custkey = c_custkey)) AS custsale
+GROUP BY cntrycode|}
+    code_list code_list
+
+(** Query numbers with sublinks, in the paper's order. *)
+let numbers = [ 2; 4; 11; 15; 16; 17; 20; 21; 22 ]
+
+(** The three uncorrelated queries of the paper (Left/Move applicable). *)
+let uncorrelated_numbers = [ 11; 15; 16 ]
+
+(** [instantiate ?seed n] draws one random parameterization of query
+    [n], like the TPC-H qgen. *)
+let instantiate ?(seed = 7) n : query =
+  let st = Random.State.make [| seed; n |] in
+  let sql =
+    match n with
+    | 2 -> q2 st
+    | 4 -> q4 st
+    | 11 -> q11 st
+    | 15 -> q15 st
+    | 16 -> q16 st
+    | 17 -> q17 st
+    | 20 -> q20 st
+    | 21 -> q21 st
+    | 22 -> q22 st
+    | _ -> invalid_arg (Printf.sprintf "TPC-H query %d is not a sublink query" n)
+  in
+  { number = n; correlated = not (List.mem n uncorrelated_numbers); sql }
+
+(** [with_provenance q] marks the query for provenance rewriting. *)
+let with_provenance (q : query) : string =
+  (* insert PROVENANCE after the first SELECT *)
+  let prefix = "SELECT" in
+  let len = String.length prefix in
+  if String.length q.sql >= len && String.sub q.sql 0 len = prefix then
+    prefix ^ " PROVENANCE" ^ String.sub q.sql len (String.length q.sql - len)
+  else invalid_arg "query does not start with SELECT"
+
+(* ------------------------------------------------------------------ *)
+(* Standard (sublink-free) TPC-H queries                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Beyond the paper's evaluation set: eight classic TPC-H queries
+   without sublinks, used as integration tests of the SQL subset and of
+   the standard provenance rewrite rules (R1-R5) at realistic query
+   complexity. *)
+
+let q1 st =
+  let delta = 60 + Random.State.int st 60 in
+  let cutoff = Dates.add_days "1998-12-01" (-delta) in
+  Printf.sprintf
+    {|SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty,
+       sum(l_extendedprice) AS sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       avg(l_quantity) AS avg_qty, avg(l_extendedprice) AS avg_price,
+       avg(l_discount) AS avg_disc, count(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= '%s'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus|}
+    cutoff
+
+let q3 st =
+  let segment = pick st Tpch_text.segments in
+  let date = Printf.sprintf "1995-03-%02d" (1 + Random.State.int st 28) in
+  Printf.sprintf
+    {|SELECT l_orderkey, sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = '%s' AND c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND o_orderdate < '%s' AND l_shipdate > '%s'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate|}
+    segment date date
+
+let q5 st =
+  let region = pick st Tpch_text.regions in
+  let d1 = Printf.sprintf "%d-01-01" (1993 + Random.State.int st 5) in
+  let d2 = Dates.add_days d1 365 in
+  Printf.sprintf
+    {|SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey AND r_name = '%s'
+  AND o_orderdate >= '%s' AND o_orderdate < '%s'
+GROUP BY n_name
+ORDER BY revenue DESC|}
+    region d1 d2
+
+let q6 st =
+  let d1 = Printf.sprintf "%d-01-01" (1993 + Random.State.int st 5) in
+  let d2 = Dates.add_days d1 365 in
+  let disc = float_of_int (2 + Random.State.int st 7) /. 100. in
+  let qty = 24 + Random.State.int st 2 in
+  Printf.sprintf
+    {|SELECT sum(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= '%s' AND l_shipdate < '%s'
+  AND l_discount BETWEEN %f AND %f AND l_quantity < %d|}
+    d1 d2 (disc -. 0.01) (disc +. 0.01) qty
+
+let q10 st =
+  let d1 =
+    Printf.sprintf "%d-%02d-01" (1993 + Random.State.int st 2)
+      (1 + Random.State.int st 10)
+  in
+  let d2 = Dates.add_days d1 90 in
+  Printf.sprintf
+    {|SELECT c_custkey, c_name, sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name, c_address, c_phone, c_comment
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND o_orderdate >= '%s' AND o_orderdate < '%s'
+  AND l_returnflag = 'R' AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+ORDER BY revenue DESC|}
+    d1 d2
+
+let q12 st =
+  let m1 = pick st Tpch_text.ship_modes in
+  let m2 = pick st Tpch_text.ship_modes in
+  let d1 = Printf.sprintf "%d-01-01" (1993 + Random.State.int st 5) in
+  let d2 = Dates.add_days d1 365 in
+  Printf.sprintf
+    {|SELECT l_shipmode,
+       sum(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+                THEN 1 ELSE 0 END) AS high_line_count,
+       sum(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH'
+                THEN 1 ELSE 0 END) AS low_line_count
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey AND l_shipmode IN ('%s', '%s')
+  AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
+  AND l_receiptdate >= '%s' AND l_receiptdate < '%s'
+GROUP BY l_shipmode
+ORDER BY l_shipmode|}
+    m1 m2 d1 d2
+
+let q14 st =
+  let d1 =
+    Printf.sprintf "%d-%02d-01" (1993 + Random.State.int st 5)
+      (1 + Random.State.int st 12)
+  in
+  let d2 = Dates.add_days d1 30 in
+  Printf.sprintf
+    {|SELECT 100.0 * sum(CASE WHEN p_type LIKE 'PROMO%%'
+                              THEN l_extendedprice * (1 - l_discount)
+                              ELSE 0.0 END)
+         / sum(l_extendedprice * (1 - l_discount)) AS promo_revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey AND l_shipdate >= '%s' AND l_shipdate < '%s'|}
+    d1 d2
+
+let q19 st =
+  let brand k = Printf.sprintf "Brand#%d%d" (1 + Random.State.int st 5) k in
+  let b1 = brand (1 + Random.State.int st 5) and b2 = brand (1 + Random.State.int st 5) in
+  Printf.sprintf
+    {|SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM lineitem, part
+WHERE (p_partkey = l_partkey AND p_brand = '%s'
+       AND l_quantity BETWEEN 1 AND 11 AND p_size BETWEEN 1 AND 5
+       AND l_shipmode IN ('AIR', 'REG AIR'))
+   OR (p_partkey = l_partkey AND p_brand = '%s'
+       AND l_quantity BETWEEN 10 AND 20 AND p_size BETWEEN 1 AND 10
+       AND l_shipmode IN ('AIR', 'REG AIR'))|}
+    b1 b2
+
+(** Sublink-free TPC-H queries included beyond the paper's evaluation
+    set, as integration coverage for the SQL subset. *)
+let standard_numbers = [ 1; 3; 5; 6; 10; 12; 14; 19 ]
+
+(** [instantiate_standard ?seed n] draws one parameterization of a
+    sublink-free query from {!standard_numbers}. *)
+let instantiate_standard ?(seed = 7) n : query =
+  let st = Random.State.make [| seed; 1000 + n |] in
+  let sql =
+    match n with
+    | 1 -> q1 st
+    | 3 -> q3 st
+    | 5 -> q5 st
+    | 6 -> q6 st
+    | 10 -> q10 st
+    | 12 -> q12 st
+    | 14 -> q14 st
+    | 19 -> q19 st
+    | _ -> invalid_arg (Printf.sprintf "TPC-H query %d is not in the standard set" n)
+  in
+  { number = n; correlated = false; sql }

@@ -1,0 +1,30 @@
+(** The nine TPC-H sublink query templates of the paper's evaluation
+    (Q2, Q4, Q11, Q15, Q16, Q17, Q20, Q21, Q22), with qgen-style random
+    parameter instantiation. *)
+
+type query = {
+  number : int;
+  correlated : bool;  (** contains correlated sublinks? *)
+  sql : string;  (** SQL text, without the PROVENANCE marker *)
+}
+
+(** Query numbers with sublinks, in the paper's order. *)
+val numbers : int list
+
+(** The three uncorrelated queries (Left/Move applicable): 11, 15, 16. *)
+val uncorrelated_numbers : int list
+
+(** [instantiate ?seed n] draws one random parameterization of query
+    [n]; raises [Invalid_argument] for other numbers. *)
+val instantiate : ?seed:int -> int -> query
+
+(** [with_provenance q] inserts the PROVENANCE marker. *)
+val with_provenance : query -> string
+
+(** Sublink-free TPC-H queries included beyond the paper's evaluation
+    set (Q1, Q3, Q5, Q6, Q10, Q12, Q14, Q19). *)
+val standard_numbers : int list
+
+(** [instantiate_standard ?seed n] draws one parameterization of a
+    query from {!standard_numbers}. *)
+val instantiate_standard : ?seed:int -> int -> query

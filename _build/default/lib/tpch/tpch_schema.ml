@@ -1,0 +1,79 @@
+(** Schemas of the eight TPC-H tables (full column sets of the
+    specification; dates are ISO strings, money/quantities floats). *)
+
+open Relalg
+
+let a name ty = Schema.attr name ty
+let int_ = Vtype.TInt
+let float_ = Vtype.TFloat
+let string_ = Vtype.TString
+
+let region =
+  Schema.of_list
+    [ a "r_regionkey" int_; a "r_name" string_; a "r_comment" string_ ]
+
+let nation =
+  Schema.of_list
+    [
+      a "n_nationkey" int_; a "n_name" string_; a "n_regionkey" int_;
+      a "n_comment" string_;
+    ]
+
+let supplier =
+  Schema.of_list
+    [
+      a "s_suppkey" int_; a "s_name" string_; a "s_address" string_;
+      a "s_nationkey" int_; a "s_phone" string_; a "s_acctbal" float_;
+      a "s_comment" string_;
+    ]
+
+let customer =
+  Schema.of_list
+    [
+      a "c_custkey" int_; a "c_name" string_; a "c_address" string_;
+      a "c_nationkey" int_; a "c_phone" string_; a "c_acctbal" float_;
+      a "c_mktsegment" string_; a "c_comment" string_;
+    ]
+
+let part =
+  Schema.of_list
+    [
+      a "p_partkey" int_; a "p_name" string_; a "p_mfgr" string_;
+      a "p_brand" string_; a "p_type" string_; a "p_size" int_;
+      a "p_container" string_; a "p_retailprice" float_; a "p_comment" string_;
+    ]
+
+let partsupp =
+  Schema.of_list
+    [
+      a "ps_partkey" int_; a "ps_suppkey" int_; a "ps_availqty" int_;
+      a "ps_supplycost" float_; a "ps_comment" string_;
+    ]
+
+let orders =
+  Schema.of_list
+    [
+      a "o_orderkey" int_; a "o_custkey" int_; a "o_orderstatus" string_;
+      a "o_totalprice" float_; a "o_orderdate" string_;
+      a "o_orderpriority" string_; a "o_clerk" string_; a "o_shippriority" int_;
+      a "o_comment" string_;
+    ]
+
+let lineitem =
+  Schema.of_list
+    [
+      a "l_orderkey" int_; a "l_partkey" int_; a "l_suppkey" int_;
+      a "l_linenumber" int_; a "l_quantity" float_; a "l_extendedprice" float_;
+      a "l_discount" float_; a "l_tax" float_; a "l_returnflag" string_;
+      a "l_linestatus" string_; a "l_shipdate" string_; a "l_commitdate" string_;
+      a "l_receiptdate" string_; a "l_shipinstruct" string_;
+      a "l_shipmode" string_; a "l_comment" string_;
+    ]
+
+(** All tables in generation order (parents before children). *)
+let all =
+  [
+    ("region", region); ("nation", nation); ("supplier", supplier);
+    ("customer", customer); ("part", part); ("partsupp", partsupp);
+    ("orders", orders); ("lineitem", lineitem);
+  ]

@@ -1,0 +1,16 @@
+(** Schemas of the eight TPC-H tables (full column sets; dates as ISO
+    strings, money/quantities as floats). *)
+
+open Relalg
+
+val region : Schema.t
+val nation : Schema.t
+val supplier : Schema.t
+val customer : Schema.t
+val part : Schema.t
+val partsupp : Schema.t
+val orders : Schema.t
+val lineitem : Schema.t
+
+(** All tables in generation order (parents before children). *)
+val all : (string * Schema.t) list

@@ -1,0 +1,62 @@
+(** Word lists for the TPC-H text columns, following the value domains
+    of the official dbgen (Clause 4.2.2.13 of the specification),
+    trimmed where the full list is irrelevant to the workload. *)
+
+let regions = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+(* nation name, region index — the official 25 nations. *)
+let nations =
+  [|
+    ("ALGERIA", 0); ("ARGENTINA", 1); ("BRAZIL", 1); ("CANADA", 1);
+    ("EGYPT", 4); ("ETHIOPIA", 0); ("FRANCE", 3); ("GERMANY", 3);
+    ("INDIA", 2); ("INDONESIA", 2); ("IRAN", 4); ("IRAQ", 4);
+    ("JAPAN", 2); ("JORDAN", 4); ("KENYA", 0); ("MOROCCO", 0);
+    ("MOZAMBIQUE", 0); ("PERU", 1); ("CHINA", 2); ("ROMANIA", 3);
+    ("SAUDI ARABIA", 4); ("VIETNAM", 2); ("RUSSIA", 3);
+    ("UNITED KINGDOM", 3); ("UNITED STATES", 1);
+  |]
+
+let colors =
+  [|
+    "almond"; "antique"; "aquamarine"; "azure"; "beige"; "bisque"; "black";
+    "blanched"; "blue"; "blush"; "brown"; "burlywood"; "burnished"; "chartreuse";
+    "chiffon"; "chocolate"; "coral"; "cornflower"; "cornsilk"; "cream"; "cyan";
+    "dark"; "deep"; "dim"; "dodger"; "drab"; "firebrick"; "floral"; "forest";
+    "frosted"; "gainsboro"; "ghost"; "goldenrod"; "green"; "grey"; "honeydew";
+    "hot"; "indian"; "ivory"; "khaki"; "lace"; "lavender"; "lawn"; "lemon";
+    "light"; "lime"; "linen"; "magenta"; "maroon"; "medium"; "metallic"; "midnight";
+    "mint"; "misty"; "moccasin"; "navajo"; "navy"; "olive"; "orange"; "orchid";
+    "pale"; "papaya"; "peach"; "peru"; "pink"; "plum"; "powder"; "puff"; "purple";
+    "red"; "rose"; "rosy"; "royal"; "saddle"; "salmon"; "sandy"; "seashell";
+    "sienna"; "sky"; "slate"; "smoke"; "snow"; "spring"; "steel"; "tan"; "thistle";
+    "tomato"; "turquoise"; "violet"; "wheat"; "white"; "yellow";
+  |]
+
+let type_syllable_1 = [| "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" |]
+let type_syllable_2 = [| "ANODIZED"; "BURNISHED"; "PLATED"; "POLISHED"; "BRUSHED" |]
+let type_syllable_3 = [| "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" |]
+
+let containers_1 = [| "SM"; "LG"; "MED"; "JUMBO"; "WRAP" |]
+let containers_2 = [| "CASE"; "BOX"; "BAG"; "JAR"; "PKG"; "PACK"; "CAN"; "DRUM" |]
+
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+
+let ship_instructs = [| "DELIVER IN PERSON"; "COLLECT COD"; "NONE"; "TAKE BACK RETURN" |]
+let ship_modes = [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+
+let comment_words =
+  [|
+    "carefully"; "quickly"; "furiously"; "slyly"; "blithely"; "ironic"; "final";
+    "regular"; "express"; "special"; "pending"; "bold"; "even"; "silent";
+    "requests"; "deposits"; "packages"; "accounts"; "instructions"; "theodolites";
+    "pinto"; "beans"; "foxes"; "dependencies"; "platelets"; "realms"; "courts";
+    "sleep"; "wake"; "nag"; "haggle"; "cajole"; "detect"; "integrate"; "boost";
+  |]
+
+let pick st (arr : string array) = arr.(Random.State.int st (Array.length arr))
+
+(** A short pseudo-comment of [n] words. *)
+let comment st n =
+  String.concat " " (List.init n (fun _ -> pick st comment_words))

@@ -1,0 +1,1 @@
+test/test_advisor.ml: Advisor Alcotest Algebra Analysis Core Database Eval Float List Optimizer Perm QCheck QCheck_alcotest Relalg Relation Rewrite Schema Str Strategy String Synthetic Value Vtype

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Algebra Core Database Eval List Optimizer Oracle Perm Pp Pschema QCheck QCheck_alcotest Relalg Relation Rewrite Schema Strategy String Tuple Typecheck Value Vtype

@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Algebra Analyzer Ast Builtin Csv Database Eval List Parser QCheck QCheck_alcotest Relalg Relation Schema Sql_frontend Sql_pp String Tuple Value Vtype

@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Algebra Core Database Eval List Oracle Perm Pschema Relalg Relation Rewrite Schema Sql_frontend Strategy Tuple Typecheck Value Vtype

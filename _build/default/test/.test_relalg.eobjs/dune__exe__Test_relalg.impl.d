@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Algebra Builtin Database Eval Gen List Optimizer Pp Printf QCheck QCheck_alcotest Relalg Relation Schema Simplify String Tuple Typecheck Value Vtype

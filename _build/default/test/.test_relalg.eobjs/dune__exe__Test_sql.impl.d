@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Analyzer Ast Database Eval Lexer List Parser Relalg Relation Schema Sql_frontend Sql_pp Token Tuple Typecheck Value Vtype

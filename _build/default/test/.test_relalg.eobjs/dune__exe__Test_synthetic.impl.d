@@ -1,0 +1,1 @@
+test/test_synthetic.ml: Alcotest Core Database Eval List Oracle Perm Relalg Relation Schema Synthetic Tuple Value Workload

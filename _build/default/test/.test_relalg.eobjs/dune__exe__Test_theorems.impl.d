@@ -1,0 +1,1 @@
+test/test_theorems.ml: Alcotest Algebra Core Database Eval Hashtbl List Perm Printf QCheck QCheck_alcotest Relalg Relation Schema Str Strategy String Tuple Value Vtype

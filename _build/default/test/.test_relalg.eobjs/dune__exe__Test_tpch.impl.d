@@ -1,0 +1,1 @@
+test/test_tpch.ml: Alcotest Algebra Core Database Dates Eval Hashtbl Lazy List Perm Printexc Printf Pschema Relalg Relation Schema Strategy Tpch Tpch_gen Tpch_queries Tpch_schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_views_unn.ml: Alcotest Algebra Core Database List Perm Pp Relalg Relation Rewrite Schema Sql_frontend Str Strategy Tpch Tuple Value Vtype

