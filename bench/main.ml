@@ -11,6 +11,7 @@
      dune exec bench/main.exe                 -- quick run of everything
      dune exec bench/main.exe -- fig6 --instances 3 --timeout 10
      dune exec bench/main.exe -- fig7 --full
+     dune exec bench/main.exe -- fig7 --engine both --sizes 10,1000,20000
      dune exec bench/main.exe -- bechamel     -- statistically sampled
                                                  micro-benchmarks
 
@@ -19,7 +20,14 @@
    exceed the timeout are reported as "t/o" and excluded, mirroring the
    paper's exclusion of >6h runs. A static size guard skips Gen runs
    whose CrossBase would exceed a tuple budget instead of thrashing
-   memory (reported as "excl"). *)
+   memory (reported as "excl").
+
+   --engine selects the execution engine (compiled closures, the
+   reference tree walker, or both side by side). Every measured cell is
+   also appended to a machine-readable JSON report (BENCH_eval.json by
+   default, --json to override) together with the engine's
+   EXPLAIN-ANALYZE-style counters, which travel back from the forked
+   child over the result pipe. *)
 
 open Relalg
 open Core
@@ -30,7 +38,13 @@ open Core
 
 type outcome = Time of float | Timeout | Failed of string | Excluded
 
-let run_child ~timeout (f : unit -> unit) : outcome =
+(* [f] runs in the forked child in two stages: applied to [()] it does
+   untimed setup (database generation) and returns the work thunk; the
+   thunk is what the clock measures. The thunk returns the engine's
+   execution counters, which the child serializes after the elapsed
+   time: "ok <dt> <6 counters>". *)
+let run_child ~timeout (f : unit -> unit -> Eval.stats) :
+    outcome * Eval.stats option =
   (* flush before forking so the child does not replay buffered output *)
   flush stdout;
   flush stderr;
@@ -40,10 +54,21 @@ let run_child ~timeout (f : unit -> unit) : outcome =
       Unix.close rd;
       let oc = Unix.out_channel_of_descr wr in
       (try
+         let work = f () in
+         (* one untimed warm-up execution: the first run in the fresh
+            child pays heap growth and page faults proportional to the
+            result size, the same for every engine; compacting afterwards
+            keeps the warm-up's garbage from being swept inside the timed
+            region, which then reports steady-state evaluator cost *)
+         ignore (work ());
+         Gc.compact ();
          let t0 = Unix.gettimeofday () in
-         f ();
+         let st = work () in
          let dt = Unix.gettimeofday () -. t0 in
-         output_string oc (Printf.sprintf "ok %.6f\n" dt)
+         output_string oc
+           (Printf.sprintf "ok %.6f %d %d %d %d %d %d\n" dt st.Eval.st_hash_joins
+              st.st_nested_loop_joins st.st_nested_pairs st.st_sublink_evals
+              st.st_sublink_hits st.st_rows_emitted)
        with e -> output_string oc (Printf.sprintf "err %s\n" (Printexc.to_string e)));
       flush oc;
       Stdlib.exit 0
@@ -54,7 +79,7 @@ let run_child ~timeout (f : unit -> unit) : outcome =
         Unix.kill pid Sys.sigkill;
         ignore (Unix.waitpid [] pid);
         Unix.close rd;
-        Timeout
+        (Timeout, None)
       end
       else begin
         let ic = Unix.in_channel_of_descr rd in
@@ -62,28 +87,152 @@ let run_child ~timeout (f : unit -> unit) : outcome =
         ignore (Unix.waitpid [] pid);
         close_in ic;
         match String.split_on_char ' ' line with
-        | "ok" :: t :: _ -> Time (float_of_string t)
-        | "err" :: rest -> Failed (String.concat " " rest)
-        | _ -> Failed line
+        | "ok" :: t :: rest ->
+            let stats =
+              match List.map int_of_string_opt rest with
+              | [ Some a; Some b; Some c; Some d; Some e; Some f ] ->
+                  Some
+                    {
+                      Eval.st_hash_joins = a;
+                      st_nested_loop_joins = b;
+                      st_nested_pairs = c;
+                      st_sublink_evals = d;
+                      st_sublink_hits = e;
+                      st_rows_emitted = f;
+                    }
+              | _ -> None
+            in
+            (Time (float_of_string t), stats)
+        | "err" :: rest -> (Failed (String.concat " " rest), None)
+        | _ -> (Failed line, None)
       end)
 
 (* Average [instances] timed runs; a timeout or failure on the first run
-   short-circuits. *)
-let measure ~timeout ~instances (mk : int -> unit -> unit) : outcome =
-  let rec go k acc =
-    if k >= instances then Time (acc /. float_of_int instances)
+   short-circuits. Counters are reported from the first run. *)
+let measure ~timeout ~instances (mk : int -> unit -> unit -> Eval.stats) :
+    outcome * Eval.stats option =
+  let rec go k acc stats =
+    if k >= instances then (Time (acc /. float_of_int instances), stats)
     else
       match run_child ~timeout (mk k) with
-      | Time t -> go (k + 1) (acc +. t)
+      | Time t, st -> go (k + 1) (acc +. t) (if k = 0 then st else stats)
       | other -> other
   in
-  go 0 0.
+  go 0 0. None
 
 let outcome_to_string = function
   | Time t -> Printf.sprintf "%.4f" t
   | Timeout -> "t/o"
   | Failed _ -> "err"
   | Excluded -> "excl"
+
+(* Rewrite + typecheck + optimize + evaluate with counters — the same
+   pipeline as [Perm.run_query], but keeping the stats. Runs on the
+   engine currently selected by [Eval.default_engine]. *)
+let run_with_stats db ~strategy ~provenance q : Eval.stats =
+  if provenance then begin
+    let q_plus, _ = Perm.rewrite db ~strategy q in
+    Typecheck.check db q_plus;
+    let plan = Optimizer.optimize db q_plus in
+    snd (Eval.query_stats db plan)
+  end
+  else begin
+    let plan = Optimizer.optimize db q in
+    snd (Eval.query_stats db plan)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable report (BENCH_eval.json)                            *)
+(* ------------------------------------------------------------------ *)
+
+type jrecord = {
+  jr_figure : string;
+  jr_query : string;
+  jr_series : string;  (* strategy, or "orig" *)
+  jr_engine : string;
+  jr_params : (string * float) list;
+  jr_outcome : outcome;
+  jr_stats : Eval.stats option;
+}
+
+let json_path = ref "BENCH_eval.json"
+let json_records : jrecord list ref = ref []
+
+let record ~figure ~query ~series ~params (outcome, stats) =
+  json_records :=
+    {
+      jr_figure = figure;
+      jr_query = query;
+      jr_series = series;
+      jr_engine = Eval.engine_name !Eval.default_engine;
+      jr_params = params;
+      jr_outcome = outcome;
+      jr_stats = stats;
+    }
+    :: !json_records;
+  (outcome, stats)
+
+let json_of_record r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "    {\"figure\": %S, \"query\": %S, \"series\": %S, \"engine\": %S"
+       r.jr_figure r.jr_query r.jr_series r.jr_engine);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b
+        (if Float.is_integer v then Printf.sprintf ", %S: %.0f" k v
+         else Printf.sprintf ", %S: %g" k v))
+    r.jr_params;
+  (match r.jr_outcome with
+  | Time t -> Buffer.add_string b (Printf.sprintf ", \"status\": \"ok\", \"seconds\": %.6f" t)
+  | Timeout -> Buffer.add_string b ", \"status\": \"timeout\""
+  | Failed msg -> Buffer.add_string b (Printf.sprintf ", \"status\": \"error\", \"message\": %S" msg)
+  | Excluded -> Buffer.add_string b ", \"status\": \"excluded\"");
+  (match r.jr_stats with
+  | Some st ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ", \"stats\": {\"hash_joins\": %d, \"nested_loop_joins\": %d, \
+            \"nested_pairs\": %d, \"sublink_evals\": %d, \"sublink_hits\": %d, \
+            \"rows_emitted\": %d}"
+           st.Eval.st_hash_joins st.st_nested_loop_joins st.st_nested_pairs
+           st.st_sublink_evals st.st_sublink_hits st.st_rows_emitted)
+  | None -> ());
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+(* Written explicitly at the end of each command — NOT via [at_exit],
+   which the forked measurement children would also run. *)
+let write_json () =
+  match List.rev !json_records with
+  | [] -> ()
+  | records ->
+      let oc = open_out !json_path in
+      output_string oc "{\n  \"records\": [\n";
+      output_string oc (String.concat ",\n" (List.map json_of_record records));
+      output_string oc "\n  ]\n}\n";
+      close_out oc;
+      Printf.printf "\nwrote %s (%d records)\n" !json_path (List.length records)
+
+(* ------------------------------------------------------------------ *)
+(* Engine selection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let engines_of_string = function
+  | "both" -> [ Eval.Compiled; Eval.Reference ]
+  | s -> [ Eval.engine_of_string s ]
+
+(* Run [f] once per engine; the engine is set via [Eval.default_engine],
+   which the forked measurement children inherit. *)
+let per_engine engines f =
+  let saved = !Eval.default_engine in
+  List.iter
+    (fun e ->
+      Eval.default_engine := e;
+      f e)
+    engines;
+  Eval.default_engine := saved
 
 (* ------------------------------------------------------------------ *)
 (* Table printing                                                       *)
@@ -165,8 +314,7 @@ let strategy_applies db strategy number =
   | _ -> true
   | exception Strategy.Unsupported _ -> false
 
-let fig6_one_scale ~timeout ~instances ~scale_label ~sf =
-  let db = Tpch.Tpch_gen.generate ~sf () in
+let fig6_one_scale ~timeout ~instances ~scale_label ~sf db =
   let strategies = Strategy.[ Gen; Left; Move; Unn ] in
   let rows =
     List.map
@@ -176,27 +324,31 @@ let fig6_one_scale ~timeout ~instances ~scale_label ~sf =
             (fun strategy ->
               if not (strategy_applies db strategy number) then "-"
               else begin
-                let outcome =
-                  measure ~timeout ~instances (fun k () ->
-                      let q =
-                        Tpch.Tpch_queries.instantiate ~seed:(100 + k) number
-                      in
-                      let analyzed =
-                        Sql_frontend.Analyzer.analyze_string db
-                          q.Tpch.Tpch_queries.sql
-                      in
-                      let algebra = analyzed.Sql_frontend.Analyzer.query in
-                      if
-                        strategy = Strategy.Gen
-                        && crossbase_estimate db algebra > !gen_guard
-                      then raise Guard_tripped;
-                      ignore (Perm.run_query db ~strategy ~provenance:true algebra))
-                in
-                let outcome =
-                  match outcome with
-                  | Failed msg when msg = Printexc.to_string Guard_tripped ->
-                      Excluded
-                  | o -> o
+                let outcome, _ =
+                  record ~figure:"fig6" ~query:(Printf.sprintf "Q%d" number)
+                    ~series:(Strategy.to_string strategy)
+                    ~params:[ ("sf", sf) ]
+                    (let outcome, stats =
+                       measure ~timeout ~instances (fun k () ->
+                           let q =
+                             Tpch.Tpch_queries.instantiate ~seed:(100 + k) number
+                           in
+                           let analyzed =
+                             Sql_frontend.Analyzer.analyze_string db
+                               q.Tpch.Tpch_queries.sql
+                           in
+                           let algebra = analyzed.Sql_frontend.Analyzer.query in
+                           if
+                             strategy = Strategy.Gen
+                             && crossbase_estimate db algebra > !gen_guard
+                           then raise Guard_tripped;
+                           fun () ->
+                             run_with_stats db ~strategy ~provenance:true algebra)
+                     in
+                     match outcome with
+                     | Failed msg when msg = Printexc.to_string Guard_tripped ->
+                         (Excluded, stats)
+                     | o -> (o, stats))
                 in
                 outcome_to_string outcome
               end)
@@ -208,12 +360,14 @@ let fig6_one_scale ~timeout ~instances ~scale_label ~sf =
   print_table
     ~title:
       (Printf.sprintf
-         "Figure 6(%s): TPC-H provenance runtime [s], sf=%.2f (%d tuples total)"
-         scale_label sf (Database.total_tuples db))
+         "Figure 6(%s): TPC-H provenance runtime [s], sf=%.2f (%d tuples \
+          total) [%s engine]"
+         scale_label sf (Database.total_tuples db)
+         (Eval.engine_name !Eval.default_engine))
     ~header:[ "query"; "gen"; "left"; "move"; "unn+" ]
     rows
 
-let fig6 ~timeout ~instances ~scales () =
+let fig6 ~timeout ~instances ~scales ~engines () =
   Printf.printf
     "\n=== Figure 6: TPC-H queries with sublinks, per-strategy runtimes ===\n";
   Printf.printf
@@ -224,9 +378,11 @@ let fig6 ~timeout ~instances ~scales () =
     timeout;
   List.iteri
     (fun k sf ->
-      fig6_one_scale ~timeout ~instances
-        ~scale_label:(String.make 1 (Char.chr (Char.code 'a' + k)))
-        ~sf)
+      let db = Tpch.Tpch_gen.generate ~sf () in
+      per_engine engines (fun _ ->
+          fig6_one_scale ~timeout ~instances
+            ~scale_label:(String.make 1 (Char.chr (Char.code 'a' + k)))
+            ~sf db))
     scales
 
 (* ------------------------------------------------------------------ *)
@@ -237,8 +393,8 @@ type series = Orig | Strat of Strategy.t
 
 let series_label = function Orig -> "orig" | Strat s -> Strategy.to_string s
 
-let synthetic_cell ~timeout ~instances ~series ~template ~n1 ~n2 =
-  let outcome =
+let synthetic_cell ~timeout ~instances ~figure ~template ~series:sr ~n1 ~n2 =
+  let outcome, stats =
     measure ~timeout ~instances (fun k () ->
         let db = Synthetic.Workload.make_db ~seed:(k + 1) ~n1 ~n2 () in
         let inst =
@@ -247,18 +403,27 @@ let synthetic_cell ~timeout ~instances ~series ~template ~n1 ~n2 =
           | `Q2 -> Synthetic.Workload.q2 ~seed:(k + 1) ~n1 ~n2 ()
         in
         let q = inst.Synthetic.Workload.query in
-        match series with
-        | Orig -> ignore (Perm.run_query db ~provenance:false q)
+        match sr with
+        | Orig ->
+            fun () -> run_with_stats db ~strategy:Strategy.Gen ~provenance:false q
         | Strat strategy ->
             if strategy = Strategy.Gen && n1 * (n2 + 1) > !gen_guard then
               raise Guard_tripped;
-            ignore (Perm.run_query db ~strategy ~provenance:true q))
+            fun () -> run_with_stats db ~strategy ~provenance:true q)
   in
-  match outcome with
-  | Failed msg when msg = Printexc.to_string Guard_tripped -> Excluded
-  | o -> o
+  let outcome =
+    match outcome with
+    | Failed msg when msg = Printexc.to_string Guard_tripped -> Excluded
+    | o -> o
+  in
+  fst
+    (record ~figure
+       ~query:(match template with `Q1 -> "q1" | `Q2 -> "q2")
+       ~series:(series_label sr)
+       ~params:[ ("n1", float_of_int n1); ("n2", float_of_int n2) ]
+       (outcome, stats))
 
-let synthetic_figure ~timeout ~instances ~title ~sizes ~dims () =
+let synthetic_figure ~timeout ~instances ~figure ~title ~sizes ~dims () =
   List.iter
     (fun template ->
       let template_name = match template with `Q1 -> "q1" | `Q2 -> "q2" in
@@ -276,8 +441,8 @@ let synthetic_figure ~timeout ~instances ~title ~sizes ~dims () =
                   if Hashtbl.mem dead (series_label sr) then "t/o"
                   else begin
                     let o =
-                      synthetic_cell ~timeout ~instances ~series:sr ~template
-                        ~n1 ~n2
+                      synthetic_cell ~timeout ~instances ~figure ~template
+                        ~series:sr ~n1 ~n2
                     in
                     (match o with
                     | Timeout -> Hashtbl.replace dead (series_label sr) ()
@@ -290,46 +455,53 @@ let synthetic_figure ~timeout ~instances ~title ~sizes ~dims () =
           sizes
       in
       print_table
-        ~title:(Printf.sprintf "%s — query %s" title template_name)
+        ~title:
+          (Printf.sprintf "%s — query %s [%s engine]" title template_name
+             (Eval.engine_name !Eval.default_engine))
         ~header:("size" :: List.map series_label series)
         rows)
     [ `Q1; `Q2 ]
 
-let fig7 ~timeout ~instances ~full () =
+let mk_synth ~figure ~banner ~title ~default_sizes ~full_sizes ~dims
+    ~timeout ~instances ~full ~sizes ~engines () =
   let sizes =
-    if full then [ 10; 100; 1000; 10000; 50000; 200000; 500000 ]
-    else [ 10; 100; 1000; 5000 ]
+    match sizes with
+    | Some sizes -> sizes
+    | None -> if full then full_sizes else default_sizes
   in
-  Printf.printf
-    "\n=== Figure 7: synthetic, varying the input relation size (sublink \
-     relation fixed at 1000) ===\n";
-  synthetic_figure ~timeout ~instances ~title:"Figure 7: runtime [s] vs |R1|"
-    ~sizes
+  Printf.printf "%s" banner;
+  per_engine engines (fun _ ->
+      synthetic_figure ~timeout ~instances ~figure ~title ~sizes ~dims ())
+
+let fig7 =
+  mk_synth ~figure:"fig7"
+    ~banner:
+      "\n\
+       === Figure 7: synthetic, varying the input relation size (sublink \
+       relation fixed at 1000) ===\n"
+    ~title:"Figure 7: runtime [s] vs |R1|"
+    ~default_sizes:[ 10; 100; 1000; 5000 ]
+    ~full_sizes:[ 10; 100; 1000; 10000; 50000; 200000; 500000 ]
     ~dims:(fun n -> (n, 1000))
-    ()
 
-let fig8 ~timeout ~instances ~full () =
-  let sizes =
-    if full then [ 10; 100; 1000; 10000; 50000; 200000; 500000 ]
-    else [ 10; 100; 1000; 5000 ]
-  in
-  Printf.printf
-    "\n=== Figure 8: synthetic, varying the sublink relation size (input \
-     relation fixed at 1000) ===\n";
-  synthetic_figure ~timeout ~instances ~title:"Figure 8: runtime [s] vs |R2|"
-    ~sizes
+let fig8 =
+  mk_synth ~figure:"fig8"
+    ~banner:
+      "\n\
+       === Figure 8: synthetic, varying the sublink relation size (input \
+       relation fixed at 1000) ===\n"
+    ~title:"Figure 8: runtime [s] vs |R2|"
+    ~default_sizes:[ 10; 100; 1000; 5000 ]
+    ~full_sizes:[ 10; 100; 1000; 10000; 50000; 200000; 500000 ]
     ~dims:(fun n -> (1000, n))
-    ()
 
-let fig9 ~timeout ~instances ~full () =
-  let sizes =
-    if full then [ 10; 100; 1000; 10000; 50000 ] else [ 10; 100; 1000; 3000 ]
-  in
-  Printf.printf "\n=== Figure 9: synthetic, varying both relation sizes ===\n";
-  synthetic_figure ~timeout ~instances
-    ~title:"Figure 9: runtime [s] vs |R1| = |R2|" ~sizes
+let fig9 =
+  mk_synth ~figure:"fig9"
+    ~banner:"\n=== Figure 9: synthetic, varying both relation sizes ===\n"
+    ~title:"Figure 9: runtime [s] vs |R1| = |R2|"
+    ~default_sizes:[ 10; 100; 1000; 3000 ]
+    ~full_sizes:[ 10; 100; 1000; 10000; 50000 ]
     ~dims:(fun n -> (n, n))
-    ()
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: optimizer on/off (why Gen degrades)                        *)
@@ -344,15 +516,21 @@ let ablation ~timeout ~instances () =
     List.map
       (fun n ->
         let cell opt strategy =
-          let o =
+          let o, _ =
             measure ~timeout ~instances (fun k () ->
                 let db =
                   Synthetic.Workload.make_db ~seed:(k + 1) ~n1:n ~n2:200 ()
                 in
                 let inst = Synthetic.Workload.q1 ~seed:(k + 1) ~n1:n ~n2:200 () in
-                ignore
-                  (Perm.run_query db ~strategy ~optimize:opt ~provenance:true
-                     inst.Synthetic.Workload.query))
+                fun () ->
+                  let q_plus, _ =
+                    Perm.rewrite db ~strategy inst.Synthetic.Workload.query
+                  in
+                  Typecheck.check db q_plus;
+                  let plan =
+                    if opt then Optimizer.optimize db q_plus else q_plus
+                  in
+                  snd (Eval.query_stats db plan))
           in
           outcome_to_string o
         in
@@ -504,22 +682,65 @@ let instances_arg =
 let full_arg =
   Arg.(value & flag & info [ "full" ] ~doc:"Use the paper's full size sweeps.")
 
+let sizes_arg =
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "sizes" ] ~docv:"N,..."
+        ~doc:"Explicit size sweep (overrides --full).")
+
 let scales_arg =
   Arg.(
     value
     & opt (list float) [ 0.05; 0.2; 0.8; 3.2 ]
     & info [ "scales" ] ~doc:"TPC-H scale factors for Figure 6 (a-d).")
 
+let engine_arg =
+  Arg.(
+    value & opt string "compiled"
+    & info [ "engine" ] ~docv:"E"
+        ~doc:
+          "Execution engine: $(b,compiled) (offset-resolved closures), \
+           $(b,reference) (tree-walking interpreter), or $(b,both).")
+
+let json_arg =
+  Arg.(
+    value & opt string "BENCH_eval.json"
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the machine-readable report to $(docv).")
+
+(* Parse --engine/--json, run the command body, then flush the report. *)
+let with_report engine json body =
+  json_path := json;
+  let engines =
+    try engines_of_string engine
+    with Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  body engines;
+  write_json ()
+
 let fig6_cmd =
-  let run timeout instances scales = fig6 ~timeout ~instances ~scales () in
+  let run timeout instances scales engine json =
+    with_report engine json (fun engines ->
+        fig6 ~timeout ~instances ~scales ~engines ())
+  in
   Cmd.v
     (Cmd.info "fig6" ~doc:"TPC-H figure 6 (a-d)")
-    Term.(const run $ timeout_arg $ instances_arg $ scales_arg)
+    Term.(
+      const run $ timeout_arg $ instances_arg $ scales_arg $ engine_arg
+      $ json_arg)
 
 let mk_synth_cmd name doc f =
-  let run timeout instances full = f ~timeout ~instances ~full () in
+  let run timeout instances full sizes engine json =
+    with_report engine json (fun engines ->
+        f ~timeout ~instances ~full ~sizes ~engines ())
+  in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ timeout_arg $ instances_arg $ full_arg)
+    Term.(
+      const run $ timeout_arg $ instances_arg $ full_arg $ sizes_arg
+      $ engine_arg $ json_arg)
 
 let ablation_cmd =
   let run timeout instances = ablation ~timeout ~instances () in
@@ -537,23 +758,31 @@ let bechamel_cmd =
     (Cmd.info "bechamel" ~doc:"Statistically sampled micro-benchmarks")
     Term.(const run_bechamel $ const ())
 
-let all ~timeout ~instances ~full () =
-  fig6 ~timeout ~instances ~scales:[ 0.05; 0.2; 0.8; 3.2 ] ();
-  fig7 ~timeout ~instances ~full ();
-  fig8 ~timeout ~instances ~full ();
-  fig9 ~timeout ~instances ~full ();
+let all ~timeout ~instances ~full ~engines () =
+  fig6 ~timeout ~instances ~scales:[ 0.05; 0.2; 0.8; 3.2 ] ~engines ();
+  fig7 ~timeout ~instances ~full ~sizes:None ~engines ();
+  fig8 ~timeout ~instances ~full ~sizes:None ~engines ();
+  fig9 ~timeout ~instances ~full ~sizes:None ~engines ();
   ablation ~timeout ~instances ();
   advisor_report ();
   Printf.printf "\nDone. See EXPERIMENTS.md for the paper-vs-measured discussion.\n"
 
 let all_cmd =
-  let run timeout instances full = all ~timeout ~instances ~full () in
+  let run timeout instances full engine json =
+    with_report engine json (fun engines ->
+        all ~timeout ~instances ~full ~engines ())
+  in
   Cmd.v
     (Cmd.info "all" ~doc:"All figures (default)")
-    Term.(const run $ timeout_arg $ instances_arg $ full_arg)
+    Term.(
+      const run $ timeout_arg $ instances_arg $ full_arg $ engine_arg $ json_arg)
 
 let default =
-  Term.(const (fun () -> all ~timeout:5.0 ~instances:2 ~full:false ()) $ const ())
+  Term.(
+    const (fun () ->
+        with_report "compiled" "BENCH_eval.json" (fun engines ->
+            all ~timeout:5.0 ~instances:2 ~full:false ~engines ()))
+    $ const ())
 
 let () =
   let info =

@@ -8,6 +8,7 @@
 
    REPL commands:  \d [table]    list tables / describe one
                    \strategy S   rewrite strategy (gen|left|move|unn|auto)
+                   \engine E     execution engine (compiled|reference)
                    \plan         toggle plan printing
                    \timing       toggle timing
                    \stats        toggle EXPLAIN-ANALYZE-style counters
@@ -147,6 +148,16 @@ let handle_command session line =
           Printf.printf "strategy set to %s\n" s
       | exception Invalid_argument msg -> print_endline msg);
       `Continue
+  | [ "\\engine" ] ->
+      Printf.printf "engine: %s\n" (Eval.engine_name !Eval.default_engine);
+      `Continue
+  | [ "\\engine"; e ] ->
+      (match Eval.engine_of_string e with
+      | engine ->
+          Eval.default_engine := engine;
+          Printf.printf "engine set to %s\n" (Eval.engine_name engine)
+      | exception Invalid_argument msg -> print_endline msg);
+      `Continue
   | [ "\\influence" ] ->
       (match session.last_provenance with
       | None -> print_endline "no provenance result yet"
@@ -257,7 +268,20 @@ let strategy_arg =
 
 let plan_arg = Arg.(value & flag & info [ "plan" ] ~doc:"Print executed plans.")
 
-let main tpch demo loads exec file strategy plan =
+let engine_arg =
+  Arg.(
+    value & opt string "compiled"
+    & info [ "engine" ] ~docv:"E"
+        ~doc:
+          "Execution engine: $(b,compiled) (offset-resolved closures, the \
+           default) or $(b,reference) (tree-walking interpreter).")
+
+let main tpch demo loads exec file strategy plan engine =
+  (match Eval.engine_of_string engine with
+  | e -> Eval.default_engine := e
+  | exception Invalid_argument msg ->
+      prerr_endline msg;
+      Stdlib.exit 2);
   let db = Database.create () in
   if demo then
     List.iter (fun n -> Database.add db n (Database.find (demo_db ()) n)) [ "r"; "s" ];
@@ -318,6 +342,6 @@ let cmd =
     (Cmd.info "permcli" ~doc:"SQL shell with Perm-style provenance")
     Term.(
       const main $ tpch_arg $ demo_arg $ load_arg $ exec_arg $ file_arg
-      $ strategy_arg $ plan_arg)
+      $ strategy_arg $ plan_arg $ engine_arg)
 
 let () = Stdlib.exit (Cmd.eval cmd)

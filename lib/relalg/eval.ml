@@ -1,9 +1,21 @@
-(** Evaluator for the extended algebra of Figure 1.
+(** Evaluation entry points and the reference tree-walking evaluator
+    for the extended algebra of Figure 1.
+
+    Two engines implement the same semantics:
+
+    - the {e compiled} engine ({!Compile}) — the default — lowers the
+      plan once into offset-resolved closures and only moves values at
+      run time;
+    - the {e reference} engine (this module's tree walker) interprets
+      the AST per tuple, resolving attributes by name. It is the
+      executable specification the compiled engine is property-tested
+      against ({!query_reference} et al.).
 
     Design points that matter for reproducing the paper's performance
-    shape (these mirror what PostgreSQL gives the original Perm):
-    - equi-join conjuncts (including the null-aware [=n]) are executed as
-      hash joins;
+    shape (these mirror what PostgreSQL gives the original Perm, and
+    hold for both engines):
+    - equi-join conjuncts (including the null-aware [=n]) are executed
+      as hash joins;
     - sublink results are memoized per binding of their correlated
       attributes (PostgreSQL's hashed/materialized subplans);
     - [ANY]/[ALL] sublinks are answered from a constant-size summary
@@ -18,9 +30,9 @@
 
 open Algebra
 
-exception Eval_error of string
+exception Eval_error = Sem.Eval_error
 
-let eval_error fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+let eval_error fmt = Sem.eval_error fmt
 
 (** {1 Environments} *)
 
@@ -42,188 +54,32 @@ let lookup (env : env) name =
   in
   go env
 
-(** {1 Three-valued comparison} *)
+(** {1 Shared semantics} — re-exported from {!Sem} so existing callers
+    keep their [Eval.]-qualified names. *)
 
-(** [cmp3 op a b] is the truth value ([Bool]/[Null]) of [a op b]. *)
-let cmp3 (op : cmpop) a b : Value.t =
-  match op with
-  | EqNull -> Value.Bool (Value.equal_null a b)
-  | _ -> (
-      match Value.cmp_sql a b with
-      | None -> Value.Null
-      | Some c ->
-          Value.Bool
-            (match op with
-            | Eq -> c = 0
-            | Neq -> c <> 0
-            | Lt -> c < 0
-            | Leq -> c <= 0
-            | Gt -> c > 0
-            | Geq -> c >= 0
-            | EqNull -> assert false))
+let cmp3 = Sem.cmp3
+let naive_any = Sem.naive_any
+let naive_all = Sem.naive_all
 
-(** {1 ANY/ALL semantics}
+type summary = Sem.summary
 
-    [naive_any]/[naive_all] are the reference 3VL folds from Figure 1
-    (existential / universal quantification); the summary-based versions
-    below are the fast path. Property tests check their agreement. *)
+let summarize = Sem.summarize
+let any_of_summary = Sem.any_of_summary
+let all_of_summary = Sem.all_of_summary
 
-let naive_any op lhs values =
-  List.fold_left (fun acc v -> Value.or3 acc (cmp3 op lhs v)) Value.vfalse values
-
-let naive_all op lhs values =
-  List.fold_left (fun acc v -> Value.and3 acc (cmp3 op lhs v)) Value.vtrue values
-
-type summary = {
-  s_empty : bool;
-  s_has_null : bool;
-  s_min : Value.t option;  (** min over non-null values *)
-  s_max : Value.t option;
-  s_set : unit Tuple.Tbl.t;  (** distinct non-null values, as 1-ary tuples *)
-  s_distinct : int;
-  s_sample : Value.t option;  (** an arbitrary non-null value *)
+type stats = Sem.stats = {
+  mutable st_hash_joins : int;
+  mutable st_nested_loop_joins : int;
+  mutable st_nested_pairs : int;
+  mutable st_sublink_evals : int;
+  mutable st_sublink_hits : int;
+  mutable st_rows_emitted : int;
 }
 
-let summarize values =
-  let set = Tuple.Tbl.create 64 in
-  let has_null = ref false in
-  let min_v = ref None and max_v = ref None and sample = ref None in
-  List.iter
-    (fun v ->
-      if Value.is_null v then has_null := true
-      else begin
-        if !sample = None then sample := Some v;
-        (match !min_v with
-        | Some m when Value.cmp_sql v m <> Some (-1) -> ()
-        | _ -> min_v := Some v);
-        (match !max_v with
-        | Some m when Value.cmp_sql v m <> Some 1 -> ()
-        | _ -> max_v := Some v);
-        let key = [| v |] in
-        if not (Tuple.Tbl.mem set key) then Tuple.Tbl.add set key ()
-      end)
-    values;
-  {
-    s_empty = values = [];
-    s_has_null = !has_null;
-    s_min = !min_v;
-    s_max = !max_v;
-    s_set = set;
-    s_distinct = Tuple.Tbl.length set;
-    s_sample = !sample;
-  }
-
-let set_mem s v = Tuple.Tbl.mem s.s_set [| v |]
-
-let unknown_or s base = if s.s_has_null then Value.Null else base
-
-(** [any_of_summary op lhs s] = [lhs op ANY Tsub] from the summary. *)
-let any_of_summary op lhs s : Value.t =
-  if s.s_empty then Value.vfalse
-  else if op = EqNull then begin
-    (* =n is two-valued: NULL matches NULL. *)
-    if Value.is_null lhs then Value.Bool s.s_has_null
-    else Value.Bool (set_mem s lhs)
-  end
-  else if Value.is_null lhs then Value.Null
-  else
-    match op with
-    | Eq -> if set_mem s lhs then Value.vtrue else unknown_or s Value.vfalse
-    | Neq ->
-        if s.s_distinct >= 2 then Value.vtrue
-        else if
-          s.s_distinct = 1 && not (Value.equal_null (Option.get s.s_sample) lhs)
-        then Value.vtrue
-        else unknown_or s Value.vfalse
-    | Lt | Leq ->
-        (* exists v with lhs < v  <=>  lhs < max *)
-        let sat =
-          match s.s_max with
-          | None -> false
-          | Some m -> Value.is_true (cmp3 op lhs m)
-        in
-        if sat then Value.vtrue else unknown_or s Value.vfalse
-    | Gt | Geq ->
-        let sat =
-          match s.s_min with
-          | None -> false
-          | Some m -> Value.is_true (cmp3 op lhs m)
-        in
-        if sat then Value.vtrue else unknown_or s Value.vfalse
-    | EqNull -> assert false
-
-(** [all_of_summary op lhs s] = [lhs op ALL Tsub] from the summary. *)
-let all_of_summary op lhs s : Value.t =
-  if s.s_empty then Value.vtrue
-  else if op = EqNull then begin
-    if Value.is_null lhs then Value.Bool (s.s_distinct = 0)
-    else
-      Value.Bool
-        (s.s_distinct = 1
-        && (not s.s_has_null)
-        && Value.equal_null (Option.get s.s_sample) lhs)
-  end
-  else if Value.is_null lhs then Value.Null
-  else
-    match op with
-    | Eq ->
-        if s.s_distinct >= 2 then Value.vfalse
-        else if
-          s.s_distinct = 1 && not (Value.equal_null (Option.get s.s_sample) lhs)
-        then Value.vfalse
-        else if s.s_distinct = 0 then Value.Null (* only NULLs *)
-        else unknown_or s Value.vtrue
-    | Neq -> if set_mem s lhs then Value.vfalse else unknown_or s Value.vtrue
-    | Lt | Leq ->
-        (* forall v: lhs < v  <=>  lhs < min; a single violating v makes
-           it definitely false regardless of NULLs. *)
-        let violated =
-          match s.s_min with
-          | None -> false
-          | Some m -> Value.is_false (cmp3 op lhs m)
-        in
-        if violated then Value.vfalse
-        else if s.s_has_null || s.s_min = None then Value.Null
-        else Value.vtrue
-    | Gt | Geq ->
-        let violated =
-          match s.s_max with
-          | None -> false
-          | Some m -> Value.is_false (cmp3 op lhs m)
-        in
-        if violated then Value.vfalse
-        else if s.s_has_null || s.s_max = None then Value.Null
-        else Value.vtrue
-    | EqNull -> assert false
+let fresh_stats = Sem.fresh_stats
+let stats_to_string = Sem.stats_to_string
 
 (** {1 Evaluation context} *)
-
-(** Execution counters, in the spirit of EXPLAIN ANALYZE: how the
-    evaluator actually executed a plan. *)
-type stats = {
-  mutable st_hash_joins : int;  (** joins executed via hashing *)
-  mutable st_nested_loop_joins : int;  (** joins without usable equi-pairs *)
-  mutable st_nested_pairs : int;  (** tuple pairs examined by nested loops *)
-  mutable st_sublink_evals : int;  (** sublink materializations (cache misses) *)
-  mutable st_sublink_hits : int;  (** sublink memoization hits *)
-  mutable st_rows_emitted : int;  (** rows produced across all operators *)
-}
-
-let fresh_stats () =
-  {
-    st_hash_joins = 0;
-    st_nested_loop_joins = 0;
-    st_nested_pairs = 0;
-    st_sublink_evals = 0;
-    st_sublink_hits = 0;
-    st_rows_emitted = 0;
-  }
-
-let stats_to_string st =
-  Printf.sprintf
-    "hash joins: %d | nested-loop joins: %d (%d pairs) | sublink evals: %d (%d memo hits) | rows emitted: %d"
-    st.st_hash_joins st.st_nested_loop_joins st.st_nested_pairs
-    st.st_sublink_evals st.st_sublink_hits st.st_rows_emitted
 
 type ctx = {
   db : Database.t;
@@ -250,7 +106,7 @@ let free_names ctx (s : sublink) =
       Hashtbl.add ctx.sub_free s.id names;
       names
 
-(** {1 Expression evaluation} *)
+(** {1 Expression evaluation (reference engine)} *)
 
 let rec eval_expr ctx (env : env) (e : expr) : Value.t =
   match e with
@@ -340,7 +196,7 @@ and summary ctx env key s : summary =
       Hashtbl.add ctx.sub_summaries key sm;
       sm
 
-(** {1 Query evaluation} *)
+(** {1 Query evaluation (reference engine)} *)
 
 and eval_query ctx (env : env) (q : query) : Relation.t =
   match q with
@@ -363,7 +219,9 @@ and eval_query ctx (env : env) (q : query) : Relation.t =
   | Project { distinct; cols; proj_input } ->
       let rel = eval_query ctx env proj_input in
       let in_schema = Relation.schema rel in
-      let out_schema = projection_schema ctx env in_schema cols in
+      let out_schema =
+        Typecheck.projection_schema ctx.db (in_schema :: schemas_of_env env) cols
+      in
       let exprs = List.map fst cols in
       let rows =
         List.map
@@ -419,23 +277,16 @@ and eval_query ctx (env : env) (q : query) : Relation.t =
       Relation.make schema (List.map snd (List.stable_sort cmp decorated))
   | Limit (n, input) ->
       let rel = eval_query ctx env input in
-      let rec take n = function
-        | [] -> []
-        | _ when n = 0 -> []
-        | t :: rest -> t :: take (n - 1) rest
+      (* tail-recursive: a large LIMIT must not overflow the stack *)
+      let take n l =
+        let rec go n acc = function
+          | [] -> List.rev acc
+          | _ when n = 0 -> List.rev acc
+          | t :: rest -> go (n - 1) (t :: acc) rest
+        in
+        if n <= 0 then [] else go n [] l
       in
       Relation.make (Relation.schema rel) (take n (Relation.tuples rel))
-
-and projection_schema ctx env in_schema cols =
-  let tys = in_schema :: schemas_of_env env in
-  Schema.of_list
-    (List.map
-       (fun (e, name) ->
-         let ty =
-           Option.value ~default:Vtype.TString (Typecheck.infer_expr ctx.db tys e)
-         in
-         Schema.attr name ty)
-       cols)
 
 (* ---------------- joins ---------------- *)
 
@@ -443,7 +294,10 @@ and eval_join ctx env ~outer cond a b : Relation.t =
   let ra = eval_query ctx env a and rb = eval_query ctx env b in
   let sa = Relation.schema ra and sb = Relation.schema rb in
   let schema = Schema.concat sa sb in
-  let pairs, residual = split_equi ctx sa sb cond in
+  let pairs, residual =
+    Scope.split_equi ctx.db ~left:(Schema.names sa) ~right:(Schema.names sb)
+      cond
+  in
   let rows =
     if pairs = [] then begin
       ctx.stats.st_nested_loop_joins <- ctx.stats.st_nested_loop_joins + 1;
@@ -459,28 +313,6 @@ and eval_join ctx env ~outer cond a b : Relation.t =
   in
   ctx.stats.st_rows_emitted <- ctx.stats.st_rows_emitted + List.length rows;
   Relation.make schema rows
-
-(* Classify each conjunct as a hashable equi-pair (left-expr, right-expr,
-   null_safe) or a residual condition. *)
-and split_equi ctx sa sb cond =
-  let left_names = Schema.names sa and right_names = Schema.names sb in
-  let touches names e =
-    List.exists (fun n -> List.mem n names) (Scope.refs_of_expr ctx.db e)
-  in
-  List.fold_left
-    (fun (pairs, residual) conjunct ->
-      match conjunct with
-      | Cmp (((Eq | EqNull) as op), e1, e2)
-        when (not (has_sublink e1)) && not (has_sublink e2) -> (
-          let null_safe = op = EqNull in
-          match (touches right_names e1, touches left_names e2) with
-          | false, false -> (pairs @ [ (e1, e2, null_safe) ], residual)
-          | true, true when (not (touches left_names e1)) && not (touches right_names e2)
-            ->
-              (pairs @ [ (e2, e1, null_safe) ], residual)
-          | _ -> (pairs, residual @ [ conjunct ]))
-      | c -> (pairs, residual @ [ c ]))
-    ([], []) (conjuncts cond)
 
 and hash_join ctx env ~outer schema sa sb ra rb pairs residual =
   let residual_cond = conj residual in
@@ -553,30 +385,11 @@ and nested_loop ctx env ~outer schema sa sb ra rb cond =
 and eval_agg ctx env { group_by; aggs; agg_input } : Relation.t =
   let rel = eval_query ctx env agg_input in
   let in_schema = Relation.schema rel in
-  let tys = in_schema :: schemas_of_env env in
-  let group_attrs =
-    List.map
-      (fun (e, name) ->
-        let ty =
-          Option.value ~default:Vtype.TString (Typecheck.infer_expr ctx.db tys e)
-        in
-        Schema.attr name ty)
-      group_by
+  let out_schema =
+    Typecheck.aggregation_schema ctx.db
+      (in_schema :: schemas_of_env env)
+      group_by aggs
   in
-  let agg_attrs =
-    List.map
-      (fun call ->
-        let arg_ty =
-          Option.map
-            (fun e ->
-              Option.value ~default:Vtype.TString (Typecheck.infer_expr ctx.db tys e))
-            call.agg_arg
-        in
-        Schema.attr call.agg_name
-          (Builtin.aggregate_result_type call.agg_func arg_ty))
-      aggs
-  in
-  let out_schema = Schema.of_list (group_attrs @ agg_attrs) in
   let group_exprs = List.map fst group_by in
   let groups = Tuple.Tbl.create 64 in
   let order = ref [] in
@@ -622,16 +435,59 @@ and eval_agg ctx env { group_by; aggs; agg_input } : Relation.t =
 
 (** {1 Public API} *)
 
-(** [query db q] evaluates [q] against [db] with a fresh context. *)
-let query ?(env = []) db q = eval_query (mk_ctx db) env q
+(** Which engine {!query}, {!query_stats} and {!expr} dispatch to.
+    [Compiled] is the default; [Reference] selects the tree walker
+    (permcli's [--engine] and the benchmark harness flip this). *)
+type engine = Compiled | Reference
 
-(** [query_stats db q] additionally reports the execution counters —
-    an EXPLAIN-ANALYZE-style summary of how the plan ran. *)
-let query_stats ?(env = []) db q =
+let default_engine = ref Compiled
+
+let engine_name = function Compiled -> "compiled" | Reference -> "reference"
+
+let engine_of_string = function
+  | "compiled" -> Compiled
+  | "reference" -> Reference
+  | s -> invalid_arg (Printf.sprintf "unknown engine %S (compiled|reference)" s)
+
+let compile_env env = List.map (fun f -> (f.f_schema, f.f_tuple)) env
+
+(** [query_reference db q] evaluates [q] with the reference tree walker. *)
+let query_reference ?(env = []) db q = eval_query (mk_ctx db) env q
+
+(** [query_compiled db q] compiles [q] to offset-resolved closures and
+    runs the compiled plan. *)
+let query_compiled ?(env = []) db q = Compile.query ~env:(compile_env env) db q
+
+(** [query db q] evaluates [q] against [db] with a fresh context, using
+    the engine selected by {!default_engine} (compiled by default);
+    [env] supplies outer frames for correlated evaluation. *)
+let query ?(env = []) db q =
+  match !default_engine with
+  | Compiled -> query_compiled ~env db q
+  | Reference -> query_reference ~env db q
+
+let query_stats_reference ?(env = []) db q =
   let ctx = mk_ctx db in
   let rel = eval_query ctx env q in
   (rel, ctx.stats)
 
+let query_stats_compiled ?(env = []) db q =
+  Compile.query_stats ~env:(compile_env env) db q
+
+(** [query_stats db q] additionally reports the execution counters —
+    an EXPLAIN-ANALYZE-style summary of how the plan ran. *)
+let query_stats ?(env = []) db q =
+  match !default_engine with
+  | Compiled -> query_stats_compiled ~env db q
+  | Reference -> query_stats_reference ~env db q
+
+let expr_reference ?(env = []) db e = eval_expr (mk_ctx db) env e
+
+let expr_compiled ?(env = []) db e = Compile.expr ~env:(compile_env env) db e
+
 (** [expr db env e] evaluates a scalar expression (used by tests and the
-    provenance oracle). *)
-let expr ?(env = []) db e = eval_expr (mk_ctx db) env e
+    provenance oracle), dispatching like {!query}. *)
+let expr ?(env = []) db e =
+  match !default_engine with
+  | Compiled -> expr_compiled ~env db e
+  | Reference -> expr_reference ~env db e

@@ -1,12 +1,18 @@
-(** Evaluator for the extended algebra of Figure 1.
+(** Evaluation entry points for the extended algebra of Figure 1.
 
-    Performance features mirroring what PostgreSQL gives the original
-    Perm: hash execution of equi-join conjuncts (including the
-    null-aware [=n]), per-correlation-binding memoization of sublink
-    results, and constant-size summaries answering [ANY]/[ALL] sublinks.
-    Cross products and non-equi joins are naive — which is exactly why
-    the Gen strategy's CrossBase plans are expensive here, as in the
-    paper. *)
+    Two engines implement the same semantics: the {e compiled} engine
+    ({!Compile}, the default) lowers the plan once into offset-resolved
+    closures; the {e reference} engine is the tree-walking interpreter
+    kept in this module as the executable specification. {!query},
+    {!query_stats} and {!expr} dispatch on {!default_engine}.
+
+    Performance features shared by both engines, mirroring what
+    PostgreSQL gives the original Perm: hash execution of equi-join
+    conjuncts (including the null-aware [=n]), per-correlation-binding
+    memoization of sublink results, and constant-size summaries
+    answering [ANY]/[ALL] sublinks. Cross products and non-equi joins
+    are naive — which is exactly why the Gen strategy's CrossBase plans
+    are expensive here, as in the paper. *)
 
 exception Eval_error of string
 
@@ -37,20 +43,44 @@ val cmp3 : Algebra.cmpop -> Value.t -> Value.t -> Value.t
 val naive_any : Algebra.cmpop -> Value.t -> Value.t list -> Value.t
 val naive_all : Algebra.cmpop -> Value.t -> Value.t list -> Value.t
 
-type summary
+type summary = Sem.summary
 
 val summarize : Value.t list -> summary
 val any_of_summary : Algebra.cmpop -> Value.t -> summary -> Value.t
 val all_of_summary : Algebra.cmpop -> Value.t -> summary -> Value.t
 
+(** {1 Engine selection} *)
+
+(** [Compiled] lowers the plan to offset-resolved closures ({!Compile});
+    [Reference] interprets the AST per tuple. *)
+type engine = Compiled | Reference
+
+(** The engine used by {!query}, {!query_stats} and {!expr}. Defaults to
+    [Compiled]; permcli's [--engine] and the benchmark harness set it. *)
+val default_engine : engine ref
+
+val engine_name : engine -> string
+
+(** [engine_of_string s] parses ["compiled"|"reference"]; raises
+    [Invalid_argument] otherwise. *)
+val engine_of_string : string -> engine
+
 (** {1 Evaluation} *)
 
-(** [query db q] evaluates [q] with a fresh memoization context;
-    [env] supplies outer frames for correlated evaluation. *)
+(** [query db q] evaluates [q] with a fresh memoization context, using
+    {!default_engine}; [env] supplies outer frames for correlated
+    evaluation. *)
 val query : ?env:env -> Database.t -> Algebra.query -> Relation.t
 
-(** Execution counters, in the spirit of EXPLAIN ANALYZE. *)
-type stats = {
+(** [query_reference db q] always uses the reference tree walker. *)
+val query_reference : ?env:env -> Database.t -> Algebra.query -> Relation.t
+
+(** [query_compiled db q] always compiles and runs via {!Compile}. *)
+val query_compiled : ?env:env -> Database.t -> Algebra.query -> Relation.t
+
+(** Execution counters, in the spirit of EXPLAIN ANALYZE (shared between
+    the engines via {!Sem}). *)
+type stats = Sem.stats = {
   mutable st_hash_joins : int;
   mutable st_nested_loop_joins : int;
   mutable st_nested_pairs : int;  (** tuple pairs examined by nested loops *)
@@ -65,5 +95,15 @@ val stats_to_string : stats -> string
 val query_stats :
   ?env:env -> Database.t -> Algebra.query -> Relation.t * stats
 
-(** [expr db e] evaluates a scalar expression (sublinks allowed). *)
+val query_stats_reference :
+  ?env:env -> Database.t -> Algebra.query -> Relation.t * stats
+
+val query_stats_compiled :
+  ?env:env -> Database.t -> Algebra.query -> Relation.t * stats
+
+(** [expr db e] evaluates a scalar expression (sublinks allowed),
+    dispatching on {!default_engine}. *)
 val expr : ?env:env -> Database.t -> Algebra.expr -> Value.t
+
+val expr_reference : ?env:env -> Database.t -> Algebra.expr -> Value.t
+val expr_compiled : ?env:env -> Database.t -> Algebra.expr -> Value.t

@@ -3,13 +3,28 @@
     The multiset is a list in which a tuple's multiplicity is its number
     of occurrences, mirroring the bag algebra of Figure 1 in the paper.
     Both bag and duplicate-removing (set) variants of the operations are
-    provided. *)
+    provided.
 
-type t = { schema : Schema.t; tuples : Tuple.t list }
+    The per-tuple multiplicity table is computed lazily and cached in
+    the relation (relations are immutable once built), so repeated
+    multiplicity queries — the access pattern of the bag set-operations
+    and of [equal_bag] — pay the O(n) table build once. *)
+
+type t = {
+  schema : Schema.t;
+  tuples : Tuple.t list;
+  mutable counts_memo : int Tuple.Tbl.t option;
+      (* lazily built multiplicity table; never mutated after exposure *)
+}
 
 exception Relation_error of string
 
 let relation_error fmt = Format.kasprintf (fun s -> raise (Relation_error s)) fmt
+
+(** [make_unchecked schema tuples] builds a relation without the
+    per-tuple arity check — for operators (e.g. the compiled engine)
+    whose output arity is known correct by construction. *)
+let make_unchecked schema tuples = { schema; tuples; counts_memo = None }
 
 let make schema tuples =
   List.iter
@@ -18,9 +33,9 @@ let make schema tuples =
         relation_error "tuple arity %d does not match schema arity %d"
           (Tuple.arity tup) (Schema.arity schema))
     tuples;
-  { schema; tuples }
+  make_unchecked schema tuples
 
-let empty schema = { schema; tuples = [] }
+let empty schema = make_unchecked schema []
 let schema r = r.schema
 let tuples r = r.tuples
 let cardinality r = List.length r.tuples
@@ -31,16 +46,21 @@ let of_values schema rows = make schema (List.map Tuple.of_list rows)
 
 (** {1 Multiplicity bookkeeping} *)
 
-(** [counts r] maps each distinct tuple to its multiplicity. *)
+(** [counts r] maps each distinct tuple to its multiplicity; computed
+    on first use and cached. Callers must not mutate the result. *)
 let counts r =
-  let tbl = Tuple.Tbl.create (max 16 (cardinality r)) in
-  List.iter
-    (fun t ->
-      match Tuple.Tbl.find_opt tbl t with
-      | Some n -> Tuple.Tbl.replace tbl t (n + 1)
-      | None -> Tuple.Tbl.add tbl t 1)
-    r.tuples;
-  tbl
+  match r.counts_memo with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Tuple.Tbl.create (max 16 (cardinality r)) in
+      List.iter
+        (fun t ->
+          match Tuple.Tbl.find_opt tbl t with
+          | Some n -> Tuple.Tbl.replace tbl t (n + 1)
+          | None -> Tuple.Tbl.add tbl t 1)
+        r.tuples;
+      r.counts_memo <- Some tbl;
+      tbl
 
 let multiplicity r t =
   match Tuple.Tbl.find_opt (counts r) t with Some n -> n | None -> 0
@@ -60,7 +80,7 @@ let distinct r =
         end)
       r.tuples
   in
-  { r with tuples = keep }
+  make_unchecked r.schema keep
 
 
 let check_compatible op a b =
@@ -72,7 +92,7 @@ let check_compatible op a b =
 
 let union_bag a b =
   check_compatible "union" a b;
-  { a with tuples = a.tuples @ b.tuples }
+  make_unchecked a.schema (a.tuples @ b.tuples)
 
 let inter_bag a b =
   check_compatible "intersect" a b;
@@ -90,7 +110,7 @@ let inter_bag a b =
         else false)
       a.tuples
   in
-  { a with tuples = keep }
+  make_unchecked a.schema keep
 
 let diff_bag a b =
   check_compatible "except" a b;
@@ -108,7 +128,7 @@ let diff_bag a b =
         else true)
       a.tuples
   in
-  { a with tuples = keep }
+  make_unchecked a.schema keep
 
 (** {1 Set semantics variants (Figure 1, left column)} *)
 
@@ -118,7 +138,9 @@ let inter_set a b = distinct (inter_bag a b)
 let diff_set a b =
   check_compatible "except" a b;
   let cb = counts b in
-  distinct { a with tuples = List.filter (fun t -> not (Tuple.Tbl.mem cb t)) a.tuples }
+  distinct
+    (make_unchecked a.schema
+       (List.filter (fun t -> not (Tuple.Tbl.mem cb t)) a.tuples))
 
 (** {1 Comparison} *)
 

@@ -9,6 +9,11 @@ exception Relation_error of string
 (** [make schema tuples] checks every tuple's arity against [schema]. *)
 val make : Schema.t -> Tuple.t list -> t
 
+(** [make_unchecked schema tuples] skips the per-tuple arity check —
+    for operators (e.g. the compiled engine) whose output arity is
+    correct by construction. *)
+val make_unchecked : Schema.t -> Tuple.t list -> t
+
 val empty : Schema.t -> t
 val schema : t -> Schema.t
 val tuples : t -> Tuple.t list
@@ -18,7 +23,10 @@ val is_empty : t -> bool
 (** [of_values schema rows] builds a relation from value-list rows. *)
 val of_values : Schema.t -> Value.t list list -> t
 
-(** [counts r] maps each distinct tuple to its multiplicity. *)
+(** [counts r] maps each distinct tuple to its multiplicity; computed
+    on first use and cached in the relation, so repeated calls (and
+    {!multiplicity} queries) are O(1) after the first. Callers must
+    not mutate the result. *)
 val counts : t -> int Tuple.Tbl.t
 
 val multiplicity : t -> Tuple.t -> int

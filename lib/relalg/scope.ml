@@ -123,3 +123,29 @@ let refs_of_expr db e = S.elements (free_expr db [] e S.empty)
     references — the applicability condition of the Left, Move and Unn
     strategies (Section 3.6). *)
 let is_uncorrelated db (s : sublink) = free_of_query db s.query = []
+
+(** [split_equi db ~left ~right cond] classifies each top-level
+    conjunct of a join condition as a hashable equi-pair
+    [(left_expr, right_expr, null_safe)] — an [=]/[=n] comparison whose
+    sides reference only the left/right input respectively — or as a
+    residual condition. This is purely syntactic scope analysis, so
+    both execution engines share it; the compiled engine runs it once
+    per join operator instead of once per evaluation. *)
+let split_equi db ~left ~right cond =
+  let touches names e =
+    List.exists (fun n -> List.mem n names) (refs_of_expr db e)
+  in
+  List.fold_left
+    (fun (pairs, residual) conjunct ->
+      match conjunct with
+      | Cmp (((Eq | EqNull) as op), e1, e2)
+        when (not (has_sublink e1)) && not (has_sublink e2) -> (
+          let null_safe = op = EqNull in
+          match (touches right e1, touches left e2) with
+          | false, false -> (pairs @ [ (e1, e2, null_safe) ], residual)
+          | true, true when (not (touches left e1)) && not (touches right e2)
+            ->
+              (pairs @ [ (e2, e1, null_safe) ], residual)
+          | _ -> (pairs, residual @ [ conjunct ]))
+      | c -> (pairs, residual @ [ c ]))
+    ([], []) (conjuncts cond)

@@ -21,3 +21,16 @@ val refs_of_expr : Database.t -> Algebra.expr -> string list
 (** [is_uncorrelated db s]: the applicability condition of the Left,
     Move and Unn strategies (Section 3.6). *)
 val is_uncorrelated : Database.t -> Algebra.sublink -> bool
+
+(** [split_equi db ~left ~right cond] classifies each top-level
+    conjunct of a join condition as a hashable equi-pair
+    [(left_expr, right_expr, null_safe)] or as a residual condition.
+    [left]/[right] are the attribute names of the two join inputs.
+    Shared by both execution engines; the compiled engine runs it once
+    per join operator instead of once per evaluation. *)
+val split_equi :
+  Database.t ->
+  left:string list ->
+  right:string list ->
+  Algebra.expr ->
+  (Algebra.expr * Algebra.expr * bool) list * Algebra.expr list

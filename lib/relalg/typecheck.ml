@@ -141,6 +141,44 @@ and infer_sublink db (env : env) (s : sublink) : Vtype.t option =
         type_error "ANY/ALL comparison between incompatible types %s and %s"
           (string_of_opt tl) (string_of_opt tr)
 
+(** [projection_schema db env cols] is the output schema of a
+    projection list under [env] (innermost schema first); expressions
+    of statically unknown type default to string, matching evaluation.
+    Shared by inference and by both execution engines, so the compiled
+    engine computes it once per operator. *)
+and projection_schema db (env : env) cols : Schema.t =
+  Schema.of_list
+    (List.map
+       (fun (e, name) ->
+         let ty = Option.value ~default:Vtype.TString (infer_expr db env e) in
+         Schema.attr name ty)
+       cols)
+
+(** [aggregation_schema db env group_by aggs] is the output schema of
+    an aggregation operator: group-by attributes followed by aggregate
+    results. *)
+and aggregation_schema db (env : env) group_by aggs : Schema.t =
+  let group_attrs =
+    List.map
+      (fun (e, name) ->
+        let ty = Option.value ~default:Vtype.TString (infer_expr db env e) in
+        Schema.attr name ty)
+      group_by
+  in
+  let agg_attrs =
+    List.map
+      (fun call ->
+        let arg_ty =
+          Option.map
+            (fun e -> Option.value ~default:Vtype.TString (infer_expr db env e))
+            call.agg_arg
+        in
+        Schema.attr call.agg_name
+          (Builtin.aggregate_result_type call.agg_func arg_ty))
+      aggs
+  in
+  Schema.of_list (group_attrs @ agg_attrs)
+
 (** [infer_query_env db outer q] is the output schema of [q] evaluated
     with correlation scopes [outer] available. *)
 and infer_query_env db (outer : env) (q : query) : Schema.t =
@@ -158,17 +196,7 @@ and infer_query_env db (outer : env) (q : query) : Schema.t =
   | Project { cols; proj_input; _ } ->
       let schema = infer_query_env db outer proj_input in
       check_no_aggregate_exprs (List.map fst cols) "projection";
-      let attrs =
-        List.map
-          (fun (e, name) ->
-            let ty =
-              Option.value ~default:Vtype.TString
-                (infer_expr db (schema :: outer) e)
-            in
-            Schema.attr name ty)
-          cols
-      in
-      Schema.of_list attrs
+      projection_schema db (schema :: outer) cols
   | Cross (a, b) ->
       Schema.concat (infer_query_env db outer a) (infer_query_env db outer b)
   | Join (cond, a, b) | LeftJoin (cond, a, b) ->
@@ -179,27 +207,7 @@ and infer_query_env db (outer : env) (q : query) : Schema.t =
       schema
   | Agg { group_by; aggs; agg_input } ->
       let schema = infer_query_env db outer agg_input in
-      let env = schema :: outer in
-      let group_attrs =
-        List.map
-          (fun (e, name) ->
-            let ty = Option.value ~default:Vtype.TString (infer_expr db env e) in
-            Schema.attr name ty)
-          group_by
-      in
-      let agg_attrs =
-        List.map
-          (fun call ->
-            let arg_ty =
-              Option.map
-                (fun e -> Option.value ~default:Vtype.TString (infer_expr db env e))
-                call.agg_arg
-            in
-            Schema.attr call.agg_name
-              (Builtin.aggregate_result_type call.agg_func arg_ty))
-          aggs
-      in
-      Schema.of_list (group_attrs @ agg_attrs)
+      aggregation_schema db (schema :: outer) group_by aggs
   | Union (_, a, b) | Inter (_, a, b) | Diff (_, a, b) ->
       let sa = infer_query_env db outer a and sb = infer_query_env db outer b in
       if not (Schema.equal_types sa sb) then

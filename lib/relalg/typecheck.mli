@@ -15,6 +15,21 @@ val resolve : env -> string -> Vtype.t
     (a bare NULL literal), which unifies with every type. *)
 val infer_expr : Database.t -> env -> Algebra.expr -> Vtype.t option
 
+(** [projection_schema db env cols] is the output schema of a
+    projection list under [env]; statically unknown (NULL-typed)
+    expressions default to string, matching evaluation. *)
+val projection_schema :
+  Database.t -> env -> (Algebra.expr * string) list -> Schema.t
+
+(** [aggregation_schema db env group_by aggs] is the output schema of
+    an aggregation: group-by attributes, then aggregate results. *)
+val aggregation_schema :
+  Database.t ->
+  env ->
+  (Algebra.expr * string) list ->
+  Algebra.agg_call list ->
+  Schema.t
+
 (** [infer_query_env db outer q] is the output schema of [q] with
     correlation scopes [outer] available. *)
 val infer_query_env : Database.t -> env -> Algebra.query -> Schema.t
