@@ -126,6 +126,22 @@ let outcome_to_string = function
   | Failed _ -> "err"
   | Excluded -> "excl"
 
+(* --lint-check: assert that the lint gate is observation-free — the
+   plans evaluated through [Perm.run_query ~lint:true] must produce
+   exactly the tuples of the unlinted measurement pipeline. Verified
+   inside the forked child, outside the timed region. *)
+let lint_check = ref false
+
+let verify_lint_parity db ~strategy ~provenance q plan =
+  if !lint_check then begin
+    let unlinted = Eval.query db plan in
+    let linted =
+      (Perm.run_query db ~strategy ~lint:true ~provenance q).Perm.relation
+    in
+    if not (Relation.equal_bag unlinted linted) then
+      failwith "lint-check: linted and unlinted runs differ"
+  end
+
 (* Rewrite + typecheck + optimize + evaluate with counters — the same
    pipeline as [Perm.run_query], but keeping the stats. Runs on the
    engine currently selected by [Eval.default_engine]. *)
@@ -134,10 +150,12 @@ let run_with_stats db ~strategy ~provenance q : Eval.stats =
     let q_plus, _ = Perm.rewrite db ~strategy q in
     Typecheck.check db q_plus;
     let plan = Optimizer.optimize db q_plus in
+    verify_lint_parity db ~strategy ~provenance q plan;
     snd (Eval.query_stats db plan)
   end
   else begin
     let plan = Optimizer.optimize db q in
+    verify_lint_parity db ~strategy ~provenance q plan;
     snd (Eval.query_stats db plan)
   end
 
@@ -709,8 +727,20 @@ let json_arg =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Write the machine-readable report to $(docv).")
 
-(* Parse --engine/--json, run the command body, then flush the report. *)
-let with_report engine json body =
+let lint_check_arg =
+  Arg.(
+    value & flag
+    & info [ "lint-check" ]
+        ~doc:
+          "After each measured run, re-run the query through the \
+           $(b,Perm.run_query ~lint:true) gate and assert that the linted \
+           and unlinted pipelines produce identical results (roughly \
+           doubles evaluation work).")
+
+(* Parse --engine/--json/--lint-check, run the command body, then flush
+   the report. *)
+let with_report ?(lint = false) engine json body =
+  lint_check := lint;
   json_path := json;
   let engines =
     try engines_of_string engine
@@ -722,25 +752,25 @@ let with_report engine json body =
   write_json ()
 
 let fig6_cmd =
-  let run timeout instances scales engine json =
-    with_report engine json (fun engines ->
+  let run timeout instances scales engine json lint =
+    with_report ~lint engine json (fun engines ->
         fig6 ~timeout ~instances ~scales ~engines ())
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"TPC-H figure 6 (a-d)")
     Term.(
       const run $ timeout_arg $ instances_arg $ scales_arg $ engine_arg
-      $ json_arg)
+      $ json_arg $ lint_check_arg)
 
 let mk_synth_cmd name doc f =
-  let run timeout instances full sizes engine json =
-    with_report engine json (fun engines ->
+  let run timeout instances full sizes engine json lint =
+    with_report ~lint engine json (fun engines ->
         f ~timeout ~instances ~full ~sizes ~engines ())
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ timeout_arg $ instances_arg $ full_arg $ sizes_arg
-      $ engine_arg $ json_arg)
+      $ engine_arg $ json_arg $ lint_check_arg)
 
 let ablation_cmd =
   let run timeout instances = ablation ~timeout ~instances () in
@@ -768,14 +798,15 @@ let all ~timeout ~instances ~full ~engines () =
   Printf.printf "\nDone. See EXPERIMENTS.md for the paper-vs-measured discussion.\n"
 
 let all_cmd =
-  let run timeout instances full engine json =
-    with_report engine json (fun engines ->
+  let run timeout instances full engine json lint =
+    with_report ~lint engine json (fun engines ->
         all ~timeout ~instances ~full ~engines ())
   in
   Cmd.v
     (Cmd.info "all" ~doc:"All figures (default)")
     Term.(
-      const run $ timeout_arg $ instances_arg $ full_arg $ engine_arg $ json_arg)
+      const run $ timeout_arg $ instances_arg $ full_arg $ engine_arg $ json_arg
+      $ lint_check_arg)
 
 let default =
   Term.(

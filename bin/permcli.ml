@@ -12,6 +12,8 @@
                    \plan         toggle plan printing
                    \timing       toggle timing
                    \stats        toggle EXPLAIN-ANALYZE-style counters
+                   \lint [SQL]   toggle lint gating / lint one statement
+                   \werror       toggle treating lint warnings as errors
                    \influence    rank witnesses of the last provenance result
                    \graph FILE   write the last provenance result as Graphviz
                    \q            quit                                       *)
@@ -27,6 +29,8 @@ type session = {
   mutable show_plan : bool;
   mutable timing : bool;
   mutable show_stats : bool;
+  mutable lint : bool;  (* gate statements through Lint / Provcheck *)
+  mutable werror : bool;  (* escalate lint warnings to errors *)
   mutable last_provenance : (Relation.t * Pschema.prov_rel list) option;
       (* most recent provenance result, for \influence and \graph *)
 }
@@ -61,17 +65,18 @@ let demo_db () =
     ]
 
 let run_statement session sql =
+  let lint = session.lint and werror = session.werror in
   match session.strategy with
-  | Fixed strategy -> Perm.exec session.db ~strategy sql
+  | Fixed strategy -> Perm.exec session.db ~strategy ~lint ~werror sql
   | Auto -> (
       (* the advisor handles SELECTs; DDL does not need a strategy *)
       match Sql_frontend.Parser.parse_statement sql with
       | Sql_frontend.Ast.Stmt_select _ ->
-          let strategy, result = Advisor.run session.db sql in
+          let strategy, result = Advisor.run session.db ~lint ~werror sql in
           if result.Perm.provenance <> [] then
             Printf.printf "advisor chose: %s\n" (Strategy.to_string strategy);
           Perm.Rows result
-      | _ -> Perm.exec session.db sql)
+      | _ -> Perm.exec session.db ~lint ~werror sql)
 
 let execute session sql =
   let t0 = Unix.gettimeofday () in
@@ -111,6 +116,8 @@ let execute session sql =
       Printf.printf "strategy %s not applicable: %s\n"
         (strategy_name session.strategy)
         msg
+  | exception Lint.Lint_error diags ->
+      Printf.printf "lint rejected the statement:\n%s\n" (Lint.report diags)
   | exception Value.Type_clash msg -> Printf.printf "value error: %s\n" msg
 
 let describe session = function
@@ -127,6 +134,50 @@ let describe session = function
       match Database.find_opt session.db name with
       | Some rel -> Printf.printf "%s %s\n" name (Schema.to_string (Relation.schema rel))
       | None -> Printf.printf "unknown table %S\n" name)
+
+(* \lint SQL: report diagnostics for one statement without running it —
+   the Lint rules on the analyzed plan, plus the Provcheck contract on
+   its provenance rewrite when the PROVENANCE marker is present. *)
+let lint_statement session sql =
+  let sql = String.trim sql in
+  let sql =
+    if String.length sql > 0 && sql.[String.length sql - 1] = ';' then
+      String.sub sql 0 (String.length sql - 1)
+    else sql
+  in
+  match Sql_frontend.Analyzer.analyze_string session.db sql with
+  | analyzed -> (
+      let q = analyzed.Sql_frontend.Analyzer.query in
+      let diags = Lint.lint session.db q in
+      let prov_diags =
+        if not analyzed.Sql_frontend.Analyzer.wants_provenance then []
+        else begin
+          let strategy =
+            match session.strategy with
+            | Fixed s -> s
+            | Auto -> ( try Advisor.choose session.db q with Strategy.Unsupported _ -> Strategy.Gen)
+          in
+          match Rewrite.rewrite session.db ~strategy q with
+          | rewritten -> Provcheck.check session.db ~strategy ~original:q rewritten
+          | exception Strategy.Unsupported msg ->
+              [
+                Lint.diag Lint.Error ~rule:"strategy-precondition" ~path:[]
+                  (Printf.sprintf "strategy %s not applicable: %s"
+                     (Strategy.to_string strategy) msg);
+              ]
+        end
+      in
+      match diags @ prov_diags with
+      | [] -> print_endline "no diagnostics"
+      | ds -> print_endline (Lint.report ds))
+  | exception Sql_frontend.Lexer.Lex_error (msg, line, col) ->
+      Printf.printf "lex error at %d:%d: %s\n" line col msg
+  | exception Sql_frontend.Parser.Parse_error (msg, line, col) ->
+      Printf.printf "parse error at %d:%d: %s\n" line col msg
+  | exception Sql_frontend.Analyzer.Analyze_error msg ->
+      Printf.printf "analysis error: %s\n" msg
+  | exception Typecheck.Type_error msg -> Printf.printf "type error: %s\n" msg
+  | exception Value.Type_clash msg -> Printf.printf "value error: %s\n" msg
 
 let handle_command session line =
   match String.split_on_char ' ' (String.trim line) with
@@ -191,6 +242,18 @@ let handle_command session line =
       session.show_stats <- not session.show_stats;
       Printf.printf "execution statistics %s\n"
         (if session.show_stats then "on" else "off");
+      `Continue
+  | [ "\\lint" ] ->
+      session.lint <- not session.lint;
+      Printf.printf "lint gating %s\n" (if session.lint then "on" else "off");
+      `Continue
+  | "\\lint" :: rest ->
+      lint_statement session (String.concat " " rest);
+      `Continue
+  | [ "\\werror" ] ->
+      session.werror <- not session.werror;
+      Printf.printf "lint warnings are %s\n"
+        (if session.werror then "errors" else "warnings");
       `Continue
   | _ ->
       Printf.printf "unknown command: %s\n" line;
@@ -276,7 +339,22 @@ let engine_arg =
           "Execution engine: $(b,compiled) (offset-resolved closures, the \
            default) or $(b,reference) (tree-walking interpreter).")
 
-let main tpch demo loads exec file strategy plan engine =
+let lint_arg =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Gate every statement through the plan linter and the \
+           provenance-contract verifier: error diagnostics abort the \
+           statement before it runs.")
+
+let werror_arg =
+  Arg.(
+    value & flag
+    & info [ "Werror" ]
+        ~doc:"With $(b,--lint), treat warning diagnostics as errors too.")
+
+let main tpch demo loads exec file strategy plan engine lint werror =
   (match Eval.engine_of_string engine with
   | e -> Eval.default_engine := e
   | exception Invalid_argument msg ->
@@ -313,6 +391,8 @@ let main tpch demo loads exec file strategy plan engine =
       show_plan = plan;
       timing = false;
       show_stats = false;
+      lint;
+      werror;
       last_provenance = None;
     }
   in
@@ -334,7 +414,7 @@ let main tpch demo loads exec file strategy plan engine =
         (let strategy =
            match session.strategy with Fixed s -> s | Auto -> Strategy.Gen
          in
-         Perm.exec_script session.db ~strategy script)
+         Perm.exec_script session.db ~strategy ~lint ~werror script)
   | None, None -> repl session
 
 let cmd =
@@ -342,6 +422,6 @@ let cmd =
     (Cmd.info "permcli" ~doc:"SQL shell with Perm-style provenance")
     Term.(
       const main $ tpch_arg $ demo_arg $ load_arg $ exec_arg $ file_arg
-      $ strategy_arg $ plan_arg $ engine_arg)
+      $ strategy_arg $ plan_arg $ engine_arg $ lint_arg $ werror_arg)
 
 let () = Stdlib.exit (Cmd.eval cmd)

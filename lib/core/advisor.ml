@@ -129,13 +129,16 @@ let choose db (q : query) : Strategy.t =
   | { est_strategy; _ } :: _ -> est_strategy
   | [] -> Strategy.unsupported "no strategy can rewrite this query"
 
-(** [run db ?optimize sql] is {!Perm.run} with the strategy chosen by
-    the cost model. Returns the chosen strategy alongside the result. *)
-let run db ?(optimize = true) sql : Strategy.t * Perm.result =
+(** [run db ?optimize ?lint ?werror sql] is {!Perm.run} with the
+    strategy chosen by the cost model. Returns the chosen strategy
+    alongside the result. [?lint] / [?werror] gate the plans exactly as
+    in {!Perm.run}. *)
+let run db ?(optimize = true) ?(lint = false) ?(werror = false) sql :
+    Strategy.t * Perm.result =
   let analyzed = Sql_frontend.Analyzer.analyze_string db sql in
   let q = analyzed.Sql_frontend.Analyzer.query in
   if analyzed.Sql_frontend.Analyzer.wants_provenance then begin
     let strategy = choose db q in
-    (strategy, Perm.run_query db ~strategy ~optimize ~provenance:true q)
+    (strategy, Perm.run_query db ~strategy ~optimize ~lint ~werror ~provenance:true q)
   end
-  else (Strategy.Gen, Perm.run_query db ~optimize ~provenance:false q)
+  else (Strategy.Gen, Perm.run_query db ~optimize ~lint ~werror ~provenance:false q)

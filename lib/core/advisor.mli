@@ -25,6 +25,13 @@ val estimates : Database.t -> Algebra.query -> estimate list
     raises {!Strategy.Unsupported} when none applies. *)
 val choose : Database.t -> Algebra.query -> Strategy.t
 
-(** [run db ?optimize sql] is {!Perm.run} with an advisor-chosen
-    strategy; returns the choice alongside the result. *)
-val run : Database.t -> ?optimize:bool -> string -> Strategy.t * Perm.result
+(** [run db ?optimize ?lint ?werror sql] is {!Perm.run} with an
+    advisor-chosen strategy; returns the choice alongside the result.
+    [?lint] / [?werror] gate the plans as in {!Perm.run}. *)
+val run :
+  Database.t ->
+  ?optimize:bool ->
+  ?lint:bool ->
+  ?werror:bool ->
+  string ->
+  Strategy.t * Perm.result

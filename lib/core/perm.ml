@@ -25,45 +25,65 @@ type result = {
     strategy cannot handle [q]. *)
 let rewrite db ?(strategy = Strategy.Gen) q = Rewrite.rewrite db ~strategy q
 
-(** [provenance db ?strategy ?optimize q] evaluates the provenance of an
-    algebra query directly. *)
-let provenance db ?(strategy = Strategy.Gen) ?(optimize = true) q =
+(* The lint gate shared by every evaluation entry point. With
+   [~lint:true], the source query is linted ([~werror] escalating
+   warnings), and for provenance runs the rewrite result is verified
+   against the provenance contract and the final plan re-linted with
+   the plan rules; any error raises {!Lint.Lint_error} before
+   evaluation. *)
+let gate_source db ~lint ~werror q =
+  if lint then Lint.fail_on ~werror (Lint.lint db q)
+
+let gate_rewrite db ~lint ~strategy ~original ?optimized (q_plus, provs) =
+  if lint then begin
+    Lint.fail_on (Provcheck.check db ~strategy ?optimized ~original (q_plus, provs));
+    let final = Option.value ~default:q_plus optimized in
+    Lint.fail_on (Lint.lint ~rules:Lint.plan_rules db final)
+  end
+
+let gate_plain db ~lint ~original plan =
+  if lint && plan != original then
+    Lint.fail_on (Provcheck.optimizer_guard db ~before:original plan)
+
+(** [provenance db ?strategy ?optimize ?lint ?werror q] evaluates the
+    provenance of an algebra query directly. *)
+let provenance db ?(strategy = Strategy.Gen) ?(optimize = true)
+    ?(lint = false) ?(werror = false) q =
+  gate_source db ~lint ~werror q;
   let q_plus, provs = Rewrite.rewrite db ~strategy q in
   Typecheck.check db q_plus;
   let plan = if optimize then Optimizer.optimize db q_plus else q_plus in
+  gate_rewrite db ~lint ~strategy ~original:q ~optimized:plan (q_plus, provs);
   (Eval.query db plan, provs)
 
-(** [run db ?strategy ?optimize sql] parses, analyzes and evaluates [sql].
-    If the statement carries the [PROVENANCE] marker, the provenance
-    rewrite with [strategy] is applied first. *)
-let run db ?(strategy = Strategy.Gen) ?(optimize = true) sql : result =
-  let analyzed = Sql_frontend.Analyzer.analyze_string db sql in
-  let q = analyzed.Sql_frontend.Analyzer.query in
-  if analyzed.Sql_frontend.Analyzer.wants_provenance then begin
-    let q_plus, provs = Rewrite.rewrite db ~strategy q in
-    Typecheck.check db q_plus;
-    let plan = if optimize then Optimizer.optimize db q_plus else q_plus in
-    { relation = Eval.query db plan; provenance = provs; plan }
-  end
-  else begin
-    let plan = if optimize then Optimizer.optimize db q else q in
-    { relation = Eval.query db plan; provenance = []; plan }
-  end
-
-(** [run_query db ?strategy ?optimize ~provenance q] is [run] for an
-    already-analyzed algebra query. *)
-let run_query db ?(strategy = Strategy.Gen) ?(optimize = true)
-    ~provenance:wants q : result =
+(** [run_query db ?strategy ?optimize ?lint ?werror ~provenance q] is
+    {!run} for an already-analyzed algebra query. *)
+let run_query db ?(strategy = Strategy.Gen) ?(optimize = true) ?(lint = false)
+    ?(werror = false) ~provenance:wants q : result =
+  gate_source db ~lint ~werror q;
   if wants then begin
     let q_plus, provs = Rewrite.rewrite db ~strategy q in
     Typecheck.check db q_plus;
     let plan = if optimize then Optimizer.optimize db q_plus else q_plus in
+    gate_rewrite db ~lint ~strategy ~original:q ~optimized:plan (q_plus, provs);
     { relation = Eval.query db plan; provenance = provs; plan }
   end
   else begin
     let plan = if optimize then Optimizer.optimize db q else q in
+    gate_plain db ~lint ~original:q plan;
     { relation = Eval.query db plan; provenance = []; plan }
   end
+
+(** [run db ?strategy ?optimize ?lint ?werror sql] parses, analyzes and
+    evaluates [sql]. If the statement carries the [PROVENANCE] marker,
+    the provenance rewrite with [strategy] is applied first. With
+    [~lint:true] the plans pass the {!Lint} / {!Provcheck} gate first. *)
+let run db ?(strategy = Strategy.Gen) ?(optimize = true) ?(lint = false)
+    ?(werror = false) sql : result =
+  let analyzed = Sql_frontend.Analyzer.analyze_string db sql in
+  let q = analyzed.Sql_frontend.Analyzer.query in
+  run_query db ~strategy ~optimize ~lint ~werror
+    ~provenance:analyzed.Sql_frontend.Analyzer.wants_provenance q
 
 (** {1 Statements} *)
 
@@ -74,21 +94,28 @@ type exec_result =
   | Dropped of string
 
 (* Execute one already-parsed statement. *)
-let exec_parsed db ~strategy ~optimize stmt : exec_result =
+let exec_parsed db ~strategy ~optimize ~lint ~werror stmt : exec_result =
   let analyze sel =
     let analyzed = Sql_frontend.Analyzer.analyze db sel in
     let q = analyzed.Sql_frontend.Analyzer.query in
+    gate_source db ~lint ~werror q;
     if analyzed.Sql_frontend.Analyzer.wants_provenance then begin
       let q_plus, provs = Rewrite.rewrite db ~strategy q in
       Typecheck.check db q_plus;
+      gate_rewrite db ~lint ~strategy ~original:q (q_plus, provs);
       (q_plus, provs)
     end
     else (q, [])
   in
+  let optimized q =
+    let plan = if optimize then Optimizer.optimize db q else q in
+    gate_plain db ~lint ~original:q plan;
+    plan
+  in
   match stmt with
   | Sql_frontend.Ast.Stmt_select sel ->
       let q, provs = analyze sel in
-      let plan = if optimize then Optimizer.optimize db q else q in
+      let plan = optimized q in
       Rows { relation = Eval.query db plan; provenance = provs; plan }
   | Sql_frontend.Ast.Stmt_create_view (name, sel) ->
       let q, _ = analyze sel in
@@ -96,7 +123,7 @@ let exec_parsed db ~strategy ~optimize stmt : exec_result =
       Created_view name
   | Sql_frontend.Ast.Stmt_create_table_as (name, sel) ->
       let q, _ = analyze sel in
-      let plan = if optimize then Optimizer.optimize db q else q in
+      let plan = optimized q in
       let rel = Eval.query db plan in
       Database.add db name rel;
       Created_table (name, Relation.cardinality rel)
@@ -104,21 +131,24 @@ let exec_parsed db ~strategy ~optimize stmt : exec_result =
       if Database.drop db name then Dropped name
       else raise (Sql_frontend.Analyzer.Analyze_error ("unknown table or view " ^ name))
 
-(** [exec db ?strategy ?optimize sql] executes one statement. SELECTs
-    behave like {!run}. [CREATE VIEW v AS SELECT PROVENANCE ...] stores
-    the *rewritten* query, so querying [v] later sees the provenance
-    columns — Perm's "provenance as a view". [CREATE TABLE t AS ...]
-    materializes the result. *)
-let exec db ?(strategy = Strategy.Gen) ?(optimize = true) sql : exec_result =
-  exec_parsed db ~strategy ~optimize (Sql_frontend.Parser.parse_statement sql)
+(** [exec db ?strategy ?optimize ?lint ?werror sql] executes one
+    statement. SELECTs behave like {!run}. [CREATE VIEW v AS SELECT
+    PROVENANCE ...] stores the *rewritten* query, so querying [v] later
+    sees the provenance columns — Perm's "provenance as a view".
+    [CREATE TABLE t AS ...] materializes the result. *)
+let exec db ?(strategy = Strategy.Gen) ?(optimize = true) ?(lint = false)
+    ?(werror = false) sql : exec_result =
+  exec_parsed db ~strategy ~optimize ~lint ~werror
+    (Sql_frontend.Parser.parse_statement sql)
 
-(** [exec_script db ?strategy ?optimize sql] runs a [;]-separated
-    statement sequence, returning each statement's result in order.
-    Execution stops at the first error (exception propagates). *)
-let exec_script db ?(strategy = Strategy.Gen) ?(optimize = true) sql :
-    exec_result list =
+(** [exec_script db ?strategy ?optimize ?lint ?werror sql] runs a
+    [;]-separated statement sequence, returning each statement's result
+    in order. Execution stops at the first error (exception
+    propagates). *)
+let exec_script db ?(strategy = Strategy.Gen) ?(optimize = true)
+    ?(lint = false) ?(werror = false) sql : exec_result list =
   List.map
-    (exec_parsed db ~strategy ~optimize)
+    (exec_parsed db ~strategy ~optimize ~lint ~werror)
     (Sql_frontend.Parser.parse_script sql)
 
 (** {1 Alternative views of the provenance} *)

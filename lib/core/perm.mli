@@ -21,19 +21,32 @@ val rewrite :
   Algebra.query ->
   Algebra.query * Pschema.prov_rel list
 
-(** [provenance db ?strategy ?optimize q] rewrites, typechecks,
-    optionally optimizes, and evaluates the provenance of [q]. *)
+(** [provenance db ?strategy ?optimize ?lint ?werror q] rewrites,
+    typechecks, optionally optimizes, and evaluates the provenance of
+    [q]. With [~lint:true], [q] must pass the {!Lint} rules
+    ([~werror:true] escalating warnings) and the rewrite must pass the
+    {!Provcheck} contract rules; violations raise {!Lint.Lint_error}
+    before anything is evaluated. *)
 val provenance :
   Database.t ->
   ?strategy:Strategy.t ->
   ?optimize:bool ->
+  ?lint:bool ->
+  ?werror:bool ->
   Algebra.query ->
   Relation.t * Pschema.prov_rel list
 
-(** [run db ?strategy ?optimize sql] parses, analyzes and evaluates
-    [sql]; the [PROVENANCE] marker triggers the rewrite. *)
+(** [run db ?strategy ?optimize ?lint ?werror sql] parses, analyzes and
+    evaluates [sql]; the [PROVENANCE] marker triggers the rewrite.
+    [?lint] / [?werror] behave as in {!provenance}. *)
 val run :
-  Database.t -> ?strategy:Strategy.t -> ?optimize:bool -> string -> result
+  Database.t ->
+  ?strategy:Strategy.t ->
+  ?optimize:bool ->
+  ?lint:bool ->
+  ?werror:bool ->
+  string ->
+  result
 
 (** [run_query db ~provenance q] is {!run} for an already-analyzed
     algebra query. *)
@@ -41,6 +54,8 @@ val run_query :
   Database.t ->
   ?strategy:Strategy.t ->
   ?optimize:bool ->
+  ?lint:bool ->
+  ?werror:bool ->
   provenance:bool ->
   Algebra.query ->
   result
@@ -58,7 +73,13 @@ type exec_result =
     the rewritten query), [CREATE TABLE t AS ...] (materializes), or
     [DROP name]. *)
 val exec :
-  Database.t -> ?strategy:Strategy.t -> ?optimize:bool -> string -> exec_result
+  Database.t ->
+  ?strategy:Strategy.t ->
+  ?optimize:bool ->
+  ?lint:bool ->
+  ?werror:bool ->
+  string ->
+  exec_result
 
 (** [exec_script db sql] runs a [;]-separated statement sequence,
     returning each statement's result in order; the first error aborts
@@ -67,6 +88,8 @@ val exec_script :
   Database.t ->
   ?strategy:Strategy.t ->
   ?optimize:bool ->
+  ?lint:bool ->
+  ?werror:bool ->
   string ->
   exec_result list
 

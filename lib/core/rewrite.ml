@@ -654,3 +654,5 @@ let rewrite db ~strategy (q : query) : query * Pschema.prov_rel list =
     project (identity_of_names orig_names @ Pschema.identity_cols provs) q_plus
   in
   (normalized, provs)
+
+let unnestable_exists db sub = Option.is_some (decorrelate_exists db sub)

@@ -17,3 +17,10 @@ val rewrite :
   strategy:Strategy.t ->
   Algebra.query ->
   Algebra.query * Pschema.prov_rel list
+
+(** [unnestable_exists db sub] holds when the Unn+ de-correlation
+    applies to the query of a correlated [EXISTS] sublink: its
+    correlation consists of top-level equality conjuncts whose removal
+    leaves a closed residual query. Shared with [Provcheck]'s strategy
+    precondition rule. *)
+val unnestable_exists : Database.t -> Algebra.query -> bool

@@ -265,9 +265,12 @@ let root_exprs = function
   | Order (keys, _) -> List.map fst keys
 
 (** Base relation names accessed anywhere in [q] (including sublink
-    queries), left-to-right with duplicates for multiple references —
-    matching footnote 1 of the paper: multiple references to one relation
-    are treated as distinct provenance inputs. *)
+    queries), in the provenance rewriter's traversal order — operator
+    inputs first, then each operator's sublinks left to right — with
+    duplicates for multiple references: footnote 1 of the paper treats
+    multiple references to one relation as distinct provenance inputs.
+    This order is the provenance contract: [Rewrite.rewrite] appends one
+    provenance attribute group per entry of this list. *)
 let rec base_relations q =
   let from_exprs es =
     List.concat_map
@@ -278,11 +281,11 @@ let rec base_relations q =
   match q with
   | Base name -> [ name ]
   | TableExpr _ -> []
-  | Select (c, q) -> from_exprs [ c ] @ base_relations q
-  | Project p -> from_exprs (List.map fst p.cols) @ base_relations p.proj_input
+  | Select (c, q) -> base_relations q @ from_exprs [ c ]
+  | Project p -> base_relations p.proj_input @ from_exprs (List.map fst p.cols)
   | Cross (a, b) -> base_relations a @ base_relations b
   | Join (c, a, b) | LeftJoin (c, a, b) ->
-      from_exprs [ c ] @ base_relations a @ base_relations b
+      base_relations a @ base_relations b @ from_exprs [ c ]
   | Agg a -> base_relations a.agg_input
   | Union (_, a, b) | Inter (_, a, b) | Diff (_, a, b) ->
       base_relations a @ base_relations b

@@ -150,5 +150,8 @@ val map_queries : (query -> query) -> query -> query
 val root_exprs : query -> expr list
 
 (** Base relation names accessed anywhere in a query (including sublink
-    queries), with duplicates for multiple references (footnote 1). *)
+    queries), in the provenance rewriter's traversal order — operator
+    inputs first, then sublinks left to right — with duplicates for
+    multiple references (footnote 1). The provenance contract appends
+    one provenance attribute group per entry of this list. *)
 val base_relations : query -> string list

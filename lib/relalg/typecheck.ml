@@ -14,14 +14,77 @@ let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
 
 type env = Schema.t list
 
+(* Damerau–Levenshtein distance (with adjacent transposition), used to
+   rank candidate attribute names for error messages. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let d = Array.make_matrix (la + 1) (lb + 1) 0 in
+  for i = 0 to la do
+    d.(i).(0) <- i
+  done;
+  for j = 0 to lb do
+    d.(0).(j) <- j
+  done;
+  for i = 1 to la do
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      d.(i).(j) <-
+        min
+          (min (d.(i - 1).(j) + 1) (d.(i).(j - 1) + 1))
+          (d.(i - 1).(j - 1) + cost);
+      if
+        i > 1 && j > 1
+        && a.[i - 1] = b.[j - 2]
+        && a.[i - 2] = b.[j - 1]
+      then d.(i).(j) <- min d.(i).(j) (d.(i - 2).(j - 2) + cost)
+    done
+  done;
+  d.(la).(lb)
+
+(** [did_you_mean name candidates] is the candidates closest to [name]
+    (case-insensitive edit distance, qualified-name suffix matches
+    first), best first, at most three. Shared by {!resolve}'s error
+    message and the linter's unresolved-attribute rule. *)
+let did_you_mean name candidates =
+  let lname = String.lowercase_ascii name in
+  let score cand =
+    let lcand = String.lowercase_ascii cand in
+    if lcand = lname then Some 0
+    else if
+      (* a qualified candidate whose column part matches, or vice versa *)
+      String.length lcand > String.length lname
+      && String.ends_with ~suffix:("." ^ lname) lcand
+      || String.length lname > String.length lcand
+         && String.ends_with ~suffix:("." ^ lcand) lname
+    then Some 1
+    else
+      let d = edit_distance lname lcand in
+      let budget = max 2 (1 + (String.length name / 4)) in
+      if d <= budget then Some (1 + d) else None
+  in
+  List.sort_uniq compare candidates
+  |> List.filter_map (fun c -> Option.map (fun s -> (s, c)) (score c))
+  |> List.sort compare
+  |> List.filteri (fun i _ -> i < 3)
+  |> List.map snd
+
 (** [resolve env name] is the type of [name] in the innermost schema
     defining it. *)
 let resolve (env : env) name =
   let rec go = function
     | [] ->
-        type_error "unknown attribute %S (in scope: %s)" name
+        let in_scope = List.concat_map Schema.names env in
+        let hint =
+          match did_you_mean name in_scope with
+          | [] -> ""
+          | cands ->
+              Printf.sprintf "; did you mean %s?"
+                (String.concat " or " (List.map (Printf.sprintf "%S") cands))
+        in
+        type_error "unknown attribute %S (in scope: %s)%s" name
           (String.concat " | "
              (List.map (fun s -> String.concat "," (Schema.names s)) env))
+          hint
     | schema :: rest -> (
         match Schema.find schema name with
         | Some i -> (Schema.attr_at schema i).Schema.ty

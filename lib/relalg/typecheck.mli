@@ -8,7 +8,14 @@ exception Type_error of string
 
 type env = Schema.t list
 
-(** [resolve env name] is the type of [name], innermost-first. *)
+(** [did_you_mean name candidates] ranks [candidates] by closeness to
+    [name] (case-insensitive edit distance; qualified-name suffix
+    matches first), best first, at most three. Shared by {!resolve}'s
+    failure message and the linter's unresolved-attribute rule. *)
+val did_you_mean : string -> string list -> string list
+
+(** [resolve env name] is the type of [name], innermost-first. The
+    failure message lists in-scope candidate attributes. *)
 val resolve : env -> string -> Vtype.t
 
 (** [infer_expr db env e] is [e]'s type; [None] means statically unknown

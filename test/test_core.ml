@@ -693,14 +693,21 @@ let prop_strategy_agreement =
       | first :: rest -> List.for_all (Relation.equal_set first) rest)
 
 let prop_rewrite_typechecks =
-  QCheck.Test.make ~name:"rewritten plans typecheck" ~count:300 arb_case
-    (fun (db, q) ->
+  QCheck.Test.make ~name:"rewritten plans typecheck and lint clean" ~count:300
+    arb_case (fun (db, q) ->
       List.for_all
         (fun strategy ->
           match Rewrite.rewrite db ~strategy q with
-          | q_plus, _ ->
+          | q_plus, provs -> (
               Typecheck.check db q_plus;
-              true
+              (* the rewrite must satisfy the provenance contract and
+                 produce a plan free of error-severity lint diagnostics *)
+              match
+                Provcheck.check db ~strategy ~original:q (q_plus, provs)
+                @ Lint.errors (Lint.lint ~rules:Lint.plan_rules db q_plus)
+              with
+              | [] -> true
+              | diags -> QCheck.Test.fail_report (Lint.report diags))
           | exception Strategy.Unsupported _ -> true)
         Strategy.all)
 
