@@ -142,20 +142,38 @@ let verify_lint_parity db ~strategy ~provenance q plan =
       failwith "lint-check: linted and unlinted runs differ"
   end
 
+(* --prune-check: assert that dead-column pruning is observation-free —
+   the pruned plan (the default pipeline) must produce exactly the
+   tuples of the same plan optimized with ~prune:false. Verified inside
+   the forked child, outside the timed region. *)
+let prune_check = ref false
+
+let verify_prune_parity db q_plus plan =
+  if !prune_check then begin
+    let unpruned = Eval.query db (Optimizer.optimize ~prune:false db q_plus) in
+    let pruned = Eval.query db plan in
+    if not (Relation.equal_bag pruned unpruned) then
+      failwith "prune-check: pruned and unpruned plans differ"
+  end
+
 (* Rewrite + typecheck + optimize + evaluate with counters — the same
    pipeline as [Perm.run_query], but keeping the stats. Runs on the
-   engine currently selected by [Eval.default_engine]. *)
-let run_with_stats db ~strategy ~provenance q : Eval.stats =
+   engine currently selected by [Eval.default_engine]. [?prune] turns
+   the optimizer's dead-column pruning pass off (the "unpruned" series
+   of the prune benchmark). *)
+let run_with_stats db ~strategy ~provenance ?(prune = true) q : Eval.stats =
   if provenance then begin
     let q_plus, _ = Perm.rewrite db ~strategy q in
     Typecheck.check db q_plus;
-    let plan = Optimizer.optimize db q_plus in
+    let plan = Optimizer.optimize ~prune db q_plus in
     verify_lint_parity db ~strategy ~provenance q plan;
+    if prune then verify_prune_parity db q_plus plan;
     snd (Eval.query_stats db plan)
   end
   else begin
-    let plan = Optimizer.optimize db q in
+    let plan = Optimizer.optimize ~prune db q in
     verify_lint_parity db ~strategy ~provenance q plan;
+    if prune then verify_prune_parity db q plan;
     snd (Eval.query_stats db plan)
   end
 
@@ -566,6 +584,90 @@ let ablation ~timeout ~instances () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Dead-column pruning: pruned vs unpruned plans (beyond paper)         *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the full provenance pipeline with the optimizer's dead-column
+   pruning pass on (the default) and off, over the workloads where the
+   rewrites carry dead width: the SQL frontend's all-column renaming
+   projections over wide TPC-H tables, and the synthetic q1/q2 Left and
+   Gen plans. Recorded as figure "prune", series "pruned"/"unpruned". *)
+let prune_bench ~timeout ~instances ~sf ~engines () =
+  Printf.printf
+    "\n\
+     === Dead-column pruning (beyond paper): pruned vs unpruned rewritten \
+     plans ===\n\
+     (same rewrite, optimizer with/without the projection-pushing pass;\n\
+    \ combine with --prune-check to also assert bag-equal results)\n";
+  let workloads =
+    [
+      ("synth q1 left", `Synth (`Q1, Strategy.Left, 20000, 2000));
+      ("synth q1 gen", `Synth (`Q1, Strategy.Gen, 1500, 400));
+      ("synth q2 left", `Synth (`Q2, Strategy.Left, 20000, 2000));
+      ("tpch Q11 left", `Tpch (11, Strategy.Left));
+      ("tpch Q15 left", `Tpch (15, Strategy.Left));
+      ("tpch Q16 left", `Tpch (16, Strategy.Left));
+    ]
+  in
+  (* generated once; the forked measurement children inherit it *)
+  let tpch_db = Tpch.Tpch_gen.generate ~sf () in
+  per_engine engines (fun _ ->
+      let rows =
+        List.map
+          (fun (label, w) ->
+            let cell prune =
+              let params, mk =
+                match w with
+                | `Synth (template, strategy, n1, n2) ->
+                    ( [ ("n1", float_of_int n1); ("n2", float_of_int n2) ],
+                      fun k () ->
+                        let db =
+                          Synthetic.Workload.make_db ~seed:(k + 1) ~n1 ~n2 ()
+                        in
+                        let inst =
+                          match template with
+                          | `Q1 -> Synthetic.Workload.q1 ~seed:(k + 1) ~n1 ~n2 ()
+                          | `Q2 -> Synthetic.Workload.q2 ~seed:(k + 1) ~n1 ~n2 ()
+                        in
+                        let q = inst.Synthetic.Workload.query in
+                        fun () ->
+                          run_with_stats db ~strategy ~provenance:true ~prune q )
+                | `Tpch (number, strategy) ->
+                    ( [ ("sf", sf) ],
+                      fun k () ->
+                        let q =
+                          Tpch.Tpch_queries.instantiate ~seed:(100 + k) number
+                        in
+                        let analyzed =
+                          Sql_frontend.Analyzer.analyze_string tpch_db
+                            q.Tpch.Tpch_queries.sql
+                        in
+                        let algebra = analyzed.Sql_frontend.Analyzer.query in
+                        fun () ->
+                          run_with_stats tpch_db ~strategy ~provenance:true
+                            ~prune algebra )
+              in
+              fst
+                (record ~figure:"prune" ~query:label
+                   ~series:(if prune then "pruned" else "unpruned")
+                   ~params
+                   (measure ~timeout ~instances mk))
+              |> outcome_to_string
+            in
+            [ label; cell true; cell false ])
+          workloads
+      in
+      print_table
+        ~title:
+          (Printf.sprintf
+             "provenance runtime [s], optimizer with/without dead-column \
+              pruning (tpch sf=%.2f) [%s engine]"
+             sf
+             (Eval.engine_name !Eval.default_engine))
+        ~header:[ "query"; "pruned"; "unpruned" ]
+        rows)
+
+(* ------------------------------------------------------------------ *)
 (* Advisor: cost-based strategy choice (beyond paper)                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -584,9 +686,10 @@ let advisor_report () =
         in
         let ests = Advisor.estimates db inst.Synthetic.Workload.query in
         let show e =
-          Printf.sprintf "%s (%.0f)"
+          Printf.sprintf "%s (%.0f%s)"
             (Strategy.to_string e.Advisor.est_strategy)
             e.Advisor.est_cost
+            (if e.Advisor.est_safe then "" else ", unsafe")
         in
         [
           label;
@@ -605,9 +708,10 @@ let advisor_report () =
         in
         let ests = Advisor.estimates db analyzed.Sql_frontend.Analyzer.query in
         let show e =
-          Printf.sprintf "%s (%.0f)"
+          Printf.sprintf "%s (%.0f%s)"
             (Strategy.to_string e.Advisor.est_strategy)
             e.Advisor.est_cost
+            (if e.Advisor.est_safe then "" else ", unsafe")
         in
         [
           Printf.sprintf "tpch Q%d" n;
@@ -737,10 +841,20 @@ let lint_check_arg =
            and unlinted pipelines produce identical results (roughly \
            doubles evaluation work).")
 
-(* Parse --engine/--json/--lint-check, run the command body, then flush
-   the report. *)
-let with_report ?(lint = false) engine json body =
+let prune_check_arg =
+  Arg.(
+    value & flag
+    & info [ "prune-check" ]
+        ~doc:
+          "After each measured run, re-optimize the plan with dead-column \
+           pruning disabled and assert that the pruned and unpruned plans \
+           produce identical results (roughly doubles evaluation work).")
+
+(* Parse --engine/--json/--lint-check/--prune-check, run the command
+   body, then flush the report. *)
+let with_report ?(lint = false) ?(prune = false) engine json body =
   lint_check := lint;
+  prune_check := prune;
   json_path := json;
   let engines =
     try engines_of_string engine
@@ -752,25 +866,42 @@ let with_report ?(lint = false) engine json body =
   write_json ()
 
 let fig6_cmd =
-  let run timeout instances scales engine json lint =
-    with_report ~lint engine json (fun engines ->
+  let run timeout instances scales engine json lint prune =
+    with_report ~lint ~prune engine json (fun engines ->
         fig6 ~timeout ~instances ~scales ~engines ())
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"TPC-H figure 6 (a-d)")
     Term.(
       const run $ timeout_arg $ instances_arg $ scales_arg $ engine_arg
-      $ json_arg $ lint_check_arg)
+      $ json_arg $ lint_check_arg $ prune_check_arg)
 
 let mk_synth_cmd name doc f =
-  let run timeout instances full sizes engine json lint =
-    with_report ~lint engine json (fun engines ->
+  let run timeout instances full sizes engine json lint prune =
+    with_report ~lint ~prune engine json (fun engines ->
         f ~timeout ~instances ~full ~sizes ~engines ())
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ timeout_arg $ instances_arg $ full_arg $ sizes_arg
-      $ engine_arg $ json_arg $ lint_check_arg)
+      $ engine_arg $ json_arg $ lint_check_arg $ prune_check_arg)
+
+let prune_cmd =
+  let sf_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "sf" ] ~doc:"TPC-H scale factor for the prune benchmark.")
+  in
+  let run timeout instances sf engine json lint prune =
+    with_report ~lint ~prune engine json (fun engines ->
+        prune_bench ~timeout ~instances ~sf ~engines ())
+  in
+  Cmd.v
+    (Cmd.info "prune"
+       ~doc:"Dead-column pruning: pruned vs unpruned rewritten plans")
+    Term.(
+      const run $ timeout_arg $ instances_arg $ sf_arg $ engine_arg $ json_arg
+      $ lint_check_arg $ prune_check_arg)
 
 let ablation_cmd =
   let run timeout instances = ablation ~timeout ~instances () in
@@ -794,19 +925,20 @@ let all ~timeout ~instances ~full ~engines () =
   fig8 ~timeout ~instances ~full ~sizes:None ~engines ();
   fig9 ~timeout ~instances ~full ~sizes:None ~engines ();
   ablation ~timeout ~instances ();
+  prune_bench ~timeout ~instances ~sf:1.0 ~engines ();
   advisor_report ();
   Printf.printf "\nDone. See EXPERIMENTS.md for the paper-vs-measured discussion.\n"
 
 let all_cmd =
-  let run timeout instances full engine json lint =
-    with_report ~lint engine json (fun engines ->
+  let run timeout instances full engine json lint prune =
+    with_report ~lint ~prune engine json (fun engines ->
         all ~timeout ~instances ~full ~engines ())
   in
   Cmd.v
     (Cmd.info "all" ~doc:"All figures (default)")
     Term.(
       const run $ timeout_arg $ instances_arg $ full_arg $ engine_arg $ json_arg
-      $ lint_check_arg)
+      $ lint_check_arg $ prune_check_arg)
 
 let default =
   Term.(
@@ -828,6 +960,7 @@ let () =
             mk_synth_cmd "fig8" "Synthetic figure 8" fig8;
             mk_synth_cmd "fig9" "Synthetic figure 9" fig9;
             ablation_cmd;
+            prune_cmd;
             advisor_cmd;
             bechamel_cmd;
             all_cmd;

@@ -13,6 +13,8 @@
                    \timing       toggle timing
                    \stats        toggle EXPLAIN-ANALYZE-style counters
                    \lint [SQL]   toggle lint gating / lint one statement
+                   \analyze SQL  per-operator dataflow facts (nullability,
+                                 lineage, cardinality) for one statement
                    \werror       toggle treating lint warnings as errors
                    \influence    rank witnesses of the last provenance result
                    \graph FILE   write the last provenance result as Graphviz
@@ -179,6 +181,49 @@ let lint_statement session sql =
   | exception Typecheck.Type_error msg -> Printf.printf "type error: %s\n" msg
   | exception Value.Type_clash msg -> Printf.printf "value error: %s\n" msg
 
+(* \analyze SQL: per-operator dataflow fact dump (cardinality interval,
+   maybe-null flags, base-column lineage) for one statement, without
+   running it — and for its provenance rewrite when the PROVENANCE
+   marker is present. *)
+let analyze_statement session sql =
+  let sql = String.trim sql in
+  let sql =
+    if String.length sql > 0 && sql.[String.length sql - 1] = ';' then
+      String.sub sql 0 (String.length sql - 1)
+    else sql
+  in
+  match Sql_frontend.Analyzer.analyze_string session.db sql with
+  | analyzed ->
+      let q = analyzed.Sql_frontend.Analyzer.query in
+      let dfa = Dataflow.create session.db in
+      print_string (Dataflow.dump dfa q);
+      if analyzed.Sql_frontend.Analyzer.wants_provenance then begin
+        let strategy =
+          match session.strategy with
+          | Fixed s -> s
+          | Auto -> (
+              try Advisor.choose session.db q
+              with Strategy.Unsupported _ -> Strategy.Gen)
+        in
+        match Rewrite.rewrite session.db ~strategy q with
+        | rewritten, _ ->
+            let plan = Optimizer.optimize session.db rewritten in
+            Printf.printf "\nrewritten plan (%s, optimized):\n"
+              (Strategy.to_string strategy);
+            print_string (Dataflow.dump (Dataflow.create session.db) plan)
+        | exception Strategy.Unsupported msg ->
+            Printf.printf "\nstrategy %s not applicable: %s\n"
+              (Strategy.to_string strategy) msg
+      end
+  | exception Sql_frontend.Lexer.Lex_error (msg, line, col) ->
+      Printf.printf "lex error at %d:%d: %s\n" line col msg
+  | exception Sql_frontend.Parser.Parse_error (msg, line, col) ->
+      Printf.printf "parse error at %d:%d: %s\n" line col msg
+  | exception Sql_frontend.Analyzer.Analyze_error msg ->
+      Printf.printf "analysis error: %s\n" msg
+  | exception Typecheck.Type_error msg -> Printf.printf "type error: %s\n" msg
+  | exception Value.Type_clash msg -> Printf.printf "value error: %s\n" msg
+
 let handle_command session line =
   match String.split_on_char ' ' (String.trim line) with
   | [ "\\q" ] -> `Quit
@@ -250,6 +295,9 @@ let handle_command session line =
   | "\\lint" :: rest ->
       lint_statement session (String.concat " " rest);
       `Continue
+  | "\\analyze" :: rest when rest <> [] ->
+      analyze_statement session (String.concat " " rest);
+      `Continue
   | [ "\\werror" ] ->
       session.werror <- not session.werror;
       Printf.printf "lint warnings are %s\n"
@@ -262,7 +310,8 @@ let handle_command session line =
 let repl session =
   Printf.printf
     "permcli — Perm provenance shell. \\d lists tables, \\q quits,\n\
-     \\influence and \\graph analyze the last provenance result.\n\
+     \\influence and \\graph analyze the last provenance result,\n\
+     \\lint checks a statement, \\analyze dumps per-operator dataflow facts.\n\
      Statements end with ';'. Use SELECT PROVENANCE ... for provenance.\n";
   let buffer = Buffer.create 256 in
   let rec loop () =

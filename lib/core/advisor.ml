@@ -107,20 +107,68 @@ and cost db (q : query) : float =
 type estimate = {
   est_strategy : Strategy.t;
   est_cost : float;  (** estimated tuples touched; infinite if huge *)
+  est_safe : bool;  (** nullability proves the rewrite's fast paths safe *)
 }
 
-(** [estimates db q] costs every applicable strategy's optimized plan,
-    cheapest first. *)
+(* Unn de-correlates an [= ANY] sublink into a plain equi-join. With a
+   NULL on either side of the equality the original membership test is
+   three-valued while the join's hash path is two-valued, so the
+   rewrite's correctness rests on the subtle interplay of UNKNOWN
+   filtering and duplicate handling. Prefer Unn only when the
+   {!Dataflow} nullability analysis proves no NULL can reach the
+   comparison: the left-hand side and every sublink output column must
+   be provably non-NULL (under the sublink's correlation scope). *)
+let unn_equi_safe db (q : query) : bool =
+  let dfa = Dataflow.create db in
+  let exception Unsafe in
+  let rec walk ~env q =
+    let input_fact =
+      List.fold_left
+        (fun f i -> Dataflow.concat_null f (Dataflow.nullability dfa ~env i))
+        { Dataflow.n_names = []; n_maybe = [] }
+        (Dataflow.inputs q)
+    in
+    let env' = input_fact :: env in
+    List.iter
+      (fun e ->
+        List.iter
+          (fun s ->
+            (match s.kind with
+            | AnyOp (Eq, lhs) ->
+                if
+                  Dataflow.expr_nullable dfa ~env:env' lhs
+                  || List.exists Fun.id
+                       (Dataflow.nullability dfa ~env:env' s.query)
+                         .Dataflow.n_maybe
+                then raise Unsafe
+            | _ -> ());
+            walk ~env:env' s.query)
+          (sublinks_of_expr e))
+      (root_exprs q);
+    List.iter (walk ~env) (Dataflow.inputs q)
+  in
+  match walk ~env:[] q with () -> true | exception Unsafe -> false
+
+(** [estimates db q] costs every applicable strategy's optimized plan;
+    nullability-safe strategies first, cheapest within each group. *)
 let estimates db (q : query) : estimate list =
   List.filter_map
     (fun strategy ->
       match Rewrite.rewrite db ~strategy q with
       | q_plus, _ ->
           let plan = Optimizer.optimize db q_plus in
-          Some { est_strategy = strategy; est_cost = cost db plan }
+          let est_safe =
+            match strategy with
+            | Strategy.Unn -> unn_equi_safe db q
+            | _ -> true
+          in
+          Some { est_strategy = strategy; est_cost = cost db plan; est_safe }
       | exception Strategy.Unsupported _ -> None)
     Strategy.all
-  |> List.sort (fun a b -> compare a.est_cost b.est_cost)
+  |> List.sort (fun a b ->
+         match compare b.est_safe a.est_safe with
+         | 0 -> compare a.est_cost b.est_cost
+         | c -> c)
 
 (** [choose db q] is the estimated-cheapest applicable strategy.
     Raises {!Strategy.Unsupported} when none applies (e.g. LIMIT). *)

@@ -15,14 +15,21 @@ val cost : Database.t -> Algebra.query -> float
 type estimate = {
   est_strategy : Strategy.t;
   est_cost : float;
+  est_safe : bool;
+      (** [false] only for Unn on a query where the {!Dataflow}
+          nullability analysis cannot prove every [= ANY] equality
+          NULL-free — its de-correlated equi-join is then ranked after
+          the strategies that keep the original sublink semantics. *)
 }
 
-(** [estimates db q]: every applicable strategy's optimized-plan cost,
-    cheapest first. *)
+(** [estimates db q]: every applicable strategy's optimized-plan cost;
+    nullability-safe strategies first, cheapest within each group. *)
 val estimates : Database.t -> Algebra.query -> estimate list
 
-(** [choose db q] is the estimated-cheapest applicable strategy;
-    raises {!Strategy.Unsupported} when none applies. *)
+(** [choose db q] is the estimated-cheapest applicable strategy whose
+    rewrite is nullability-safe (falling back to unsafe ones when
+    nothing else applies); raises {!Strategy.Unsupported} when no
+    strategy applies. *)
 val choose : Database.t -> Algebra.query -> Strategy.t
 
 (** [run db ?optimize ?lint ?werror sql] is {!Perm.run} with an

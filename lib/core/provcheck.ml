@@ -179,10 +179,43 @@ let prefix_rule db ~original rewritten provs =
         "the rewritten query's root is not the normalizing identity \
          projection"
 
+(* Dataflow-backed: each provenance attribute must transitively trace
+   back to the base column it claims to copy. Empty lineage is
+   tolerated — the rewrites legitimately NULL-pad provenance columns
+   (set-operation arms, Gen's empty-sublink case, unmatched outer-join
+   rows), and a typed NULL has no base sources. *)
+let lineage_rule db rewritten provs =
+  let dfa = Dataflow.create db in
+  let fact = Dataflow.lineage dfa rewritten in
+  let deps_to_string deps =
+    String.concat ", "
+      (List.map (fun (r, c) -> r ^ "." ^ c) (Dataflow.Deps.elements deps))
+  in
+  List.concat_map
+    (fun (pr : Pschema.prov_rel) ->
+      List.filter_map
+        (fun (pc : Pschema.prov_col) ->
+          let deps = Dataflow.attr_deps fact pc.Pschema.pc_name in
+          if
+            Dataflow.Deps.is_empty deps
+            || Dataflow.Deps.mem (pr.Pschema.pr_rel, pc.Pschema.pc_src) deps
+          then None
+          else
+            Some
+              (diag Error ~rule:"prov-lineage" ~path:[]
+                 (Printf.sprintf
+                    "provenance attribute %S traces to {%s}, which does not \
+                     include its claimed source %s.%s"
+                    pc.Pschema.pc_name (deps_to_string deps) pr.Pschema.pr_rel
+                    pc.Pschema.pc_src)))
+        pr.Pschema.pr_cols)
+    provs
+
 let contract db ~original rewritten provs =
   schema_rule db ~original rewritten provs
   @ order_rule ~original provs
   @ prefix_rule db ~original rewritten provs
+  @ lineage_rule db rewritten provs
 
 (* ------------------------------------------------------------------ *)
 (* Gen's CrossBase presence                                             *)

@@ -21,6 +21,10 @@
     - [prov-prefix]: the root of [q+] is an identity projection passing
       the original attributes, then the provenance attributes, through
       unchanged.
+    - [prov-lineage]: each provenance attribute's {!Dataflow.lineage}
+      reaches the base column it claims to copy (empty lineage is
+      tolerated: the rewrites legitimately NULL-pad provenance columns
+      in set-operation arms and empty-sublink cases).
     - [gen-crossbase]: under Gen, every base-relation access inside a
       sublink is covered by a NULL-extended CrossBase scan in [q+].
     - [optimizer-schema] / [optimizer-diagnostics]: an optimized plan
@@ -37,8 +41,8 @@ val precondition :
   Database.t -> strategy:Strategy.t -> Algebra.query -> Lint.diagnostic list
 
 (** [contract db ~original rewritten provs] checks [prov-schema],
-    [prov-order] and [prov-prefix] on an (unoptimized) rewrite
-    result. *)
+    [prov-order], [prov-prefix] and [prov-lineage] on an (unoptimized)
+    rewrite result. *)
 val contract :
   Database.t ->
   original:Algebra.query ->

@@ -217,11 +217,24 @@ let rules =
     ( "rewrite-unsupported",
       "a construct the provenance rewriter cannot handle: LIMIT, or sublinks \
        in ORDER BY / outer-join conditions / GROUP BY / aggregate arguments" );
+    ( "sublink-null-trap",
+      "NOT IN / <> ALL where the left-hand side or the sublink column may be \
+       NULL — a single NULL makes the membership test UNKNOWN and silently \
+       rejects every row" );
+    ( "scalar-cardinality",
+      "a scalar sublink whose query may return more than one row — evaluation \
+       raises as soon as it does" );
   ]
 
+(* The semantic sublink rules target source queries: a rewritten plan
+   contains sublinks the rewriter placed deliberately (and, under Gen,
+   CrossBase columns that are maybe-NULL by construction), so re-warning
+   about them there is noise — same reasoning as rewrite-unsupported. *)
 let plan_rules =
   List.filter
-    (fun n -> n <> "rewrite-unsupported" && n <> "shadowed-attribute")
+    (fun n ->
+      n <> "rewrite-unsupported" && n <> "shadowed-attribute"
+      && n <> "sublink-null-trap" && n <> "scalar-cardinality")
     (List.map fst rules)
 
 (* --- name resolution -------------------------------------------------- *)
@@ -597,6 +610,94 @@ let check_rewrite_support db (s : site) : diagnostic list =
           aggs
   | _ -> []
 
+(* --- dataflow-backed semantic rules ------------------------------------ *)
+
+(* These rules need facts that flow across operators (nullability of a
+   sublink's column under its correlation scope, cardinality of a
+   sublink query), so they run as one dedicated walk sharing a single
+   {!Dataflow} handle instead of as per-site checks. The walk mirrors
+   [collect]'s path construction exactly, so diagnostics land on the
+   same operator paths as every other rule. *)
+
+let may_exceed_one = function
+  | Dataflow.Fin n -> n > 1
+  | Dataflow.Inf -> true
+
+let check_semantics db q : diagnostic list =
+  let dfa = Dataflow.create db in
+  let acc = ref [] in
+  let rec walk prefix ~env q =
+    let here = prefix @ [ op_label q ] in
+    let inputs = Dataflow.inputs q in
+    let input_fact =
+      List.fold_left
+        (fun f i -> Dataflow.concat_null f (Dataflow.nullability dfa ~env i))
+        { Dataflow.n_names = []; n_maybe = [] }
+        inputs
+    in
+    let env' = input_fact :: env in
+    let sub_column_nullable s =
+      List.exists Fun.id (Dataflow.nullability dfa ~env:env' s.query).Dataflow.n_maybe
+    in
+    let null_trap form s lhs =
+      let lhs_null = Dataflow.expr_nullable dfa ~env:env' lhs in
+      let col_null = sub_column_nullable s in
+      if lhs_null || col_null then begin
+        let side =
+          match (lhs_null, col_null) with
+          | true, true -> "both the left-hand side and the sublink column"
+          | true, false -> "the left-hand side"
+          | _ -> "the sublink column"
+        in
+        acc :=
+          diag Warning ~rule:"sublink-null-trap" ~path:here
+            (Printf.sprintf
+               "%s where %s may be NULL: a single NULL makes the membership \
+                test UNKNOWN and silently rejects every row — filter with IS \
+                NOT NULL or use NOT EXISTS"
+               form side)
+          :: !acc
+      end
+    in
+    let check_expr e =
+      List.iter
+        (fun x ->
+          match x with
+          | Not (Sublink ({ kind = AnyOp (Eq, lhs); _ } as s)) ->
+              null_trap "NOT IN" s lhs
+          | Sublink ({ kind = AllOp (Neq, lhs); _ } as s) ->
+              null_trap "<> ALL" s lhs
+          | Sublink { kind = Scalar; query = sq; _ } ->
+              let c = Dataflow.cardinality dfa sq in
+              if may_exceed_one c.Dataflow.c_hi then
+                acc :=
+                  diag Warning ~rule:"scalar-cardinality" ~path:here
+                    (Format.asprintf
+                       "scalar sublink may return %a rows — evaluation raises \
+                        as soon as it returns more than one (aggregate the \
+                        sublink or add LIMIT-like uniqueness)"
+                       Dataflow.pp_card c)
+                  :: !acc
+          | _ -> ())
+        (subexprs e)
+    in
+    List.iter check_expr (List.map snd (labelled_exprs q));
+    let child_prefix qualifier = prefix @ [ op_label q ^ qualifier ] in
+    (match inputs with
+    | [] -> ()
+    | [ i ] -> walk (child_prefix "") ~env i
+    | [ a; b ] ->
+        walk (child_prefix "[left]") ~env a;
+        walk (child_prefix "[right]") ~env b
+    | _ -> assert false);
+    List.iteri
+      (fun i s ->
+        walk (here @ [ Printf.sprintf "sublink[%d]" (i + 1) ]) ~env:env' s.query)
+      (List.concat_map (fun (_, e) -> sublinks_of_expr e) (labelled_exprs q))
+  in
+  walk [] ~env:[] q;
+  List.rev !acc
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -611,7 +712,16 @@ let compare_diag a b =
 
 let lint ?rules:(enabled = List.map fst rules) db q : diagnostic list =
   let ss = sites db q in
+  let semantic =
+    (* only pay for the dataflow pass when a semantic rule is enabled *)
+    if
+      List.mem "sublink-null-trap" enabled
+      || List.mem "scalar-cardinality" enabled
+    then check_semantics db q
+    else []
+  in
   List.concat_map (fun check -> List.concat_map (check db) ss) all_checks
+  @ semantic
   |> List.filter (fun d -> List.mem d.rule enabled)
   |> List.sort_uniq compare_diag
 

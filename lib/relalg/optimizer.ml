@@ -148,6 +148,149 @@ and optimize db (q : query) : query =
   | (Cross _ | Join _ | LeftJoin _) as q -> push_select db [] q
   | q -> optimize_children db q
 
+(** {1 Dead-column pruning}
+
+    A backward needed-column pass driven by the same dependency facts
+    the {!Dataflow} lineage analysis computes: each operator receives
+    the set of output names its parent may read and narrows itself and
+    its inputs accordingly. The provenance rewrites (G1/L1/T1) widen
+    every tuple with CrossBase/Tsub+ columns that downstream operators
+    never read, and the SQL frontend scans every base table through an
+    all-columns renaming projection — both leave dead columns that cost
+    the compiled engine per-tuple work in every operator above.
+
+    Invariants, per node: [needed ∩ out(q) ⊆ out(q') ⊆ out(q)] with
+    relative order preserved (superset semantics — exact narrowing
+    happens only at bag [Project] nodes and base scans). Columns are
+    never dropped where they carry semantics:
+    - DISTINCT projections and set operations dedup/match on all
+      columns, so their width is untouched (pruning still descends into
+      their sublink conditions and below set-operation arms);
+    - [Agg] keeps every GROUP BY column and, with no GROUP BY, at least
+      one aggregate so the one-row-on-empty-input semantics survives;
+    - EXISTS sublink queries need no columns at all and collapse to
+      zero-width plans; scalar/ANY/ALL sublinks keep their single value
+      column.
+    The root is pruned with its full output, so plan schemas — and the
+    provenance contract checked by [Provcheck] — are unchanged. *)
+
+module SS = Set.Make (String)
+
+let refs db e = SS.of_list (Scope.refs_of_expr db e)
+
+let refs_of_exprs db es =
+  List.fold_left (fun acc e -> SS.union acc (refs db e)) SS.empty es
+
+let all_out db q = SS.of_list (Scope.out_names db q)
+
+let rec prune_expr db (e : expr) : expr =
+  match e with
+  | Const _ | TypedNull _ | Attr _ -> e
+  | Binop (op, a, b) -> Binop (op, prune_expr db a, prune_expr db b)
+  | Cmp (op, a, b) -> Cmp (op, prune_expr db a, prune_expr db b)
+  | And (a, b) -> And (prune_expr db a, prune_expr db b)
+  | Or (a, b) -> Or (prune_expr db a, prune_expr db b)
+  | Not a -> Not (prune_expr db a)
+  | IsNull a -> IsNull (prune_expr db a)
+  | Case (whens, els) ->
+      Case
+        ( List.map (fun (c, x) -> (prune_expr db c, prune_expr db x)) whens,
+          Option.map (prune_expr db) els )
+  | Like (a, p) -> Like (prune_expr db a, p)
+  | InList (a, es) -> InList (prune_expr db a, List.map (prune_expr db) es)
+  | FunCall (f, es) -> FunCall (f, List.map (prune_expr db) es)
+  | Sublink s ->
+      let kind, needed =
+        match s.kind with
+        | Exists -> (Exists, SS.empty)
+        | Scalar -> (Scalar, all_out db s.query)
+        | AnyOp (op, lhs) -> (AnyOp (op, prune_expr db lhs), all_out db s.query)
+        | AllOp (op, lhs) -> (AllOp (op, prune_expr db lhs), all_out db s.query)
+      in
+      Sublink { s with kind; query = prune_query db needed s.query }
+
+and prune_query db (needed : SS.t) (q : query) : query =
+  match q with
+  | Base name -> (
+      match Database.find_opt db name with
+      | None -> q
+      | Some r ->
+          let names = Schema.names (Relation.schema r) in
+          let kept = List.filter (fun n -> SS.mem n needed) names in
+          if List.length kept = List.length names then q
+          else project (List.map (fun n -> (Attr n, n)) kept) q)
+  | TableExpr _ -> q
+  | Select (c, input) ->
+      let below = SS.union needed (refs db c) in
+      Select (prune_expr db c, prune_query db below input)
+  | Project p when p.distinct ->
+      let below = refs_of_exprs db (List.map fst p.cols) in
+      Project
+        {
+          p with
+          cols = List.map (fun (e, n) -> (prune_expr db e, n)) p.cols;
+          proj_input = prune_query db below p.proj_input;
+        }
+  | Project p ->
+      let cols = List.filter (fun (_, n) -> SS.mem n needed) p.cols in
+      let below = refs_of_exprs db (List.map fst cols) in
+      Project
+        {
+          p with
+          cols = List.map (fun (e, n) -> (prune_expr db e, n)) cols;
+          proj_input = prune_query db below p.proj_input;
+        }
+  | Cross (a, b) -> Cross (prune_query db needed a, prune_query db needed b)
+  | Join (c, a, b) ->
+      let below = SS.union needed (refs db c) in
+      Join (prune_expr db c, prune_query db below a, prune_query db below b)
+  | LeftJoin (c, a, b) ->
+      let below = SS.union needed (refs db c) in
+      LeftJoin (prune_expr db c, prune_query db below a, prune_query db below b)
+  | Agg a ->
+      let aggs = List.filter (fun c -> SS.mem c.agg_name needed) a.aggs in
+      let aggs =
+        (* an aggregation with no GROUP BY returns exactly one row; keep
+           one aggregate so the empty-input behaviour is preserved *)
+        if aggs = [] && a.group_by = [] && a.aggs <> [] then [ List.hd a.aggs ]
+        else aggs
+      in
+      let below =
+        SS.union
+          (refs_of_exprs db (List.map fst a.group_by))
+          (refs_of_exprs db (List.filter_map (fun c -> c.agg_arg) aggs))
+      in
+      Agg
+        {
+          group_by = List.map (fun (e, n) -> (prune_expr db e, n)) a.group_by;
+          aggs =
+            List.map
+              (fun c -> { c with agg_arg = Option.map (prune_expr db) c.agg_arg })
+              aggs;
+          agg_input = prune_query db below a.agg_input;
+        }
+  | Union (s, a, b) ->
+      (* positional semantics: arms keep their full width, but pruning
+         still reaches sublink conditions and scans below them *)
+      Union (s, prune_query db (all_out db a) a, prune_query db (all_out db b) b)
+  | Inter (s, a, b) ->
+      Inter (s, prune_query db (all_out db a) a, prune_query db (all_out db b) b)
+  | Diff (s, a, b) ->
+      Diff (s, prune_query db (all_out db a) a, prune_query db (all_out db b) b)
+  | Order (keys, input) ->
+      let below = SS.union needed (refs_of_exprs db (List.map fst keys)) in
+      Order
+        ( List.map (fun (e, d) -> (prune_expr db e, d)) keys,
+          prune_query db below input )
+  | Limit (n, input) -> Limit (n, prune_query db needed input)
+
+(** [prune db q] drops dead columns everywhere below the root; the
+    root's own schema is preserved. *)
+let prune db q = prune_query db (all_out db q) q
+
 (* Entry point: simplify first (constant folding may expose TRUE/FALSE
-   selections and negation-free comparisons), then push selections. *)
-let optimize db q = optimize db (Simplify.query q)
+   selections and negation-free comparisons), push selections, then
+   drop the columns nothing above reads. *)
+let optimize ?(prune = true) db q =
+  let q' = optimize db (Simplify.query q) in
+  if prune then prune_query db (all_out db q') q' else q'

@@ -15,6 +15,8 @@ type t = {
   tuples : Tuple.t list;
   mutable counts_memo : int Tuple.Tbl.t option;
       (* lazily built multiplicity table; never mutated after exposure *)
+  mutable nullable_memo : bool array option;
+      (* lazily built per-column "contains a NULL" flags *)
 }
 
 exception Relation_error of string
@@ -24,7 +26,8 @@ let relation_error fmt = Format.kasprintf (fun s -> raise (Relation_error s)) fm
 (** [make_unchecked schema tuples] builds a relation without the
     per-tuple arity check — for operators (e.g. the compiled engine)
     whose output arity is known correct by construction. *)
-let make_unchecked schema tuples = { schema; tuples; counts_memo = None }
+let make_unchecked schema tuples =
+  { schema; tuples; counts_memo = None; nullable_memo = None }
 
 let make schema tuples =
   List.iter
@@ -64,6 +67,25 @@ let counts r =
 
 let multiplicity r t =
   match Tuple.Tbl.find_opt (counts r) t with Some n -> n | None -> 0
+
+(** [nullable_columns r] flags, per column, whether any tuple holds a
+    NULL there; computed on first use and cached. Callers must not
+    mutate the result. *)
+let nullable_columns r =
+  match r.nullable_memo with
+  | Some flags -> flags
+  | None ->
+      let flags = Array.make (Schema.arity r.schema) false in
+      List.iter
+        (fun t ->
+          Array.iteri
+            (fun i v -> if Value.is_null v then flags.(i) <- true)
+            t)
+        r.tuples;
+      r.nullable_memo <- Some flags;
+      flags
+
+let column_nullable r i = (nullable_columns r).(i)
 
 let mem r t = List.exists (Tuple.equal t) r.tuples
 

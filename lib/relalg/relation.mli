@@ -32,6 +32,14 @@ val counts : t -> int Tuple.Tbl.t
 val multiplicity : t -> Tuple.t -> int
 val mem : t -> Tuple.t -> bool
 
+(** [nullable_columns r] flags, per column, whether any tuple holds a
+    NULL there; computed on first use and cached in the relation.
+    Callers must not mutate the result. *)
+val nullable_columns : t -> bool array
+
+(** [column_nullable r i] is [(nullable_columns r).(i)]. *)
+val column_nullable : t -> int -> bool
+
 (** [distinct r] removes duplicates, keeping first occurrences. *)
 val distinct : t -> t
 

@@ -70,12 +70,29 @@ let rec resolve_in_frame frame qual col =
             name
       | None -> None)
 
+(* Every column name visible in a frame — bare and alias-qualified —
+   for the unknown-column did-you-mean hint. *)
+let rec frame_candidates = function
+  | From_frame items ->
+      List.concat_map
+        (fun (alias, cols) -> cols @ List.map (qualify alias) cols)
+        items
+  | Agg_frame af -> List.map snd af.af_groups @ frame_candidates af.af_hidden
+
+let did_you_mean_hint name candidates =
+  match Typecheck.did_you_mean name candidates with
+  | [] -> ""
+  | cands ->
+      Printf.sprintf "; did you mean %s?"
+        (String.concat " or " (List.map (Printf.sprintf "%S") cands))
+
 (* Resolve through the scope stack; innermost frame first. *)
 let resolve (scopes : scopes) qual col =
   let rec go = function
     | [] ->
-        err "unknown column %S"
-          (match qual with Some q -> qualify q col | None -> col)
+        let name = match qual with Some q -> qualify q col | None -> col in
+        err "unknown column %S%s" name
+          (did_you_mean_hint name (List.concat_map frame_candidates scopes))
     | frame :: rest -> (
         match resolve_in_frame frame qual col with
         | Some name -> name
@@ -268,7 +285,10 @@ and analyze_from_item db (outer : scopes) (item : Ast.from_item) :
             (* not a base table: try the view catalog and inline *)
             match Database.find_view db table with
             | Some q -> (q, Scope.out_names db q)
-            | None -> err "unknown table or view %S" table)
+            | None ->
+                err "unknown table or view %S%s" table
+                  (did_you_mean_hint table
+                     (Database.names db @ Database.view_names db)))
       in
       let renamed =
         Algebra.project
