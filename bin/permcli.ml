@@ -16,9 +16,16 @@
                    \analyze SQL  per-operator dataflow facts (nullability,
                                  lineage, cardinality) for one statement
                    \werror       toggle treating lint warnings as errors
+                   \budget ...   show / set the execution budget, e.g.
+                                 \budget timeout=2 rows=1e6; \budget off
+                   \fallback     toggle strategy fallback on budget trips
                    \influence    rank witnesses of the last provenance result
                    \graph FILE   write the last provenance result as Graphviz
-                   \q            quit                                       *)
+                   \q            quit
+
+   Every statement error — parse, analysis, type, lint, strategy,
+   budget, runtime — is caught per statement and reported through the
+   Resilience taxonomy; the REPL never dies on a bad statement.       *)
 
 open Relalg
 open Core
@@ -33,13 +40,11 @@ type session = {
   mutable show_stats : bool;
   mutable lint : bool;  (* gate statements through Lint / Provcheck *)
   mutable werror : bool;  (* escalate lint warnings to errors *)
+  mutable budget : Guard.budget option;  (* execution governor budget *)
+  mutable fallback : bool;  (* degrade strategy on Unsupported / budget trip *)
   mutable last_provenance : (Relation.t * Pschema.prov_rel list) option;
       (* most recent provenance result, for \influence and \graph *)
 }
-
-let strategy_name = function
-  | Fixed s -> Strategy.to_string s
-  | Auto -> "auto"
 
 let demo_db () =
   let r_schema =
@@ -67,18 +72,27 @@ let demo_db () =
     ]
 
 let run_statement session sql =
-  let lint = session.lint and werror = session.werror in
+  let lint = session.lint
+  and werror = session.werror
+  and fallback = session.fallback in
+  let budget = session.budget in
   match session.strategy with
-  | Fixed strategy -> Perm.exec session.db ~strategy ~lint ~werror sql
+  | Fixed strategy ->
+      Perm.exec session.db ~strategy ~lint ~werror ?budget ~fallback sql
   | Auto -> (
       (* the advisor handles SELECTs; DDL does not need a strategy *)
-      match Sql_frontend.Parser.parse_statement sql with
+      match
+        Resilience.enter Resilience.Parse (fun () ->
+            Sql_frontend.Parser.parse_statement sql)
+      with
       | Sql_frontend.Ast.Stmt_select _ ->
-          let strategy, result = Advisor.run session.db ~lint ~werror sql in
+          let strategy, result =
+            Advisor.run session.db ~lint ~werror ?budget ~fallback sql
+          in
           if result.Perm.provenance <> [] then
             Printf.printf "advisor chose: %s\n" (Strategy.to_string strategy);
           Perm.Rows result
-      | _ -> Perm.exec session.db ~lint ~werror sql)
+      | _ -> Perm.exec session.db ~lint ~werror ?budget ~fallback sql)
 
 let execute session sql =
   let t0 = Unix.gettimeofday () in
@@ -90,6 +104,10 @@ let execute session sql =
         print_string (Pp.query_to_string result.Perm.plan)
       end;
       Table_pp.print result.Perm.relation;
+      (match result.Perm.ladder with
+      | Some l when l.Resilience.lad_abandoned <> [] ->
+          Printf.printf "fallback: %s\n" (Resilience.ladder_to_string l)
+      | _ -> ());
       if result.Perm.provenance <> [] then begin
         Printf.printf "provenance of: %s\n"
           (String.concat ", "
@@ -101,26 +119,28 @@ let execute session sql =
       if session.show_stats then begin
         let _, st = Eval.query_stats session.db result.Perm.plan in
         Printf.printf "exec: %s\n" (Eval.stats_to_string st)
-      end
-  | Perm.Created_view name -> Printf.printf "created view %s\n" name
+      end;
+      true
+  | Perm.Created_view name ->
+      Printf.printf "created view %s\n" name;
+      true
   | Perm.Created_table (name, n) ->
-      Printf.printf "created table %s (%d rows)\n" name n
-  | Perm.Dropped name -> Printf.printf "dropped %s\n" name
-  | exception Sql_frontend.Lexer.Lex_error (msg, line, col) ->
-      Printf.printf "lex error at %d:%d: %s\n" line col msg
-  | exception Sql_frontend.Parser.Parse_error (msg, line, col) ->
-      Printf.printf "parse error at %d:%d: %s\n" line col msg
-  | exception Sql_frontend.Analyzer.Analyze_error msg ->
-      Printf.printf "analysis error: %s\n" msg
-  | exception Typecheck.Type_error msg -> Printf.printf "type error: %s\n" msg
-  | exception Eval.Eval_error msg -> Printf.printf "runtime error: %s\n" msg
-  | exception Strategy.Unsupported msg ->
-      Printf.printf "strategy %s not applicable: %s\n"
-        (strategy_name session.strategy)
-        msg
-  | exception Lint.Lint_error diags ->
-      Printf.printf "lint rejected the statement:\n%s\n" (Lint.report diags)
-  | exception Value.Type_clash msg -> Printf.printf "value error: %s\n" msg
+      Printf.printf "created table %s (%d rows)\n" name n;
+      true
+  | Perm.Dropped name ->
+      Printf.printf "dropped %s\n" name;
+      true
+  | exception Resilience.Perm_error e ->
+      Printf.printf "error: %s\n" (Resilience.error_to_string e);
+      false
+  | exception exn -> (
+      (* last-ditch: classify stray library exceptions so a statement
+         can never kill the session *)
+      (match Resilience.classify ~default:Resilience.Eval exn with
+      | e -> Printf.printf "error: %s\n" (Resilience.error_to_string e)
+      | exception Not_found ->
+          Printf.printf "error: [eval] %s\n" (Printexc.to_string exn));
+      false)
 
 let describe session = function
   | None ->
@@ -224,6 +244,60 @@ let analyze_statement session sql =
   | exception Typecheck.Type_error msg -> Printf.printf "type error: %s\n" msg
   | exception Value.Type_clash msg -> Printf.printf "value error: %s\n" msg
 
+(* \budget — show, clear, or set the execution governor's budget from
+   key=value parts (numbers accept scientific notation: rows=1e6). *)
+let budget_command session args =
+  match args with
+  | [] -> (
+      match session.budget with
+      | None -> print_endline "no budget (unlimited)"
+      | Some b -> Printf.printf "budget: %s\n" (Guard.budget_to_string b))
+  | [ "off" ] ->
+      session.budget <- None;
+      print_endline "budget cleared"
+  | parts ->
+      let timeout = ref None
+      and rows = ref None
+      and pairs = ref None
+      and alloc = ref None in
+      let ok =
+        List.for_all
+          (fun part ->
+            match String.index_opt part '=' with
+            | None -> false
+            | Some k -> (
+                let key = String.sub part 0 k in
+                let v = String.sub part (k + 1) (String.length part - k - 1) in
+                match (key, float_of_string_opt v) with
+                | "timeout", Some f ->
+                    timeout := Some f;
+                    true
+                | "rows", Some f ->
+                    rows := Some (int_of_float f);
+                    true
+                | "pairs", Some f ->
+                    pairs := Some (int_of_float f);
+                    true
+                | "alloc", Some f ->
+                    alloc := Some f;
+                    true
+                | _ -> false))
+          parts
+      in
+      if not ok then
+        print_endline
+          "usage: \\budget [off] [timeout=SECS] [rows=N] [pairs=N] [alloc=MB]"
+      else begin
+        let b =
+          Guard.budget ?timeout:!timeout ?max_rows:!rows ?max_pairs:!pairs
+            ?max_alloc_mb:!alloc ()
+        in
+        session.budget <- (if Guard.is_unlimited b then None else Some b);
+        match session.budget with
+        | Some b -> Printf.printf "budget: %s\n" (Guard.budget_to_string b)
+        | None -> print_endline "no budget (unlimited)"
+      end
+
 let handle_command session line =
   match String.split_on_char ' ' (String.trim line) with
   | [ "\\q" ] -> `Quit
@@ -298,6 +372,14 @@ let handle_command session line =
   | "\\analyze" :: rest when rest <> [] ->
       analyze_statement session (String.concat " " rest);
       `Continue
+  | "\\budget" :: rest ->
+      budget_command session rest;
+      `Continue
+  | [ "\\fallback" ] ->
+      session.fallback <- not session.fallback;
+      Printf.printf "strategy fallback %s\n"
+        (if session.fallback then "on" else "off");
+      `Continue
   | [ "\\werror" ] ->
       session.werror <- not session.werror;
       Printf.printf "lint warnings are %s\n"
@@ -332,7 +414,7 @@ let repl session =
         if String.contains line ';' then begin
           Buffer.clear buffer;
           let stmt = String.trim text in
-          if stmt <> ";" && stmt <> "" then execute session stmt;
+          if stmt <> ";" && stmt <> "" then ignore (execute session stmt);
           loop ()
         end
         else loop ()
@@ -403,7 +485,35 @@ let werror_arg =
     & info [ "Werror" ]
         ~doc:"With $(b,--lint), treat warning diagnostics as errors too.")
 
-let main tpch demo loads exec file strategy plan engine lint werror =
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:
+          "Execution budget: abort any statement that runs longer than \
+           $(docv) seconds (cooperative, checked at operator checkpoints).")
+
+let max_rows_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-rows" ] ~docv:"N"
+        ~doc:
+          "Execution budget: abort any statement once an operator has \
+           produced more than $(docv) rows.")
+
+let fallback_arg =
+  Arg.(
+    value & flag
+    & info [ "fallback" ]
+        ~doc:
+          "When a provenance strategy is inapplicable or blows the budget, \
+           degrade to the next strategy of the advisor ranking instead of \
+           failing; the answer reports which strategy delivered.")
+
+let main tpch demo loads exec file strategy plan engine lint werror timeout
+    max_rows fallback =
   (match Eval.engine_of_string engine with
   | e -> Eval.default_engine := e
   | exception Invalid_argument msg ->
@@ -422,16 +532,25 @@ let main tpch demo loads exec file strategy plan engine lint werror =
   List.iter
     (fun spec ->
       match String.index_opt spec '=' with
-      | Some k ->
+      | Some k -> (
           let name = String.sub spec 0 k in
           let path = String.sub spec (k + 1) (String.length spec - k - 1) in
-          Database.add db name (Csv.load path);
-          Printf.printf "loaded %s (%d rows)\n" name
-            (Relation.cardinality (Database.find db name))
+          match Resilience.enter Resilience.Load (fun () -> Csv.load path) with
+          | rel ->
+              Database.add db name rel;
+              Printf.printf "loaded %s (%d rows)\n" name
+                (Relation.cardinality rel)
+          | exception Resilience.Perm_error e ->
+              Printf.eprintf "error: %s\n" (Resilience.error_to_string e);
+              Stdlib.exit 2)
       | None -> Printf.printf "ignoring --load %s (expected NAME=FILE)\n" spec)
     loads;
   if Database.names db = [] then
     List.iter (fun n -> Database.add db n (Database.find (demo_db ()) n)) [ "r"; "s" ];
+  let budget =
+    let b = Guard.budget ?timeout ?max_rows () in
+    if Guard.is_unlimited b then None else Some b
+  in
   let session =
     {
       db;
@@ -442,28 +561,38 @@ let main tpch demo loads exec file strategy plan engine lint werror =
       show_stats = false;
       lint;
       werror;
+      budget;
+      fallback;
       last_provenance = None;
     }
   in
   match (exec, file) with
-  | Some sql, _ -> execute session sql
-  | None, Some path ->
+  | Some sql, _ -> if not (execute session sql) then exit 2
+  | None, Some path -> (
       let ic = open_in path in
       let len = in_channel_length ic in
       let script = really_input_string ic len in
       close_in ic;
-      List.iter
-        (fun result ->
-          match result with
-          | Perm.Rows r -> Table_pp.print r.Perm.relation
-          | Perm.Created_view name -> Printf.printf "created view %s\n" name
-          | Perm.Created_table (name, n) ->
-              Printf.printf "created table %s (%d rows)\n" name n
-          | Perm.Dropped name -> Printf.printf "dropped %s\n" name)
-        (let strategy =
-           match session.strategy with Fixed s -> s | Auto -> Strategy.Gen
-         in
-         Perm.exec_script session.db ~strategy ~lint ~werror script)
+      let strategy =
+        match session.strategy with Fixed s -> s | Auto -> Strategy.Gen
+      in
+      match
+        Perm.exec_script session.db ~strategy ~lint ~werror ?budget ~fallback
+          script
+      with
+      | results ->
+          List.iter
+            (fun result ->
+              match result with
+              | Perm.Rows r -> Table_pp.print r.Perm.relation
+              | Perm.Created_view name -> Printf.printf "created view %s\n" name
+              | Perm.Created_table (name, n) ->
+                  Printf.printf "created table %s (%d rows)\n" name n
+              | Perm.Dropped name -> Printf.printf "dropped %s\n" name)
+            results
+      | exception Resilience.Perm_error e ->
+          Printf.eprintf "error: %s\n" (Resilience.error_to_string e);
+          Stdlib.exit 1)
   | None, None -> repl session
 
 let cmd =
@@ -471,6 +600,7 @@ let cmd =
     (Cmd.info "permcli" ~doc:"SQL shell with Perm-style provenance")
     Term.(
       const main $ tpch_arg $ demo_arg $ load_arg $ exec_arg $ file_arg
-      $ strategy_arg $ plan_arg $ engine_arg $ lint_arg $ werror_arg)
+      $ strategy_arg $ plan_arg $ engine_arg $ lint_arg $ werror_arg
+      $ timeout_arg $ max_rows_arg $ fallback_arg)
 
 let () = Stdlib.exit (Cmd.eval cmd)

@@ -177,16 +177,41 @@ let choose db (q : query) : Strategy.t =
   | { est_strategy; _ } :: _ -> est_strategy
   | [] -> Strategy.unsupported "no strategy can rewrite this query"
 
-(** [run db ?optimize ?lint ?werror sql] is {!Perm.run} with the
-    strategy chosen by the cost model. Returns the chosen strategy
-    alongside the result. [?lint] / [?werror] gate the plans exactly as
-    in {!Perm.run}. *)
-let run db ?(optimize = true) ?(lint = false) ?(werror = false) sql :
-    Strategy.t * Perm.result =
-  let analyzed = Sql_frontend.Analyzer.analyze_string db sql in
+(** [run db ?optimize ?lint ?werror ?budget ?fallback sql] is
+    {!Perm.run} with the strategy chosen by the cost model. Returns the
+    chosen strategy alongside the result. [?lint] / [?werror] gate the
+    plans exactly as in {!Perm.run}; [?budget] / [?fallback] govern the
+    execution as in {!Perm.run} (with fallback, the degradation order is
+    this module's ranking). *)
+let run db ?(optimize = true) ?(lint = false) ?(werror = false) ?budget
+    ?(fallback = false) sql : Strategy.t * Perm.result =
+  let analyzed =
+    Resilience.enter Resilience.Analyze (fun () ->
+        Sql_frontend.Analyzer.analyze_string db sql)
+  in
   let q = analyzed.Sql_frontend.Analyzer.query in
   if analyzed.Sql_frontend.Analyzer.wants_provenance then begin
-    let strategy = choose db q in
-    (strategy, Perm.run_query db ~strategy ~optimize ~lint ~werror ~provenance:true q)
+    let strategy = Resilience.enter Resilience.Rewrite (fun () -> choose db q) in
+    let r =
+      Perm.run_query db ~strategy ~optimize ~lint ~werror ?budget ~fallback
+        ~provenance:true q
+    in
+    let strategy =
+      match r.Perm.ladder with
+      | Some l -> l.Resilience.lad_strategy
+      | None -> strategy
+    in
+    (strategy, r)
   end
-  else (Strategy.Gen, Perm.run_query db ~optimize ~lint ~werror ~provenance:false q)
+  else
+    ( Strategy.Gen,
+      Perm.run_query db ~optimize ~lint ~werror ?budget ~fallback
+        ~provenance:false q )
+
+(* Install the cost-model ranking as the fallback ladder's degradation
+   order: safest first, cheapest within each group — exactly the order
+   of {!estimates}. Programs that link the advisor fall back along
+   estimated cost; others keep the static default. *)
+let () =
+  Resilience.strategy_ranking :=
+    fun db q -> List.map (fun e -> e.est_strategy) (estimates db q)

@@ -32,13 +32,22 @@ val estimates : Database.t -> Algebra.query -> estimate list
     strategy applies. *)
 val choose : Database.t -> Algebra.query -> Strategy.t
 
-(** [run db ?optimize ?lint ?werror sql] is {!Perm.run} with an
-    advisor-chosen strategy; returns the choice alongside the result.
-    [?lint] / [?werror] gate the plans as in {!Perm.run}. *)
+(** [run db ?optimize ?lint ?werror ?budget ?fallback sql] is
+    {!Perm.run} with an advisor-chosen strategy; returns the strategy
+    that answered alongside the result (with [~fallback:true] that may
+    be a later rung of the ladder, not the initial choice). [?lint] /
+    [?werror] gate the plans as in {!Perm.run}; [?budget] / [?fallback]
+    govern the execution as in {!Perm.run}.
+
+    Linking this module also installs the cost-model ranking as
+    {!Resilience.strategy_ranking}, so fallback everywhere degrades
+    along estimated cost (safe strategies first). *)
 val run :
   Database.t ->
   ?optimize:bool ->
   ?lint:bool ->
   ?werror:bool ->
+  ?budget:Guard.budget ->
+  ?fallback:bool ->
   string ->
   Strategy.t * Perm.result

@@ -18,6 +18,9 @@ type result = {
       (** provenance attribute descriptions; empty when no provenance was
           requested *)
   plan : Algebra.query;  (** the plan that was executed *)
+  ladder : Resilience.ladder option;
+      (** how the strategy-fallback ladder concluded; [None] unless the
+          run was made with [~fallback:true] and provenance *)
 }
 
 (** [rewrite db ?strategy q] is the provenance-propagating plan [q+] and
@@ -45,44 +48,88 @@ let gate_plain db ~lint ~original plan =
   if lint && plan != original then
     Lint.fail_on (Provcheck.optimizer_guard db ~before:original plan)
 
-(** [provenance db ?strategy ?optimize ?lint ?werror q] evaluates the
-    provenance of an algebra query directly. *)
+(* The provenance pipeline for one strategy, each phase reporting
+   through the {!Resilience} taxonomy. *)
+let prov_pipeline db ~strategy ~optimize ~lint ~werror q : result =
+  ignore werror;
+  let q_plus, provs =
+    Resilience.enter Resilience.Rewrite (fun () ->
+        Rewrite.rewrite db ~strategy q)
+  in
+  Resilience.enter Resilience.Typecheck (fun () -> Typecheck.check db q_plus);
+  let plan =
+    Resilience.enter Resilience.Optimize (fun () ->
+        if optimize then Optimizer.optimize db q_plus else q_plus)
+  in
+  Resilience.enter Resilience.Rewrite (fun () ->
+      gate_rewrite db ~lint ~strategy ~original:q ~optimized:plan
+        (q_plus, provs));
+  let relation = Resilience.enter Resilience.Eval (fun () -> Eval.query db plan) in
+  { relation; provenance = provs; plan; ladder = None }
+
+let plain_pipeline db ~optimize ~lint q : result =
+  let plan =
+    Resilience.enter Resilience.Optimize (fun () ->
+        if optimize then Optimizer.optimize db q else q)
+  in
+  Resilience.enter Resilience.Optimize (fun () ->
+      gate_plain db ~lint ~original:q plan);
+  let relation = Resilience.enter Resilience.Eval (fun () -> Eval.query db plan) in
+  { relation; provenance = []; plan; ladder = None }
+
+(* Evaluation of an analyzed query under the optional budget, with the
+   strategy-fallback ladder when [fallback] is set on a provenance
+   run. *)
+let run_analyzed db ~strategy ~optimize ~lint ~werror ~budget ~fallback ~wants
+    q : result =
+  if wants then
+    if fallback then begin
+      let r, lad =
+        Resilience.run_ladder db ~strategy ~budget q (fun s ->
+            prov_pipeline db ~strategy:s ~optimize ~lint ~werror q)
+      in
+      { r with ladder = Some lad }
+    end
+    else
+      Guard.with_budget budget (fun () ->
+          prov_pipeline db ~strategy ~optimize ~lint ~werror q)
+  else
+    Guard.with_budget budget (fun () -> plain_pipeline db ~optimize ~lint q)
+
+(** [provenance db ?strategy ?optimize ?lint ?werror ?budget ?fallback q]
+    evaluates the provenance of an algebra query directly. *)
 let provenance db ?(strategy = Strategy.Gen) ?(optimize = true)
-    ?(lint = false) ?(werror = false) q =
-  gate_source db ~lint ~werror q;
-  let q_plus, provs = Rewrite.rewrite db ~strategy q in
-  Typecheck.check db q_plus;
-  let plan = if optimize then Optimizer.optimize db q_plus else q_plus in
-  gate_rewrite db ~lint ~strategy ~original:q ~optimized:plan (q_plus, provs);
-  (Eval.query db plan, provs)
+    ?(lint = false) ?(werror = false) ?budget ?(fallback = false) q =
+  Resilience.enter Resilience.Analyze (fun () ->
+      gate_source db ~lint ~werror q);
+  let r =
+    run_analyzed db ~strategy ~optimize ~lint ~werror ~budget ~fallback
+      ~wants:true q
+  in
+  (r.relation, r.provenance)
 
-(** [run_query db ?strategy ?optimize ?lint ?werror ~provenance q] is
-    {!run} for an already-analyzed algebra query. *)
+(** [run_query db ?strategy ?optimize ?lint ?werror ?budget ?fallback
+    ~provenance q] is {!run} for an already-analyzed algebra query. *)
 let run_query db ?(strategy = Strategy.Gen) ?(optimize = true) ?(lint = false)
-    ?(werror = false) ~provenance:wants q : result =
-  gate_source db ~lint ~werror q;
-  if wants then begin
-    let q_plus, provs = Rewrite.rewrite db ~strategy q in
-    Typecheck.check db q_plus;
-    let plan = if optimize then Optimizer.optimize db q_plus else q_plus in
-    gate_rewrite db ~lint ~strategy ~original:q ~optimized:plan (q_plus, provs);
-    { relation = Eval.query db plan; provenance = provs; plan }
-  end
-  else begin
-    let plan = if optimize then Optimizer.optimize db q else q in
-    gate_plain db ~lint ~original:q plan;
-    { relation = Eval.query db plan; provenance = []; plan }
-  end
+    ?(werror = false) ?budget ?(fallback = false) ~provenance:wants q : result =
+  Resilience.enter Resilience.Analyze (fun () ->
+      gate_source db ~lint ~werror q);
+  run_analyzed db ~strategy ~optimize ~lint ~werror ~budget ~fallback ~wants q
 
-(** [run db ?strategy ?optimize ?lint ?werror sql] parses, analyzes and
-    evaluates [sql]. If the statement carries the [PROVENANCE] marker,
-    the provenance rewrite with [strategy] is applied first. With
-    [~lint:true] the plans pass the {!Lint} / {!Provcheck} gate first. *)
+(** [run db ?strategy ?optimize ?lint ?werror ?budget ?fallback sql]
+    parses, analyzes and evaluates [sql]. If the statement carries the
+    [PROVENANCE] marker, the provenance rewrite with [strategy] is
+    applied first; with [~fallback:true] a strategy that is
+    inapplicable or blows [budget] degrades to the next-ranked one.
+    Failures raise {!Resilience.Perm_error}. *)
 let run db ?(strategy = Strategy.Gen) ?(optimize = true) ?(lint = false)
-    ?(werror = false) sql : result =
-  let analyzed = Sql_frontend.Analyzer.analyze_string db sql in
+    ?(werror = false) ?budget ?(fallback = false) sql : result =
+  let analyzed =
+    Resilience.enter Resilience.Analyze (fun () ->
+        Sql_frontend.Analyzer.analyze_string db sql)
+  in
   let q = analyzed.Sql_frontend.Analyzer.query in
-  run_query db ~strategy ~optimize ~lint ~werror
+  run_query db ~strategy ~optimize ~lint ~werror ?budget ~fallback
     ~provenance:analyzed.Sql_frontend.Analyzer.wants_provenance q
 
 (** {1 Statements} *)
@@ -94,62 +141,81 @@ type exec_result =
   | Dropped of string
 
 (* Execute one already-parsed statement. *)
-let exec_parsed db ~strategy ~optimize ~lint ~werror stmt : exec_result =
+let exec_parsed db ~strategy ~optimize ~lint ~werror ~budget ~fallback stmt :
+    exec_result =
   let analyze sel =
-    let analyzed = Sql_frontend.Analyzer.analyze db sel in
-    let q = analyzed.Sql_frontend.Analyzer.query in
-    gate_source db ~lint ~werror q;
-    if analyzed.Sql_frontend.Analyzer.wants_provenance then begin
-      let q_plus, provs = Rewrite.rewrite db ~strategy q in
-      Typecheck.check db q_plus;
-      gate_rewrite db ~lint ~strategy ~original:q (q_plus, provs);
-      (q_plus, provs)
-    end
-    else (q, [])
-  in
-  let optimized q =
-    let plan = if optimize then Optimizer.optimize db q else q in
-    gate_plain db ~lint ~original:q plan;
-    plan
+    Resilience.enter Resilience.Analyze (fun () ->
+        let analyzed = Sql_frontend.Analyzer.analyze db sel in
+        let q = analyzed.Sql_frontend.Analyzer.query in
+        gate_source db ~lint ~werror q;
+        (q, analyzed.Sql_frontend.Analyzer.wants_provenance))
   in
   match stmt with
   | Sql_frontend.Ast.Stmt_select sel ->
-      let q, provs = analyze sel in
-      let plan = optimized q in
-      Rows { relation = Eval.query db plan; provenance = provs; plan }
+      let q, wants = analyze sel in
+      Rows
+        (run_analyzed db ~strategy ~optimize ~lint ~werror ~budget ~fallback
+           ~wants q)
   | Sql_frontend.Ast.Stmt_create_view (name, sel) ->
-      let q, _ = analyze sel in
-      Database.add_view db name q;
+      let q, wants = analyze sel in
+      let stored =
+        if wants then begin
+          (* A provenance view stores the *rewritten* (unoptimized)
+             query, so querying it later sees the provenance columns. *)
+          let q_plus, provs =
+            Resilience.enter Resilience.Rewrite (fun () ->
+                Rewrite.rewrite db ~strategy q)
+          in
+          Resilience.enter Resilience.Typecheck (fun () ->
+              Typecheck.check db q_plus);
+          Resilience.enter Resilience.Rewrite (fun () ->
+              gate_rewrite db ~lint ~strategy ~original:q (q_plus, provs));
+          q_plus
+        end
+        else q
+      in
+      Database.add_view db name stored;
       Created_view name
   | Sql_frontend.Ast.Stmt_create_table_as (name, sel) ->
-      let q, _ = analyze sel in
-      let plan = optimized q in
-      let rel = Eval.query db plan in
-      Database.add db name rel;
-      Created_table (name, Relation.cardinality rel)
+      let q, wants = analyze sel in
+      let r =
+        run_analyzed db ~strategy ~optimize ~lint ~werror ~budget ~fallback
+          ~wants q
+      in
+      Database.add db name r.relation;
+      Created_table (name, Relation.cardinality r.relation)
   | Sql_frontend.Ast.Stmt_drop name ->
       if Database.drop db name then Dropped name
-      else raise (Sql_frontend.Analyzer.Analyze_error ("unknown table or view " ^ name))
+      else
+        raise
+          (Resilience.Perm_error
+             {
+               Resilience.e_phase = Resilience.Analyze;
+               e_detail = Resilience.Message ("unknown table or view " ^ name);
+             })
 
-(** [exec db ?strategy ?optimize ?lint ?werror sql] executes one
-    statement. SELECTs behave like {!run}. [CREATE VIEW v AS SELECT
-    PROVENANCE ...] stores the *rewritten* query, so querying [v] later
-    sees the provenance columns — Perm's "provenance as a view".
-    [CREATE TABLE t AS ...] materializes the result. *)
+(** [exec db ?strategy ?optimize ?lint ?werror ?budget ?fallback sql]
+    executes one statement. SELECTs behave like {!run}. [CREATE VIEW v
+    AS SELECT PROVENANCE ...] stores the *rewritten* query, so querying
+    [v] later sees the provenance columns — Perm's "provenance as a
+    view". [CREATE TABLE t AS ...] materializes the result. *)
 let exec db ?(strategy = Strategy.Gen) ?(optimize = true) ?(lint = false)
-    ?(werror = false) sql : exec_result =
-  exec_parsed db ~strategy ~optimize ~lint ~werror
-    (Sql_frontend.Parser.parse_statement sql)
+    ?(werror = false) ?budget ?(fallback = false) sql : exec_result =
+  exec_parsed db ~strategy ~optimize ~lint ~werror ~budget ~fallback
+    (Resilience.enter Resilience.Parse (fun () ->
+         Sql_frontend.Parser.parse_statement sql))
 
-(** [exec_script db ?strategy ?optimize ?lint ?werror sql] runs a
-    [;]-separated statement sequence, returning each statement's result
-    in order. Execution stops at the first error (exception
-    propagates). *)
+(** [exec_script db ?strategy ?optimize ?lint ?werror ?budget ?fallback
+    sql] runs a [;]-separated statement sequence, returning each
+    statement's result in order. Execution stops at the first error
+    (exception propagates). *)
 let exec_script db ?(strategy = Strategy.Gen) ?(optimize = true)
-    ?(lint = false) ?(werror = false) sql : exec_result list =
+    ?(lint = false) ?(werror = false) ?budget ?(fallback = false) sql :
+    exec_result list =
   List.map
-    (exec_parsed db ~strategy ~optimize ~lint ~werror)
-    (Sql_frontend.Parser.parse_script sql)
+    (exec_parsed db ~strategy ~optimize ~lint ~werror ~budget ~fallback)
+    (Resilience.enter Resilience.Parse (fun () ->
+         Sql_frontend.Parser.parse_script sql))
 
 (** {1 Alternative views of the provenance} *)
 

@@ -10,6 +10,9 @@ type result = {
       (** provenance attribute descriptions; empty when no provenance
           was requested *)
   plan : Algebra.query;  (** the plan that was executed *)
+  ladder : Resilience.ladder option;
+      (** how the strategy-fallback ladder concluded; [None] unless the
+          run was made with [~fallback:true] and provenance *)
 }
 
 (** [rewrite db ?strategy q] is the provenance-propagating plan [q+] and
@@ -21,30 +24,39 @@ val rewrite :
   Algebra.query ->
   Algebra.query * Pschema.prov_rel list
 
-(** [provenance db ?strategy ?optimize ?lint ?werror q] rewrites,
-    typechecks, optionally optimizes, and evaluates the provenance of
-    [q]. With [~lint:true], [q] must pass the {!Lint} rules
-    ([~werror:true] escalating warnings) and the rewrite must pass the
-    {!Provcheck} contract rules; violations raise {!Lint.Lint_error}
-    before anything is evaluated. *)
+(** [provenance db ?strategy ?optimize ?lint ?werror ?budget ?fallback q]
+    rewrites, typechecks, optionally optimizes, and evaluates the
+    provenance of [q]. With [~lint:true], [q] must pass the {!Lint}
+    rules ([~werror:true] escalating warnings) and the rewrite must pass
+    the {!Provcheck} contract rules. Failures of any phase raise
+    {!Resilience.Perm_error}. With [?budget] the evaluation runs under
+    the {!Relalg.Guard} execution governor; with [~fallback:true] a
+    strategy that is inapplicable or blows its budget degrades to the
+    next strategy of {!Resilience.strategy_ranking}. *)
 val provenance :
   Database.t ->
   ?strategy:Strategy.t ->
   ?optimize:bool ->
   ?lint:bool ->
   ?werror:bool ->
+  ?budget:Guard.budget ->
+  ?fallback:bool ->
   Algebra.query ->
   Relation.t * Pschema.prov_rel list
 
-(** [run db ?strategy ?optimize ?lint ?werror sql] parses, analyzes and
-    evaluates [sql]; the [PROVENANCE] marker triggers the rewrite.
-    [?lint] / [?werror] behave as in {!provenance}. *)
+(** [run db ?strategy ?optimize ?lint ?werror ?budget ?fallback sql]
+    parses, analyzes and evaluates [sql]; the [PROVENANCE] marker
+    triggers the rewrite. [?lint] / [?werror] / [?budget] / [?fallback]
+    behave as in {!provenance}; failures raise
+    {!Resilience.Perm_error}. *)
 val run :
   Database.t ->
   ?strategy:Strategy.t ->
   ?optimize:bool ->
   ?lint:bool ->
   ?werror:bool ->
+  ?budget:Guard.budget ->
+  ?fallback:bool ->
   string ->
   result
 
@@ -56,6 +68,8 @@ val run_query :
   ?optimize:bool ->
   ?lint:bool ->
   ?werror:bool ->
+  ?budget:Guard.budget ->
+  ?fallback:bool ->
   provenance:bool ->
   Algebra.query ->
   result
@@ -71,25 +85,29 @@ type exec_result =
 (** [exec db sql] executes one statement: SELECT (like {!run}),
     [CREATE VIEW v AS SELECT [PROVENANCE] ...] (a provenance view stores
     the rewritten query), [CREATE TABLE t AS ...] (materializes), or
-    [DROP name]. *)
+    [DROP name]. Failures raise {!Resilience.Perm_error}. *)
 val exec :
   Database.t ->
   ?strategy:Strategy.t ->
   ?optimize:bool ->
   ?lint:bool ->
   ?werror:bool ->
+  ?budget:Guard.budget ->
+  ?fallback:bool ->
   string ->
   exec_result
 
 (** [exec_script db sql] runs a [;]-separated statement sequence,
     returning each statement's result in order; the first error aborts
-    the script (exception propagates). *)
+    the script ({!Resilience.Perm_error} propagates). *)
 val exec_script :
   Database.t ->
   ?strategy:Strategy.t ->
   ?optimize:bool ->
   ?lint:bool ->
   ?werror:bool ->
+  ?budget:Guard.budget ->
+  ?fallback:bool ->
   string ->
   exec_result list
 

@@ -1,0 +1,183 @@
+(** Typed error taxonomy and graceful degradation for the {!Perm}
+    pipeline.
+
+    The taxonomy gives every failure a pipeline phase and a structured
+    detail; {!enter} converts the libraries' exceptions at each phase
+    boundary. Exceptions that identify their own phase (a parse error
+    raised while analyzing a string, a strategy-applicability error
+    surfacing under a coarser wrapper) override the enclosing phase, so
+    attribution stays precise even where one wrapper covers several
+    steps.
+
+    The fallback ladder implements the degradation discipline the issue
+    calls for: a strategy that is inapplicable or blows its budget is
+    abandoned and the next-ranked strategy retried under a sub-budget.
+    The ranking is a hook: by default the static applicability order
+    Unn → Move → Left → Gen (cheapest rewrites first, the paper's
+    Section 4 ordering); {!Advisor} replaces it at initialization with
+    its cost-model ranking so programs that link the advisor fall back
+    along estimated cost, respecting the [est_safe] nullability gate. *)
+
+open Relalg
+
+type phase = Parse | Analyze | Typecheck | Rewrite | Optimize | Eval | Load
+
+let phase_to_string = function
+  | Parse -> "parse"
+  | Analyze -> "analyze"
+  | Typecheck -> "typecheck"
+  | Rewrite -> "rewrite"
+  | Optimize -> "optimize"
+  | Eval -> "eval"
+  | Load -> "load"
+
+type detail =
+  | Message of string
+  | Budget of Guard.trip
+  | Fault of { f_site : string; f_path : string list }
+  | Lint of Lint.diagnostic list
+  | Unsupported of string
+
+type error = { e_phase : phase; e_detail : detail }
+
+exception Perm_error of error
+
+let error_to_string e =
+  let detail =
+    match e.e_detail with
+    | Message m -> m
+    | Budget t -> Guard.trip_to_string t
+    | Fault { f_site; f_path } ->
+        Printf.sprintf "injected %s fault at %s" f_site
+          (Guard.path_to_string f_path)
+    | Lint ds -> Lint.report ds
+    | Unsupported m -> "strategy not applicable: " ^ m
+  in
+  Printf.sprintf "[%s] %s" (phase_to_string e.e_phase) detail
+
+let classify_opt ~default exn =
+  let mk ?(phase = default) detail = { e_phase = phase; e_detail = detail } in
+  match exn with
+  | Perm_error e -> Some e
+  | Guard.Budget_exceeded t -> Some (mk (Budget t))
+  | Guard.Faults.Injected { i_site; i_path } ->
+      Some
+        (mk
+           (Fault
+              {
+                f_site = Guard.Faults.site_to_string i_site;
+                f_path = i_path;
+              }))
+  | Strategy.Unsupported m -> Some (mk ~phase:Rewrite (Unsupported m))
+  | Lint.Lint_error ds -> Some (mk (Lint ds))
+  | Sql_frontend.Lexer.Lex_error (m, l, c) ->
+      Some
+        (mk ~phase:Parse
+           (Message (Printf.sprintf "%s at line %d, column %d" m l c)))
+  | Sql_frontend.Parser.Parse_error (m, l, c) ->
+      Some
+        (mk ~phase:Parse
+           (Message (Printf.sprintf "%s at line %d, column %d" m l c)))
+  | Sql_frontend.Analyzer.Analyze_error m -> Some (mk ~phase:Analyze (Message m))
+  | Typecheck.Type_error m -> Some (mk ~phase:Typecheck (Message m))
+  | Sem.Eval_error m -> Some (mk (Message m))
+  | Value.Type_clash m -> Some (mk (Message m))
+  | Schema.Schema_error m -> Some (mk (Message m))
+  | Relation.Relation_error m -> Some (mk (Message m))
+  | Database.Unknown_relation n -> Some (mk (Message ("unknown relation " ^ n)))
+  | Builtin.Unknown_function n -> Some (mk (Message ("unknown function " ^ n)))
+  | Csv.Csv_error { file; line; msg } ->
+      Some (mk ~phase:Load (Message (Csv.error_to_string ~file ~line ~msg)))
+  | Sys_error m -> Some (mk ~phase:Load (Message m))
+  | Failure m -> Some (mk (Message m))
+  | Invalid_argument m -> Some (mk (Message m))
+  | Division_by_zero -> Some (mk (Message "division by zero"))
+  | Not_found -> Some (mk (Message "internal lookup failed (Not_found)"))
+  | _ -> None
+
+let classify ~default exn =
+  match classify_opt ~default exn with
+  | Some e -> e
+  | None -> raise Not_found
+
+let enter phase f =
+  try f () with
+  | Perm_error _ as e -> raise e
+  | (Out_of_memory | Stack_overflow | Assert_failure _) as e -> raise e
+  | exn -> (
+      match classify_opt ~default:phase exn with
+      | Some err -> raise (Perm_error err)
+      | None -> raise exn)
+
+(* ------------------------------------------------------------------ *)
+(* Fallback ladder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Static default: the paper's strategies ordered by rewrite cost, kept
+   to the ones whose applicability conditions [q] satisfies. *)
+let default_ranking db q =
+  List.filter
+    (fun s ->
+      match Rewrite.rewrite db ~strategy:s q with
+      | _ -> true
+      | exception Strategy.Unsupported _ -> false)
+    [ Strategy.Unn; Strategy.Move; Strategy.Left; Strategy.Gen ]
+
+let strategy_ranking = ref default_ranking
+
+type attempt = { att_strategy : Strategy.t; att_error : error }
+type ladder = { lad_strategy : Strategy.t; lad_abandoned : attempt list }
+
+let ladder_to_string l =
+  match l.lad_abandoned with
+  | [] -> Printf.sprintf "strategy %s answered" (Strategy.to_string l.lad_strategy)
+  | ab ->
+      Printf.sprintf "strategy %s answered after %s"
+        (Strategy.to_string l.lad_strategy)
+        (String.concat "; "
+           (List.map
+              (fun a ->
+                Printf.sprintf "%s was abandoned: %s"
+                  (Strategy.to_string a.att_strategy)
+                  (error_to_string a.att_error))
+              ab))
+
+let retryable e =
+  match e.e_detail with Unsupported _ | Budget _ -> true | _ -> false
+
+let run_ladder db ~strategy ~budget q f =
+  let ranking =
+    match !strategy_ranking db q with
+    | r -> r
+    | exception _ -> default_ranking db q
+  in
+  let order = strategy :: List.filter (fun s -> s <> strategy) ranking in
+  let deadline =
+    match budget with
+    | Some b -> Option.map (fun t -> Unix.gettimeofday () +. t) b.Guard.g_timeout
+    | None -> None
+  in
+  (* The remaining wall-clock allowance is re-split before each attempt,
+     so time an early strategy did not use flows to the later ones. *)
+  let sub_budget n_remaining =
+    match budget with
+    | None -> None
+    | Some b ->
+        let g_timeout =
+          Option.map
+            (fun d ->
+              Float.max 0.05
+                ((d -. Unix.gettimeofday ()) /. float_of_int n_remaining))
+            deadline
+        in
+        Some { b with Guard.g_timeout }
+  in
+  let rec go abandoned = function
+    | [] -> assert false (* [order] is never empty *)
+    | s :: rest -> (
+        match Guard.with_budget (sub_budget (List.length rest + 1)) (fun () -> f s) with
+        | r -> (r, { lad_strategy = s; lad_abandoned = List.rev abandoned })
+        | exception Perm_error e when retryable e && rest <> [] ->
+            go ({ att_strategy = s; att_error = e } :: abandoned) rest)
+  in
+  go [] order

@@ -113,6 +113,40 @@ let materialized c_schema c_run =
 
 type compiled = { top : cop; cdb : Database.t }
 
+(* ---- governor integration ----------------------------------------- *)
+
+(* [Guard] checkpoints are baked into every operator at compile time:
+   the operator's Lint-style path is a compile-time constant captured by
+   the wrapper closures, so the run-time cost with no budget installed
+   is one flag load per operator entry and one per emitted row. Exactly
+   one of [c_stream]/[c_run] of the wrapped operator executes per
+   operator run (the derived form delegates to the native one, which is
+   captured unwrapped), so each produced row is counted exactly once per
+   operator. *)
+let guarded here (c : cop) : cop =
+  {
+    c_schema = c.c_schema;
+    c_stream =
+      (fun ctx env push ->
+        Guard.tick here;
+        c.c_stream ctx env (fun t ->
+            Guard.count_row here;
+            push t));
+    c_run =
+      (fun ctx env ->
+        Guard.tick here;
+        let rel = c.c_run ctx env in
+        if Guard.counts_rows () then
+          Guard.count_rows here (Relation.cardinality rel);
+        rel);
+  }
+
+(* The operator path under compilation — read (at compile time only) by
+   [compile_sublink] to place sublink boundaries without threading a
+   path through every expression-compiler signature. [compile_query]
+   updates it before compiling an operator's own expressions. *)
+let cur_compile_path : string list ref = ref []
+
 (** {1 Attribute access} *)
 
 (* Resolution happens once, here; execution touches no strings. *)
@@ -391,13 +425,16 @@ and compile_pred db (cenv : Schema.t list) (e : expr) : ctx -> renv -> int =
     environment at the expression's location, exactly the scope the
     reference evaluator gives it. *)
 and compile_sublink db (cenv : Schema.t list) (s : sublink) : cexpr =
+  let saved_path = !cur_compile_path in
+  let spath = saved_path @ [ Printf.sprintf "sublink[%d]" s.id ] in
   let free_getters =
     Array.of_list
       (List.map
          (fun n -> attr_access (resolve_attr cenv n))
          (Scope.free_of_query db s.query))
   in
-  let csub = compile_query db cenv s.query in
+  let csub = compile_query db spath cenv s.query in
+  cur_compile_path := saved_path;
   let key ctx env =
     (s.id, Array.to_list (Array.map (fun g -> g ctx env) free_getters))
   in
@@ -408,6 +445,7 @@ and compile_sublink db (cenv : Schema.t list) (s : sublink) : cexpr =
         rel
     | None ->
         ctx.stats.Sem.st_sublink_evals <- ctx.stats.Sem.st_sublink_evals + 1;
+        Guard.Faults.fire_point Guard.Faults.Sublink spath;
         let rel = csub.c_run ctx env in
         Hashtbl.add ctx.sub_results k rel;
         rel
@@ -486,30 +524,43 @@ and compile_sublink db (cenv : Schema.t list) (s : sublink) : cexpr =
 
 (** {1 Query compilation} *)
 
-and compile_query db (cenv : Schema.t list) (q : query) : cop =
+and compile_query db path (cenv : Schema.t list) (q : query) : cop =
+  (* [here] mirrors Lint's diagnostic paths; children extend the parent
+     segment with a [left]/[right] qualifier exactly like Lint does. *)
+  let here = path @ [ Guard.op_label q ] in
+  let cpath qual = path @ [ Guard.op_label q ^ qual ] in
+  guarded here
+  @@
   match q with
   | Base name ->
       let schema = Relation.schema (Database.find db name) in
-      materialized schema (fun ctx _ -> Database.find ctx.db name)
-  | TableExpr rel -> materialized (Relation.schema rel) (fun _ _ -> rel)
+      materialized schema (fun ctx _ ->
+          Guard.Faults.fire_point Guard.Faults.Scan here;
+          Database.find ctx.db name)
+  | TableExpr rel ->
+      materialized (Relation.schema rel) (fun _ _ ->
+          Guard.Faults.fire_point Guard.Faults.Scan here;
+          rel)
   (* Fuse a selection over a product/join so pairs stream instead of the
      product being materialized first (mirrors the reference engine). *)
-  | Select (cond, Cross (a, b)) -> compile_join db cenv ~outer:false cond a b
+  | Select (cond, Cross (a, b)) -> compile_join db here cenv ~outer:false cond a b
   | Select (cond, Join (c, a, b)) ->
-      compile_join db cenv ~outer:false (And (c, cond)) a b
+      compile_join db here cenv ~outer:false (And (c, cond)) a b
   | Select (cond, input) ->
-      let cin = compile_query db cenv input in
+      let cin = compile_query db (cpath "") cenv input in
+      cur_compile_path := here;
       let pcond = compile_pred db (cin.c_schema :: cenv) cond in
       streaming cin.c_schema (fun ctx env push ->
           cin.c_stream ctx env (fun t ->
               if pcond ctx (t :: env) = 1 then push t))
   | Project { distinct; cols; proj_input } -> (
-      match fuse_project db cenv ~distinct cols proj_input with
+      match fuse_project db here cenv ~distinct cols proj_input with
       | Some c -> c
       | None ->
-          let cin = compile_query db cenv proj_input in
+          let cin = compile_query db (cpath "") cenv proj_input in
           let ienv = cin.c_schema :: cenv in
           let out_schema = Typecheck.projection_schema db ienv cols in
+          cur_compile_path := here;
           (* Projections that only reorder/duplicate input columns — the
              common case on rewritten plans, whose projection lists are
              wide but attribute-only — become a direct offset gather
@@ -543,33 +594,40 @@ and compile_query db (cenv : Schema.t list) (q : query) : cop =
             streaming out_schema (fun ctx env push ->
                 cin.c_stream ctx env (fun t -> push (row_fn ctx env t))))
   | Cross (a, b) ->
-      let ca = compile_query db cenv a and cb = compile_query db cenv b in
+      let ca = compile_query db (cpath "[left]") cenv a
+      and cb = compile_query db (cpath "[right]") cenv b in
       let schema = Schema.concat ca.c_schema cb.c_schema in
       streaming schema (fun ctx env push ->
-          let tbs = Relation.tuples (cb.c_run ctx env) in
+          Guard.Faults.fire_point Guard.Faults.Join here;
+          let rb = cb.c_run ctx env in
+          let tbs = Relation.tuples rb in
+          let card_b = Relation.cardinality rb in
           ca.c_stream ctx env (fun ta ->
+              Guard.count_pairs here card_b;
               List.iter (fun tb -> push (Tuple.concat ta tb)) tbs))
-  | Join (cond, a, b) -> compile_join db cenv ~outer:false cond a b
-  | LeftJoin (cond, a, b) -> compile_join db cenv ~outer:true cond a b
-  | Agg { group_by; aggs; agg_input } -> compile_agg db cenv group_by aggs agg_input
+  | Join (cond, a, b) -> compile_join db here cenv ~outer:false cond a b
+  | LeftJoin (cond, a, b) -> compile_join db here cenv ~outer:true cond a b
+  | Agg { group_by; aggs; agg_input } ->
+      compile_agg db here cenv group_by aggs agg_input
   | Union (sem, a, b) ->
       let op =
         match sem with Bag -> Relation.union_bag | SetSem -> Relation.union_set
       in
-      compile_setop db cenv op a b
+      compile_setop db (cpath "[left]") (cpath "[right]") cenv op a b
   | Inter (sem, a, b) ->
       let op =
         match sem with Bag -> Relation.inter_bag | SetSem -> Relation.inter_set
       in
-      compile_setop db cenv op a b
+      compile_setop db (cpath "[left]") (cpath "[right]") cenv op a b
   | Diff (sem, a, b) ->
       let op =
         match sem with Bag -> Relation.diff_bag | SetSem -> Relation.diff_set
       in
-      compile_setop db cenv op a b
+      compile_setop db (cpath "[left]") (cpath "[right]") cenv op a b
   | Order (keys, input) ->
-      let cin = compile_query db cenv input in
+      let cin = compile_query db (cpath "") cenv input in
       let ienv = cin.c_schema :: cenv in
+      cur_compile_path := here;
       let ckeys =
         Array.of_list
           (List.map (fun (e, d) -> (compile_expr db ienv e, d)) keys)
@@ -594,7 +652,7 @@ and compile_query db (cenv : Schema.t list) (q : query) : cop =
           Relation.make_unchecked cin.c_schema
             (List.map snd (List.stable_sort cmp (List.rev !decorated))))
   | Limit (n, input) ->
-      let cin = compile_query db cenv input in
+      let cin = compile_query db (cpath "") cenv input in
       (* The input is drained even once [n] rows are out: the reference
          evaluator materializes the child fully before taking, so an
          early exit would skew the shared execution counters. *)
@@ -624,7 +682,7 @@ and own_offsets (schema : Schema.t) cols : int array option =
    step — the concatenated intermediate tuple is never built. Offsets
    are checked against the join's inferred output schema so correlated
    names (resolving to an outer frame) fall back to the generic path. *)
-and fuse_project db cenv ~distinct cols proj_input : cop option =
+and fuse_project db here cenv ~distinct cols proj_input : cop option =
   if distinct then None
   else
     let parts =
@@ -648,8 +706,8 @@ and fuse_project db cenv ~distinct cols proj_input : cop option =
               Typecheck.projection_schema db (joint :: cenv) cols
             in
             Some
-              (compile_join db cenv ~outer ~project:(offs, out_schema) cond a
-                 b))
+              (compile_join db here cenv ~outer ~project:(offs, out_schema)
+                 cond a b))
 
 (* ---------------- joins ---------------- *)
 
@@ -657,8 +715,15 @@ and fuse_project db cenv ~distinct cols proj_input : cop option =
    compilation all happen here, once; execution only hashes values.
    [?project] is the fused projection: output rows are gathered from
    the (left, right) tuple pair by offset instead of concatenation. *)
-and compile_join db cenv ~outer ?project cond a b : cop =
-  let ca = compile_query db cenv a and cb = compile_query db cenv b in
+and compile_join db here cenv ~outer ?project cond a b : cop =
+  let qual s =
+    match List.rev here with
+    | last :: rest -> List.rev ((last ^ s) :: rest)
+    | [] -> [ s ]
+  in
+  let ca = compile_query db (qual "[left]") cenv a
+  and cb = compile_query db (qual "[right]") cenv b in
+  cur_compile_path := here;
   let sa = ca.c_schema and sb = cb.c_schema in
   let joint = Schema.concat sa sb in
   let schema = match project with None -> joint | Some (_, s) -> s in
@@ -716,6 +781,7 @@ and compile_join db cenv ~outer ?project cond a b : cop =
       | _ -> `Whole (compile_pred db penv cond)
     in
     streaming schema (fun ctx env push ->
+        Guard.Faults.fire_point Guard.Faults.Join here;
         ctx.stats.Sem.st_nested_loop_joins <-
           ctx.stats.Sem.st_nested_loop_joins + 1;
         let rb = cb.c_run ctx env in
@@ -752,6 +818,7 @@ and compile_join db cenv ~outer ?project cond a b : cop =
         in
         ca.c_stream ctx env (fun ta ->
             incr nleft;
+            Guard.count_pairs here card_b;
             let aenv = ta :: env in
             match tbs with
             | [] -> if outer then emit_pad ta
@@ -794,6 +861,7 @@ and compile_join db cenv ~outer ?project cond a b : cop =
       go 0
     in
     streaming schema (fun ctx env push ->
+        Guard.Faults.fire_point Guard.Faults.Join here;
         ctx.stats.Sem.st_hash_joins <- ctx.stats.Sem.st_hash_joins + 1;
         let rb = cb.c_run ctx env in
         let table = Tuple.Tbl.create (max 16 (Relation.cardinality rb)) in
@@ -846,9 +914,10 @@ and compile_join db cenv ~outer ?project cond a b : cop =
 
 (* ---------------- aggregation ---------------- *)
 
-and compile_agg db cenv group_by aggs agg_input : cop =
-  let cin = compile_query db cenv agg_input in
+and compile_agg db here cenv group_by aggs agg_input : cop =
+  let cin = compile_query db (here : string list) cenv agg_input in
   let ienv = cin.c_schema :: cenv in
+  cur_compile_path := here;
   let out_schema = Typecheck.aggregation_schema db ienv group_by aggs in
   let group_cexprs =
     Array.of_list (List.map (fun (e, _) -> compile_expr db ienv e) group_by)
@@ -907,8 +976,8 @@ and compile_agg db cenv group_by aggs agg_input : cop =
 
 (* ---------------- set operations ---------------- *)
 
-and compile_setop db cenv op a b : cop =
-  let ca = compile_query db cenv a and cb = compile_query db cenv b in
+and compile_setop db lpath rpath cenv op a b : cop =
+  let ca = compile_query db lpath cenv a and cb = compile_query db rpath cenv b in
   materialized ca.c_schema (fun ctx env ->
       op (ca.c_run ctx env) (cb.c_run ctx env))
 
@@ -916,7 +985,9 @@ and compile_setop db cenv op a b : cop =
 
 (** [compile ?env db q] lowers [q] to an executable plan; [env] supplies
     the schemas of outer frames for correlated compilation. *)
-let compile ?(env = []) db q = { top = compile_query db env q; cdb = db }
+let compile ?(env = []) db q =
+  cur_compile_path := [];
+  { top = compile_query db [] env q; cdb = db }
 
 let schema c = c.top.c_schema
 
@@ -929,6 +1000,12 @@ let run_stats ?(env = []) c =
   let ctx = mk_ctx c.cdb in
   let rel = c.top.c_run ctx env in
   (rel, ctx.stats)
+
+(** [stream ?env c push] runs a compiled plan push-based: [push]
+    receives each output row in order, before the next is produced —
+    the observation point the governor tests use to check that rows
+    emitted before a budget trip agree with an untripped run. *)
+let stream ?(env = []) c push = c.top.c_stream (mk_ctx c.cdb) env push
 
 (** [query db q] compiles and runs in one step — the compiled engine's
     equivalent of [Eval.query]. [env] pairs each outer frame's schema
@@ -944,5 +1021,6 @@ let query_stats ?(env = []) db q =
 (** [expr db e] compiles and evaluates a scalar expression (sublinks
     allowed). *)
 let expr ?(env = []) db e =
+  cur_compile_path := [];
   let ce = compile_expr db (List.map fst env) e in
   ce (mk_ctx db) (List.map snd env)

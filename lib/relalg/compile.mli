@@ -41,6 +41,12 @@ val run : ?env:Tuple.t list -> compiled -> Relation.t
 (** [run_stats ?env c] also reports the execution counters. *)
 val run_stats : ?env:Tuple.t list -> compiled -> Relation.t * Sem.stats
 
+(** [stream ?env c push] executes push-based: [push] receives each
+    output row in order as it is produced. Used by the governor tests
+    to observe the rows emitted before a {!Guard.Budget_exceeded}
+    trip. *)
+val stream : ?env:Tuple.t list -> compiled -> (Tuple.t -> unit) -> unit
+
 (** [query db q] compiles and runs in one step; [env] pairs each outer
     frame's schema with its tuple, innermost first. *)
 val query :

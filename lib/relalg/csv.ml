@@ -5,12 +5,24 @@
     else bool, else string); empty cells are NULL. Quoting follows RFC
     4180: fields may be enclosed in double quotes, with [""] escaping. *)
 
-exception Csv_error of string
+exception
+  Csv_error of { file : string option; line : int option; msg : string }
 
-let csv_error fmt = Format.kasprintf (fun s -> raise (Csv_error s)) fmt
+let csv_error ?file ?line fmt =
+  Format.kasprintf (fun s -> raise (Csv_error { file; line; msg = s })) fmt
 
-(* Split one CSV record (line) into fields. *)
-let split_record line =
+(** [error_to_string e] renders ["file:line: msg"] with the known
+    parts. *)
+let error_to_string ~file ~line ~msg =
+  match (file, line) with
+  | Some f, Some l -> Printf.sprintf "%s:%d: %s" f l msg
+  | Some f, None -> Printf.sprintf "%s: %s" f msg
+  | None, Some l -> Printf.sprintf "line %d: %s" l msg
+  | None, None -> msg
+
+(* Split one CSV record into fields; [file]/[line] attribute errors. *)
+let split_record ?file ?line str =
+  let line_no = line and line = str in
   let fields = ref [] in
   let buf = Buffer.create 16 in
   let n = String.length line in
@@ -25,7 +37,7 @@ let split_record line =
       plain (i + 1)
     end
   and quoted i =
-    if i >= n then csv_error "unterminated quoted field"
+    if i >= n then csv_error ?file ?line:line_no "unterminated quoted field"
     else if line.[i] = '"' then
       if i + 1 < n && line.[i + 1] = '"' then begin
         Buffer.add_char buf '"';
@@ -61,50 +73,75 @@ let cell_value ty (c : string) : Value.t =
     | Vtype.TBool -> Value.Bool (c = "true")
     | Vtype.TString -> Value.String c
 
-(** [of_lines lines] parses a header plus data rows. *)
-let of_lines = function
-  | [] -> csv_error "empty CSV input"
-  | header :: data ->
-      let names = split_record header in
-      let rows = List.map split_record data in
+(* Parse a header plus data rows, each paired with its original line
+   number in the source file (so diagnostics survive blank-line
+   skipping). *)
+let of_numbered_lines ?file = function
+  | [] -> csv_error ?file "empty CSV input"
+  | (header, hline) :: data ->
+      let names = split_record ?file ~line:hline header in
+      let rows =
+        List.map (fun (l, ln) -> (split_record ?file ~line:ln l, ln)) data
+      in
       let ncols = List.length names in
-      List.iteri
-        (fun k row ->
+      List.iter
+        (fun (row, ln) ->
           if List.length row <> ncols then
-            csv_error "row %d has %d fields, expected %d" (k + 2)
+            csv_error ?file ~line:ln "row has %d fields, expected %d"
               (List.length row) ncols)
         rows;
       let columns =
-        List.mapi (fun i _ -> List.map (fun row -> List.nth row i) rows) names
+        List.mapi
+          (fun i _ -> List.map (fun (row, _) -> List.nth row i) rows)
+          names
       in
       let types = List.map infer_type columns in
       let schema =
-        Schema.of_list (List.map2 (fun n ty -> Schema.attr n ty) names types)
+        match
+          Schema.of_list (List.map2 (fun n ty -> Schema.attr n ty) names types)
+        with
+        | s -> s
+        | exception Schema.Schema_error msg -> csv_error ?file ~line:hline "%s" msg
       in
       let tuples =
         List.map
-          (fun row -> Tuple.of_list (List.map2 cell_value types row))
+          (fun (row, ln) ->
+            match Tuple.of_list (List.map2 cell_value types row) with
+            | t -> t
+            | exception (Failure _ | Value.Type_clash _) ->
+                csv_error ?file ~line:ln "cell does not fit the inferred column type")
           rows
       in
       Relation.make schema tuples
 
-(** [load path] reads a relation from a CSV file. *)
+(** [of_lines lines] parses a header plus data rows; line numbers in
+    errors count from 1 at the header. *)
+let of_lines ?file lines =
+  of_numbered_lines ?file (List.mapi (fun i l -> (l, i + 1)) lines)
+
+(** [load path] reads a relation from a CSV file. Malformed rows raise
+    {!Csv_error} carrying the file name and 1-based line number. *)
 let load path =
-  let ic = open_in path in
+  let ic =
+    try open_in path
+    with Sys_error msg -> csv_error ~file:path "cannot open: %s" msg
+  in
   let lines = ref [] in
+  let lineno = ref 0 in
   (try
      while true do
        let line = input_line ic in
+       incr lineno;
        let line =
          (* tolerate CRLF *)
          if String.length line > 0 && line.[String.length line - 1] = '\r' then
            String.sub line 0 (String.length line - 1)
          else line
        in
-       if line <> "" then lines := line :: !lines
+       if line <> "" then lines := (line, !lineno) :: !lines
      done
    with End_of_file -> close_in ic);
-  of_lines (List.rev !lines)
+  of_numbered_lines ~file:path (List.rev !lines)
 
 let quote_field s =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin

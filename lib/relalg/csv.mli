@@ -4,10 +4,19 @@
     float, then bool, else string); empty cells are NULL. Quoting
     follows RFC 4180. *)
 
-exception Csv_error of string
+(** Structured load error: the source file (when loading from disk) and
+    the 1-based line number of the offending record, when known. *)
+exception
+  Csv_error of { file : string option; line : int option; msg : string }
 
-(** [of_lines lines] parses a header line plus data rows. *)
-val of_lines : string list -> Relation.t
+(** [error_to_string ~file ~line ~msg] renders ["file:line: msg"] from
+    the known parts. *)
+val error_to_string :
+  file:string option -> line:int option -> msg:string -> string
+
+(** [of_lines lines] parses a header line plus data rows; error line
+    numbers count from 1 at the header. *)
+val of_lines : ?file:string -> string list -> Relation.t
 
 (** [load path] reads a relation from a CSV file. *)
 val load : string -> Relation.t

@@ -87,6 +87,9 @@ type ctx = {
   sub_summaries : (int * Value.t list, summary) Hashtbl.t;
   sub_free : (int, string list) Hashtbl.t;
   stats : stats;
+  mutable cur_path : string list;
+      (** {!Guard} path of the operator whose expressions are being
+          evaluated — the prefix for sublink paths *)
 }
 
 let mk_ctx db =
@@ -96,6 +99,7 @@ let mk_ctx db =
     sub_summaries = Hashtbl.create 64;
     sub_free = Hashtbl.create 16;
     stats = fresh_stats ();
+    cur_path = [];
   }
 
 let free_names ctx (s : sublink) =
@@ -181,7 +185,11 @@ and materialize ctx env key (s : sublink) : Relation.t =
       rel
   | None ->
       ctx.stats.st_sublink_evals <- ctx.stats.st_sublink_evals + 1;
-      let rel = eval_query ctx env s.query in
+      let saved = ctx.cur_path in
+      let spath = saved @ [ Printf.sprintf "sublink[%d]" s.id ] in
+      Guard.Faults.fire_point Guard.Faults.Sublink spath;
+      let rel = eval_query ctx spath env s.query in
+      ctx.cur_path <- saved;
       Hashtbl.add ctx.sub_results key rel;
       rel
 
@@ -198,85 +206,110 @@ and summary ctx env key s : summary =
 
 (** {1 Query evaluation (reference engine)} *)
 
-and eval_query ctx (env : env) (q : query) : Relation.t =
-  match q with
-  | Base name -> Database.find ctx.db name
-  | TableExpr rel -> rel
-  (* Fuse a selection over a product/join so pairs stream instead of the
-     product being materialized first. *)
-  | Select (cond, Cross (a, b)) -> eval_join ctx env ~outer:false cond a b
-  | Select (cond, Join (c, a, b)) ->
-      eval_join ctx env ~outer:false (And (c, cond)) a b
-  | Select (cond, input) ->
-      let rel = eval_query ctx env input in
-      let schema = Relation.schema rel in
-      let keep =
-        List.filter
-          (fun t -> Value.is_true (eval_expr ctx (frame schema t :: env) cond))
-          (Relation.tuples rel)
-      in
-      Relation.make schema keep
-  | Project { distinct; cols; proj_input } ->
-      let rel = eval_query ctx env proj_input in
-      let in_schema = Relation.schema rel in
-      let out_schema =
-        Typecheck.projection_schema ctx.db (in_schema :: schemas_of_env env) cols
-      in
-      let exprs = List.map fst cols in
-      let rows =
-        List.map
-          (fun t ->
-            let fenv = frame in_schema t :: env in
-            Tuple.of_list (List.map (eval_expr ctx fenv) exprs))
-          (Relation.tuples rel)
-      in
-      let out = Relation.make out_schema rows in
-      if distinct then Relation.distinct out else out
-  | Cross (a, b) ->
-      let ra = eval_query ctx env a and rb = eval_query ctx env b in
-      let schema = Schema.concat (Relation.schema ra) (Relation.schema rb) in
-      let rows =
-        List.concat_map
-          (fun ta ->
-            List.map (fun tb -> Tuple.concat ta tb) (Relation.tuples rb))
-          (Relation.tuples ra)
-      in
-      Relation.make schema rows
-  | Join (cond, a, b) -> eval_join ctx env ~outer:false cond a b
-  | LeftJoin (cond, a, b) -> eval_join ctx env ~outer:true cond a b
-  | Agg spec -> eval_agg ctx env spec
-  | Union (sem, a, b) ->
-      let op = match sem with Bag -> Relation.union_bag | SetSem -> Relation.union_set in
-      op (eval_query ctx env a) (eval_query ctx env b)
-  | Inter (sem, a, b) ->
-      let op = match sem with Bag -> Relation.inter_bag | SetSem -> Relation.inter_set in
-      op (eval_query ctx env a) (eval_query ctx env b)
-  | Diff (sem, a, b) ->
-      let op = match sem with Bag -> Relation.diff_bag | SetSem -> Relation.diff_set in
-      op (eval_query ctx env a) (eval_query ctx env b)
-  | Order (keys, input) ->
-      let rel = eval_query ctx env input in
-      let schema = Relation.schema rel in
-      let decorated =
-        List.map
-          (fun t ->
-            let fenv = frame schema t :: env in
-            (List.map (fun (e, d) -> (eval_expr ctx fenv e, d)) keys, t))
-          (Relation.tuples rel)
-      in
-      let cmp (ka, _) (kb, _) =
-        let rec go = function
-          | [] -> 0
-          | ((va, d), (vb, _)) :: rest ->
-              let c = Value.compare_total va vb in
-              let c = match d with Asc -> c | Desc -> -c in
-              if c <> 0 then c else go rest
+and eval_query ctx path (env : env) (q : query) : Relation.t =
+  (* [here] mirrors Lint's diagnostic paths; children extend the parent
+     segment with a [left]/[right] qualifier exactly like Lint does. *)
+  let here = path @ [ Guard.op_label q ] in
+  let child ?(qual = "") i = path @ [ Guard.op_label q ^ qual ] |> fun p -> eval_query ctx p env i in
+  Guard.tick here;
+  let rel =
+    match q with
+    | Base name ->
+        Guard.Faults.fire_point Guard.Faults.Scan here;
+        Database.find ctx.db name
+    | TableExpr rel ->
+        Guard.Faults.fire_point Guard.Faults.Scan here;
+        rel
+    (* Fuse a selection over a product/join so pairs stream instead of
+       the product being materialized first. *)
+    | Select (cond, Cross (a, b)) -> eval_join ctx here env ~outer:false cond a b
+    | Select (cond, Join (c, a, b)) ->
+        eval_join ctx here env ~outer:false (And (c, cond)) a b
+    | Select (cond, input) ->
+        let rel = child input in
+        let schema = Relation.schema rel in
+        ctx.cur_path <- here;
+        let keep =
+          List.filter
+            (fun t -> Value.is_true (eval_expr ctx (frame schema t :: env) cond))
+            (Relation.tuples rel)
         in
-        go (List.combine ka kb)
-      in
-      Relation.make schema (List.map snd (List.stable_sort cmp decorated))
-  | Limit (n, input) ->
-      let rel = eval_query ctx env input in
+        Relation.make schema keep
+    | Project { distinct; cols; proj_input } ->
+        let rel = child proj_input in
+        let in_schema = Relation.schema rel in
+        let out_schema =
+          Typecheck.projection_schema ctx.db (in_schema :: schemas_of_env env) cols
+        in
+        let exprs = List.map fst cols in
+        ctx.cur_path <- here;
+        let rows =
+          List.map
+            (fun t ->
+              let fenv = frame in_schema t :: env in
+              Tuple.of_list (List.map (eval_expr ctx fenv) exprs))
+            (Relation.tuples rel)
+        in
+        let out = Relation.make out_schema rows in
+        if distinct then Relation.distinct out else out
+    | Cross (a, b) ->
+        Guard.Faults.fire_point Guard.Faults.Join here;
+        let ra = child ~qual:"[left]" a and rb = child ~qual:"[right]" b in
+        if Guard.is_active () then begin
+          let ca = Relation.cardinality ra and cb = Relation.cardinality rb in
+          Guard.cross_guard here ~left:ca ~right:cb;
+          Guard.count_pairs here (ca * cb)
+        end;
+        let schema = Schema.concat (Relation.schema ra) (Relation.schema rb) in
+        let rows =
+          List.concat_map
+            (fun ta ->
+              List.map (fun tb -> Tuple.concat ta tb) (Relation.tuples rb))
+            (Relation.tuples ra)
+        in
+        Relation.make schema rows
+    | Join (cond, a, b) -> eval_join ctx here env ~outer:false cond a b
+    | LeftJoin (cond, a, b) -> eval_join ctx here env ~outer:true cond a b
+    | Agg spec -> eval_agg ctx here env spec
+    | Union (sem, a, b) ->
+        let op = match sem with Bag -> Relation.union_bag | SetSem -> Relation.union_set in
+        op (child ~qual:"[left]" a) (child ~qual:"[right]" b)
+    | Inter (sem, a, b) ->
+        let op = match sem with Bag -> Relation.inter_bag | SetSem -> Relation.inter_set in
+        op (child ~qual:"[left]" a) (child ~qual:"[right]" b)
+    | Diff (sem, a, b) ->
+        let op = match sem with Bag -> Relation.diff_bag | SetSem -> Relation.diff_set in
+        op (child ~qual:"[left]" a) (child ~qual:"[right]" b)
+    | Order (keys, input) ->
+        let rel = child input in
+        let schema = Relation.schema rel in
+        ctx.cur_path <- here;
+        let decorated =
+          List.map
+            (fun t ->
+              let fenv = frame schema t :: env in
+              (List.map (fun (e, d) -> (eval_expr ctx fenv e, d)) keys, t))
+            (Relation.tuples rel)
+        in
+        let cmp (ka, _) (kb, _) =
+          let rec go = function
+            | [] -> 0
+            | ((va, d), (vb, _)) :: rest ->
+                let c = Value.compare_total va vb in
+                let c = match d with Asc -> c | Desc -> -c in
+                if c <> 0 then c else go rest
+          in
+          go (List.combine ka kb)
+        in
+        Relation.make schema (List.map snd (List.stable_sort cmp decorated))
+    | Limit (n, input) -> eval_limit ctx here env n input
+  in
+  if Guard.counts_rows () then
+    Guard.count_rows here (Relation.cardinality rel);
+  rel
+
+and eval_limit ctx here env n input =
+  let rel = eval_query ctx (here : string list) env input in
       (* tail-recursive: a large LIMIT must not overflow the stack *)
       let take n l =
         let rec go n acc = function
@@ -290,20 +323,29 @@ and eval_query ctx (env : env) (q : query) : Relation.t =
 
 (* ---------------- joins ---------------- *)
 
-and eval_join ctx env ~outer cond a b : Relation.t =
-  let ra = eval_query ctx env a and rb = eval_query ctx env b in
+and eval_join ctx here env ~outer cond a b : Relation.t =
+  Guard.Faults.fire_point Guard.Faults.Join here;
+  let qual s =
+    match List.rev here with
+    | last :: rest -> List.rev ((last ^ s) :: rest)
+    | [] -> [ s ]
+  in
+  let ra = eval_query ctx (qual "[left]") env a
+  and rb = eval_query ctx (qual "[right]") env b in
   let sa = Relation.schema ra and sb = Relation.schema rb in
   let schema = Schema.concat sa sb in
   let pairs, residual =
     Scope.split_equi ctx.db ~left:(Schema.names sa) ~right:(Schema.names sb)
       cond
   in
+  ctx.cur_path <- here;
   let rows =
     if pairs = [] then begin
       ctx.stats.st_nested_loop_joins <- ctx.stats.st_nested_loop_joins + 1;
-      ctx.stats.st_nested_pairs <-
-        ctx.stats.st_nested_pairs
-        + (Relation.cardinality ra * Relation.cardinality rb);
+      let ca = Relation.cardinality ra and cb = Relation.cardinality rb in
+      ctx.stats.st_nested_pairs <- ctx.stats.st_nested_pairs + (ca * cb);
+      Guard.cross_guard here ~left:ca ~right:cb;
+      Guard.count_pairs here (ca * cb);
       nested_loop ctx env ~outer schema sa sb ra rb cond
     end
     else begin
@@ -382,8 +424,9 @@ and nested_loop ctx env ~outer schema sa sb ra rb cond =
 
 (* ---------------- aggregation ---------------- *)
 
-and eval_agg ctx env { group_by; aggs; agg_input } : Relation.t =
-  let rel = eval_query ctx env agg_input in
+and eval_agg ctx here env { group_by; aggs; agg_input } : Relation.t =
+  let rel = eval_query ctx (here : string list) env agg_input in
+  ctx.cur_path <- here;
   let in_schema = Relation.schema rel in
   let out_schema =
     Typecheck.aggregation_schema ctx.db
@@ -452,7 +495,7 @@ let engine_of_string = function
 let compile_env env = List.map (fun f -> (f.f_schema, f.f_tuple)) env
 
 (** [query_reference db q] evaluates [q] with the reference tree walker. *)
-let query_reference ?(env = []) db q = eval_query (mk_ctx db) env q
+let query_reference ?(env = []) db q = eval_query (mk_ctx db) [] env q
 
 (** [query_compiled db q] compiles [q] to offset-resolved closures and
     runs the compiled plan. *)
@@ -468,7 +511,7 @@ let query ?(env = []) db q =
 
 let query_stats_reference ?(env = []) db q =
   let ctx = mk_ctx db in
-  let rel = eval_query ctx env q in
+  let rel = eval_query ctx [] env q in
   (rel, ctx.stats)
 
 let query_stats_compiled ?(env = []) db q =

@@ -1,0 +1,334 @@
+(** Execution governor: resource budgets with cooperative checkpoints,
+    and a deterministic fault-injection harness.
+
+    The engines call {!count_row} / {!count_rows} / {!count_pairs} /
+    {!tick} at operator boundaries and {!Faults.fire_point} at scan,
+    join and sublink boundaries. Both are designed for a near-free
+    disabled path: a single [bool ref] load guards each, so unguarded
+    execution pays one load-and-branch per checkpoint.
+
+    A budget is installed dynamically with {!with_budget} rather than
+    threaded through the evaluator signatures: one scope then governs
+    everything that runs inside it — both engines, sublink
+    re-evaluation, optimizer-produced plans — and scopes nest, which is
+    what the strategy-fallback ladder in [Core] relies on to give each
+    attempt its own sub-budget. *)
+
+(* ------------------------------------------------------------------ *)
+(* Paths (same rendering as Lint's diagnostics)                        *)
+(* ------------------------------------------------------------------ *)
+
+let op_label (q : Algebra.query) =
+  match q with
+  | Algebra.Base name -> "Base(" ^ name ^ ")"
+  | TableExpr _ -> "Table"
+  | Select _ -> "Select"
+  | Project _ -> "Project"
+  | Cross _ -> "Cross"
+  | Join _ -> "Join"
+  | LeftJoin _ -> "LeftJoin"
+  | Agg _ -> "Agg"
+  | Union _ -> "Union"
+  | Inter _ -> "Inter"
+  | Diff _ -> "Diff"
+  | Order _ -> "Order"
+  | Limit _ -> "Limit"
+
+let path_to_string = function
+  | [] -> "plan"
+  | path -> String.concat "/" path
+
+(* ------------------------------------------------------------------ *)
+(* Budgets                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type budget = {
+  g_timeout : float option;
+  g_max_rows : int option;
+  g_max_pairs : int option;
+  g_max_alloc_mb : float option;
+}
+
+let budget ?timeout ?max_rows ?max_pairs ?max_alloc_mb () =
+  {
+    g_timeout = timeout;
+    g_max_rows = max_rows;
+    g_max_pairs = max_pairs;
+    g_max_alloc_mb = max_alloc_mb;
+  }
+
+let unlimited =
+  { g_timeout = None; g_max_rows = None; g_max_pairs = None; g_max_alloc_mb = None }
+
+let is_unlimited b =
+  b.g_timeout = None && b.g_max_rows = None && b.g_max_pairs = None
+  && b.g_max_alloc_mb = None
+
+let budget_to_string b =
+  if is_unlimited b then "unlimited"
+  else
+    String.concat ", "
+      (List.filter_map Fun.id
+         [
+           Option.map (Printf.sprintf "timeout=%gs") b.g_timeout;
+           Option.map (Printf.sprintf "max-rows=%d") b.g_max_rows;
+           Option.map (Printf.sprintf "max-pairs=%d") b.g_max_pairs;
+           Option.map (Printf.sprintf "max-alloc=%gMB") b.g_max_alloc_mb;
+         ])
+
+type counters = {
+  c_rows : int;
+  c_pairs : int;
+  c_elapsed : float;
+  c_alloc_mb : float;
+}
+
+type reason =
+  | Timed_out of float
+  | Rows_exceeded of int
+  | Pairs_exceeded of int
+  | Alloc_exceeded of float
+
+type trip = { t_path : string list; t_reason : reason; t_counters : counters }
+
+exception Budget_exceeded of trip
+
+let reason_to_string = function
+  | Timed_out s -> Printf.sprintf "wall-clock timeout (%g s)" s
+  | Rows_exceeded n -> Printf.sprintf "row ceiling (%d rows)" n
+  | Pairs_exceeded n -> Printf.sprintf "join-pair ceiling (%d pairs)" n
+  | Alloc_exceeded mb -> Printf.sprintf "allocation ceiling (%g MB)" mb
+
+let trip_to_string t =
+  Printf.sprintf
+    "budget exceeded at %s: %s; %d rows, %d pairs, %.2f s, %.1f MB allocated"
+    (path_to_string t.t_path)
+    (reason_to_string t.t_reason)
+    t.t_counters.c_rows t.t_counters.c_pairs t.t_counters.c_elapsed
+    t.t_counters.c_alloc_mb
+
+(* How many cheap checkpoints between time/allocation re-checks. *)
+let fuel_interval = 512
+
+type state = {
+  st_budget : budget;
+  st_deadline : float option;
+  st_t0 : float;
+  st_alloc0 : float;
+  (* ceilings flattened to ints ([max_int] = none) so the per-push
+     checkpoint compares without an option match *)
+  st_row_limit : int;
+  st_pair_limit : int;
+  mutable st_rows : int;
+  mutable st_pairs : int;
+  mutable st_fuel : int;
+}
+
+(* The innermost active scope. [active] mirrors [current <> None] so the
+   disabled checkpoint path is a single load-and-branch. *)
+let current : state option ref = ref None
+let active = ref false
+
+let snapshot st =
+  {
+    c_rows = st.st_rows;
+    c_pairs = st.st_pairs;
+    c_elapsed = Unix.gettimeofday () -. st.st_t0;
+    c_alloc_mb = (Gc.allocated_bytes () -. st.st_alloc0) /. 1_048_576.0;
+  }
+
+let trip st path reason =
+  raise (Budget_exceeded { t_path = path; t_reason = reason; t_counters = snapshot st })
+
+let is_active () = !active
+
+(* Bulk row counting walks an O(n) [Relation.cardinality] at every
+   operator exit, so call sites skip it unless a row ceiling is armed;
+   per-push counting (streaming operators) stays on under any budget. *)
+let counts_rows () =
+  !active
+  &&
+  match !current with
+  | Some st -> st.st_budget.g_max_rows <> None
+  | None -> false
+
+let observed () =
+  match !current with
+  | None -> { c_rows = 0; c_pairs = 0; c_elapsed = 0.0; c_alloc_mb = 0.0 }
+  | Some st -> snapshot st
+
+(* Re-check the clock and the allocation counter; called once every
+   [fuel_interval] cheap checkpoints, and on every bulk checkpoint. *)
+let slow_check st path =
+  st.st_fuel <- fuel_interval;
+  (match st.st_deadline with
+  | Some d when Unix.gettimeofday () > d ->
+      trip st path (Timed_out (Option.get st.st_budget.g_timeout))
+  | _ -> ());
+  match st.st_budget.g_max_alloc_mb with
+  | Some mb
+    when (Gc.allocated_bytes () -. st.st_alloc0) /. 1_048_576.0 > mb ->
+      trip st path (Alloc_exceeded mb)
+  | _ -> ()
+
+let count_row_slow path =
+  match !current with
+  | None -> ()
+  | Some st ->
+      let r = st.st_rows + 1 in
+      st.st_rows <- r;
+      if r > st.st_row_limit then trip st path (Rows_exceeded st.st_row_limit);
+      let f = st.st_fuel - 1 in
+      st.st_fuel <- f;
+      if f <= 0 then slow_check st path
+
+let count_row path = if !active then count_row_slow path
+
+let count_rows path n =
+  if !active then
+    match !current with
+    | None -> ()
+    | Some st ->
+        let r = st.st_rows + n in
+        st.st_rows <- r;
+        if r > st.st_row_limit then
+          trip st path (Rows_exceeded st.st_row_limit);
+        slow_check st path
+
+let count_pairs path n =
+  if !active then
+    match !current with
+    | None -> ()
+    | Some st ->
+        let p = st.st_pairs + n in
+        st.st_pairs <- p;
+        if p > st.st_pair_limit then
+          trip st path (Pairs_exceeded st.st_pair_limit);
+        let f = st.st_fuel - 1 in
+        st.st_fuel <- f;
+        if f <= 0 then slow_check st path
+
+let cross_guard path ~left ~right =
+  if !active then
+    match !current with
+    | None -> ()
+    | Some st -> (
+        match st.st_budget.g_max_pairs with
+        | Some m
+          when float_of_int left *. float_of_int right
+               > float_of_int (max 0 (m - st.st_pairs)) ->
+            trip st path (Pairs_exceeded m)
+        | _ -> ())
+
+let tick path =
+  if !active then
+    match !current with
+    | None -> ()
+    | Some st ->
+        st.st_fuel <- st.st_fuel - 1;
+        if st.st_fuel <= 0 then slow_check st path
+
+let with_budget b f =
+  match b with
+  | None -> f ()
+  | Some b ->
+      let now = Unix.gettimeofday () in
+      let st =
+        {
+          st_budget = b;
+          st_deadline = Option.map (fun s -> now +. s) b.g_timeout;
+          st_t0 = now;
+          st_alloc0 = Gc.allocated_bytes ();
+          st_row_limit = Option.value ~default:max_int b.g_max_rows;
+          st_pair_limit = Option.value ~default:max_int b.g_max_pairs;
+          st_rows = 0;
+          st_pairs = 0;
+          st_fuel = fuel_interval;
+        }
+      in
+      let saved = !current in
+      current := Some st;
+      active := true;
+      Fun.protect
+        ~finally:(fun () ->
+          current := saved;
+          active := saved <> None)
+        f
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Faults = struct
+  type site = Scan | Join | Sublink
+
+  type trigger = Countdown of int | At_path of string | Seeded of int
+
+  exception Injected of { i_site : site; i_path : string list }
+
+  let site_to_string = function
+    | Scan -> "scan"
+    | Join -> "join"
+    | Sublink -> "sublink"
+
+  type config = {
+    f_sites : site list;
+    f_trigger : trigger;
+    mutable f_remaining : int;
+    mutable f_rng : int;
+    mutable f_events : int;
+    mutable f_fired : int;
+  }
+
+  let state : config option ref = ref None
+  let armed_flag = ref false
+
+  let arm ?(sites = [ Scan; Join; Sublink ]) trigger =
+    state :=
+      Some
+        {
+          f_sites = sites;
+          f_trigger = trigger;
+          f_remaining = (match trigger with Countdown n -> n | _ -> 0);
+          f_rng = (match trigger with Seeded s -> s land 0x3FFFFFFF | _ -> 0);
+          f_events = 0;
+          f_fired = 0;
+        };
+    armed_flag := true
+
+  let disarm () =
+    state := None;
+    armed_flag := false
+
+  let armed () = !armed_flag
+  let events () = match !state with None -> 0 | Some c -> c.f_events
+  let fired () = match !state with None -> 0 | Some c -> c.f_fired
+
+  let fire_slow site path =
+    match !state with
+    | None -> ()
+    | Some c ->
+        if List.mem site c.f_sites then begin
+          c.f_events <- c.f_events + 1;
+          let fire =
+            match c.f_trigger with
+            | Countdown _ ->
+                c.f_remaining <- c.f_remaining - 1;
+                c.f_remaining = 0
+            | At_path p ->
+                let r = path_to_string path in
+                String.equal r p
+                || String.length r > String.length p
+                   && String.sub r 0 (String.length p + 1) = p ^ "/"
+            | Seeded _ ->
+                c.f_rng <- ((c.f_rng * 1103515245) + 12345) land 0x3FFFFFFF;
+                (c.f_rng lsr 7) mod 10 = 0
+          in
+          if fire then begin
+            c.f_fired <- c.f_fired + 1;
+            raise (Injected { i_site = site; i_path = path })
+          end
+        end
+
+  let fire_point site path = if !armed_flag then fire_slow site path
+end

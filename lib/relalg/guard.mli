@@ -1,0 +1,167 @@
+(** Execution governor: resource budgets with cooperative checkpoints,
+    and a deterministic fault-injection harness.
+
+    Both engines ({!Eval}'s reference walker and {!Compile}'s closure
+    engine) call the checkpoint functions at operator boundaries. When
+    no budget is installed and no fault is armed, a checkpoint is a
+    single flag load — the hot path stays within noise of an unguarded
+    run. With a budget installed, counters are maintained per
+    {!with_budget} scope and a structured {!Budget_exceeded} is raised
+    at the first operator that exceeds a ceiling, carrying the operator
+    path (same [Lint]-style path syntax as {!Lint.path_to_string}) and
+    the counter values at trip time.
+
+    Budgets are installed dynamically ({!with_budget}) rather than
+    threaded through every evaluator signature, so one scope governs a
+    whole pipeline — rewrite products, sublink re-evaluations and both
+    engines included. Scopes nest: the fallback ladder in [Core] runs
+    each strategy attempt under its own sub-budget. *)
+
+(** {1 Budgets} *)
+
+type budget = {
+  g_timeout : float option;  (** wall-clock seconds for the whole scope *)
+  g_max_rows : int option;
+      (** ceiling on rows produced across {e all} operators (output and
+          intermediate rows both count) *)
+  g_max_pairs : int option;
+      (** ceiling on tuple pairs examined by nested-loop joins and cross
+          products; also preflights cross products whose width is known *)
+  g_max_alloc_mb : float option;
+      (** ceiling on major+minor words allocated in the scope, in MB —
+          a coarse stand-in for peak memory *)
+}
+
+val budget :
+  ?timeout:float ->
+  ?max_rows:int ->
+  ?max_pairs:int ->
+  ?max_alloc_mb:float ->
+  unit ->
+  budget
+
+val unlimited : budget
+
+(** [is_unlimited b] is true when no ceiling is set. *)
+val is_unlimited : budget -> bool
+
+val budget_to_string : budget -> string
+
+(** Counter values at trip time. *)
+type counters = {
+  c_rows : int;
+  c_pairs : int;
+  c_elapsed : float;  (** seconds since the scope was entered *)
+  c_alloc_mb : float;
+}
+
+type reason =
+  | Timed_out of float  (** the limit, seconds *)
+  | Rows_exceeded of int  (** the limit *)
+  | Pairs_exceeded of int  (** the limit *)
+  | Alloc_exceeded of float  (** the limit, MB *)
+
+type trip = {
+  t_path : string list;
+      (** operator path of the checkpoint that tripped, root first *)
+  t_reason : reason;
+  t_counters : counters;
+}
+
+exception Budget_exceeded of trip
+
+val trip_to_string : trip -> string
+
+(** [with_budget b f] runs [f] with [b] installed; any previously
+    installed budget is saved and restored, so scopes nest. [None]
+    leaves the current scope untouched. The scope's elapsed time and
+    allocation baselines start at entry. *)
+val with_budget : budget option -> (unit -> 'a) -> 'a
+
+(** Counters of the innermost active scope (all zero when none). *)
+val observed : unit -> counters
+
+(** Whether a budget scope is active — callers use this to skip
+    checkpoint-argument computation (e.g. a cardinality walk) on the
+    unguarded path. *)
+val is_active : unit -> bool
+
+(** Whether the active scope enforces a row ceiling. Bulk row counting
+    costs an O(n) cardinality walk per operator exit, so the engines
+    only perform it when this is true; timeout-only budgets skip it
+    (their [c_rows] counter then reflects streaming pushes only). *)
+val counts_rows : unit -> bool
+
+(** {1 Checkpoints} — called by the engines. *)
+
+(** [count_row path] records one produced row (compiled engine,
+    per-push). *)
+val count_row : string list -> unit
+
+(** [count_rows path n] records [n] produced rows at once (bulk
+    results) and performs a time/allocation check. *)
+val count_rows : string list -> int -> unit
+
+(** [count_pairs path n] records [n] nested-loop or cross-product pairs
+    examined. *)
+val count_pairs : string list -> int -> unit
+
+(** [cross_guard path ~left ~right] preflights a cross product of known
+    input cardinalities against the pair ceiling before any pair is
+    enumerated. *)
+val cross_guard : string list -> left:int -> right:int -> unit
+
+(** [tick path] is a cheap operator-entry checkpoint: amortized
+    time/allocation check, no counter updates. *)
+val tick : string list -> unit
+
+(** {1 Paths} *)
+
+(** Same operator labels as [Lint]'s diagnostics paths. *)
+val op_label : Algebra.query -> string
+
+(** [path_to_string p] joins with ["/"]; the empty path renders as
+    ["plan"]. *)
+val path_to_string : string list -> string
+
+(** {1 Fault injection} *)
+
+module Faults : sig
+  (** Deterministic fault injection at engine boundaries, for testing
+      the error paths: a trigger armed here makes the next matching
+      boundary crossing raise {!Injected} instead of producing data. *)
+
+  type site = Scan | Join | Sublink
+
+  type trigger =
+    | Countdown of int
+        (** fire at the [n]-th matching boundary (1 = first) *)
+    | At_path of string
+        (** fire at the first boundary whose rendered path equals or
+            extends this prefix *)
+    | Seeded of int
+        (** deterministic PRNG seeded here decides at each boundary
+            (~10% firing rate); same seed, same run → same fault *)
+
+  exception Injected of { i_site : site; i_path : string list }
+
+  val site_to_string : site -> string
+
+  (** [arm ?sites trigger] arms one fault; [sites] restricts the
+      boundary kinds that can fire (default: all). Re-arming replaces
+      the previous configuration and resets counters. *)
+  val arm : ?sites:site list -> trigger -> unit
+
+  val disarm : unit -> unit
+  val armed : unit -> bool
+
+  (** Boundary crossings matched (site filter applied) since {!arm}. *)
+  val events : unit -> int
+
+  (** Faults raised since {!arm}. *)
+  val fired : unit -> int
+
+  (** [fire_point site path] is called by the engines at scan, join and
+      sublink boundaries. *)
+  val fire_point : site -> string list -> unit
+end

@@ -654,7 +654,10 @@ let prop_result_preservation =
         (fun strategy ->
           match Perm.provenance db ~strategy q with
           | rel, _ -> Relation.equal_set (strip_prov db q rel) original
-          | exception Strategy.Unsupported _ -> true)
+          | exception
+              Resilience.Perm_error { e_detail = Resilience.Unsupported _; _ }
+            ->
+              true)
         Strategy.all)
 
 let prop_oracle_agreement =
@@ -685,7 +688,10 @@ let prop_strategy_agreement =
           (fun strategy ->
             match Perm.provenance db ~strategy q with
             | rel, _ -> Some rel
-            | exception Strategy.Unsupported _ -> None)
+            | exception
+                Resilience.Perm_error { e_detail = Resilience.Unsupported _; _ }
+              ->
+                None)
           Strategy.all
       in
       match results with

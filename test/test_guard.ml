@@ -1,0 +1,463 @@
+(* Execution governor and resilience: budget trips (every ceiling, with
+   operator-path attribution), scope nesting, the deterministic
+   fault-injection matrix over 4 strategies x 2 engines (a fault at any
+   boundary yields a phase-attributed error, never a wrong answer), the
+   strategy-fallback ladder, the error taxonomy, CSV load errors with
+   file:line attribution, and a qcheck property that a budget-tripped
+   run never disagrees with the untripped run on the rows already
+   emitted. *)
+
+open Relalg
+open Core
+
+let i n = Value.Int n
+
+let r_schema =
+  Schema.of_list [ Schema.attr "a" Vtype.TInt; Schema.attr "b" Vtype.TInt ]
+
+let s_schema =
+  Schema.of_list [ Schema.attr "c" Vtype.TInt; Schema.attr "d" Vtype.TInt ]
+
+let small_db () =
+  Database.of_list
+    [
+      ( "R",
+        Relation.of_values r_schema
+          [ [ i 1; i 1 ]; [ i 2; i 1 ]; [ i 3; i 2 ]; [ i 4; i 2 ] ] );
+      ( "S",
+        Relation.of_values s_schema
+          [ [ i 1; i 3 ]; [ i 2; i 4 ]; [ i 4; i 5 ] ] );
+    ]
+
+let rows rel = List.map Tuple.to_list (Relation.sorted_tuples rel)
+
+let with_engine engine f =
+  let saved = !Eval.default_engine in
+  Eval.default_engine := engine;
+  Fun.protect ~finally:(fun () -> Eval.default_engine := saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Budget trips: every ceiling, with a non-empty operator path          *)
+(* ------------------------------------------------------------------ *)
+
+let test_row_ceiling () =
+  let db = small_db () in
+  match
+    Guard.with_budget
+      (Some (Guard.budget ~max_rows:2 ()))
+      (fun () -> Eval.query db (Algebra.Base "R"))
+  with
+  | _ -> Alcotest.fail "row ceiling did not trip"
+  | exception Guard.Budget_exceeded t ->
+      (match t.Guard.t_reason with
+      | Guard.Rows_exceeded 2 -> ()
+      | _ -> Alcotest.fail "wrong trip reason");
+      Alcotest.(check bool)
+        "trip names an operator" true
+        (t.Guard.t_path <> []);
+      Alcotest.(check bool)
+        "trip path mentions the scan" true
+        (String.length (Guard.path_to_string t.Guard.t_path) > 0)
+
+let test_pair_ceiling_preflight () =
+  (* the reference walker knows both input cardinalities up front, so
+     its preflight trips before a single pair is enumerated; the
+     compiled engine streams the left input and trips at the counting
+     checkpoint instead — both must stop the cross product *)
+  let db = small_db () in
+  let q = Algebra.Cross (Algebra.Base "R", Algebra.Base "S") in
+  let trip engine =
+    with_engine engine (fun () ->
+        match
+          Guard.with_budget
+            (Some (Guard.budget ~max_pairs:5 ()))
+            (fun () -> Eval.query db q)
+        with
+        | _ -> Alcotest.failf "pair ceiling did not trip (%s)"
+                 (Eval.engine_name engine)
+        | exception Guard.Budget_exceeded t -> t)
+  in
+  let tr = trip Eval.Reference in
+  (match tr.Guard.t_reason with
+  | Guard.Pairs_exceeded 5 ->
+      Alcotest.(check int) "preflight: no pairs enumerated" 0
+        tr.Guard.t_counters.Guard.c_pairs
+  | _ -> Alcotest.fail "wrong trip reason (reference)");
+  match (trip Eval.Compiled).Guard.t_reason with
+  | Guard.Pairs_exceeded 5 -> ()
+  | _ -> Alcotest.fail "wrong trip reason (compiled)"
+
+(* a workload big enough that the per-push fuel clock re-checks the
+   wall clock / allocation meter at least once *)
+let heavy_gen_run ~budget () =
+  let n1 = 2000 and n2 = 300 in
+  let db = Synthetic.Workload.make_db ~seed:3 ~n1 ~n2 () in
+  let inst = Synthetic.Workload.q1 ~seed:3 ~n1 ~n2 () in
+  Guard.with_budget (Some budget) (fun () ->
+      Perm.provenance db ~strategy:Strategy.Gen
+        inst.Synthetic.Workload.query)
+
+let test_timeout_trips () =
+  match heavy_gen_run ~budget:(Guard.budget ~timeout:0.0 ()) () with
+  | _ -> Alcotest.fail "timeout did not trip"
+  | exception Resilience.Perm_error
+      { e_detail = Resilience.Budget t; e_phase = Resilience.Eval } -> (
+      match t.Guard.t_reason with
+      | Guard.Timed_out _ -> ()
+      | _ -> Alcotest.fail "wrong trip reason")
+
+let test_alloc_trips () =
+  match heavy_gen_run ~budget:(Guard.budget ~max_alloc_mb:0.05 ()) () with
+  | _ -> Alcotest.fail "allocation ceiling did not trip"
+  | exception Resilience.Perm_error
+      { e_detail = Resilience.Budget t; e_phase = Resilience.Eval } -> (
+      match t.Guard.t_reason with
+      | Guard.Alloc_exceeded _ -> ()
+      | _ -> Alcotest.fail "wrong trip reason")
+
+let test_scope_nesting () =
+  Alcotest.(check bool) "inactive outside" false (Guard.is_active ());
+  Guard.with_budget
+    (Some (Guard.budget ~max_rows:1000 ()))
+    (fun () ->
+      Alcotest.(check bool) "active inside" true (Guard.is_active ());
+      Guard.count_row [ "outer" ];
+      Alcotest.(check int) "outer counted" 1 (Guard.observed ()).Guard.c_rows;
+      Guard.with_budget
+        (Some (Guard.budget ~max_rows:5 ()))
+        (fun () ->
+          Alcotest.(check int) "inner scope starts fresh" 0
+            (Guard.observed ()).Guard.c_rows);
+      Alcotest.(check int) "outer counter restored" 1
+        (Guard.observed ()).Guard.c_rows);
+  Alcotest.(check bool) "inactive after" false (Guard.is_active ())
+
+let test_counts_rows_gating () =
+  Alcotest.(check bool) "off outside any scope" false (Guard.counts_rows ());
+  Guard.with_budget
+    (Some (Guard.budget ~timeout:10.0 ()))
+    (fun () ->
+      Alcotest.(check bool)
+        "timeout-only budget skips bulk row counting" false
+        (Guard.counts_rows ()));
+  Guard.with_budget
+    (Some (Guard.budget ~max_rows:10 ()))
+    (fun () ->
+      Alcotest.(check bool)
+        "row ceiling arms bulk row counting" true (Guard.counts_rows ()))
+
+(* ------------------------------------------------------------------ *)
+(* Fault matrix: 4 strategies x 2 engines                               *)
+(* ------------------------------------------------------------------ *)
+
+(* For every strategy and engine: count the fault-injection boundary
+   crossings N of a clean provenance run, then re-run once per k in
+   1..N with a countdown fault armed at the k-th crossing. Every such
+   run must either report a phase-attributed injected fault or return
+   exactly the clean result — a wrong answer is never acceptable. *)
+let test_fault_matrix () =
+  let n1 = 12 and n2 = 6 in
+  let db = Synthetic.Workload.make_db ~seed:7 ~n1 ~n2 () in
+  let inst = Synthetic.Workload.q1 ~seed:7 ~n1 ~n2 () in
+  let q = inst.Synthetic.Workload.query in
+  Fun.protect ~finally:Guard.Faults.disarm (fun () ->
+      List.iter
+        (fun engine ->
+          with_engine engine (fun () ->
+              List.iter
+                (fun strategy ->
+                  let name =
+                    Printf.sprintf "%s/%s" (Eval.engine_name engine)
+                      (Strategy.to_string strategy)
+                  in
+                  let clean =
+                    let r = Perm.run_query db ~strategy ~provenance:true q in
+                    rows r.Perm.relation
+                  in
+                  (* learn N with a countdown that can never fire *)
+                  Guard.Faults.arm (Guard.Faults.Countdown max_int);
+                  ignore (Perm.run_query db ~strategy ~provenance:true q);
+                  let n = Guard.Faults.events () in
+                  Alcotest.(check bool)
+                    (name ^ ": boundaries crossed") true (n > 0);
+                  for k = 1 to n do
+                    Guard.Faults.arm (Guard.Faults.Countdown k);
+                    match Perm.run_query db ~strategy ~provenance:true q with
+                    | r ->
+                        (* the fault did not surface: the answer must
+                           still be the clean one *)
+                        Alcotest.(check (list (list string)))
+                          (Printf.sprintf "%s k=%d: result unchanged" name k)
+                          (List.map (List.map Value.to_string) clean)
+                          (List.map (List.map Value.to_string)
+                             (rows r.Perm.relation))
+                    | exception Resilience.Perm_error
+                        {
+                          e_phase = Resilience.Eval;
+                          e_detail = Resilience.Fault _;
+                        } ->
+                        ()
+                    | exception e ->
+                        Alcotest.failf "%s k=%d: unclassified escape: %s" name
+                          k (Printexc.to_string e)
+                  done)
+                [ Strategy.Gen; Strategy.Left; Strategy.Move; Strategy.Unn ]))
+        [ Eval.Compiled; Eval.Reference ])
+
+let test_seeded_faults_deterministic () =
+  let db = small_db () in
+  let q =
+    Algebra.(
+      Select (any_op Eq (attr "a") (project [ (attr "c", "c") ] (Base "S")),
+              Base "R"))
+  in
+  (* sublink path segments carry globally allocated ids that differ
+     between two rewrites of the same query; normalize them away *)
+  let scrub s =
+    Str.global_replace (Str.regexp "sublink\\[[0-9]+\\]") "sublink[_]" s
+  in
+  let outcome () =
+    Guard.Faults.arm (Guard.Faults.Seeded 42);
+    match Perm.run_query db ~strategy:Strategy.Gen ~provenance:true q with
+    | r -> "ok:" ^ String.concat "|" (List.concat_map (List.map Value.to_string) (rows r.Perm.relation))
+    | exception Resilience.Perm_error e ->
+        "err:" ^ scrub (Resilience.error_to_string e)
+  in
+  Fun.protect ~finally:Guard.Faults.disarm (fun () ->
+      Alcotest.(check string)
+        "same seed, same outcome" (outcome ()) (outcome ()))
+
+(* ------------------------------------------------------------------ *)
+(* Fallback ladder                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A Gen rewrite whose sublink re-evaluations blow the row budget (two
+   orders of magnitude more rows than any other strategy at this size)
+   degrades to a cheaper strategy and still returns the relation the
+   unbounded Gen run would have. *)
+let test_fallback_from_budget () =
+  let n1 = 1000 and n2 = 300 in
+  let db = Synthetic.Workload.make_db ~seed:2 ~n1 ~n2 () in
+  let inst = Synthetic.Workload.q1 ~seed:2 ~n1 ~n2 () in
+  let q = inst.Synthetic.Workload.query in
+  let unbounded = Perm.run_query db ~strategy:Strategy.Gen ~provenance:true q in
+  let governed =
+    Perm.run_query db ~strategy:Strategy.Gen
+      ~budget:(Guard.budget ~max_rows:20_000 ())
+      ~fallback:true ~provenance:true q
+  in
+  let lad =
+    match governed.Perm.ladder with
+    | Some l -> l
+    | None -> Alcotest.fail "fallback run reports no ladder"
+  in
+  Alcotest.(check bool)
+    "Gen was abandoned" true
+    (List.exists
+       (fun a ->
+         a.Resilience.att_strategy = Strategy.Gen
+         &&
+         match a.Resilience.att_error.Resilience.e_detail with
+         | Resilience.Budget _ -> true
+         | _ -> false)
+       lad.Resilience.lad_abandoned);
+  Alcotest.(check bool)
+    "a cheaper strategy delivered" true
+    (lad.Resilience.lad_strategy <> Strategy.Gen);
+  Alcotest.(check (list (list string)))
+    "same relation as the unbounded Gen run"
+    (List.map (List.map Value.to_string) (rows unbounded.Perm.relation))
+    (List.map (List.map Value.to_string) (rows governed.Perm.relation))
+
+(* Unn does not apply to q2; with fallback the ladder abandons it with
+   an applicability error and a supported strategy answers. *)
+let test_fallback_from_unsupported () =
+  let n1 = 40 and n2 = 10 in
+  let db = Synthetic.Workload.make_db ~seed:9 ~n1 ~n2 () in
+  let inst = Synthetic.Workload.q2 ~seed:9 ~n1 ~n2 () in
+  let q = inst.Synthetic.Workload.query in
+  let r = Perm.run_query db ~strategy:Strategy.Unn ~fallback:true ~provenance:true q in
+  let lad = Option.get r.Perm.ladder in
+  Alcotest.(check bool)
+    "Unn abandoned as unsupported" true
+    (List.exists
+       (fun a ->
+         a.Resilience.att_strategy = Strategy.Unn
+         &&
+         match a.Resilience.att_error.Resilience.e_detail with
+         | Resilience.Unsupported _ -> true
+         | _ -> false)
+       lad.Resilience.lad_abandoned);
+  Alcotest.(check bool)
+    "a supported strategy answered" true
+    (List.mem lad.Resilience.lad_strategy
+       (Synthetic.Workload.strategies_for `Q2))
+
+(* Without fallback the same budget trip propagates as an error. *)
+let test_no_fallback_propagates () =
+  let n1 = 1000 and n2 = 300 in
+  let db = Synthetic.Workload.make_db ~seed:2 ~n1 ~n2 () in
+  let inst = Synthetic.Workload.q1 ~seed:2 ~n1 ~n2 () in
+  match
+    Perm.run_query db ~strategy:Strategy.Gen
+      ~budget:(Guard.budget ~max_rows:20_000 ())
+      ~provenance:true inst.Synthetic.Workload.query
+  with
+  | _ -> Alcotest.fail "expected a budget error"
+  | exception Resilience.Perm_error { e_detail = Resilience.Budget _; _ } -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Error taxonomy                                                       *)
+(* ------------------------------------------------------------------ *)
+
+exception Weird_local_exn
+
+let test_classification () =
+  let open Resilience in
+  (match classify ~default:Eval (Strategy.Unsupported "no can do") with
+  | { e_phase = Rewrite; e_detail = Unsupported "no can do" } -> ()
+  | _ -> Alcotest.fail "Unsupported misclassified");
+  (match classify ~default:Eval Division_by_zero with
+  | { e_phase = Eval; e_detail = Message _ } -> ()
+  | _ -> Alcotest.fail "Division_by_zero misclassified");
+  (match
+     classify ~default:Eval
+       (Csv.Csv_error { file = Some "t.csv"; line = Some 3; msg = "bad row" })
+   with
+  | { e_phase = Load; e_detail = Message m } ->
+      Alcotest.(check string) "csv message carries file:line" "t.csv:3: bad row" m
+  | _ -> Alcotest.fail "Csv_error misclassified");
+  (match classify ~default:Eval Weird_local_exn with
+  | _ -> Alcotest.fail "unknown exception should not classify"
+  | exception Not_found -> ());
+  Alcotest.(check bool) "budget retryable" true
+    (retryable { e_phase = Eval; e_detail = Budget { Guard.t_path = []; t_reason = Guard.Rows_exceeded 1; t_counters = { Guard.c_rows = 1; c_pairs = 0; c_elapsed = 0.0; c_alloc_mb = 0.0 } } });
+  Alcotest.(check bool) "unsupported retryable" true
+    (retryable { e_phase = Rewrite; e_detail = Unsupported "x" });
+  Alcotest.(check bool) "semantic errors not retryable" false
+    (retryable { e_phase = Typecheck; e_detail = Message "x" })
+
+let test_enter () =
+  let open Resilience in
+  (match enter Typecheck (fun () -> raise (Failure "boom")) with
+  | _ -> Alcotest.fail "enter swallowed the error"
+  | exception Perm_error { e_phase = Typecheck; e_detail = Message "boom" } ->
+      ());
+  (* an inner Perm_error passes through unchanged *)
+  let inner = { e_phase = Load; e_detail = Message "inner" } in
+  (match enter Eval (fun () -> raise (Perm_error inner)) with
+  | _ -> Alcotest.fail "enter swallowed the inner error"
+  | exception Perm_error e ->
+      Alcotest.(check string) "phase preserved" "load"
+        (phase_to_string e.e_phase));
+  (* an unknown exception escapes unclassified *)
+  match enter Eval (fun () -> raise Weird_local_exn) with
+  | _ -> Alcotest.fail "enter swallowed the unknown exception"
+  | exception Weird_local_exn -> ()
+
+let test_csv_errors () =
+  (match Csv.of_lines ~file:"t.csv" [ "a,b"; "1,2"; "3" ] with
+  | _ -> Alcotest.fail "short row accepted"
+  | exception Csv.Csv_error { file = Some "t.csv"; line = Some 3; _ } -> ());
+  match
+    Resilience.enter Resilience.Load (fun () ->
+        Csv.load "/nonexistent/never/x.csv")
+  with
+  | _ -> Alcotest.fail "missing file accepted"
+  | exception Resilience.Perm_error
+      { e_phase = Resilience.Load; e_detail = Resilience.Message _ } ->
+      ()
+
+(* ------------------------------------------------------------------ *)
+(* Property: a tripped run agrees with the untripped run on every row   *)
+(* already emitted                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let prefix_queries =
+  Algebra.
+    [
+      Base "R";
+      Select (Cmp (Leq, attr "a", int 3), Base "R");
+      project [ (attr "b", "b"); (attr "a", "a") ] (Base "R");
+      Union (Bag, Base "R", Base "R");
+      Cross (Base "R", Base "S");
+      Select
+        ( any_op Eq (attr "a") (project [ (attr "c", "c") ] (Base "S")),
+          Base "R" );
+      Order ([ (attr "a", Desc) ], Base "R");
+    ]
+
+let collect ?budget db q =
+  let c = Compile.compile db q in
+  let acc = ref [] in
+  (try
+     Guard.with_budget budget (fun () ->
+         Compile.stream c (fun t -> acc := t :: !acc))
+   with Guard.Budget_exceeded _ -> ());
+  List.rev !acc
+
+let rec is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | x :: xs', y :: ys' -> Tuple.equal x y && is_prefix xs' ys'
+  | _ :: _, [] -> false
+
+let prop_trip_prefix =
+  QCheck.Test.make ~name:"budget-tripped runs emit a prefix of the clean run"
+    ~count:300
+    (QCheck.pair
+       (QCheck.int_range 1 40)
+       (QCheck.int_bound (List.length prefix_queries - 1)))
+    (fun (k, qi) ->
+      let db = small_db () in
+      let q = List.nth prefix_queries qi in
+      let clean = collect db q in
+      let tripped =
+        collect ~budget:(Guard.budget ~max_rows:k ()) db q
+      in
+      is_prefix tripped clean)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "guard"
+    [
+      ( "budget",
+        [
+          Alcotest.test_case "row ceiling trips with path" `Quick
+            test_row_ceiling;
+          Alcotest.test_case "pair ceiling preflights cross" `Quick
+            test_pair_ceiling_preflight;
+          Alcotest.test_case "timeout trips" `Quick test_timeout_trips;
+          Alcotest.test_case "allocation ceiling trips" `Quick
+            test_alloc_trips;
+          Alcotest.test_case "scopes nest" `Quick test_scope_nesting;
+          Alcotest.test_case "bulk counting gated on row ceiling" `Quick
+            test_counts_rows_gating;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "matrix: 4 strategies x 2 engines" `Slow
+            test_fault_matrix;
+          Alcotest.test_case "seeded faults are deterministic" `Quick
+            test_seeded_faults_deterministic;
+        ] );
+      ( "fallback",
+        [
+          Alcotest.test_case "budget trip degrades to cheaper strategy" `Quick
+            test_fallback_from_budget;
+          Alcotest.test_case "unsupported strategy degrades" `Quick
+            test_fallback_from_unsupported;
+          Alcotest.test_case "no fallback: trip propagates" `Quick
+            test_no_fallback_propagates;
+        ] );
+      ( "taxonomy",
+        [
+          Alcotest.test_case "classification" `Quick test_classification;
+          Alcotest.test_case "enter converts and preserves" `Quick test_enter;
+          Alcotest.test_case "CSV errors carry file:line" `Quick
+            test_csv_errors;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest ~long:false prop_trip_prefix ] );
+    ]

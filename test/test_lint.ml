@@ -335,13 +335,13 @@ let test_perm_lint_gate () =
        (Select (Cmp (Eq, attr "a", attr "zz"), Base "r"))
    with
   | _ -> Alcotest.fail "expected Lint_error"
-  | exception Lint.Lint_error diags ->
+  | exception Resilience.Perm_error { e_detail = Resilience.Lint diags; _ } ->
       flagged "gate rejection" ~rule:"unresolved-attribute" ~path:[ "Select" ]
         diags);
   (* werror escalates warnings *)
   match Perm.run_query db ~lint:true ~werror:true ~provenance:false (Limit (1, Base "r")) with
   | _ -> Alcotest.fail "expected Lint_error under werror"
-  | exception Lint.Lint_error _ -> ()
+  | exception Resilience.Perm_error { e_detail = Resilience.Lint _; _ } -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Workload coverage: TPC-H and synthetic queries lint clean            *)

@@ -66,7 +66,7 @@ let test_exec_script () =
 let test_exec_script_error_propagates () =
   let db = sql_db () in
   match Perm.exec_script db "SELECT 1; SELECT nope FROM r" with
-  | exception Sql_frontend.Analyzer.Analyze_error _ -> ()
+  | exception Resilience.Perm_error { e_phase = Resilience.Analyze; _ } -> ()
   | _ -> Alcotest.fail "expected analysis error"
 
 (* ------------------------------------------------------------------ *)
@@ -228,8 +228,10 @@ let test_order_by_group_expr () =
 let test_order_by_unprojected_rejected () =
   let db = sql_db () in
   match Perm.run db "SELECT a FROM r ORDER BY b + 1" with
-  | exception Sql_frontend.Analyzer.Analyze_error _ -> ()
-  | exception Typecheck.Type_error _ -> ()
+  | exception
+      Resilience.Perm_error
+        { e_phase = Resilience.Analyze | Resilience.Typecheck; _ } ->
+      ()
   | _ -> Alcotest.fail "ordering by an unprojected expression must be rejected"
 
 (* ------------------------------------------------------------------ *)

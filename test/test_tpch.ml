@@ -219,7 +219,9 @@ let test_correlated_strategies_rejected () =
       let q = Tpch_queries.instantiate ~seed:5 n in
       let sql = Tpch_queries.with_provenance q in
       match Perm.run d ~strategy:Strategy.Left sql with
-      | exception Strategy.Unsupported _ -> ()
+      | exception
+          Resilience.Perm_error { e_detail = Resilience.Unsupported _; _ } ->
+          ()
       | _ -> Alcotest.failf "Q%d: Left should be inapplicable" n)
     [ 2; 17; 20; 21 ]
 

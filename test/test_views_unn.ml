@@ -89,7 +89,7 @@ let test_create_table_as_and_drop () =
   | Perm.Dropped "snap" -> ()
   | _ -> Alcotest.fail "drop");
   match Perm.exec db "DROP snap" with
-  | exception Sql_frontend.Analyzer.Analyze_error _ -> ()
+  | exception Resilience.Perm_error { e_phase = Resilience.Analyze; _ } -> ()
   | _ -> Alcotest.fail "double drop must fail"
 
 let test_view_shadowing_and_errors () =
@@ -97,7 +97,7 @@ let test_view_shadowing_and_errors () =
   ignore (Perm.exec db "CREATE VIEW w AS SELECT a AS x FROM r");
   (* unknown columns in views error out at use *)
   (match Perm.exec db "SELECT nope FROM w" with
-  | exception Sql_frontend.Analyzer.Analyze_error _ -> ()
+  | exception Resilience.Perm_error { e_phase = Resilience.Analyze; _ } -> ()
   | _ -> Alcotest.fail "unknown column in view");
   (* base tables win over views with the same name *)
   ignore (Perm.exec db "CREATE VIEW r AS SELECT c FROM s");
