@@ -58,6 +58,9 @@ let run_child ~timeout ?(guard = true) (f : unit -> unit -> Eval.stats) :
   (* flush before forking so the child does not replay buffered output *)
   flush stdout;
   flush stderr;
+  (* the budget the child actually enforces; a cooperative trip is
+     censored at this bound, the parent's SIGKILL at [timeout] *)
+  let child_limit = 0.9 *. timeout in
   let rd, wr = Unix.pipe () in
   match Unix.fork () with
   | 0 ->
@@ -66,7 +69,7 @@ let run_child ~timeout ?(guard = true) (f : unit -> unit -> Eval.stats) :
       (try
          let work = f () in
          let budget =
-           if guard then Some (Guard.budget ~timeout:(0.9 *. timeout) ())
+           if guard then Some (Guard.budget ~timeout:child_limit ())
            else None
          in
          (* one untimed warm-up execution: the first run in the fresh
@@ -120,7 +123,7 @@ let run_child ~timeout ?(guard = true) (f : unit -> unit -> Eval.stats) :
               | _ -> None
             in
             (Time (float_of_string t), stats)
-        | "to" :: _ -> (Timeout timeout, None)
+        | "to" :: _ -> (Timeout child_limit, None)
         | "err" :: rest -> (Failed (String.concat " " rest), None)
         | _ -> (Failed line, None)
       end)

@@ -500,8 +500,10 @@ let max_rows_arg =
     & opt (some int) None
     & info [ "max-rows" ] ~docv:"N"
         ~doc:
-          "Execution budget: abort any statement once an operator has \
-           produced more than $(docv) rows.")
+          "Execution budget: abort any statement once its operators have \
+           produced more than $(docv) rows in total (the ceiling is \
+           cumulative across all operators, intermediate rows included, \
+           not per operator).")
 
 let fallback_arg =
   Arg.(

@@ -231,7 +231,9 @@ and eval_query ctx path (env : env) (q : query) : Relation.t =
         ctx.cur_path <- here;
         let keep =
           List.filter
-            (fun t -> Value.is_true (eval_expr ctx (frame schema t :: env) cond))
+            (fun t ->
+              Guard.tick here;
+              Value.is_true (eval_expr ctx (frame schema t :: env) cond))
             (Relation.tuples rel)
         in
         Relation.make schema keep
@@ -246,6 +248,7 @@ and eval_query ctx path (env : env) (q : query) : Relation.t =
         let rows =
           List.map
             (fun t ->
+              Guard.tick here;
               let fenv = frame in_schema t :: env in
               Tuple.of_list (List.map (eval_expr ctx fenv) exprs))
             (Relation.tuples rel)
@@ -264,7 +267,11 @@ and eval_query ctx path (env : env) (q : query) : Relation.t =
         let rows =
           List.concat_map
             (fun ta ->
-              List.map (fun tb -> Tuple.concat ta tb) (Relation.tuples rb))
+              List.map
+                (fun tb ->
+                  Guard.tick here;
+                  Tuple.concat ta tb)
+                (Relation.tuples rb))
             (Relation.tuples ra)
         in
         Relation.make schema rows
@@ -287,6 +294,7 @@ and eval_query ctx path (env : env) (q : query) : Relation.t =
         let decorated =
           List.map
             (fun t ->
+              Guard.tick here;
               let fenv = frame schema t :: env in
               (List.map (fun (e, d) -> (eval_expr ctx fenv e, d)) keys, t))
             (Relation.tuples rel)
@@ -357,6 +365,9 @@ and eval_join ctx here env ~outer cond a b : Relation.t =
   Relation.make schema rows
 
 and hash_join ctx env ~outer schema sa sb ra rb pairs residual =
+  (* per-row checkpoints: capture the operator path before expression
+     evaluation can move [cur_path] into a sublink *)
+  let path = ctx.cur_path in
   let residual_cond = conj residual in
   let key_of fschema t exprs =
     let fenv = frame fschema t :: env in
@@ -370,6 +381,7 @@ and hash_join ctx env ~outer schema sa sb ra rb pairs residual =
   let table = Tuple.Tbl.create (max 16 (Relation.cardinality rb)) in
   List.iter
     (fun tb ->
+      Guard.tick path;
       let key = key_of sb tb right_exprs in
       if usable key then begin
         let k = Tuple.of_list key in
@@ -379,6 +391,7 @@ and hash_join ctx env ~outer schema sa sb ra rb pairs residual =
     (Relation.tuples rb);
   let pad = Tuple.nulls (Schema.arity sb) in
   let emit_left acc ta =
+    Guard.tick path;
     let key = key_of sa ta left_exprs in
     let matches =
       if usable key then
@@ -390,6 +403,7 @@ and hash_join ctx env ~outer schema sa sb ra rb pairs residual =
     let hits =
       List.filter_map
         (fun tb ->
+          Guard.tick path;
           let combined = Tuple.concat ta tb in
           if Value.is_true (eval_expr ctx (frame schema combined :: env) residual_cond)
           then Some combined
@@ -404,12 +418,14 @@ and hash_join ctx env ~outer schema sa sb ra rb pairs residual =
 
 and nested_loop ctx env ~outer schema sa sb ra rb cond =
   ignore sa;
+  let path = ctx.cur_path in
   let pad = Tuple.nulls (Schema.arity sb) in
   ignore sb;
   let emit_left acc ta =
     let hits =
       List.filter_map
         (fun tb ->
+          Guard.tick path;
           let combined = Tuple.concat ta tb in
           if Value.is_true (eval_expr ctx (frame schema combined :: env) cond) then
             Some combined
@@ -438,6 +454,7 @@ and eval_agg ctx here env { group_by; aggs; agg_input } : Relation.t =
   let order = ref [] in
   List.iter
     (fun t ->
+      Guard.tick here;
       let fenv = frame in_schema t :: env in
       let key = Tuple.of_list (List.map (eval_expr ctx fenv) group_exprs) in
       match Tuple.Tbl.find_opt groups key with

@@ -10,9 +10,15 @@
     A budget is installed dynamically with {!with_budget} rather than
     threaded through the evaluator signatures: one scope then governs
     everything that runs inside it — both engines, sublink
-    re-evaluation, optimizer-produced plans — and scopes nest, which is
-    what the strategy-fallback ladder in [Core] relies on to give each
-    attempt its own sub-budget. *)
+    re-evaluation, optimizer-produced plans. Scopes nest lexically, but
+    only the innermost scope is enforced: while an inner scope is
+    active the outer scope's counters and deadline are suspended
+    (neither advanced nor checked), and they resume where they left off
+    when the inner scope exits. The strategy-fallback ladder in [Core]
+    builds its per-attempt sub-budgets on this — it re-splits the
+    remaining {e wall-clock} allowance across attempts itself, while
+    each attempt's row/pair/allocation ceilings are per-attempt, fresh
+    allowances. *)
 
 (* ------------------------------------------------------------------ *)
 (* Paths (same rendering as Lint's diagnostics)                        *)
@@ -228,6 +234,12 @@ let tick path =
         st.st_fuel <- st.st_fuel - 1;
         if st.st_fuel <= 0 then slow_check st path
 
+(** [with_budget b f] runs [f] governed by [b] ([None] = unchanged).
+    Installing a scope inside another {e suspends} the outer scope: its
+    counters and deadline are neither advanced nor checked until the
+    inner scope exits — callers that want a shared ceiling across
+    nested runs (the fallback ladder's wall clock) must split it into
+    the sub-budgets themselves. *)
 let with_budget b f =
   match b with
   | None -> f ()

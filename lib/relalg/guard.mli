@@ -14,8 +14,13 @@
     Budgets are installed dynamically ({!with_budget}) rather than
     threaded through every evaluator signature, so one scope governs a
     whole pipeline — rewrite products, sublink re-evaluations and both
-    engines included. Scopes nest: the fallback ladder in [Core] runs
-    each strategy attempt under its own sub-budget. *)
+    engines included. Scopes nest lexically, but only the innermost is
+    enforced: an inner scope suspends the outer one (its counters and
+    deadline are neither advanced nor checked until the inner exits).
+    The fallback ladder in [Core] runs each strategy attempt under its
+    own sub-budget on this contract, re-splitting the remaining
+    wall-clock allowance itself; row/pair/allocation ceilings are fresh
+    per attempt. *)
 
 (** {1 Budgets} *)
 
@@ -73,9 +78,12 @@ exception Budget_exceeded of trip
 val trip_to_string : trip -> string
 
 (** [with_budget b f] runs [f] with [b] installed; any previously
-    installed budget is saved and restored, so scopes nest. [None]
-    leaves the current scope untouched. The scope's elapsed time and
-    allocation baselines start at entry. *)
+    installed budget is saved and restored on exit, but while [b] is
+    active the outer scope is {e suspended} — its counters and deadline
+    are neither advanced nor checked. Callers wanting a shared ceiling
+    across nested runs must split it into the sub-budgets themselves.
+    [None] leaves the current scope untouched. The scope's elapsed time
+    and allocation baselines start at entry. *)
 val with_budget : budget option -> (unit -> 'a) -> 'a
 
 (** Counters of the innermost active scope (all zero when none). *)
@@ -111,8 +119,10 @@ val count_pairs : string list -> int -> unit
     enumerated. *)
 val cross_guard : string list -> left:int -> right:int -> unit
 
-(** [tick path] is a cheap operator-entry checkpoint: amortized
-    time/allocation check, no counter updates. *)
+(** [tick path] is a cheap checkpoint — amortized time/allocation
+    check, no counter updates. Called at operator entry by both
+    engines, and per tuple in the reference walker's hot loops so
+    timeout/allocation budgets trip even on plans with few operators. *)
 val tick : string list -> unit
 
 (** {1 Paths} *)

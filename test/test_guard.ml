@@ -106,6 +106,37 @@ let test_timeout_trips () =
       | Guard.Timed_out _ -> ()
       | _ -> Alcotest.fail "wrong trip reason")
 
+(* Regression: the reference walker must reach the clock through its
+   per-row ticks alone. A sublink-free plan with a handful of operators
+   never accumulates the 512 operator-level checkpoints that would
+   otherwise trigger a slow check, yet runs for seconds unguarded — a
+   timeout-only budget must still trip it. *)
+let test_reference_timeout () =
+  let n = 150 in
+  let table col =
+    Relation.of_values
+      (Schema.of_list [ Schema.attr col Vtype.TInt ])
+      (List.init n (fun k -> [ i k ]))
+  in
+  let db =
+    Database.of_list [ ("T1", table "x"); ("T2", table "y"); ("T3", table "z") ]
+  in
+  let q = Algebra.(Cross (Cross (Base "T1", Base "T2"), Base "T3")) in
+  let t0 = Unix.gettimeofday () in
+  match
+    Guard.with_budget
+      (Some (Guard.budget ~timeout:0.05 ()))
+      (fun () -> Eval.query_reference db q)
+  with
+  | _ -> Alcotest.fail "reference-engine timeout did not trip"
+  | exception Guard.Budget_exceeded t -> (
+      Alcotest.(check bool)
+        "tripped promptly, not at plan completion" true
+        (Unix.gettimeofday () -. t0 < 1.0);
+      match t.Guard.t_reason with
+      | Guard.Timed_out _ -> ()
+      | _ -> Alcotest.fail "wrong trip reason")
+
 let test_alloc_trips () =
   match heavy_gen_run ~budget:(Guard.budget ~max_alloc_mb:0.05 ()) () with
   | _ -> Alcotest.fail "allocation ceiling did not trip"
@@ -429,6 +460,8 @@ let () =
           Alcotest.test_case "pair ceiling preflights cross" `Quick
             test_pair_ceiling_preflight;
           Alcotest.test_case "timeout trips" `Quick test_timeout_trips;
+          Alcotest.test_case "reference engine: per-row ticks reach the clock"
+            `Quick test_reference_timeout;
           Alcotest.test_case "allocation ceiling trips" `Quick
             test_alloc_trips;
           Alcotest.test_case "scopes nest" `Quick test_scope_nesting;
