@@ -1083,6 +1083,113 @@ let advisor_cmd =
     (Cmd.info "advisor" ~doc:"Cost-model strategy choices")
     Term.(const advisor_report $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* Differential fuzzing and rewrite certification                       *)
+(* ------------------------------------------------------------------ *)
+
+(* [bench fuzz]: a pinned-seed differential campaign — every generated
+   sublink query runs under 4 strategies × 2 engines plus the
+   enumeration oracle; mismatches are shrunk to minimal repros and
+   written as replayable bundles (permcli --replay). Exit 1 on any
+   mismatch, so CI can gate on it. *)
+let fuzz_campaign ~seed ~count ~artifacts () =
+  let t0 = Unix.gettimeofday () in
+  Printf.printf "fuzz: seed %d, %d cases, artifacts under %s\n%!" seed count
+    artifacts;
+  let progress i =
+    if i > 0 && i mod 100 = 0 then Printf.printf "  ... %d/%d\n%!" i count
+  in
+  let stats = Fuzz.Diff.campaign ~seed ~count ~artifacts ~progress () in
+  print_string (Fuzz.Diff.stats_to_string stats);
+  Printf.printf "wall clock: %.1f s\n" (Unix.gettimeofday () -. t0);
+  if stats.Fuzz.Diff.st_failures <> [] then Stdlib.exit 1
+
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~doc:"Campaign seed (same seed, same queries).")
+  in
+  let count_arg =
+    Arg.(value & opt int 500 & info [ "count" ] ~doc:"Number of queries.")
+  in
+  let artifacts_arg =
+    Arg.(
+      value
+      & opt string (Filename.concat "_build" "fuzz")
+      & info [ "artifacts" ] ~docv:"DIR"
+          ~doc:"Directory for counterexample bundles.")
+  in
+  let run seed count artifacts = fuzz_campaign ~seed ~count ~artifacts () in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: strategies x engines x oracle on generated \
+          sublink queries, with counterexample shrinking")
+    Term.(const run $ seed_arg $ count_arg $ artifacts_arg)
+
+(* [bench certify]: translation-validate the optimizer over the real
+   workloads — every synthetic q1/q2 instance and every TPC-H sublink
+   query, under every applicable strategy. Exit 1 on any failed
+   certificate. *)
+let certify_workloads ~sf () =
+  let failures = ref 0 in
+  let certified name db q strategies =
+    List.iter
+      (fun strategy ->
+        match Rewrite.rewrite db ~strategy q with
+        | exception Strategy.Unsupported _ -> ()
+        | q_plus, _ ->
+            let _plan, report = Certify.optimize db q_plus in
+            Printf.printf "%-16s %-5s %s%!" name (Strategy.to_string strategy)
+              (Certify.report_to_string report);
+            if not (Certify.ok report) then incr failures)
+      strategies
+  in
+  List.iter
+    (fun (label, template) ->
+      let n1 = 60 and n2 = 30 in
+      let seed = 11 in
+      let db = Synthetic.Workload.make_db ~seed ~n1 ~n2 () in
+      let inst =
+        match template with
+        | `Q1 -> Synthetic.Workload.q1 ~seed ~n1 ~n2 ()
+        | `Q2 -> Synthetic.Workload.q2 ~seed ~n1 ~n2 ()
+      in
+      certified ("synthetic " ^ label) db inst.Synthetic.Workload.query
+        (Synthetic.Workload.strategies_for template))
+    [ ("q1", `Q1); ("q2", `Q2) ];
+  let db = Tpch.Tpch_gen.generate ~seed:5 ~sf () in
+  List.iter
+    (fun number ->
+      let inst = Tpch.Tpch_queries.instantiate ~seed:100 number in
+      let analyzed =
+        Sql_frontend.Analyzer.analyze_string db inst.Tpch.Tpch_queries.sql
+      in
+      certified
+        (Printf.sprintf "tpch Q%d" number)
+        db analyzed.Sql_frontend.Analyzer.query Strategy.all)
+    Tpch.Tpch_queries.numbers;
+  if !failures > 0 then begin
+    Printf.printf "%d certification failure(s)\n" !failures;
+    Stdlib.exit 1
+  end
+  else print_endline "all workloads certified clean"
+
+let certify_cmd =
+  let sf_arg =
+    Arg.(
+      value & opt float 0.02
+      & info [ "sf" ] ~doc:"TPC-H scale factor for the certified runs.")
+  in
+  let run sf = certify_workloads ~sf () in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Translation-validate the optimizer over the synthetic and TPC-H \
+          workloads under every applicable strategy")
+    Term.(const run $ sf_arg)
+
 let bechamel_cmd =
   Cmd.v
     (Cmd.info "bechamel" ~doc:"Statistically sampled micro-benchmarks")
@@ -1132,6 +1239,8 @@ let () =
             prune_cmd;
             governor_cmd;
             advisor_cmd;
+            fuzz_cmd;
+            certify_cmd;
             bechamel_cmd;
             all_cmd;
           ]))

@@ -13,6 +13,8 @@
                    \timing       toggle timing
                    \stats        toggle EXPLAIN-ANALYZE-style counters
                    \lint [SQL]   toggle lint gating / lint one statement
+                   \certify      toggle translation validation of every
+                                 optimizer rewrite (see --certify)
                    \analyze SQL  per-operator dataflow facts (nullability,
                                  lineage, cardinality) for one statement
                    \werror       toggle treating lint warnings as errors
@@ -39,6 +41,7 @@ type session = {
   mutable timing : bool;
   mutable show_stats : bool;
   mutable lint : bool;  (* gate statements through Lint / Provcheck *)
+  mutable certify : bool;  (* translation-validate every optimizer rewrite *)
   mutable werror : bool;  (* escalate lint warnings to errors *)
   mutable budget : Guard.budget option;  (* execution governor budget *)
   mutable fallback : bool;  (* degrade strategy on Unsupported / budget trip *)
@@ -73,12 +76,14 @@ let demo_db () =
 
 let run_statement session sql =
   let lint = session.lint
+  and certify = session.certify
   and werror = session.werror
   and fallback = session.fallback in
   let budget = session.budget in
   match session.strategy with
   | Fixed strategy ->
-      Perm.exec session.db ~strategy ~lint ~werror ?budget ~fallback sql
+      Perm.exec session.db ~strategy ~certify ~lint ~werror ?budget ~fallback
+        sql
   | Auto -> (
       (* the advisor handles SELECTs; DDL does not need a strategy *)
       match
@@ -87,12 +92,13 @@ let run_statement session sql =
       with
       | Sql_frontend.Ast.Stmt_select _ ->
           let strategy, result =
-            Advisor.run session.db ~lint ~werror ?budget ~fallback sql
+            Advisor.run session.db ~certify ~lint ~werror ?budget ~fallback sql
           in
           if result.Perm.provenance <> [] then
             Printf.printf "advisor chose: %s\n" (Strategy.to_string strategy);
           Perm.Rows result
-      | _ -> Perm.exec session.db ~lint ~werror ?budget ~fallback sql)
+      | _ ->
+          Perm.exec session.db ~certify ~lint ~werror ?budget ~fallback sql)
 
 let execute session sql =
   let t0 = Unix.gettimeofday () in
@@ -104,6 +110,9 @@ let execute session sql =
         print_string (Pp.query_to_string result.Perm.plan)
       end;
       Table_pp.print result.Perm.relation;
+      (match result.Perm.certificate with
+      | Some rep -> print_string (Certify.report_to_string rep)
+      | None -> ());
       (match result.Perm.ladder with
       | Some l when l.Resilience.lad_abandoned <> [] ->
           Printf.printf "fallback: %s\n" (Resilience.ladder_to_string l)
@@ -366,6 +375,11 @@ let handle_command session line =
       session.lint <- not session.lint;
       Printf.printf "lint gating %s\n" (if session.lint then "on" else "off");
       `Continue
+  | [ "\\certify" ] ->
+      session.certify <- not session.certify;
+      Printf.printf "rewrite certification %s\n"
+        (if session.certify then "on" else "off");
+      `Continue
   | "\\lint" :: rest ->
       lint_statement session (String.concat " " rest);
       `Continue
@@ -479,6 +493,29 @@ let lint_arg =
            provenance-contract verifier: error diagnostics abort the \
            statement before it runs.")
 
+let certify_arg =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Translation-validate every optimizer rewrite while executing: \
+           each rule application is checked for schema preservation, \
+           dataflow-fact preservation, and bounded equivalence on witness \
+           databases, and provenance results are cross-checked against the \
+           enumeration oracle on those witnesses. A failed certificate \
+           aborts the statement with the rule, path, and differing rows.")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"DIR"
+        ~doc:
+          "Replay a fuzzer counterexample bundle ($(docv)/query.sql plus \
+           $(docv)/*.csv) through the differential harness and exit: 0 when \
+           all configurations agree, 1 on a mismatch, 2 when the bundle \
+           cannot be checked.")
+
 let werror_arg =
   Arg.(
     value & flag
@@ -514,8 +551,27 @@ let fallback_arg =
            degrade to the next strategy of the advisor ranking instead of \
            failing; the answer reports which strategy delivered.")
 
-let main tpch demo loads exec file strategy plan engine lint werror timeout
-    max_rows fallback =
+(* --replay DIR: re-run a fuzzer counterexample bundle through the
+   differential harness, independent of any loaded database. *)
+let replay_bundle dir =
+  match Fuzz.Diff.replay dir with
+  | Fuzz.Diff.Agree n ->
+      Printf.printf "replay %s: agree (%d configuration comparisons)\n" dir n;
+      Stdlib.exit 0
+  | Fuzz.Diff.Mismatch mm ->
+      Printf.printf "replay %s: MISMATCH %s vs %s\n%s\n" dir mm.Fuzz.Diff.mm_left
+        mm.Fuzz.Diff.mm_right mm.Fuzz.Diff.mm_detail;
+      Stdlib.exit 1
+  | Fuzz.Diff.Skip reason ->
+      Printf.printf "replay %s: skipped (%s)\n" dir reason;
+      Stdlib.exit 2
+  | exception Sys_error msg ->
+      Printf.eprintf "error: cannot read bundle: %s\n" msg;
+      Stdlib.exit 2
+
+let main tpch demo loads exec file strategy plan engine lint certify replay
+    werror timeout max_rows fallback =
+  (match replay with Some dir -> replay_bundle dir | None -> ());
   (match Eval.engine_of_string engine with
   | e -> Eval.default_engine := e
   | exception Invalid_argument msg ->
@@ -562,6 +618,7 @@ let main tpch demo loads exec file strategy plan engine lint werror timeout
       timing = false;
       show_stats = false;
       lint;
+      certify;
       werror;
       budget;
       fallback;
@@ -602,7 +659,7 @@ let cmd =
     (Cmd.info "permcli" ~doc:"SQL shell with Perm-style provenance")
     Term.(
       const main $ tpch_arg $ demo_arg $ load_arg $ exec_arg $ file_arg
-      $ strategy_arg $ plan_arg $ engine_arg $ lint_arg $ werror_arg
-      $ timeout_arg $ max_rows_arg $ fallback_arg)
+      $ strategy_arg $ plan_arg $ engine_arg $ lint_arg $ certify_arg
+      $ replay_arg $ werror_arg $ timeout_arg $ max_rows_arg $ fallback_arg)
 
 let () = Stdlib.exit (Cmd.eval cmd)

@@ -183,8 +183,9 @@ let choose db (q : query) : Strategy.t =
     plans exactly as in {!Perm.run}; [?budget] / [?fallback] govern the
     execution as in {!Perm.run} (with fallback, the degradation order is
     this module's ranking). *)
-let run db ?(optimize = true) ?(lint = false) ?(werror = false) ?budget
-    ?(fallback = false) sql : Strategy.t * Perm.result =
+let run db ?(optimize = true) ?(certify = false) ?(lint = false)
+    ?(werror = false) ?budget ?(fallback = false) sql :
+    Strategy.t * Perm.result =
   let analyzed =
     Resilience.enter Resilience.Analyze (fun () ->
         Sql_frontend.Analyzer.analyze_string db sql)
@@ -193,8 +194,8 @@ let run db ?(optimize = true) ?(lint = false) ?(werror = false) ?budget
   if analyzed.Sql_frontend.Analyzer.wants_provenance then begin
     let strategy = Resilience.enter Resilience.Rewrite (fun () -> choose db q) in
     let r =
-      Perm.run_query db ~strategy ~optimize ~lint ~werror ?budget ~fallback
-        ~provenance:true q
+      Perm.run_query db ~strategy ~optimize ~certify ~lint ~werror ?budget
+        ~fallback ~provenance:true q
     in
     let strategy =
       match r.Perm.ladder with
@@ -205,7 +206,7 @@ let run db ?(optimize = true) ?(lint = false) ?(werror = false) ?budget
   end
   else
     ( Strategy.Gen,
-      Perm.run_query db ~optimize ~lint ~werror ?budget ~fallback
+      Perm.run_query db ~optimize ~certify ~lint ~werror ?budget ~fallback
         ~provenance:false q )
 
 (* Install the cost-model ranking as the fallback ladder's degradation

@@ -32,12 +32,13 @@ val estimates : Database.t -> Algebra.query -> estimate list
     strategy applies. *)
 val choose : Database.t -> Algebra.query -> Strategy.t
 
-(** [run db ?optimize ?lint ?werror ?budget ?fallback sql] is
+(** [run db ?optimize ?certify ?lint ?werror ?budget ?fallback sql] is
     {!Perm.run} with an advisor-chosen strategy; returns the strategy
     that answered alongside the result (with [~fallback:true] that may
     be a later rung of the ladder, not the initial choice). [?lint] /
-    [?werror] gate the plans as in {!Perm.run}; [?budget] / [?fallback]
-    govern the execution as in {!Perm.run}.
+    [?werror] gate the plans as in {!Perm.run}; [?certify] translation-
+    validates the optimizer's rewrites as in {!Perm.run}; [?budget] /
+    [?fallback] govern the execution as in {!Perm.run}.
 
     Linking this module also installs the cost-model ranking as
     {!Resilience.strategy_ranking}, so fallback everywhere degrades
@@ -45,6 +46,7 @@ val choose : Database.t -> Algebra.query -> Strategy.t
 val run :
   Database.t ->
   ?optimize:bool ->
+  ?certify:bool ->
   ?lint:bool ->
   ?werror:bool ->
   ?budget:Guard.budget ->

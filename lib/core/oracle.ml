@@ -260,3 +260,11 @@ and dedup (rs : prow list) : prow list =
     (schema-less; compare with the rewriter's output by row content). *)
 let provenance db (q : query) : Tuple.t list =
   List.map (fun r -> Tuple.concat r.pt r.pw) (rows db [] q)
+
+(** [provenance_of_row db q row] is the witness set of one output row:
+    the witness-value arrays of every provenance row whose result
+    tuple equals [row]. *)
+let provenance_of_row db (q : query) (row : Tuple.t) : Value.t array list =
+  List.filter_map
+    (fun r -> if Tuple.equal r.pt row then Some r.pw else None)
+    (rows db [] q)

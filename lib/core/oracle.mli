@@ -28,3 +28,35 @@ val rows : Database.t -> Eval.env -> Algebra.query -> prow list
     (result tuple concatenated with witness values), comparable with
     the rewriter's output by content. *)
 val provenance : Database.t -> Algebra.query -> Tuple.t list
+
+(** [provenance_of_row db q row] is the per-output-row provenance API:
+    the witness sets of the output row [row] — one [Value.t array] of
+    flattened witness values per contributing combination of base
+    tuples, in {!width} slots (NULL = that relation access did not
+    contribute). Empty when [row] is not in the output of [q].
+
+    {b Definition 1 vs Definition 2.} This oracle implements the
+    corrected Definition 2, and the two definitions diverge {e exactly}
+    on the sublink witness sets [Tsub*]:
+
+    - For an [ANY] sublink whose truth value is TRUE, Definition 1
+      returns the whole sublink relation as witnesses; Definition 2
+      keeps only the rows that {e satisfy} the comparison (the rows
+      whose existence makes the sublink true).
+    - Dually, for an [ALL] sublink whose truth value is FALSE,
+      Definition 2 keeps only the {e refuting} rows.
+    - When the sublink's truth value is UNKNOWN (NULL involved), or
+      FALSE for [ANY] / TRUE for [ALL], every row of the sublink
+      relation influences the truth value, so both definitions keep
+      the whole relation and agree.
+    - [EXISTS] and scalar sublinks have no comparison to restrict by;
+      the definitions coincide (an empty sublink result contributes a
+      single all-NULL witness under both).
+
+    Consequently [provenance_of_row] differs from a Definition-1
+    enumeration only for output rows whose condition contains an [ANY]
+    sublink evaluating to TRUE or an [ALL] sublink evaluating to
+    FALSE; everywhere else the two definitions produce identical
+    witness sets. *)
+val provenance_of_row :
+  Database.t -> Algebra.query -> Tuple.t -> Value.t array list

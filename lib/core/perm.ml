@@ -21,6 +21,9 @@ type result = {
   ladder : Resilience.ladder option;
       (** how the strategy-fallback ladder concluded; [None] unless the
           run was made with [~fallback:true] and provenance *)
+  certificate : Certify.report option;
+      (** the translation-validation certificate for the optimizer run;
+          [None] unless the run was made with [~certify:true] *)
 }
 
 (** [rewrite db ?strategy q] is the provenance-propagating plan [q+] and
@@ -50,71 +53,87 @@ let gate_plain db ~lint ~original plan =
 
 (* The provenance pipeline for one strategy, each phase reporting
    through the {!Resilience} taxonomy. *)
-let prov_pipeline db ~strategy ~optimize ~lint ~werror q : result =
+(* The optimizer step shared by both pipelines: with [~certify:true]
+   the pass runs under the {!Certify} translation validator and a
+   failed certificate aborts the run (phase [Optimize]). *)
+let optimize_step db ~optimize ~certify q =
+  Resilience.enter Resilience.Optimize (fun () ->
+      if not optimize then (q, None)
+      else if certify then begin
+        let plan, report = Certify.optimize db q in
+        Certify.fail_on report;
+        (plan, Some report)
+      end
+      else (Optimizer.optimize db q, None))
+
+let prov_pipeline db ~strategy ~optimize ~certify ~lint ~werror q : result =
   ignore werror;
   let q_plus, provs =
     Resilience.enter Resilience.Rewrite (fun () ->
         Rewrite.rewrite db ~strategy q)
   in
   Resilience.enter Resilience.Typecheck (fun () -> Typecheck.check db q_plus);
-  let plan =
-    Resilience.enter Resilience.Optimize (fun () ->
-        if optimize then Optimizer.optimize db q_plus else q_plus)
-  in
+  let plan, certificate = optimize_step db ~optimize ~certify q_plus in
   Resilience.enter Resilience.Rewrite (fun () ->
       gate_rewrite db ~lint ~strategy ~original:q ~optimized:plan
         (q_plus, provs));
+  if certify then
+    (* bounded ground truth: the provenance plan must agree with the
+       enumeration oracle on the witness databases *)
+    Resilience.enter Resilience.Rewrite (fun () ->
+        Lint.fail_on (Provcheck.oracle_check db ~original:q plan));
   let relation = Resilience.enter Resilience.Eval (fun () -> Eval.query db plan) in
-  { relation; provenance = provs; plan; ladder = None }
+  { relation; provenance = provs; plan; ladder = None; certificate }
 
-let plain_pipeline db ~optimize ~lint q : result =
-  let plan =
-    Resilience.enter Resilience.Optimize (fun () ->
-        if optimize then Optimizer.optimize db q else q)
-  in
+let plain_pipeline db ~optimize ~certify ~lint q : result =
+  let plan, certificate = optimize_step db ~optimize ~certify q in
   Resilience.enter Resilience.Optimize (fun () ->
       gate_plain db ~lint ~original:q plan);
   let relation = Resilience.enter Resilience.Eval (fun () -> Eval.query db plan) in
-  { relation; provenance = []; plan; ladder = None }
+  { relation; provenance = []; plan; ladder = None; certificate }
 
 (* Evaluation of an analyzed query under the optional budget, with the
    strategy-fallback ladder when [fallback] is set on a provenance
    run. *)
-let run_analyzed db ~strategy ~optimize ~lint ~werror ~budget ~fallback ~wants
-    q : result =
+let run_analyzed db ~strategy ~optimize ~certify ~lint ~werror ~budget
+    ~fallback ~wants q : result =
   if wants then
     if fallback then begin
       let r, lad =
         Resilience.run_ladder db ~strategy ~budget q (fun s ->
-            prov_pipeline db ~strategy:s ~optimize ~lint ~werror q)
+            prov_pipeline db ~strategy:s ~optimize ~certify ~lint ~werror q)
       in
       { r with ladder = Some lad }
     end
     else
       Guard.with_budget budget (fun () ->
-          prov_pipeline db ~strategy ~optimize ~lint ~werror q)
+          prov_pipeline db ~strategy ~optimize ~certify ~lint ~werror q)
   else
-    Guard.with_budget budget (fun () -> plain_pipeline db ~optimize ~lint q)
+    Guard.with_budget budget (fun () ->
+        plain_pipeline db ~optimize ~certify ~lint q)
 
 (** [provenance db ?strategy ?optimize ?lint ?werror ?budget ?fallback q]
     evaluates the provenance of an algebra query directly. *)
 let provenance db ?(strategy = Strategy.Gen) ?(optimize = true)
-    ?(lint = false) ?(werror = false) ?budget ?(fallback = false) q =
+    ?(certify = false) ?(lint = false) ?(werror = false) ?budget
+    ?(fallback = false) q =
   Resilience.enter Resilience.Analyze (fun () ->
       gate_source db ~lint ~werror q);
   let r =
-    run_analyzed db ~strategy ~optimize ~lint ~werror ~budget ~fallback
-      ~wants:true q
+    run_analyzed db ~strategy ~optimize ~certify ~lint ~werror ~budget
+      ~fallback ~wants:true q
   in
   (r.relation, r.provenance)
 
 (** [run_query db ?strategy ?optimize ?lint ?werror ?budget ?fallback
     ~provenance q] is {!run} for an already-analyzed algebra query. *)
-let run_query db ?(strategy = Strategy.Gen) ?(optimize = true) ?(lint = false)
-    ?(werror = false) ?budget ?(fallback = false) ~provenance:wants q : result =
+let run_query db ?(strategy = Strategy.Gen) ?(optimize = true)
+    ?(certify = false) ?(lint = false) ?(werror = false) ?budget
+    ?(fallback = false) ~provenance:wants q : result =
   Resilience.enter Resilience.Analyze (fun () ->
       gate_source db ~lint ~werror q);
-  run_analyzed db ~strategy ~optimize ~lint ~werror ~budget ~fallback ~wants q
+  run_analyzed db ~strategy ~optimize ~certify ~lint ~werror ~budget ~fallback
+    ~wants q
 
 (** [run db ?strategy ?optimize ?lint ?werror ?budget ?fallback sql]
     parses, analyzes and evaluates [sql]. If the statement carries the
@@ -122,14 +141,14 @@ let run_query db ?(strategy = Strategy.Gen) ?(optimize = true) ?(lint = false)
     applied first; with [~fallback:true] a strategy that is
     inapplicable or blows [budget] degrades to the next-ranked one.
     Failures raise {!Resilience.Perm_error}. *)
-let run db ?(strategy = Strategy.Gen) ?(optimize = true) ?(lint = false)
-    ?(werror = false) ?budget ?(fallback = false) sql : result =
+let run db ?(strategy = Strategy.Gen) ?(optimize = true) ?(certify = false)
+    ?(lint = false) ?(werror = false) ?budget ?(fallback = false) sql : result =
   let analyzed =
     Resilience.enter Resilience.Analyze (fun () ->
         Sql_frontend.Analyzer.analyze_string db sql)
   in
   let q = analyzed.Sql_frontend.Analyzer.query in
-  run_query db ~strategy ~optimize ~lint ~werror ?budget ~fallback
+  run_query db ~strategy ~optimize ~certify ~lint ~werror ?budget ~fallback
     ~provenance:analyzed.Sql_frontend.Analyzer.wants_provenance q
 
 (** {1 Statements} *)
@@ -141,8 +160,8 @@ type exec_result =
   | Dropped of string
 
 (* Execute one already-parsed statement. *)
-let exec_parsed db ~strategy ~optimize ~lint ~werror ~budget ~fallback stmt :
-    exec_result =
+let exec_parsed db ~strategy ~optimize ~certify ~lint ~werror ~budget
+    ~fallback stmt : exec_result =
   let analyze sel =
     Resilience.enter Resilience.Analyze (fun () ->
         let analyzed = Sql_frontend.Analyzer.analyze db sel in
@@ -154,8 +173,8 @@ let exec_parsed db ~strategy ~optimize ~lint ~werror ~budget ~fallback stmt :
   | Sql_frontend.Ast.Stmt_select sel ->
       let q, wants = analyze sel in
       Rows
-        (run_analyzed db ~strategy ~optimize ~lint ~werror ~budget ~fallback
-           ~wants q)
+        (run_analyzed db ~strategy ~optimize ~certify ~lint ~werror ~budget
+           ~fallback ~wants q)
   | Sql_frontend.Ast.Stmt_create_view (name, sel) ->
       let q, wants = analyze sel in
       let stored =
@@ -179,8 +198,8 @@ let exec_parsed db ~strategy ~optimize ~lint ~werror ~budget ~fallback stmt :
   | Sql_frontend.Ast.Stmt_create_table_as (name, sel) ->
       let q, wants = analyze sel in
       let r =
-        run_analyzed db ~strategy ~optimize ~lint ~werror ~budget ~fallback
-          ~wants q
+        run_analyzed db ~strategy ~optimize ~certify ~lint ~werror ~budget
+          ~fallback ~wants q
       in
       Database.add db name r.relation;
       Created_table (name, Relation.cardinality r.relation)
@@ -199,9 +218,10 @@ let exec_parsed db ~strategy ~optimize ~lint ~werror ~budget ~fallback stmt :
     AS SELECT PROVENANCE ...] stores the *rewritten* query, so querying
     [v] later sees the provenance columns — Perm's "provenance as a
     view". [CREATE TABLE t AS ...] materializes the result. *)
-let exec db ?(strategy = Strategy.Gen) ?(optimize = true) ?(lint = false)
-    ?(werror = false) ?budget ?(fallback = false) sql : exec_result =
-  exec_parsed db ~strategy ~optimize ~lint ~werror ~budget ~fallback
+let exec db ?(strategy = Strategy.Gen) ?(optimize = true) ?(certify = false)
+    ?(lint = false) ?(werror = false) ?budget ?(fallback = false) sql :
+    exec_result =
+  exec_parsed db ~strategy ~optimize ~certify ~lint ~werror ~budget ~fallback
     (Resilience.enter Resilience.Parse (fun () ->
          Sql_frontend.Parser.parse_statement sql))
 
@@ -210,10 +230,11 @@ let exec db ?(strategy = Strategy.Gen) ?(optimize = true) ?(lint = false)
     statement's result in order. Execution stops at the first error
     (exception propagates). *)
 let exec_script db ?(strategy = Strategy.Gen) ?(optimize = true)
-    ?(lint = false) ?(werror = false) ?budget ?(fallback = false) sql :
-    exec_result list =
+    ?(certify = false) ?(lint = false) ?(werror = false) ?budget
+    ?(fallback = false) sql : exec_result list =
   List.map
-    (exec_parsed db ~strategy ~optimize ~lint ~werror ~budget ~fallback)
+    (exec_parsed db ~strategy ~optimize ~certify ~lint ~werror ~budget
+       ~fallback)
     (Resilience.enter Resilience.Parse (fun () ->
          Sql_frontend.Parser.parse_script sql))
 

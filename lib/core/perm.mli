@@ -13,6 +13,9 @@ type result = {
   ladder : Resilience.ladder option;
       (** how the strategy-fallback ladder concluded; [None] unless the
           run was made with [~fallback:true] and provenance *)
+  certificate : Certify.report option;
+      (** the translation-validation certificate for the optimizer run;
+          [None] unless the run was made with [~certify:true] *)
 }
 
 (** [rewrite db ?strategy q] is the provenance-propagating plan [q+] and
@@ -37,6 +40,7 @@ val provenance :
   Database.t ->
   ?strategy:Strategy.t ->
   ?optimize:bool ->
+  ?certify:bool ->
   ?lint:bool ->
   ?werror:bool ->
   ?budget:Guard.budget ->
@@ -53,6 +57,7 @@ val run :
   Database.t ->
   ?strategy:Strategy.t ->
   ?optimize:bool ->
+  ?certify:bool ->
   ?lint:bool ->
   ?werror:bool ->
   ?budget:Guard.budget ->
@@ -66,6 +71,7 @@ val run_query :
   Database.t ->
   ?strategy:Strategy.t ->
   ?optimize:bool ->
+  ?certify:bool ->
   ?lint:bool ->
   ?werror:bool ->
   ?budget:Guard.budget ->
@@ -90,6 +96,7 @@ val exec :
   Database.t ->
   ?strategy:Strategy.t ->
   ?optimize:bool ->
+  ?certify:bool ->
   ?lint:bool ->
   ?werror:bool ->
   ?budget:Guard.budget ->
@@ -104,6 +111,7 @@ val exec_script :
   Database.t ->
   ?strategy:Strategy.t ->
   ?optimize:bool ->
+  ?certify:bool ->
   ?lint:bool ->
   ?werror:bool ->
   ?budget:Guard.budget ->

@@ -328,6 +328,52 @@ let optimizer_guard db ~before after =
   schema @ regressions
 
 (* ------------------------------------------------------------------ *)
+(* Bounded oracle ground truth (rule: prov-oracle)                     *)
+(* ------------------------------------------------------------------ *)
+
+let oracle_check db ~original rewritten =
+  let budget = Guard.budget ~timeout:1.0 ~max_rows:200_000 () in
+  let canon rows = List.sort_uniq Tuple.compare rows in
+  let check_one assoc =
+    let wdb = Database.of_list assoc in
+    match
+      Guard.with_budget (Some budget) (fun () ->
+          let expected = canon (Oracle.provenance wdb original) in
+          let actual =
+            canon (Relation.tuples (Eval.query_reference wdb rewritten))
+          in
+          (expected, actual))
+    with
+    | exception
+        ( Oracle.Unsupported _ | Guard.Budget_exceeded _ | Eval.Eval_error _
+        | Value.Type_clash _ | Schema.Schema_error _ | Typecheck.Type_error _
+        | Relation.Relation_error _ | Database.Unknown_relation _
+        | Builtin.Unknown_function _ | Not_found | Invalid_argument _
+        | Division_by_zero | Failure _ ) ->
+        (* the oracle or the plan legitimately gives up on this witness
+           (unsupported form, budget trip, runtime error): not a defect *)
+        []
+    | expected, actual ->
+        if List.equal Tuple.equal expected actual then []
+        else
+          [
+            diag Error ~rule:"prov-oracle" ~path:[]
+              (Printf.sprintf
+                 "rewritten plan disagrees with the enumeration oracle on a \
+                  witness database (%d oracle rows vs %d plan rows, \
+                  set-level)"
+                 (List.length expected) (List.length actual));
+          ]
+  in
+  (* stop at the first refuting witness database *)
+  let rec first = function
+    | [] -> []
+    | wdb :: rest -> (
+        match check_one wdb with [] -> first rest | ds -> ds)
+  in
+  first (Certify.witness_databases db original)
+
+(* ------------------------------------------------------------------ *)
 (* Combined check                                                       *)
 (* ------------------------------------------------------------------ *)
 

@@ -58,6 +58,21 @@ val contract :
 val gen_crossbase :
   Database.t -> original:Algebra.query -> Algebra.query -> Lint.diagnostic list
 
+(** [oracle_check db ~original rewritten] is the bounded ground-truth
+    check ([prov-oracle]): the rewritten provenance plan is evaluated
+    on the small witness databases {!Relalg.Certify.witness_databases}
+    derives from [original] and compared — set-level, since the
+    rewrite may duplicate provenance rows the oracle dedups — against
+    {!Oracle.provenance}. Witnesses the oracle cannot handle (its
+    {!Oracle.Unsupported} forms, budget trips, runtime errors) are
+    skipped, so an empty result means "no witness refutes the
+    rewrite", not a proof. Stops at the first refuting witness. *)
+val oracle_check :
+  Database.t ->
+  original:Algebra.query ->
+  Algebra.query ->
+  Lint.diagnostic list
+
 (** [optimizer_guard db ~before after] checks that an optimization or
     simplification pass preserved the typed schema and did not increase
     the number of error-severity plan diagnostics of any rule. *)

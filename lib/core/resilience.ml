@@ -69,6 +69,10 @@ let classify_opt ~default exn =
                 f_path = i_path;
               }))
   | Strategy.Unsupported m -> Some (mk ~phase:Rewrite (Unsupported m))
+  | Certify.Certify_error rep ->
+      Some
+        (mk ~phase:Optimize
+           (Message (Certify.report_to_string ~verbose:true rep)))
   | Lint.Lint_error ds -> Some (mk (Lint ds))
   | Sql_frontend.Lexer.Lex_error (m, l, c) ->
       Some

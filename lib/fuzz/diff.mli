@@ -1,0 +1,75 @@
+(** Differential harness for fuzz cases: every applicable provenance
+    strategy × both engines, checked against each other and against
+    the enumeration oracle, plus plain engine parity and the Theorem-1
+    projection property. Legitimately-unrunnable configurations
+    (strategy preconditions, oracle limits, budget trips, runtime
+    errors) are skipped; a {!Mismatch} is a genuine counterexample.
+    The campaign driver shrinks counterexamples and writes them as
+    replayable [.sql] + [.csv] bundles. *)
+
+type mismatch = {
+  mm_left : string;  (** configuration label, e.g. ["prov/Left/reference"] *)
+  mm_right : string;
+  mm_detail : string;  (** row counts and sample differing rows *)
+}
+
+type verdict =
+  | Agree of int  (** number of configuration comparisons that ran *)
+  | Skip of string  (** nothing comparable ran *)
+  | Mismatch of mismatch
+
+(** 2 s / 500k rows per configuration run. *)
+val default_budget : Relalg.Guard.budget
+
+(** [check ?budget case] analyzes the case's query against its tables
+    and cross-checks every configuration that runs within [budget]. *)
+val check : ?budget:Relalg.Guard.budget -> Qgen.case -> verdict
+
+(** [write_bundle ~dir case ~notes] materializes a replayable bundle:
+    [query.sql], one [<table>.csv] per table, [notes.txt]. Creates
+    [dir] (and parents) as needed. *)
+val write_bundle : dir:string -> Qgen.case -> notes:string -> unit
+
+(** [load_bundle dir] reads a bundle back. Tables matching the fixed
+    fuzz layout are coerced to integer schemas (CSV inference types
+    empty or all-NULL columns as strings). *)
+val load_bundle : string -> Qgen.case
+
+(** [replay ?budget dir] re-runs a bundle through {!check}. *)
+val replay : ?budget:Relalg.Guard.budget -> string -> verdict
+
+type failure = {
+  fl_index : int;  (** which generated case (0-based) *)
+  fl_case : Qgen.case;  (** as generated *)
+  fl_shrunk : Qgen.case;  (** after delta-debugging *)
+  fl_detail : string;
+  fl_dir : string option;  (** bundle directory, when artifacts were written *)
+}
+
+type stats = {
+  st_seed : int;
+  st_total : int;
+  st_agreed : int;
+  st_comparisons : int;  (** configuration comparisons across all cases *)
+  st_skipped : int;
+  st_failures : failure list;
+}
+
+(** [campaign ~seed ~count ()] generates and checks [count] cases from
+    a single deterministic stream, shrinking each mismatch to a
+    minimal repro and, when [artifacts] names a directory, writing a
+    bundle per failure under [artifacts]/seed<seed>-case<i>.
+    [progress] is called with the case index before each check. *)
+val campaign :
+  ?config:Qgen.config ->
+  ?budget:Relalg.Guard.budget ->
+  ?artifacts:string ->
+  ?progress:(int -> unit) ->
+  seed:int ->
+  count:int ->
+  unit ->
+  stats
+
+(** Human-readable campaign summary: totals plus, per failure, the
+    minimal repro SQL, table sizes, and bundle location. *)
+val stats_to_string : stats -> string

@@ -1,0 +1,340 @@
+(** Grammar-directed generation of sublink-heavy SQL queries with tiny
+    NULL-rich databases.
+
+    Cases are generated as frontend ASTs over a fixed three-table
+    schema — [r(a,b)], [s(c,d)], [u(e,f)], all integer columns with
+    pairwise-distinct names so correlation resolves by name alone —
+    and pretty-print to SQL the parser accepts again, which is what
+    makes shrunk counterexamples replayable as [.sql] + [.csv]
+    bundles. The grammar covers all four sublink kinds ([EXISTS],
+    [IN], [op ANY], [op ALL]) plus scalar-aggregate subqueries, with
+    configurable correlation probability and nesting depth.
+
+    Everything is driven by an explicit {!Random.State.t}: the same
+    seed always yields the same case. *)
+
+open Relalg
+module Ast = Sql_frontend.Ast
+
+type config = {
+  depth : int;  (** maximum sublink nesting depth *)
+  correlation : float;  (** probability a generated sublink correlates *)
+  null_rate : float;  (** probability a generated cell is NULL *)
+  max_rows : int;  (** rows per generated table: 0..max_rows *)
+}
+
+let default = { depth = 2; correlation = 0.5; null_rate = 0.25; max_rows = 6 }
+
+type case = {
+  c_select : Ast.select;
+  c_tables : (string * Relation.t) list;
+}
+
+(* The fixed schema: distinct column names across tables, so inner
+   scopes never shadow the outer columns a correlated predicate
+   references. *)
+let tables_spec =
+  [ ("r", [ "a"; "b" ]); ("s", [ "c"; "d" ]); ("u", [ "e"; "f" ]) ]
+
+let schema_of_spec cols =
+  Schema.of_list (List.map (fun n -> Schema.attr n Vtype.TInt) cols)
+
+(* ------------------------------------------------------------------ *)
+(* Databases                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Values stay in a narrow band so generated predicates actually both
+   hit and miss, and NULLs appear at [null_rate]. *)
+let gen_value st cfg =
+  if Random.State.float st 1.0 < cfg.null_rate then Value.Null
+  else Value.Int (Random.State.int st 7 - 2)
+
+let gen_table st cfg cols =
+  let n_rows = Random.State.int st (cfg.max_rows + 1) in
+  let rows =
+    List.init n_rows (fun _ ->
+        List.map (fun _ -> gen_value st cfg) cols)
+  in
+  Relation.of_values (schema_of_spec cols) rows
+
+let gen_tables st cfg =
+  List.map (fun (name, cols) -> (name, gen_table st cfg cols)) tables_spec
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pick st xs = List.nth xs (Random.State.int st (List.length xs))
+let chance st p = Random.State.float st 1.0 < p
+
+let cmpops = [ Ast.CEq; Ast.CNeq; Ast.CLt; Ast.CLeq; Ast.CGt; Ast.CGeq ]
+let col c = Ast.EColumn (None, c)
+let small_const st = Ast.EInt (Random.State.int st 5 - 1)
+
+(* One comparison atom over [cols], against a constant or another
+   column. *)
+let gen_cmp st cols =
+  let op = pick st cmpops in
+  let lhs = col (pick st cols) in
+  let rhs = if chance st 0.6 then small_const st else col (pick st cols) in
+  Ast.ECmp (op, lhs, rhs)
+
+(* [gen_pred st cfg ~depth ~cols ~outer ~budget] is a boolean
+   expression over the in-scope [cols]; [outer] are enclosing-scope
+   columns available for correlation; [depth] bounds sublink nesting;
+   [budget] bounds the number of atoms. *)
+let rec gen_pred st cfg ~depth ~cols ~outer ~budget =
+  if budget <= 1 then gen_atom st cfg ~depth ~cols ~outer
+  else
+    match Random.State.int st 4 with
+    | 0 ->
+        let a = gen_pred st cfg ~depth ~cols ~outer ~budget:(budget / 2) in
+        let b = gen_pred st cfg ~depth ~cols ~outer ~budget:(budget / 2) in
+        Ast.EAnd (a, b)
+    | 1 ->
+        let a = gen_pred st cfg ~depth ~cols ~outer ~budget:(budget / 2) in
+        let b = gen_pred st cfg ~depth ~cols ~outer ~budget:(budget / 2) in
+        Ast.EOr (a, b)
+    | 2 ->
+        Ast.ENot (gen_pred st cfg ~depth ~cols ~outer ~budget:(budget - 1))
+    | _ -> gen_atom st cfg ~depth ~cols ~outer
+
+and gen_atom st cfg ~depth ~cols ~outer =
+  if depth > 0 && chance st 0.55 then gen_sublink st cfg ~depth ~cols ~outer
+  else if chance st 0.2 then
+    Ast.EIsNull { negated = chance st 0.5; arg = col (pick st cols) }
+  else gen_cmp st cols
+
+(* A sublink atom. The subquery draws from a table different from the
+   current scope's, and (with probability [correlation]) its WHERE
+   references a column of the current scope or an enclosing one. *)
+and gen_sublink st cfg ~depth ~cols ~outer =
+  let current = cols @ outer in
+  let inner_name, inner_cols =
+    (* any table whose columns are not in scope — with distinct column
+       names per table, that is any table other than those in scope *)
+    let candidates =
+      List.filter
+        (fun (_, tcols) -> not (List.exists (fun c -> List.mem c current) tcols))
+        tables_spec
+    in
+    match candidates with [] -> pick st tables_spec | cs -> pick st cs
+  in
+  let out_col = pick st inner_cols in
+  let correlate = chance st cfg.correlation in
+  let base_pred () =
+    if chance st 0.8 then
+      Some
+        (gen_pred st cfg ~depth:(depth - 1) ~cols:inner_cols ~outer:current
+           ~budget:2)
+    else None
+  in
+  let sub_where =
+    if correlate then begin
+      let corr =
+        Ast.ECmp (pick st cmpops, col (pick st inner_cols), col (pick st current))
+      in
+      match base_pred () with
+      | None -> Some corr
+      | Some p -> Some (Ast.EAnd (corr, p))
+    end
+    else base_pred ()
+  in
+  let sub ~items ~group_by =
+    {
+      Ast.empty_select with
+      Ast.sel_items = items;
+      sel_from = [ Ast.FTable { table = inner_name; alias = None } ];
+      sel_where = sub_where;
+      sel_group_by = group_by;
+    }
+  in
+  let plain_sub =
+    sub ~items:[ Ast.ItemExpr (col out_col, None) ] ~group_by:[]
+  in
+  match Random.State.int st 5 with
+  | 0 -> Ast.ESub (Ast.SExists (chance st 0.3), plain_sub)
+  | 1 -> Ast.ESub (Ast.SIn (col (pick st cols), chance st 0.3), plain_sub)
+  | 2 -> Ast.ESub (Ast.SAnyCmp (pick st cmpops, col (pick st cols)), plain_sub)
+  | 3 -> Ast.ESub (Ast.SAllCmp (pick st cmpops, col (pick st cols)), plain_sub)
+  | _ ->
+      (* scalar-aggregate subquery: single row by construction *)
+      let agg = pick st [ "min"; "max"; "sum"; "count" ] in
+      let scalar =
+        sub
+          ~items:
+            [
+              Ast.ItemExpr
+                ( Ast.EFun
+                    {
+                      name = agg;
+                      distinct = false;
+                      star = false;
+                      args = [ col out_col ];
+                    },
+                  None );
+            ]
+          ~group_by:[]
+      in
+      Ast.ECmp (pick st cmpops, Ast.ESub (Ast.SScalar, scalar), small_const st)
+
+(* The top-level query: one or two tables (cross product or explicit
+   [JOIN]/[LEFT JOIN]), sublink-bearing WHERE, and occasionally
+   DISTINCT, GROUP BY + HAVING, ORDER BY/LIMIT, or a trailing set
+   operation — so analyzed fuzz queries reach every algebra operator,
+   not just selections. *)
+let gen_select st cfg =
+  let first = pick st tables_spec in
+  let second =
+    if chance st 0.35 then
+      Some (pick st (List.filter (fun t -> fst t <> fst first) tables_spec))
+    else None
+  in
+  let ftable (name, _) = Ast.FTable { table = name; alias = None } in
+  let from, cols =
+    match second with
+    | None -> ([ ftable first ], snd first)
+    | Some sec ->
+        let cols = snd first @ snd sec in
+        if chance st 0.4 then begin
+          let kind = if chance st 0.5 then Ast.JInner else Ast.JLeft in
+          let op = pick st cmpops in
+          let lhs = col (pick st (snd first)) in
+          let rhs = col (pick st (snd sec)) in
+          ( [
+              Ast.FJoin
+                {
+                  kind;
+                  left = ftable first;
+                  right = ftable sec;
+                  on = Some (Ast.ECmp (op, lhs, rhs));
+                };
+            ],
+            cols )
+        end
+        else ([ ftable first; ftable sec ], cols)
+  in
+  let where =
+    if chance st 0.92 then
+      Some (gen_pred st cfg ~depth:cfg.depth ~cols ~outer:[] ~budget:3)
+    else None
+  in
+  if chance st 0.2 then begin
+    (* aggregate query: GROUP BY one column, one aggregate item *)
+    let g = pick st cols in
+    let agg = pick st [ "min"; "max"; "sum"; "count" ] in
+    let a = pick st cols in
+    let items =
+      [
+        Ast.ItemExpr (col g, None);
+        Ast.ItemExpr
+          ( Ast.EFun
+              { name = agg; distinct = false; star = false; args = [ col a ] },
+            Some "ag" );
+      ]
+    in
+    let having =
+      if chance st 0.3 then begin
+        let op = pick st cmpops in
+        let c = small_const st in
+        Some
+          (Ast.ECmp
+             ( op,
+               Ast.EFun
+                 {
+                   name = "count";
+                   distinct = false;
+                   star = false;
+                   args = [ col a ];
+                 },
+               c ))
+      end
+      else None
+    in
+    {
+      Ast.empty_select with
+      Ast.sel_items = items;
+      sel_from = from;
+      sel_where = where;
+      sel_group_by = [ col g ];
+      sel_having = having;
+    }
+  end
+  else begin
+    let n_items = 1 + Random.State.int st (List.length cols) in
+    let item_cols = List.filteri (fun i _ -> i < n_items) cols in
+    let items = List.map (fun c -> Ast.ItemExpr (col c, None)) item_cols in
+    let distinct = chance st 0.2 in
+    let base =
+      {
+        Ast.empty_select with
+        Ast.sel_distinct = distinct;
+        sel_items = items;
+        sel_from = from;
+        sel_where = where;
+      }
+    in
+    if chance st 0.2 then begin
+      (* ORDER BY a selected column, sometimes with LIMIT *)
+      let key = col (pick st item_cols) in
+      let dir = if chance st 0.5 then Ast.OAsc else Ast.ODesc in
+      let limit =
+        if chance st 0.5 then Some (Random.State.int st 5) else None
+      in
+      { base with Ast.sel_order_by = [ (key, dir) ]; sel_limit = limit }
+    end
+    else if n_items <= 2 && chance st 0.18 then begin
+      (* trailing set operation over a single table of the same arity *)
+      let arm_name, arm_cols = pick st tables_spec in
+      let arm_items =
+        List.filteri (fun i _ -> i < n_items) arm_cols
+        |> List.map (fun c -> Ast.ItemExpr (col c, None))
+      in
+      let arm_where =
+        if chance st 0.7 then
+          Some
+            (gen_pred st cfg
+               ~depth:(max 0 (cfg.depth - 1))
+               ~cols:arm_cols ~outer:[] ~budget:2)
+        else None
+      in
+      let arm =
+        {
+          Ast.empty_select with
+          Ast.sel_items = arm_items;
+          sel_from = [ Ast.FTable { table = arm_name; alias = None } ];
+          sel_where = arm_where;
+        }
+      in
+      let kind = pick st [ Ast.SUnion; Ast.SIntersect; Ast.SExcept ] in
+      let all = chance st 0.5 in
+      { base with Ast.sel_setop = Some (kind, all, arm) }
+    end
+    else base
+  end
+
+let generate st cfg =
+  let c_tables = gen_tables st cfg in
+  let c_select = gen_select st cfg in
+  { c_select; c_tables }
+
+let case_of_seed ?(config = default) seed =
+  generate (Random.State.make [| seed; 0x5eed |]) config
+
+(* ------------------------------------------------------------------ *)
+(* Views of a case                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sql case = Sql_frontend.Sql_pp.select_str case.c_select
+let database case = Database.of_list case.c_tables
+
+let case_to_string case =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (sql case);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (name, rel) ->
+      Printf.bprintf b "-- %s (%d rows)\n%s" name (Relation.cardinality rel)
+        (Csv.to_string rel))
+    case.c_tables;
+  Buffer.contents b

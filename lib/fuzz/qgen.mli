@@ -1,0 +1,40 @@
+(** Grammar-directed generation of sublink-heavy SQL queries with tiny
+    NULL-rich databases, fully determined by an explicit random state
+    (same seed, same case). The fixed schema is [r(a,b)], [s(c,d)],
+    [u(e,f)], all integer columns with distinct names, so correlated
+    references resolve by name alone and every generated query
+    pretty-prints to SQL the parser accepts again. *)
+
+open Relalg
+
+type config = {
+  depth : int;  (** maximum sublink nesting depth *)
+  correlation : float;  (** probability a generated sublink correlates *)
+  null_rate : float;  (** probability a generated cell is NULL *)
+  max_rows : int;  (** rows per generated table: 0..max_rows *)
+}
+
+(** depth 2, correlation 0.5, null_rate 0.25, max_rows 6 *)
+val default : config
+
+type case = {
+  c_select : Sql_frontend.Ast.select;
+  c_tables : (string * Relation.t) list;
+}
+
+(** The generated tables' fixed layout: name and column names. *)
+val tables_spec : (string * string list) list
+
+val generate : Random.State.t -> config -> case
+
+(** [case_of_seed ?config seed] is the deterministic case for [seed]. *)
+val case_of_seed : ?config:config -> int -> case
+
+(** The case's query as parseable SQL. *)
+val sql : case -> string
+
+(** The case's tables as a fresh database. *)
+val database : case -> Database.t
+
+(** Query plus tables, printable (used as the QCheck printer). *)
+val case_to_string : case -> string

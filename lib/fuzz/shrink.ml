@@ -1,0 +1,232 @@
+(** Delta-debugging minimizer for failing fuzz cases.
+
+    Greedy descent over one-step reductions: drop table rows, replace a
+    boolean subterm by a smaller one (a conjunct, a disjunct, a
+    constant), drop WHERE/DISTINCT/items/tables, and recurse into
+    sublink queries. A candidate is kept only when the caller's
+    [still_fails] predicate confirms the counterexample survives, and
+    every candidate is strictly smaller under {!size}, so the loop
+    terminates at a locally 1-minimal (query, database) repro. *)
+
+open Relalg
+module Ast = Sql_frontend.Ast
+
+(* ------------------------------------------------------------------ *)
+(* Size: AST nodes + total rows                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_size (e : Ast.expr) =
+  match e with
+  | Ast.ENull | Ast.EInt _ | Ast.EFloat _ | Ast.EString _ | Ast.EBool _
+  | Ast.EColumn _ ->
+      1
+  | Ast.EBinop (_, a, b) | Ast.ECmp (_, a, b) | Ast.EAnd (a, b) | Ast.EOr (a, b)
+    ->
+      1 + expr_size a + expr_size b
+  | Ast.ENot a | Ast.EIsNull { arg = a; _ } -> 1 + expr_size a
+  | Ast.EBetween { arg; lo; hi; _ } ->
+      1 + expr_size arg + expr_size lo + expr_size hi
+  | Ast.EInList { arg; elems; _ } ->
+      1 + expr_size arg + List.fold_left (fun n e -> n + expr_size e) 0 elems
+  | Ast.ELike { arg; _ } -> 1 + expr_size arg
+  | Ast.ECase (whens, els) ->
+      1
+      + List.fold_left
+          (fun n (c, x) -> n + expr_size c + expr_size x)
+          (match els with None -> 0 | Some e -> expr_size e)
+          whens
+  | Ast.EFun { args; _ } ->
+      1 + List.fold_left (fun n e -> n + expr_size e) 0 args
+  | Ast.ESub (kind, sub) ->
+      1 + select_size sub
+      + (match kind with
+        | Ast.SExists _ | Ast.SScalar -> 0
+        | Ast.SIn (lhs, _) | Ast.SAnyCmp (_, lhs) | Ast.SAllCmp (_, lhs) ->
+            expr_size lhs)
+
+and select_size (s : Ast.select) =
+  let opt f = function None -> 0 | Some x -> f x in
+  let item = function
+    | Ast.ItemStar | Ast.ItemQualStar _ -> 1
+    | Ast.ItemExpr (e, _) -> expr_size e
+  in
+  let rec from = function
+    | Ast.FTable _ -> 1
+    | Ast.FSubquery { sub; _ } -> 1 + select_size sub
+    | Ast.FJoin { left; right; on; _ } ->
+        1 + from left + from right + opt expr_size on
+  in
+  1
+  + List.fold_left (fun n i -> n + item i) 0 s.Ast.sel_items
+  + List.fold_left (fun n f -> n + from f) 0 s.Ast.sel_from
+  + opt expr_size s.Ast.sel_where
+  + List.fold_left (fun n e -> n + expr_size e) 0 s.Ast.sel_group_by
+  + opt expr_size s.Ast.sel_having
+  + List.fold_left (fun n (e, _) -> n + expr_size e) 0 s.Ast.sel_order_by
+  + opt (fun _ -> 1) s.Ast.sel_limit
+  + opt (fun (_, _, s) -> 1 + select_size s) s.Ast.sel_setop
+
+let size select tables =
+  select_size select
+  + List.fold_left (fun n (_, r) -> n + Relation.cardinality r) 0 tables
+
+(* ------------------------------------------------------------------ *)
+(* One-step reductions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Replace element [i] of [xs] by each of [f xs_i]. *)
+let at_each f xs =
+  List.concat
+    (List.mapi
+       (fun i x ->
+         List.map
+           (fun x' -> List.mapi (fun j y -> if j = i then x' else y) xs)
+           (f x))
+       xs)
+
+(* Drop element [i] of [xs], for each [i]. *)
+let drop_each xs =
+  List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) xs) xs
+
+let is_leaf (e : Ast.expr) =
+  match e with
+  | Ast.ENull | Ast.EInt _ | Ast.EFloat _ | Ast.EString _ | Ast.EBool _
+  | Ast.EColumn _ ->
+      true
+  | _ -> false
+
+let rec expr_reductions (e : Ast.expr) : Ast.expr list =
+  let shrink_to_bool = if is_leaf e then [] else [ Ast.EBool true ] in
+  let structural =
+    match e with
+    | Ast.EAnd (a, b) ->
+        [ a; b ]
+        @ List.map (fun a' -> Ast.EAnd (a', b)) (expr_reductions a)
+        @ List.map (fun b' -> Ast.EAnd (a, b')) (expr_reductions b)
+    | Ast.EOr (a, b) ->
+        [ a; b ]
+        @ List.map (fun a' -> Ast.EOr (a', b)) (expr_reductions a)
+        @ List.map (fun b' -> Ast.EOr (a, b')) (expr_reductions b)
+    | Ast.ENot a -> a :: List.map (fun a' -> Ast.ENot a') (expr_reductions a)
+    | Ast.ECmp (op, a, b) ->
+        List.map (fun a' -> Ast.ECmp (op, a', b)) (expr_reductions a)
+        @ List.map (fun b' -> Ast.ECmp (op, a, b')) (expr_reductions b)
+    | Ast.EBinop (op, a, b) ->
+        [ a; b ]
+        @ List.map (fun a' -> Ast.EBinop (op, a', b)) (expr_reductions a)
+        @ List.map (fun b' -> Ast.EBinop (op, a, b')) (expr_reductions b)
+    | Ast.EIsNull { negated; arg } ->
+        List.map
+          (fun a' -> Ast.EIsNull { negated; arg = a' })
+          (expr_reductions arg)
+    | Ast.EInList { negated; arg; elems } when List.length elems > 1 ->
+        List.map
+          (fun elems' -> Ast.EInList { negated; arg; elems = elems' })
+          (drop_each elems)
+    | Ast.ESub (kind, sub) ->
+        List.map (fun sub' -> Ast.ESub (kind, sub')) (select_reductions sub)
+    | _ -> []
+  in
+  structural @ shrink_to_bool
+
+(* One-step reductions of a select (used both at top level and inside
+   sublinks). Analyzability of a candidate is not checked here — the
+   caller's [still_fails] rejects unanalyzable candidates. *)
+and select_reductions (s : Ast.select) : Ast.select list =
+  let with_where w = { s with Ast.sel_where = w } in
+  let where =
+    match s.Ast.sel_where with
+    | None -> []
+    | Some w ->
+        with_where None
+        :: List.map (fun w' -> with_where (Some w')) (expr_reductions w)
+  in
+  let distinct =
+    if s.Ast.sel_distinct then [ { s with Ast.sel_distinct = false } ] else []
+  in
+  let items =
+    if List.length s.Ast.sel_items > 1 then
+      List.map
+        (fun items' -> { s with Ast.sel_items = items' })
+        (drop_each s.Ast.sel_items)
+    else []
+  in
+  let from =
+    if List.length s.Ast.sel_from > 1 then
+      List.map
+        (fun from' -> { s with Ast.sel_from = from' })
+        (drop_each s.Ast.sel_from)
+    else []
+  in
+  let group_by =
+    if s.Ast.sel_group_by <> [] then
+      [ { s with Ast.sel_group_by = []; sel_having = None } ]
+    else []
+  in
+  let having =
+    match s.Ast.sel_having with
+    | Some _ -> [ { s with Ast.sel_having = None } ]
+    | None -> []
+  in
+  let order_limit =
+    (if s.Ast.sel_order_by <> [] then [ { s with Ast.sel_order_by = [] } ]
+     else [])
+    @
+    match s.Ast.sel_limit with
+    | Some _ -> [ { s with Ast.sel_limit = None } ]
+    | None -> []
+  in
+  let setop =
+    match s.Ast.sel_setop with
+    | Some (_, _, arm) -> [ { s with Ast.sel_setop = None }; arm ]
+    | None -> []
+  in
+  where @ distinct @ items @ from @ group_by @ having @ order_limit @ setop
+
+(* Row reductions: drop one row of one table. *)
+let table_reductions tables =
+  at_each
+    (fun (name, rel) ->
+      let tuples = Relation.tuples rel in
+      List.map
+        (fun tuples' -> (name, Relation.make (Relation.schema rel) tuples'))
+        (drop_each tuples))
+    tables
+
+(* ------------------------------------------------------------------ *)
+(* Greedy minimization                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** All strictly-smaller one-step reductions of a (query, tables)
+    pair: row drops first (cheapest wins), then AST reductions. Also
+    the shrinker handed to QCheck properties built on {!Qgen}. *)
+let reductions select tables =
+  let current = size select tables in
+  let row_cands =
+    List.map (fun tbls -> (select, tbls)) (table_reductions tables)
+  in
+  let ast_cands =
+    List.map (fun sel -> (sel, tables)) (select_reductions select)
+  in
+  List.filter (fun (sel, tbls) -> size sel tbls < current)
+    (row_cands @ ast_cands)
+
+(** [shrink ~still_fails select tables] greedily applies the first
+    strictly-smaller one-step reduction that keeps [still_fails]
+    true, to a fixpoint (or [max_steps] predicate evaluations). *)
+let shrink ?(max_steps = 2000) ~still_fails select tables =
+  let steps = ref 0 in
+  let rec loop select tables =
+    if !steps > max_steps then (select, tables)
+    else
+      match
+        List.find_opt
+          (fun (sel, tbls) ->
+            incr steps;
+            !steps <= max_steps && still_fails sel tbls)
+          (reductions select tables)
+      with
+      | Some (sel, tbls) -> loop sel tbls
+      | None -> (select, tables)
+  in
+  loop select tables

@@ -1,0 +1,31 @@
+(** Delta-debugging minimizer for failing fuzz cases: greedy descent
+    over one-step reductions (drop rows, replace boolean subterms,
+    drop WHERE/DISTINCT/items/tables, recurse into sublinks), keeping
+    a candidate only when [still_fails] confirms the counterexample
+    survives. Every accepted candidate is strictly smaller under
+    {!size}, so minimization terminates at a locally 1-minimal
+    (query, database) repro. *)
+
+open Relalg
+
+(** AST node count plus total table rows — the measure minimized. *)
+val size : Sql_frontend.Ast.select -> (string * Relation.t) list -> int
+
+(** All strictly-smaller one-step reductions of a (query, tables)
+    pair — row drops first, then AST reductions. This is also the
+    shrinker for QCheck properties generating {!Qgen} cases. *)
+val reductions :
+  Sql_frontend.Ast.select ->
+  (string * Relation.t) list ->
+  (Sql_frontend.Ast.select * (string * Relation.t) list) list
+
+(** [shrink ?max_steps ~still_fails select tables] is the minimized
+    (query, tables) pair. [still_fails] must return [false] (not
+    raise) on unanalyzable candidates; [max_steps] bounds predicate
+    evaluations (default 2000). *)
+val shrink :
+  ?max_steps:int ->
+  still_fails:(Sql_frontend.Ast.select -> (string * Relation.t) list -> bool) ->
+  Sql_frontend.Ast.select ->
+  (string * Relation.t) list ->
+  Sql_frontend.Ast.select * (string * Relation.t) list

@@ -137,30 +137,52 @@ let aggregate ~group_by ~aggs q = Agg { group_by; aggs; agg_input = q }
 (** {1 Traversals} *)
 
 (** [map_expr_query f e] rebuilds [e], applying [f] to every embedded
-    sublink query (outermost sublinks only; [f] may recurse itself). *)
+    sublink query (outermost sublinks only; [f] may recurse itself).
+    [f] is applied in {!sublinks_of_expr} order — the path-carrying
+    rewrite passes rely on this to number sublinks the way [Lint]
+    does — hence the explicit sequencing below (OCaml constructor
+    argument evaluation order is unspecified). *)
 let rec map_expr_query f = function
   | (Const _ | TypedNull _ | Attr _) as e -> e
-  | Binop (op, a, b) -> Binop (op, map_expr_query f a, map_expr_query f b)
-  | Cmp (op, a, b) -> Cmp (op, map_expr_query f a, map_expr_query f b)
-  | And (a, b) -> And (map_expr_query f a, map_expr_query f b)
-  | Or (a, b) -> Or (map_expr_query f a, map_expr_query f b)
+  | Binop (op, a, b) ->
+      let a = map_expr_query f a in
+      Binop (op, a, map_expr_query f b)
+  | Cmp (op, a, b) ->
+      let a = map_expr_query f a in
+      Cmp (op, a, map_expr_query f b)
+  | And (a, b) ->
+      let a = map_expr_query f a in
+      And (a, map_expr_query f b)
+  | Or (a, b) ->
+      let a = map_expr_query f a in
+      Or (a, map_expr_query f b)
   | Not a -> Not (map_expr_query f a)
   | IsNull a -> IsNull (map_expr_query f a)
   | Case (whens, els) ->
-      Case
-        ( List.map (fun (c, e) -> (map_expr_query f c, map_expr_query f e)) whens,
-          Option.map (map_expr_query f) els )
+      let whens =
+        List.map
+          (fun (c, e) ->
+            let c = map_expr_query f c in
+            (c, map_expr_query f e))
+          whens
+      in
+      Case (whens, Option.map (map_expr_query f) els)
   | Like (a, pat) -> Like (map_expr_query f a, pat)
-  | InList (a, es) -> InList (map_expr_query f a, List.map (map_expr_query f) es)
+  | InList (a, es) ->
+      let a = map_expr_query f a in
+      InList (a, List.map (map_expr_query f) es)
   | FunCall (name, es) -> FunCall (name, List.map (map_expr_query f) es)
   | Sublink s ->
+      (* the sublink's own query first: in [sublinks_of_expr] order a
+         sublink precedes the sublinks inside its ANY/ALL left operand *)
+      let query = f s.query in
       let kind =
         match s.kind with
         | (Exists | Scalar) as k -> k
         | AnyOp (op, lhs) -> AnyOp (op, map_expr_query f lhs)
         | AllOp (op, lhs) -> AllOp (op, map_expr_query f lhs)
       in
-      Sublink { s with kind; query = f s.query }
+      Sublink { s with kind; query }
 
 (** [fold_expr f acc e] folds [f] over every sub-expression of [e]
     (including [e] itself), not descending into sublink queries. *)

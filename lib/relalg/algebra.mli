@@ -125,7 +125,9 @@ val aggregate :
 (** {1 Traversals} *)
 
 (** Rebuild an expression, applying [f] to every embedded sublink
-    query (outermost sublinks only). *)
+    query (outermost sublinks only). [f] is applied in
+    {!sublinks_of_expr} order, so callers may number sublinks with a
+    counter. *)
 val map_expr_query : (query -> query) -> expr -> expr
 
 (** Fold over every sub-expression (including the root), not descending

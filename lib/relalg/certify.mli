@@ -1,0 +1,85 @@
+(** Translation validation for the rewrite pipeline.
+
+    The {!Simplify} and {!Optimizer} passes report every applied rule
+    instance through {!Rewrite_trace}; this module turns each report
+    into a proof obligation — "the before and after subplans are
+    equivalent" (or, for the dead-column [prune] rule, "the after plan
+    is the before plan projected onto its remaining columns") — and
+    discharges it with static checks plus bounded equivalence on small
+    witness databases derived from the subplans' own constants.
+
+    The dynamic check is {e small-scope}: agreement on the witness
+    databases is strong evidence, not a proof (see DESIGN.md §10 for
+    the soundness caveat). A reported failure, however, is a concrete
+    counterexample: the certificate carries the rule name, the operator
+    path, the witness database and the differing rows. *)
+
+(** One applied rewrite to validate. *)
+type obligation = {
+  ob_rule : string;  (** e.g. ["pushdown-into-join"], ["prune"] *)
+  ob_path : string list;  (** Lint-style operator path of the site *)
+  ob_before : Algebra.query;
+  ob_after : Algebra.query;
+}
+
+(** A refuted (or statically rejected) obligation. *)
+type failure = {
+  f_rule : string;
+  f_path : string list;
+  f_stage : string;
+      (** which check failed: ["schema"], ["typecheck"], ["dataflow"]
+          or ["witness"] *)
+  f_message : string;
+  f_witness : (string * Relation.t) list;
+      (** the refuting witness database; empty for static failures *)
+  f_only_before : Tuple.t list;
+  f_only_after : Tuple.t list;
+}
+
+type report = {
+  r_total : int;  (** proof obligations checked *)
+  r_compared : int;  (** witness evaluations actually compared *)
+  r_skips : (string * string) list;
+      (** dynamic checks skipped (rendered path, reason) — e.g.
+          untypable correlation guesses or budget trips *)
+  r_failures : failure list;  (** deepest path first *)
+}
+
+val empty_report : report
+val merge : report -> report -> report
+
+(** No failed obligations (skips do not count as failures). *)
+val ok : report -> bool
+
+exception Certify_error of report
+
+(** Raise {!Certify_error} if the report has failures. *)
+val fail_on : report -> unit
+
+(** Validate a list of trace entries (deduplicated structurally)
+    against [db]. [budget] bounds each witness evaluation; on a trip
+    the witness is skipped, never failed. *)
+val check_entries :
+  ?budget:Guard.budget -> Database.t -> Rewrite_trace.entry list -> report
+
+(** Run the stock optimizer pipeline ({!Simplify}, selection pushdown,
+    dead-column pruning) under a tracer and certify every applied rule.
+    Returns the optimized plan together with the certificate. *)
+val optimize :
+  ?prune:bool ->
+  ?budget:Guard.budget ->
+  Database.t ->
+  Algebra.query ->
+  Algebra.query * report
+
+(** The small witness databases the validator derives for a plan:
+    value pools seeded from the plan's constants (each constant also
+    contributes its boundary neighbours), NULL-rich variants, a
+    duplicated row for bag sensitivity, and one all-empty variant.
+    Exposed so provenance-level oracle checks can reuse the
+    derivation. Empty if the plan references a non-stored relation. *)
+val witness_databases :
+  Database.t -> Algebra.query -> (string * Relation.t) list list
+
+val failure_to_string : ?verbose:bool -> failure -> string
+val report_to_string : ?verbose:bool -> report -> string

@@ -8,9 +8,20 @@
 
     The rewrites never look inside [Project]/[Agg] (no renaming-aware
     pushdown) — enough for the plans produced by the provenance rewriter,
-    whose hot paths are selections over products and joins. *)
+    whose hot paths are selections over products and joins.
+
+    Every applied rule instance is reported through {!Rewrite_trace}
+    with a rule name and a Lint-style operator path, so the translation
+    validator ({!Certify}) can discharge a proof obligation per
+    application. Paths locate the node the rule fired at in the tree it
+    matched (selection-pushdown cascades are attributed to the
+    outermost selection they started from). Deliberately broken rule
+    variants sit behind the test-only [Rewrite_trace.mutant] hook — see
+    [test/test_certify.ml]. *)
 
 open Algebra
+
+let sublink_seg k = Printf.sprintf "sublink[%d]" k
 
 (* A conjunct can move to a side of a binary operator when all its
    attribute references are produced by that side. References to
@@ -46,80 +57,191 @@ let rec rename_attrs map (e : expr) : expr =
   | FunCall (f, es) -> FunCall (f, List.map (rename_attrs map) es)
   | Sublink _ -> invalid_arg "rename_attrs: sublink"
 
-let rec push_select db (conds : expr list) (q : query) : query =
+(* [push_select db prefix conds q] pushes the accumulated conjuncts
+   [conds] into [q]. The subplan being rewritten — the proof
+   obligation's before side — is [Select (conj conds, q)] (or [q] when
+   no conjuncts accumulated); [prefix] is the path prefix of that
+   subplan's root. *)
+let rec push_select db (prefix : string list) (conds : expr list) (q : query) :
+    query =
   match q with
-  | Cross (a, b) | Join (Const (Value.Bool true), a, b) ->
-      distribute db conds a b ~mk:(fun residual a b ->
-          match residual with
-          | [] -> Cross (a, b)
-          | cs -> Join (conj cs, a, b))
-  | Join (c, a, b) ->
-      distribute db (conds @ conjuncts c) a b ~mk:(fun residual a b ->
-          Join (conj residual, a, b))
-  | LeftJoin (c, a, b) ->
-      (* Only push into the left (preserved) side: conditions on the
-         nullable side would change outer-join semantics. The join
-         condition itself stays put. *)
-      let a_names = Scope.out_names db a in
-      let b_names = Scope.out_names db b in
-      ignore a_names;
-      let to_left, residual =
-        List.partition (fun e -> movable_to db b_names e) conds
-      in
-      let a' = push_select db to_left (optimize db a) in
-      let b' = optimize db b in
-      let inner = LeftJoin (c, a', b') in
-      if residual = [] then inner else Select (conj residual, inner)
-  | Select (c, input) -> push_select db (conds @ conjuncts c) input
-  | Project p ->
-      (* Push conjuncts whose references all map to rename-only columns
-         through the projection (filtering before or after a pure
-         rename/dedup is equivalent). Sublink conjuncts stay above: the
-         substitution cannot see into sublink scopes. *)
-      let rename_map =
-        List.filter_map
-          (fun (e, n) -> match e with Attr src -> Some (n, src) | _ -> None)
-          p.cols
-      in
-      let pushable, rest =
-        List.partition
-          (fun c ->
-            (not (has_sublink c))
-            && List.for_all
-                 (fun n -> List.mem_assoc n rename_map)
-                 (Scope.refs_of_expr db c))
-          conds
-      in
-      let renamed = List.map (rename_attrs rename_map) pushable in
-      let inner = push_select db renamed p.proj_input in
-      let cols =
-        List.map (fun (e, n) -> (map_expr_query (optimize db) e, n)) p.cols
-      in
-      let projected = Project { p with cols; proj_input = inner } in
-      if rest = [] then projected else Select (conj rest, projected)
+  | Select (c, input) -> push_select db prefix (conds @ conjuncts c) input
   | _ ->
-      let q' = optimize_children db q in
-      if conds = [] then q' else Select (conj conds, q')
+      let before = if conds = [] then q else Select (conj conds, q) in
+      let here = prefix @ [ Guard.op_label before ] in
+      (* prefix of [q] itself: below the accumulated selection, if any *)
+      let qprefix = if conds = [] then prefix else here in
+      let qchild qual = qprefix @ [ Guard.op_label q ^ qual ] in
+      let emit rule after =
+        Rewrite_trace.emit ~rule ~path:here ~before ~after;
+        after
+      in
+      (match q with
+      | Cross (a, b) | Join (Const (Value.Bool true), a, b) ->
+          emit "pushdown-into-cross"
+            (distribute db ~left:(qchild "[left]") ~right:(qchild "[right]")
+               conds a b ~mk:(fun residual a b ->
+                 match residual with
+                 | [] -> Cross (a, b)
+                 | cs -> Join (conj cs, a, b)))
+      | Join (c, a, b) ->
+          emit "pushdown-into-join"
+            (distribute db ~left:(qchild "[left]") ~right:(qchild "[right]")
+               (conds @ conjuncts c) a b ~mk:(fun residual a b ->
+                 Join (conj residual, a, b)))
+      | LeftJoin (c, a, b) ->
+          (* Only push into the left (preserved) side: conditions on the
+             nullable side would change outer-join semantics. The join
+             condition itself stays put. *)
+          let a_names = Scope.out_names db a in
+          let b_names = Scope.out_names db b in
+          ignore a_names;
+          let to_left, residual =
+            List.partition (fun e -> movable_to db b_names e) conds
+          in
+          (* mutant: pushes conditions into the nullable side too, the
+             classic outer-join pushdown bug *)
+          let to_right, residual =
+            if Rewrite_trace.mutant "opt-leftjoin-push-right" then
+              List.partition (fun e -> movable_to db a_names e) residual
+            else ([], residual)
+          in
+          let left = qchild "[left]" and right = qchild "[right]" in
+          let a' = push_select db left to_left (optimize db left a) in
+          let b' = optimize db right b in
+          let b' =
+            if to_right = [] then b' else push_select db right to_right b'
+          in
+          let inner = LeftJoin (c, a', b') in
+          emit "pushdown-into-leftjoin"
+            (if residual = [] then inner else Select (conj residual, inner))
+      | Project p ->
+          (* Push conjuncts whose references all map to rename-only columns
+             through the projection (filtering before or after a pure
+             rename/dedup is equivalent). Sublink conjuncts stay above: the
+             substitution cannot see into sublink scopes. *)
+          let rename_map =
+            List.filter_map
+              (fun (e, n) -> match e with Attr src -> Some (n, src) | _ -> None)
+              p.cols
+          in
+          let pushable, rest =
+            List.partition
+              (fun c ->
+                (not (has_sublink c))
+                && ((* mutant: pushes through computed columns as if they
+                       were renames *)
+                    Rewrite_trace.mutant "opt-push-nonrename"
+                   || List.for_all
+                        (fun n -> List.mem_assoc n rename_map)
+                        (Scope.refs_of_expr db c)))
+              conds
+          in
+          let renamed = List.map (rename_attrs rename_map) pushable in
+          let phere = qprefix @ [ Guard.op_label q ] in
+          let inner = push_select db (qchild "") renamed p.proj_input in
+          let counter = ref 0 in
+          let cols =
+            List.map
+              (fun (e, n) ->
+                ( map_expr_query
+                    (fun sq ->
+                      incr counter;
+                      optimize db (phere @ [ sublink_seg !counter ]) sq)
+                    e,
+                  n ))
+              p.cols
+          in
+          let projected = Project { p with cols; proj_input = inner } in
+          emit "pushdown-through-project"
+            (if rest = [] then projected else Select (conj rest, projected))
+      | _ ->
+          let q' = optimize_children db qprefix q in
+          if conds = [] then q'
+          else emit "pushdown-residual" (Select (conj conds, q')))
 
-and distribute db conds a b ~mk =
+and distribute db ~left ~right conds a b ~mk =
   let a_names = Scope.out_names db a and b_names = Scope.out_names db b in
   let to_a, rest = List.partition (fun e -> movable_to db b_names e) conds in
+  (* mutant: loses the first conjunct headed for the left side *)
+  let to_a =
+    if Rewrite_trace.mutant "opt-drop-conjunct" then
+      match to_a with _ :: t -> t | [] -> []
+    else to_a
+  in
   let to_b, residual = List.partition (fun e -> movable_to db a_names e) rest in
-  let a' = push_select db to_a (optimize db a) in
-  let b' = push_select db to_b (optimize db b) in
+  (* mutant: forgets the residual join condition *)
+  let residual =
+    if Rewrite_trace.mutant "opt-residual-drop" then [] else residual
+  in
+  let a' = push_select db left to_a (optimize db left a) in
+  let b' = push_select db right to_b (optimize db right b) in
   mk residual a' b'
 
-and optimize_children db q = map_queries (optimize db) q
+and optimize_children db prefix q =
+  let here = prefix @ [ Guard.op_label q ] in
+  let child qual i = optimize db (prefix @ [ Guard.op_label q ^ qual ]) i in
+  let counter = ref 0 in
+  let sub e =
+    map_expr_query
+      (fun sq ->
+        incr counter;
+        optimize db (here @ [ sublink_seg !counter ]) sq)
+      e
+  in
+  match q with
+  | Base _ | TableExpr _ -> q
+  | Select (c, i) ->
+      let c = sub c in
+      Select (c, child "" i)
+  | Project p ->
+      let cols = List.map (fun (e, n) -> (sub e, n)) p.cols in
+      Project { p with cols; proj_input = child "" p.proj_input }
+  | Cross (a, b) ->
+      let a = child "[left]" a in
+      Cross (a, child "[right]" b)
+  | Join (c, a, b) ->
+      let c = sub c in
+      let a = child "[left]" a in
+      Join (c, a, child "[right]" b)
+  | LeftJoin (c, a, b) ->
+      let c = sub c in
+      let a = child "[left]" a in
+      LeftJoin (c, a, child "[right]" b)
+  | Agg a ->
+      let group_by = List.map (fun (e, n) -> (sub e, n)) a.group_by in
+      let aggs =
+        List.map
+          (fun call -> { call with agg_arg = Option.map sub call.agg_arg })
+          a.aggs
+      in
+      Agg { group_by; aggs; agg_input = child "" a.agg_input }
+  | Union (s, a, b) ->
+      let a = child "[left]" a in
+      Union (s, a, child "[right]" b)
+  | Inter (s, a, b) ->
+      let a = child "[left]" a in
+      Inter (s, a, child "[right]" b)
+  | Diff (s, a, b) ->
+      let a = child "[left]" a in
+      Diff (s, a, child "[right]" b)
+  | Order (keys, i) ->
+      let keys = List.map (fun (e, d) -> (sub e, d)) keys in
+      Order (keys, child "" i)
+  | Limit (n, i) -> Limit (n, child "" i)
 
 (* Merge Project-over-Project when the outer projection only reorders,
    renames or drops columns (plain attribute references) and the inner
    one performs no duplicate elimination. The provenance rewriter's
    final normalization projection creates exactly this pattern. *)
-and merge_projects q =
+and merge_projects prefix q =
   match q with
   | Project
       ({ cols = outer_cols; proj_input = Project inner; distinct = _ } as outer)
-    when (not inner.distinct)
+    when ((not inner.distinct)
+         (* mutant: merges through a DISTINCT inner projection, losing
+            its duplicate elimination *)
+         || Rewrite_trace.mutant "opt-merge-distinct")
          && List.for_all (fun (e, _) -> match e with Attr _ -> true | _ -> false)
               outer_cols ->
       let resolve = function
@@ -129,24 +251,38 @@ and merge_projects q =
             | None -> (Attr n, out_name) (* correlated reference *))
         | other -> other
       in
-      merge_projects
-        (Project
-           {
-             outer with
-             cols = List.map resolve outer_cols;
-             proj_input = inner.proj_input;
-           })
+      let after =
+        Project
+          {
+            outer with
+            cols = List.map resolve outer_cols;
+            proj_input = inner.proj_input;
+          }
+      in
+      Rewrite_trace.emit ~rule:"merge-projects"
+        ~path:(prefix @ [ Guard.op_label q ])
+        ~before:q ~after;
+      merge_projects prefix after
   | q -> q
 
-(** [optimize db q] rewrites [q] into an equivalent, typically faster
-    plan. Sublink queries embedded in conditions are optimized too. *)
-and optimize db (q : query) : query =
-  match merge_projects q with
+(** [optimize db prefix q] rewrites [q] into an equivalent, typically
+    faster plan. Sublink queries embedded in conditions are optimized
+    too. *)
+and optimize db (prefix : string list) (q : query) : query =
+  match merge_projects prefix q with
   | Select (c, input) ->
-      let c = map_expr_query (optimize db) c in
-      push_select db (conjuncts c) input
-  | (Cross _ | Join _ | LeftJoin _) as q -> push_select db [] q
-  | q -> optimize_children db q
+      let here = prefix @ [ Guard.op_label (Select (c, input)) ] in
+      let counter = ref 0 in
+      let c =
+        map_expr_query
+          (fun sq ->
+            incr counter;
+            optimize db (here @ [ sublink_seg !counter ]) sq)
+          c
+      in
+      push_select db prefix (conjuncts c) input
+  | (Cross _ | Join _ | LeftJoin _) as q -> push_select db prefix [] q
+  | q -> optimize_children db prefix q
 
 (** {1 Dead-column pruning}
 
@@ -172,7 +308,13 @@ and optimize db (q : query) : query =
       zero-width plans; scalar/ANY/ALL sublinks keep their single value
       column.
     The root is pruned with its full output, so plan schemas — and the
-    provenance contract checked by [Provcheck] — are unchanged. *)
+    provenance contract checked by [Provcheck] — are unchanged.
+
+    Each node the pass narrows (directly or below) yields a [prune]
+    obligation: before the whole original subtree, after the pruned
+    one. {!Certify} checks those with projected equivalence — the
+    before side projected onto the surviving columns must equal the
+    after side as a bag. *)
 
 module SS = Set.Make (String)
 
@@ -183,114 +325,174 @@ let refs_of_exprs db es =
 
 let all_out db q = SS.of_list (Scope.out_names db q)
 
-let rec prune_expr db (e : expr) : expr =
+(* [prune_expr db here counter e] prunes the sublink queries of [e];
+   [counter] numbers sublinks across all expressions of the node at
+   path [here], in Lint's enumeration order. *)
+let rec prune_expr db here counter (e : expr) : expr =
+  let go = prune_expr db here counter in
   match e with
   | Const _ | TypedNull _ | Attr _ -> e
-  | Binop (op, a, b) -> Binop (op, prune_expr db a, prune_expr db b)
-  | Cmp (op, a, b) -> Cmp (op, prune_expr db a, prune_expr db b)
-  | And (a, b) -> And (prune_expr db a, prune_expr db b)
-  | Or (a, b) -> Or (prune_expr db a, prune_expr db b)
-  | Not a -> Not (prune_expr db a)
-  | IsNull a -> IsNull (prune_expr db a)
+  | Binop (op, a, b) ->
+      let a = go a in
+      Binop (op, a, go b)
+  | Cmp (op, a, b) ->
+      let a = go a in
+      Cmp (op, a, go b)
+  | And (a, b) ->
+      let a = go a in
+      And (a, go b)
+  | Or (a, b) ->
+      let a = go a in
+      Or (a, go b)
+  | Not a -> Not (go a)
+  | IsNull a -> IsNull (go a)
   | Case (whens, els) ->
-      Case
-        ( List.map (fun (c, x) -> (prune_expr db c, prune_expr db x)) whens,
-          Option.map (prune_expr db) els )
-  | Like (a, p) -> Like (prune_expr db a, p)
-  | InList (a, es) -> InList (prune_expr db a, List.map (prune_expr db) es)
-  | FunCall (f, es) -> FunCall (f, List.map (prune_expr db) es)
+      let whens =
+        List.map
+          (fun (c, x) ->
+            let c = go c in
+            (c, go x))
+          whens
+      in
+      Case (whens, Option.map go els)
+  | Like (a, p) -> Like (go a, p)
+  | InList (a, es) ->
+      let a = go a in
+      InList (a, List.map go es)
+  | FunCall (f, es) -> FunCall (f, List.map go es)
   | Sublink s ->
+      incr counter;
+      let spfx = here @ [ sublink_seg !counter ] in
       let kind, needed =
         match s.kind with
         | Exists -> (Exists, SS.empty)
         | Scalar -> (Scalar, all_out db s.query)
-        | AnyOp (op, lhs) -> (AnyOp (op, prune_expr db lhs), all_out db s.query)
-        | AllOp (op, lhs) -> (AllOp (op, prune_expr db lhs), all_out db s.query)
+        | AnyOp (op, lhs) -> (AnyOp (op, go lhs), all_out db s.query)
+        | AllOp (op, lhs) -> (AllOp (op, go lhs), all_out db s.query)
       in
-      Sublink { s with kind; query = prune_query db needed s.query }
+      Sublink { s with kind; query = prune_query db spfx needed s.query }
 
-and prune_query db (needed : SS.t) (q : query) : query =
-  match q with
-  | Base name -> (
-      match Database.find_opt db name with
-      | None -> q
-      | Some r ->
-          let names = Schema.names (Relation.schema r) in
-          let kept = List.filter (fun n -> SS.mem n needed) names in
-          if List.length kept = List.length names then q
-          else project (List.map (fun n -> (Attr n, n)) kept) q)
-  | TableExpr _ -> q
-  | Select (c, input) ->
-      let below = SS.union needed (refs db c) in
-      Select (prune_expr db c, prune_query db below input)
-  | Project p when p.distinct ->
-      let below = refs_of_exprs db (List.map fst p.cols) in
-      Project
-        {
-          p with
-          cols = List.map (fun (e, n) -> (prune_expr db e, n)) p.cols;
-          proj_input = prune_query db below p.proj_input;
-        }
-  | Project p ->
-      let cols = List.filter (fun (_, n) -> SS.mem n needed) p.cols in
-      let below = refs_of_exprs db (List.map fst cols) in
-      Project
-        {
-          p with
-          cols = List.map (fun (e, n) -> (prune_expr db e, n)) cols;
-          proj_input = prune_query db below p.proj_input;
-        }
-  | Cross (a, b) -> Cross (prune_query db needed a, prune_query db needed b)
-  | Join (c, a, b) ->
-      let below = SS.union needed (refs db c) in
-      Join (prune_expr db c, prune_query db below a, prune_query db below b)
-  | LeftJoin (c, a, b) ->
-      let below = SS.union needed (refs db c) in
-      LeftJoin (prune_expr db c, prune_query db below a, prune_query db below b)
-  | Agg a ->
-      let aggs = List.filter (fun c -> SS.mem c.agg_name needed) a.aggs in
-      let aggs =
-        (* an aggregation with no GROUP BY returns exactly one row; keep
-           one aggregate so the empty-input behaviour is preserved *)
-        if aggs = [] && a.group_by = [] && a.aggs <> [] then [ List.hd a.aggs ]
-        else aggs
-      in
-      let below =
-        SS.union
-          (refs_of_exprs db (List.map fst a.group_by))
-          (refs_of_exprs db (List.filter_map (fun c -> c.agg_arg) aggs))
-      in
-      Agg
-        {
-          group_by = List.map (fun (e, n) -> (prune_expr db e, n)) a.group_by;
-          aggs =
-            List.map
-              (fun c -> { c with agg_arg = Option.map (prune_expr db) c.agg_arg })
-              aggs;
-          agg_input = prune_query db below a.agg_input;
-        }
-  | Union (s, a, b) ->
-      (* positional semantics: arms keep their full width, but pruning
-         still reaches sublink conditions and scans below them *)
-      Union (s, prune_query db (all_out db a) a, prune_query db (all_out db b) b)
-  | Inter (s, a, b) ->
-      Inter (s, prune_query db (all_out db a) a, prune_query db (all_out db b) b)
-  | Diff (s, a, b) ->
-      Diff (s, prune_query db (all_out db a) a, prune_query db (all_out db b) b)
-  | Order (keys, input) ->
-      let below = SS.union needed (refs_of_exprs db (List.map fst keys)) in
-      Order
-        ( List.map (fun (e, d) -> (prune_expr db e, d)) keys,
-          prune_query db below input )
-  | Limit (n, input) -> Limit (n, prune_query db needed input)
+and prune_query db prefix (needed : SS.t) (q : query) : query =
+  let here = prefix @ [ Guard.op_label q ] in
+  let child qual i needed =
+    prune_query db (prefix @ [ Guard.op_label q ^ qual ]) needed i
+  in
+  let counter = ref 0 in
+  let pexpr e = prune_expr db here counter e in
+  let after =
+    match q with
+    | Base name -> (
+        match Database.find_opt db name with
+        | None -> q
+        | Some r ->
+            let names = Schema.names (Relation.schema r) in
+            let kept = List.filter (fun n -> SS.mem n needed) names in
+            if List.length kept = List.length names then q
+            else project (List.map (fun n -> (Attr n, n)) kept) q)
+    | TableExpr _ -> q
+    | Select (c, input) ->
+        let below = SS.union needed (refs db c) in
+        let c = pexpr c in
+        Select (c, child "" input below)
+    | Project p when p.distinct && not (Rewrite_trace.mutant "prune-distinct")
+      ->
+        let below = refs_of_exprs db (List.map fst p.cols) in
+        let cols = List.map (fun (e, n) -> (pexpr e, n)) p.cols in
+        Project { p with cols; proj_input = child "" p.proj_input below }
+    | Project p ->
+        (* the [prune-distinct] mutant routes DISTINCT projections here,
+           narrowing the column set they deduplicate on *)
+        let cols = List.filter (fun (_, n) -> SS.mem n needed) p.cols in
+        let below = refs_of_exprs db (List.map fst cols) in
+        let cols = List.map (fun (e, n) -> (pexpr e, n)) cols in
+        Project { p with cols; proj_input = child "" p.proj_input below }
+    | Cross (a, b) ->
+        let a = child "[left]" a needed in
+        Cross (a, child "[right]" b needed)
+    | Join (c, a, b) ->
+        let below = SS.union needed (refs db c) in
+        let c = pexpr c in
+        let a = child "[left]" a below in
+        Join (c, a, child "[right]" b below)
+    | LeftJoin (c, a, b) ->
+        let below = SS.union needed (refs db c) in
+        let c = pexpr c in
+        let a = child "[left]" a below in
+        LeftJoin (c, a, child "[right]" b below)
+    | Agg a ->
+        let aggs = List.filter (fun c -> SS.mem c.agg_name needed) a.aggs in
+        let aggs =
+          (* an aggregation with no GROUP BY returns exactly one row; keep
+             one aggregate so the empty-input behaviour is preserved *)
+          if aggs = [] && a.group_by = [] && a.aggs <> [] then [ List.hd a.aggs ]
+          else aggs
+        in
+        (* mutant: drops GROUP BY columns nothing above reads, merging
+           groups that were distinct *)
+        let group_by =
+          if Rewrite_trace.mutant "prune-group-by" then
+            List.filter (fun (_, n) -> SS.mem n needed) a.group_by
+          else a.group_by
+        in
+        let below =
+          SS.union
+            (refs_of_exprs db (List.map fst group_by))
+            (refs_of_exprs db (List.filter_map (fun c -> c.agg_arg) aggs))
+        in
+        let group_by = List.map (fun (e, n) -> (pexpr e, n)) group_by in
+        let aggs =
+          List.map
+            (fun c -> { c with agg_arg = Option.map pexpr c.agg_arg })
+            aggs
+        in
+        Agg { group_by; aggs; agg_input = child "" a.agg_input below }
+    | Union (s, a, b) ->
+        (* positional semantics: arms keep their full width, but pruning
+           still reaches sublink conditions and scans below them. The
+           [prune-setop] mutant narrows the arms to [needed], changing
+           what set-semantics operators deduplicate/match on. *)
+        let arm qual q =
+          let keep =
+            if Rewrite_trace.mutant "prune-setop" then needed else all_out db q
+          in
+          child qual q keep
+        in
+        let a = arm "[left]" a in
+        Union (s, a, arm "[right]" b)
+    | Inter (s, a, b) ->
+        let arm qual q =
+          let keep =
+            if Rewrite_trace.mutant "prune-setop" then needed else all_out db q
+          in
+          child qual q keep
+        in
+        let a = arm "[left]" a in
+        Inter (s, a, arm "[right]" b)
+    | Diff (s, a, b) ->
+        let arm qual q =
+          let keep =
+            if Rewrite_trace.mutant "prune-setop" then needed else all_out db q
+          in
+          child qual q keep
+        in
+        let a = arm "[left]" a in
+        Diff (s, a, arm "[right]" b)
+    | Order (keys, input) ->
+        let below = SS.union needed (refs_of_exprs db (List.map fst keys)) in
+        let keys = List.map (fun (e, d) -> (pexpr e, d)) keys in
+        Order (keys, child "" input below)
+    | Limit (n, input) -> Limit (n, child "" input needed)
+  in
+  Rewrite_trace.emit ~rule:"prune" ~path:here ~before:q ~after;
+  after
 
 (** [prune db q] drops dead columns everywhere below the root; the
     root's own schema is preserved. *)
-let prune db q = prune_query db (all_out db q) q
+let prune db q = prune_query db [] (all_out db q) q
 
 (* Entry point: simplify first (constant folding may expose TRUE/FALSE
    selections and negation-free comparisons), push selections, then
    drop the columns nothing above reads. *)
 let optimize ?(prune = true) db q =
-  let q' = optimize db (Simplify.query q) in
-  if prune then prune_query db (all_out db q') q' else q'
+  let q' = optimize db [] (Simplify.query q) in
+  if prune then prune_query db [] (all_out db q') q' else q'

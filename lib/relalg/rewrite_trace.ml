@@ -1,0 +1,65 @@
+(** Shared instrumentation channel between the rewrite passes
+    ({!Simplify}, {!Optimizer}) and the translation validator
+    ({!Certify}).
+
+    The passes cannot depend on the validator (the validator drives the
+    passes), so they report through this tiny module instead: each
+    applied rule instance is announced as an {!entry} — the rule name,
+    the Lint-style operator path of the node it fired at, and the
+    before/after subplans. With no tracer installed ({!active} false)
+    emission is a single flag load, so the stock optimizer pipeline
+    pays nothing.
+
+    The module also hosts the test-only mutation hook used by the
+    validator's mutation harness: naming a mutant in {!mutation} makes
+    the corresponding rewrite rule deliberately misbehave, so the tests
+    can assert that {!Certify} catches it with the right rule name and
+    path. *)
+
+type entry = {
+  e_rule : string;  (** rule identifier, e.g. ["pushdown-into-join"] *)
+  e_path : string list;
+      (** operator path of the rewritten node, root first — same syntax
+          as {!Lint} diagnostics and {!Guard} trip reports *)
+  e_before : Algebra.query;  (** the subplan before the rule fired *)
+  e_after : Algebra.query;  (** the replacement subplan *)
+}
+
+let hook : (entry -> unit) option ref = ref None
+let active () = Option.is_some !hook
+
+(** [emit ~rule ~path ~before ~after] reports one rule application to
+    the installed tracer, if any. Applications that left the subplan
+    unchanged (physically or structurally) are filtered out here so the
+    passes can emit unconditionally. *)
+let emit ~rule ~path ~before ~after =
+  match !hook with
+  | None -> ()
+  | Some f ->
+      if not (before == after || before = after) then
+        f { e_rule = rule; e_path = path; e_before = before; e_after = after }
+
+(** [with_tracer f body] installs [f] as the tracer for the duration of
+    [body], restoring the previous tracer on exit (scopes nest). *)
+let with_tracer f body =
+  let saved = !hook in
+  hook := Some f;
+  Fun.protect ~finally:(fun () -> hook := saved) body
+
+(** {1 Test-only mutation hook}
+
+    [mutation := Some name] arms one deliberately broken variant of a
+    rewrite rule (see the [Rewrite_trace.mutant] call sites in
+    {!Simplify} and {!Optimizer} for the catalogue). Production code
+    never sets this; the harness in [test/test_certify.ml] does, to
+    prove the validator catches each breakage. *)
+let mutation : string option ref = ref None
+
+let mutant name = match !mutation with Some m -> String.equal m name | None -> false
+
+(** [with_mutation name body] arms mutant [name] for the duration of
+    [body] (exception-safe). *)
+let with_mutation name body =
+  let saved = !mutation in
+  mutation := Some name;
+  Fun.protect ~finally:(fun () -> mutation := saved) body

@@ -1,0 +1,47 @@
+(** Instrumentation channel between the rewrite passes ({!Simplify},
+    {!Optimizer}) and the translation validator ({!Certify}).
+
+    Each applied rule instance is announced as an {!entry}; with no
+    tracer installed, emission is a single flag load. Also hosts the
+    test-only rule-mutation hook used by the validator's mutation
+    harness. *)
+
+type entry = {
+  e_rule : string;  (** rule identifier, e.g. ["pushdown-into-join"] *)
+  e_path : string list;
+      (** operator path of the rewritten node, root first — same syntax
+          as {!Lint} diagnostics and {!Guard} trip reports *)
+  e_before : Algebra.query;  (** the subplan before the rule fired *)
+  e_after : Algebra.query;  (** the replacement subplan *)
+}
+
+(** Whether a tracer is installed. *)
+val active : unit -> bool
+
+(** [emit ~rule ~path ~before ~after] reports one rule application to
+    the installed tracer, if any; no-op applications (before equals
+    after) are filtered out. *)
+val emit :
+  rule:string ->
+  path:string list ->
+  before:Algebra.query ->
+  after:Algebra.query ->
+  unit
+
+(** [with_tracer f body] runs [body] with [f] installed as the tracer;
+    the previous tracer is restored on exit (scopes nest). *)
+val with_tracer : (entry -> unit) -> (unit -> 'a) -> 'a
+
+(** {1 Test-only mutation hook} *)
+
+(** The armed rule mutant, if any. Production code never sets this;
+    [test/test_certify.ml] does. *)
+val mutation : string option ref
+
+(** [mutant name] is true when mutant [name] is armed — called by the
+    rewrite rules at the points they deliberately break. *)
+val mutant : string -> bool
+
+(** [with_mutation name body] arms mutant [name] for the duration of
+    [body] (exception-safe). *)
+val with_mutation : string -> (unit -> 'a) -> 'a

@@ -6,7 +6,14 @@
     The provenance rewrites are fertile ground for these rules: the Gen
     and Left strategies build conditions like
     [(C =n true) OR NOT (... =n true)] around constant sub-terms, and
-    the [Jsub] of an EXISTS sublink is the constant [true]. *)
+    the [Jsub] of an EXISTS sublink is the constant [true].
+
+    Every applied rule instance is reported through {!Rewrite_trace}
+    (rule name plus Lint-style operator path), so the translation
+    validator ({!Certify}) can discharge a proof obligation per
+    application. A few deliberately broken rule variants are embedded
+    behind the test-only [Rewrite_trace.mutant] hook — see the mutation
+    harness in [test/test_certify.ml]. *)
 
 open Algebra
 
@@ -32,7 +39,10 @@ let negate_cmp = function
   | Leq -> Some Gt
   | Gt -> Some Leq
   | Geq -> Some Lt
-  | EqNull -> None (* =n is two-valued; NOT (a =n b) has no cmpop form *)
+  | EqNull ->
+      (* =n is two-valued; NOT (a =n b) has no cmpop form. The mutant
+         pretends it negates like plain equality — wrong under NULLs. *)
+      if Rewrite_trace.mutant "simp-not-eqnull" then Some Neq else None
 
 let rec expr (e : Algebra.expr) : Algebra.expr =
   match e with
@@ -63,6 +73,13 @@ let rec expr (e : Algebra.expr) : Algebra.expr =
       | _ -> folded)
   | And (a, b) -> (
       match (expr a, expr b) with
+      (* mutant: treats [x AND NULL] as [x] — wrong when x is TRUE *)
+      | (Const Value.Null | TypedNull _), x
+        when Rewrite_trace.mutant "simp-and-null" ->
+          x
+      | x, (Const Value.Null | TypedNull _)
+        when Rewrite_trace.mutant "simp-and-null" ->
+          x
       | Const (Value.Bool false), _ | _, Const (Value.Bool false) -> vfalse
       | Const (Value.Bool true), x | x, Const (Value.Bool true) -> x
       | a, b -> And (a, b))
@@ -126,40 +143,106 @@ and sublink_kind = function
   | AnyOp (op, lhs) -> AnyOp (op, expr lhs)
   | AllOp (op, lhs) -> AllOp (op, expr lhs)
 
-(** [query q] simplifies every expression in the plan (including inside
-    sublink queries) and drops selections whose condition folded to
-    [TRUE]. *)
-let rec query (q : Algebra.query) : Algebra.query =
-  let q = map_queries query q in
-  let q =
+let sublink_seg k = Printf.sprintf "sublink[%d]" k
+
+(* Path-carrying plan recursion, matching Lint's path conventions:
+   [op_label] segments, ["[left]"]/["[right]"] qualifiers on binary
+   operators, and [sublink[k]] segments counted across the node's
+   expressions in Lint's enumeration order. *)
+let rec query_at (prefix : string list) (q : Algebra.query) : Algebra.query =
+  let here = prefix @ [ Guard.op_label q ] in
+  let child qual i = query_at (prefix @ [ Guard.op_label q ^ qual ]) i in
+  let counter = ref 0 in
+  let sub e =
+    map_expr_query
+      (fun sq ->
+        incr counter;
+        query_at (here @ [ sublink_seg !counter ]) sq)
+      e
+  in
+  (* Phase 1: recurse into child queries and sublink queries. *)
+  let q1 =
     match q with
-    | Select (c, input) -> (
-        match expr (map_expr_query query c) with
-        | Const (Value.Bool true) -> input
-        | c -> Select (c, input))
+    | Base _ | TableExpr _ -> q
+    | Select (c, i) ->
+        let c = sub c in
+        Select (c, child "" i)
     | Project p ->
-        Project
-          {
-            p with
-            cols = List.map (fun (e, n) -> (expr (map_expr_query query e), n)) p.cols;
-          }
-    | Join (c, a, b) -> (
-        match expr (map_expr_query query c) with
-        | Const (Value.Bool true) -> Cross (a, b)
-        | c -> Join (c, a, b))
-    | LeftJoin (c, a, b) -> LeftJoin (expr (map_expr_query query c), a, b)
-    | Agg spec ->
+        let cols = List.map (fun (e, n) -> (sub e, n)) p.cols in
+        Project { p with cols; proj_input = child "" p.proj_input }
+    | Cross (a, b) ->
+        let a = child "[left]" a in
+        Cross (a, child "[right]" b)
+    | Join (c, a, b) ->
+        let c = sub c in
+        let a = child "[left]" a in
+        Join (c, a, child "[right]" b)
+    | LeftJoin (c, a, b) ->
+        let c = sub c in
+        let a = child "[left]" a in
+        LeftJoin (c, a, child "[right]" b)
+    | Agg a ->
+        let group_by = List.map (fun (e, n) -> (sub e, n)) a.group_by in
+        let aggs =
+          List.map
+            (fun call -> { call with agg_arg = Option.map sub call.agg_arg })
+            a.aggs
+        in
+        Agg { group_by; aggs; agg_input = child "" a.agg_input }
+    | Union (s, a, b) ->
+        let a = child "[left]" a in
+        Union (s, a, child "[right]" b)
+    | Inter (s, a, b) ->
+        let a = child "[left]" a in
+        Inter (s, a, child "[right]" b)
+    | Diff (s, a, b) ->
+        let a = child "[left]" a in
+        Diff (s, a, child "[right]" b)
+    | Order (keys, i) ->
+        let keys = List.map (fun (e, d) -> (sub e, d)) keys in
+        Order (keys, child "" i)
+    | Limit (n, i) -> Limit (n, child "" i)
+  in
+  (* Phase 2: fold the node's own expressions. *)
+  let q2 =
+    match q1 with
+    | Select (c, i) -> Select (expr c, i)
+    | Project p ->
+        Project { p with cols = List.map (fun (e, n) -> (expr e, n)) p.cols }
+    | Join (c, a, b) -> Join (expr c, a, b)
+    | LeftJoin (c, a, b) -> LeftJoin (expr c, a, b)
+    | Agg a ->
         Agg
           {
-            spec with
-            group_by = List.map (fun (e, n) -> (expr e, n)) spec.group_by;
+            a with
+            group_by = List.map (fun (e, n) -> (expr e, n)) a.group_by;
             aggs =
               List.map
                 (fun call -> { call with agg_arg = Option.map expr call.agg_arg })
-                spec.aggs;
+                a.aggs;
           }
-    | Order (keys, input) ->
-        Order (List.map (fun (e, d) -> (expr e, d)) keys, input)
+    | Order (keys, i) -> Order (List.map (fun (e, d) -> (expr e, d)) keys, i)
     | q -> q
   in
-  q
+  Rewrite_trace.emit ~rule:"fold-exprs" ~path:here ~before:q1 ~after:q2;
+  (* Phase 3: structural rules enabled by the folding. *)
+  match q2 with
+  | Select (Const (Value.Bool true), input) ->
+      Rewrite_trace.emit ~rule:"select-true" ~path:here ~before:q2 ~after:input;
+      input
+  | Select ((Const Value.Null | TypedNull _), input)
+    when Rewrite_trace.mutant "simp-select-null" ->
+      (* mutant: drops a selection whose condition folded to NULL,
+         treating UNKNOWN as TRUE *)
+      Rewrite_trace.emit ~rule:"select-true" ~path:here ~before:q2 ~after:input;
+      input
+  | Join (Const (Value.Bool true), a, b) ->
+      let after = Cross (a, b) in
+      Rewrite_trace.emit ~rule:"join-true-to-cross" ~path:here ~before:q2 ~after;
+      after
+  | q -> q
+
+(** [query q] simplifies every expression in the plan (including inside
+    sublink queries) and drops selections whose condition folded to
+    [TRUE]. *)
+let query (q : Algebra.query) : Algebra.query = query_at [] q

@@ -4,13 +4,13 @@
    same errors.
 
    Coverage:
-   - randomized well-typed algebra queries over small R/S databases
-     (joins, outer joins, aggregation, set operations, order/limit,
-     correlated EXISTS/ANY/ALL/scalar sublinks, NULLs);
-   - randomized sublink conditions evaluated as scalar expressions
-     under an outer frame (the truth values the rewrites depend on);
-   - the paper's single-sublink selections rewritten with every
-     strategy (Gen/Left/Move/Unn) and optimized;
+   - randomized sublink-heavy SQL queries from the shared fuzz
+     generator (Fuzz.Qgen: all four sublink kinds, correlation, joins,
+     aggregation, set operations, ORDER BY/LIMIT, NULL-rich tiny
+     databases), analyzed to algebra and run under both engines —
+     QCheck counterexamples shrink with the fuzzer's own minimizer;
+   - the same fuzz queries rewritten with every strategy
+     (Gen/Left/Move/Unn) and optimized;
    - the synthetic workload q1/q2 instances, all applicable strategies;
    - all TPC-H sublink queries, all applicable strategies. *)
 
@@ -33,13 +33,21 @@ let mk_db r_rows s_rows =
     ]
 
 (* Both engines, same plan: schema, row list (order included), and
-   counters must all agree. *)
+   counters must all agree — or both must fail with the same error. *)
 let same_execution db plan =
-  let ra, sa = Eval.query_stats_reference db plan in
-  let rb, sb = Eval.query_stats_compiled db plan in
-  Schema.names (Relation.schema ra) = Schema.names (Relation.schema rb)
-  && Relation.tuples ra = Relation.tuples rb
-  && sa = sb
+  let run f =
+    try Ok (f ()) with Eval.Eval_error m -> Error m
+  in
+  match
+    ( run (fun () -> Eval.query_stats_reference db plan),
+      run (fun () -> Eval.query_stats_compiled db plan) )
+  with
+  | Ok (ra, sa), Ok (rb, sb) ->
+      Schema.names (Relation.schema ra) = Schema.names (Relation.schema rb)
+      && Relation.tuples ra = Relation.tuples rb
+      && sa = sb
+  | Error a, Error b -> a = b
+  | _ -> false
 
 let check_same msg db plan =
   let ra, sa = Eval.query_stats_reference db plan in
@@ -58,270 +66,53 @@ let check_same msg db plan =
     (Eval.stats_to_string sa) (Eval.stats_to_string sb)
 
 (* ------------------------------------------------------------------ *)
-(* Random well-typed queries                                            *)
+(* Randomized queries from the shared fuzz generator                    *)
 (* ------------------------------------------------------------------ *)
 
-(* Globally fresh output names, so generated Cross/Join schemas never
-   collide and projections stay unambiguous. *)
-let fresh =
-  let c = ref 0 in
-  fun () ->
-    incr c;
-    Printf.sprintf "x%d" !c
+(* One arbitrary for all engine-parity properties: Fuzz.Qgen generates
+   the case, Fuzz.Shrink provides the QCheck shrinker — the same
+   generator and minimizer the differential fuzzer uses. *)
+let fuzz_case =
+  QCheck.make
+    (fun st -> Fuzz.Qgen.generate st Fuzz.Qgen.default)
+    ~print:Fuzz.Qgen.case_to_string
+    ~shrink:(fun case yield ->
+      List.iter
+        (fun (sel, tbls) ->
+          yield { Fuzz.Qgen.c_select = sel; c_tables = tbls })
+        (Fuzz.Shrink.reductions case.Fuzz.Qgen.c_select
+           case.Fuzz.Qgen.c_tables))
 
-let pick st l = List.nth l (Random.State.int st (List.length l))
-let cmpops = Algebra.[ Eq; Neq; Lt; Leq; Gt; Geq ]
+let analyzed_of case =
+  let db = Fuzz.Qgen.database case in
+  match Sql_frontend.Analyzer.analyze db case.Fuzz.Qgen.c_select with
+  | exception _ -> None
+  | analyzed -> Some (db, analyzed.Sql_frontend.Analyzer.query)
 
-let gen_value st =
-  if Random.State.int st 8 = 0 then Value.Null
-  else Value.Int (Random.State.int st 5)
+let prop_fuzz_parity =
+  QCheck.Test.make ~name:"engines agree on fuzzed queries" ~count:400
+    fuzz_case (fun case ->
+      match analyzed_of case with
+      | None -> true
+      | Some (db, q) -> same_execution db q)
 
-let gen_rows st =
-  List.init (Random.State.int st 7) (fun _ -> [ gen_value st; gen_value st ])
-
-(* All attributes are int-typed, so any arithmetic/comparison over them
-   typechecks; [scope] lists the attribute names in scope (innermost
-   operator input plus outer frames). *)
-let rec gen_expr scope depth st : Algebra.expr =
-  let open Algebra in
-  if depth <= 0 then
-    if Random.State.bool st then attr (pick st scope)
-    else int (Random.State.int st 5)
-  else
-    match Random.State.int st 4 with
-    | 0 -> attr (pick st scope)
-    | 1 -> int (Random.State.int st 5)
-    | 2 ->
-        Binop
-          ( pick st [ Add; Sub; Mul ],
-            gen_expr scope (depth - 1) st,
-            gen_expr scope (depth - 1) st )
-    | _ ->
-        Case
-          ( [ (gen_cond scope ~subq:0 0 st, gen_expr scope (depth - 1) st) ],
-            if Random.State.bool st then Some (gen_expr scope (depth - 1) st)
-            else None )
-
-(* [subq] bounds sublink nesting. *)
-and gen_cond scope ~subq depth st : Algebra.expr =
-  let open Algebra in
-  let cmp () = Cmp (pick st cmpops, gen_expr scope 1 st, gen_expr scope 1 st) in
-  if depth <= 0 then cmp ()
-  else
-    match Random.State.int st (if subq > 0 then 8 else 5) with
-    | 0 -> cmp ()
-    | 1 ->
-        And (gen_cond scope ~subq (depth - 1) st, gen_cond scope ~subq (depth - 1) st)
-    | 2 ->
-        Or (gen_cond scope ~subq (depth - 1) st, gen_cond scope ~subq (depth - 1) st)
-    | 3 -> Not (gen_cond scope ~subq (depth - 1) st)
-    | 4 -> IsNull (gen_expr scope 1 st)
-    | 5 ->
-        (* correlated EXISTS: the subquery may reference [scope] *)
-        exists (fst (gen_query scope 2 st))
-    | 6 ->
-        let q, ns = gen_query scope 2 st in
-        let single = project [ (gen_expr ns 1 st, fresh ()) ] q in
-        let mk = if Random.State.bool st then any_op else all_op in
-        mk (pick st cmpops) (gen_expr scope 1 st) single
-    | _ ->
-        (* scalar sublink, aggregated so it always returns one row *)
-        let q, ns = gen_query scope 2 st in
-        let call =
-          {
-            agg_func = pick st [ "max"; "min"; "sum"; "count" ];
-            agg_distinct = false;
-            agg_arg = Some (gen_expr ns 1 st);
-            agg_name = fresh ();
-          }
-        in
-        Cmp
-          ( pick st cmpops,
-            gen_expr scope 1 st,
-            scalar (aggregate ~group_by:[] ~aggs:[ call ] q) )
-
-(* Returns the query together with its output attribute names. *)
-and gen_query env size st : Algebra.query * string list =
-  let open Algebra in
-  if size <= 1 then gen_base st
-  else
-    match Random.State.int st 9 with
-    | 0 | 1 ->
-        let q, ns = gen_query env (size - 1) st in
-        (Select (gen_cond (ns @ env) ~subq:1 2 st, q), ns)
-    | 2 ->
-        let q, ns = gen_query env (size - 1) st in
-        let cols =
-          List.init
-            (1 + Random.State.int st 3)
-            (fun _ -> (gen_expr ns 1 st, fresh ()))
-        in
-        let distinct = Random.State.int st 3 = 0 in
-        (project ~distinct cols q, List.map snd cols)
-    | 3 ->
-        let qa, na = gen_query env (size / 2) st in
-        let qb, nb = gen_query env (size / 2) st in
-        (Cross (qa, qb), na @ nb)
-    | 4 | 5 ->
-        let qa, na = gen_query env (size / 2) st in
-        let qb, nb = gen_query env (size / 2) st in
-        (* bias towards hashable equi-conjuncts *)
-        let cond =
-          if Random.State.bool st then
-            conj
-              [
-                eq (attr (pick st na)) (attr (pick st nb));
-                gen_cond (na @ nb @ env) ~subq:0 1 st;
-              ]
-          else gen_cond (na @ nb @ env) ~subq:0 1 st
-        in
-        let q =
-          if Random.State.bool st then Join (cond, qa, qb)
-          else LeftJoin (cond, qa, qb)
-        in
-        (q, na @ nb)
-    | 6 ->
-        let q, ns = gen_query env (size - 1) st in
-        let group_by =
-          if Random.State.bool st then [ (gen_expr ns 1 st, fresh ()) ] else []
-        in
-        let func = pick st [ "count"; "sum"; "min"; "max" ] in
-        let call =
-          {
-            agg_func = func;
-            agg_distinct = Random.State.int st 4 = 0;
-            agg_arg =
-              (if func = "count" && Random.State.bool st then None
-               else Some (gen_expr ns 1 st));
-            agg_name = fresh ();
-          }
-        in
-        ( aggregate ~group_by ~aggs:[ call ] q,
-          List.map snd group_by @ [ call.agg_name ] )
-    | 7 ->
-        let qa, na = gen_query env (size / 2) st in
-        let qb, nb = gen_query env (size / 2) st in
-        let arity = 1 + Random.State.int st 2 in
-        let narrow q ns =
-          let cols = List.init arity (fun _ -> (gen_expr ns 1 st, fresh ())) in
-          (project cols q, List.map snd cols)
-        in
-        let qa, na = narrow qa na in
-        let qb, _ = narrow qb nb in
-        let sem = if Random.State.bool st then Bag else SetSem in
-        let q =
-          match Random.State.int st 3 with
-          | 0 -> Union (sem, qa, qb)
-          | 1 -> Inter (sem, qa, qb)
-          | _ -> Diff (sem, qa, qb)
-        in
-        (q, na)
-    | _ ->
-        let q, ns = gen_query env (size - 1) st in
-        let keys =
-          List.init
-            (1 + Random.State.int st 2)
-            (fun _ ->
-              (gen_expr ns 1 st, if Random.State.bool st then Asc else Desc))
-        in
-        let q = Order (keys, q) in
-        let q =
-          if Random.State.bool st then Limit (Random.State.int st 6, q) else q
-        in
-        (q, ns)
-
-and gen_base st =
-  let open Algebra in
-  let n1 = fresh () and n2 = fresh () in
-  if Random.State.bool st then
-    (project [ (attr "a", n1); (attr "b", n2) ] (Base "R"), [ n1; n2 ])
-  else (project [ (attr "c", n1); (attr "d", n2) ] (Base "S"), [ n1; n2 ])
-
-let gen_case st =
-  let r_rows = gen_rows st and s_rows = gen_rows st in
-  let q, _ = gen_query [] (2 + Random.State.int st 5) st in
-  (r_rows, s_rows, q)
-
-let print_case (r_rows, s_rows, q) =
-  let rows name rs =
-    Printf.sprintf "%s = {%s}" name
-      (String.concat "; "
-         (List.map
-            (fun row -> String.concat "," (List.map Value.to_string row))
-            rs))
-  in
-  Printf.sprintf "%s\n%s\n%s" (rows "R" r_rows) (rows "S" s_rows)
-    (Pp.query_to_string q)
-
-let prop_random_queries =
-  QCheck.Test.make ~name:"engines agree on random queries" ~count:500
-    (QCheck.make gen_case ~print:print_case)
-    (fun (r_rows, s_rows, q) ->
-      let db = mk_db r_rows s_rows in
-      Typecheck.check db q;
-      same_execution db q)
-
-(* Sublink truth values under an outer frame: the compiled engine must
-   resolve the correlated references to the same cells. *)
-let prop_sublink_truth =
-  QCheck.Test.make ~name:"engines agree on sublink truth values" ~count:500
-    (QCheck.make
-       (fun st ->
-         let r_rows = gen_rows st and s_rows = gen_rows st in
-         let cond = gen_cond [ "a"; "b" ] ~subq:2 2 st in
-         (r_rows, s_rows, cond))
-       ~print:(fun (_, _, cond) -> Pp.expr_to_string cond))
-    (fun (r_rows, s_rows, cond) ->
-      let db = mk_db r_rows s_rows in
-      List.for_all
-        (fun row ->
-          let env = [ Eval.frame r_schema (Tuple.of_list row) ] in
-          Eval.expr_reference ~env db cond = Eval.expr_compiled ~env db cond)
-        ([ i 0; i 1 ] :: [ Value.Null; i 2 ] :: r_rows))
-
-(* The paper's single-sublink selections, rewritten with every strategy
-   and optimized — the plans the benchmarks actually measure. *)
-let rel1 name ints =
-  Relation.of_values
-    (Schema.of_list [ Schema.attr name Vtype.TInt ])
-    (List.map (fun v -> [ i v ]) ints)
-
-let prop_strategy_parity =
-  QCheck.Test.make ~name:"engines agree on rewritten plans (all strategies)"
-    ~count:200
-    (QCheck.make
-       QCheck.Gen.(
-         triple
-           (list_size (0 -- 6) (0 -- 4))
-           (list_size (0 -- 6) (0 -- 4))
-           (pair (0 -- 5) (0 -- 3)))
-       ~print:(fun (r, s, (opi, kind)) ->
-         Printf.sprintf "R=[%s] S=[%s] op#%d kind#%d"
-           (String.concat ";" (List.map string_of_int r))
-           (String.concat ";" (List.map string_of_int s))
-           opi kind))
-    (fun (r_rows, s_rows, (opi, kind)) ->
-      let db =
-        Database.of_list [ ("R", rel1 "a" r_rows); ("S", rel1 "s" s_rows) ]
-      in
-      let op = List.nth cmpops opi in
-      let sub = Algebra.Base "S" in
-      let q =
-        let open Algebra in
-        match kind with
-        | 0 -> Select (any_op op (attr "a") sub, Base "R")
-        | 1 -> Select (all_op op (attr "a") sub, Base "R")
-        | 2 -> Select (exists (Select (Cmp (op, attr "s", attr "a"), sub)), Base "R")
-        | _ -> Select (Not (exists (Select (Cmp (op, attr "s", attr "a"), sub))), Base "R")
-      in
-      List.for_all
-        (fun strategy ->
-          match Rewrite.rewrite db ~strategy q with
-          | exception Strategy.Unsupported _ -> true
-          | q_plus, _ ->
-              Typecheck.check db q_plus;
-              same_execution db (Optimizer.optimize db q_plus))
-        Strategy.all)
+(* The fuzz queries rewritten with every strategy and optimized — the
+   plans the benchmarks actually measure. *)
+let prop_fuzz_strategy_parity =
+  QCheck.Test.make
+    ~name:"engines agree on rewritten fuzz plans (all strategies)" ~count:150
+    fuzz_case (fun case ->
+      match analyzed_of case with
+      | None -> true
+      | Some (db, q) ->
+          List.for_all
+            (fun strategy ->
+              match Rewrite.rewrite db ~strategy q with
+              | exception Strategy.Unsupported _ -> true
+              | q_plus, _ ->
+                  Typecheck.check db q_plus;
+                  same_execution db (Optimizer.optimize db q_plus))
+            Strategy.all)
 
 (* ------------------------------------------------------------------ *)
 (* Synthetic workload and TPC-H                                         *)
@@ -428,6 +219,5 @@ let () =
           tc "engine dispatch" `Quick test_dispatch;
           tc "error parity" `Quick test_error_parity;
         ] );
-      qsuite "properties"
-        [ prop_random_queries; prop_sublink_truth; prop_strategy_parity ];
+      qsuite "properties" [ prop_fuzz_parity; prop_fuzz_strategy_parity ];
     ]

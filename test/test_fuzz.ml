@@ -1,0 +1,246 @@
+(* The fuzz subsystem itself: generator determinism and coverage,
+   shrinker behaviour (strict descent, predicate preservation),
+   differential-check agreement on a pinned seed range, and bundle
+   write/load/replay round-trips including the empty-column CSV
+   coercion. *)
+
+open Relalg
+module Qgen = Fuzz.Qgen
+module Shrink = Fuzz.Shrink
+module Diff = Fuzz.Diff
+
+let case_eq (a : Qgen.case) (b : Qgen.case) =
+  Sql_frontend.Ast.equal_select a.Qgen.c_select b.Qgen.c_select
+  && List.length a.Qgen.c_tables = List.length b.Qgen.c_tables
+  && List.for_all2
+       (fun (na, ra) (nb, rb) ->
+         na = nb
+         && Schema.names (Relation.schema ra) = Schema.names (Relation.schema rb)
+         && Relation.tuples ra = Relation.tuples rb)
+       a.Qgen.c_tables b.Qgen.c_tables
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_determinism () =
+  List.iter
+    (fun seed ->
+      let a = Qgen.case_of_seed seed and b = Qgen.case_of_seed seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d reproduces" seed)
+        true (case_eq a b);
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d same sql" seed)
+        (Qgen.sql a) (Qgen.sql b))
+    [ 0; 1; 42; 1234 ]
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_coverage () =
+  (* Over a seed range: most cases analyze, a solid fraction carries
+     sublinks, and every case round-trips through the SQL parser. *)
+  let seeds = List.init 80 Fun.id in
+  let analyzed = ref 0 and with_sublink = ref 0 in
+  List.iter
+    (fun seed ->
+      let case = Qgen.case_of_seed seed in
+      let sql = Qgen.sql case in
+      let reparsed = Sql_frontend.Parser.parse sql in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d pretty-prints to parseable SQL" seed)
+        true
+        (Sql_frontend.Ast.equal_select case.Qgen.c_select reparsed);
+      if contains_sub sql "(SELECT" then incr with_sublink;
+      match Sql_frontend.Analyzer.analyze (Qgen.database case) case.Qgen.c_select with
+      | exception _ -> ()
+      | _ -> incr analyzed)
+    seeds;
+  Alcotest.(check bool)
+    (Printf.sprintf "most cases analyze (%d/80)" !analyzed)
+    true (!analyzed >= 70);
+  Alcotest.(check bool)
+    (Printf.sprintf "sublinks are common (%d/80)" !with_sublink)
+    true (!with_sublink >= 40)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_reductions_shrink_strictly () =
+  List.iter
+    (fun seed ->
+      let case = Qgen.case_of_seed seed in
+      let n = Shrink.size case.Qgen.c_select case.Qgen.c_tables in
+      List.iter
+        (fun (sel, tbls) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: candidate strictly smaller" seed)
+            true
+            (Shrink.size sel tbls < n))
+        (Shrink.reductions case.Qgen.c_select case.Qgen.c_tables))
+    (List.init 30 Fun.id)
+
+let test_shrink_preserves_predicate () =
+  (* Minimize while preserving "the query still mentions a sublink and
+     still analyzes": the result must satisfy the predicate, be no
+     larger, and be locally minimal (no one-step reduction of it still
+     satisfies the predicate). *)
+  let still_fails sel tbls =
+    let case = { Qgen.c_select = sel; c_tables = tbls } in
+    contains_sub (Qgen.sql case) "(SELECT"
+    &&
+    match Sql_frontend.Analyzer.analyze (Qgen.database case) sel with
+    | exception _ -> false
+    | _ -> true
+  in
+  let shrunk = ref 0 in
+  List.iter
+    (fun seed ->
+      let case = Qgen.case_of_seed seed in
+      if still_fails case.Qgen.c_select case.Qgen.c_tables then begin
+        incr shrunk;
+        let sel, tbls =
+          Shrink.shrink ~still_fails case.Qgen.c_select case.Qgen.c_tables
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: minimized case still satisfies" seed)
+          true (still_fails sel tbls);
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: minimized case no larger" seed)
+          true
+          (Shrink.size sel tbls
+          <= Shrink.size case.Qgen.c_select case.Qgen.c_tables);
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: locally minimal" seed)
+          true
+          (List.for_all
+             (fun (s, t) -> not (still_fails s t))
+             (Shrink.reductions sel tbls))
+      end)
+    (List.init 12 Fun.id);
+  Alcotest.(check bool) "some seeds exercised the shrinker" true (!shrunk >= 4)
+
+(* ------------------------------------------------------------------ *)
+(* Differential check                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_diff_agreement () =
+  (* A pinned mini-campaign: no mismatches, and a solid fraction of
+     cases must actually compare configurations (not all skips). *)
+  let stats = Diff.campaign ~seed:42 ~count:60 () in
+  Alcotest.(check int) "all cases accounted" 60
+    (stats.Diff.st_agreed + stats.Diff.st_skipped
+    + List.length stats.Diff.st_failures);
+  (match stats.Diff.st_failures with
+  | [] -> ()
+  | f :: _ -> Alcotest.fail ("unexpected mismatch: " ^ f.Diff.fl_detail));
+  Alcotest.(check bool)
+    (Printf.sprintf "most cases compared (%d/60 agreed, %d comparisons)"
+       stats.Diff.st_agreed stats.Diff.st_comparisons)
+    true
+    (stats.Diff.st_agreed >= 40 && stats.Diff.st_comparisons > 100)
+
+(* ------------------------------------------------------------------ *)
+(* Bundles                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_bundle_dir sub body =
+  let dir = Filename.concat "fuzz-artifacts-test" sub in
+  Fun.protect
+    ~finally:(fun () -> rm_rf "fuzz-artifacts-test")
+    (fun () -> body dir)
+
+let test_bundle_roundtrip () =
+  with_bundle_dir "roundtrip" @@ fun dir ->
+  let case = Qgen.case_of_seed 42 in
+  Diff.write_bundle ~dir case ~notes:"round-trip test";
+  let loaded = Diff.load_bundle dir in
+  Alcotest.(check string) "same sql" (Qgen.sql case) (Qgen.sql loaded);
+  List.iter2
+    (fun (na, ra) (nb, rb) ->
+      Alcotest.(check string) "same table name" na nb;
+      Alcotest.(check string)
+        (na ^ ": same schema")
+        (Schema.to_string (Relation.schema ra))
+        (Schema.to_string (Relation.schema rb));
+      Alcotest.(check bool) (na ^ ": same rows") true (Relation.equal_bag ra rb))
+    (List.sort compare case.Qgen.c_tables)
+    (List.sort compare loaded.Qgen.c_tables)
+
+let test_bundle_empty_column_coercion () =
+  (* An empty table and an all-NULL column would load as string-typed
+     without the fuzz-layout coercion; the bundle must still replay as
+     integer tables. *)
+  let int_schema cols =
+    Schema.of_list (List.map (fun c -> Schema.attr c Vtype.TInt) cols)
+  in
+  let case =
+    {
+      Qgen.c_select = Sql_frontend.Parser.parse "SELECT a FROM r WHERE a = 1";
+      c_tables =
+        [
+          ( "r",
+            Relation.of_values (int_schema [ "a"; "b" ])
+              [ [ Value.Int 1; Value.Null ]; [ Value.Int 2; Value.Null ] ] );
+          ("s", Relation.of_values (int_schema [ "c"; "d" ]) []);
+        ];
+    }
+  in
+  with_bundle_dir "coercion" @@ fun dir ->
+  Diff.write_bundle ~dir case ~notes:"coercion test";
+  let loaded = Diff.load_bundle dir in
+  List.iter
+    (fun (name, rel) ->
+      Alcotest.(check string)
+        (name ^ ": integer schema after reload")
+        (Schema.to_string
+           (int_schema (Schema.names (Relation.schema rel))))
+        (Schema.to_string (Relation.schema rel)))
+    loaded.Qgen.c_tables;
+  match Diff.replay dir with
+  | Diff.Mismatch mm -> Alcotest.fail ("replay mismatch: " ^ mm.Diff.mm_detail)
+  | Diff.Agree _ | Diff.Skip _ -> ()
+
+let test_campaign_writes_no_artifacts_when_clean () =
+  with_bundle_dir "clean-campaign" @@ fun dir ->
+  let stats = Diff.campaign ~seed:3 ~count:15 ~artifacts:dir () in
+  Alcotest.(check int) "no failures" 0 (List.length stats.Diff.st_failures);
+  Alcotest.(check bool)
+    "no artifact directory without failures" true
+    (not (Sys.file_exists dir))
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "fuzz"
+    [
+      ( "qgen",
+        [
+          tc "deterministic by seed" `Quick test_determinism;
+          tc "coverage and round-trip" `Quick test_coverage;
+        ] );
+      ( "shrink",
+        [
+          tc "reductions strictly smaller" `Quick test_reductions_shrink_strictly;
+          tc "shrink preserves predicate" `Quick test_shrink_preserves_predicate;
+        ] );
+      ( "diff",
+        [
+          tc "pinned campaign agrees" `Quick test_diff_agreement;
+          tc "bundle round-trip" `Quick test_bundle_roundtrip;
+          tc "empty-column coercion" `Quick test_bundle_empty_column_coercion;
+          tc "clean campaign writes no artifacts" `Quick
+            test_campaign_writes_no_artifacts_when_clean;
+        ] );
+    ]
