@@ -23,11 +23,13 @@
    memory (reported as "excl").
 
    --engine selects the execution engine (compiled closures, the
-   reference tree walker, or both side by side). Every measured cell is
-   also appended to a machine-readable JSON report (BENCH_eval.json by
-   default, --json to override) together with the engine's
-   EXPLAIN-ANALYZE-style counters, which travel back from the forked
-   child over the result pipe. *)
+   reference tree walker, the vectorized columnar engine, "both", or
+   "all" side by side); --domains and --batch-rows configure the
+   vectorized engine's morsel parallelism and batch size. Every
+   measured cell is also appended to a machine-readable JSON report
+   (BENCH_eval.json by default, --json to override) together with the
+   engine's EXPLAIN-ANALYZE-style counters, which travel back from the
+   forked child over the result pipe. *)
 
 open Relalg
 open Core
@@ -207,6 +209,8 @@ type jrecord = {
   jr_query : string;
   jr_series : string;  (* strategy, or "orig" *)
   jr_engine : string;
+  jr_domains : int;  (* vectorized worker domains (1 for other engines) *)
+  jr_batch_rows : int;  (* vectorized batch size (its default otherwise) *)
   jr_params : (string * float) list;
   jr_outcome : outcome;
   jr_stats : Eval.stats option;
@@ -222,6 +226,9 @@ let record ~figure ~query ~series ~params (outcome, stats) =
       jr_query = query;
       jr_series = series;
       jr_engine = Eval.engine_name !Eval.default_engine;
+      jr_domains =
+        (if !Eval.default_engine = Eval.Vectorized then !Vexec.domains else 1);
+      jr_batch_rows = !Vexec.batch_rows;
       jr_params = params;
       jr_outcome = outcome;
       jr_stats = stats;
@@ -233,8 +240,10 @@ let json_of_record r =
   let b = Buffer.create 256 in
   Buffer.add_string b
     (Printf.sprintf
-       "    {\"figure\": %S, \"query\": %S, \"series\": %S, \"engine\": %S"
-       r.jr_figure r.jr_query r.jr_series r.jr_engine);
+       "    {\"figure\": %S, \"query\": %S, \"series\": %S, \"engine\": %S, \
+        \"domains\": %d, \"batch_rows\": %d"
+       r.jr_figure r.jr_query r.jr_series r.jr_engine r.jr_domains
+       r.jr_batch_rows);
   List.iter
     (fun (k, v) ->
       Buffer.add_string b
@@ -283,6 +292,7 @@ let write_json () =
 
 let engines_of_string = function
   | "both" -> [ Eval.Compiled; Eval.Reference ]
+  | "all" -> [ Eval.Compiled; Eval.Reference; Eval.Vectorized ]
   | s -> [ Eval.engine_of_string s ]
 
 (* Run [f] once per engine; the engine is set via [Eval.default_engine],
@@ -976,7 +986,27 @@ let engine_arg =
     & info [ "engine" ] ~docv:"E"
         ~doc:
           "Execution engine: $(b,compiled) (offset-resolved closures), \
-           $(b,reference) (tree-walking interpreter), or $(b,both).")
+           $(b,reference) (tree-walking interpreter), $(b,vectorized) \
+           (columnar batches, see --domains/--batch-rows), $(b,both) \
+           (compiled + reference), or $(b,all).")
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the $(b,vectorized) engine (morsel-driven \
+           parallelism); 1 runs sequentially.")
+
+let batch_rows_arg =
+  Arg.(
+    value & opt int 2048
+    & info [ "batch-rows" ] ~docv:"N"
+        ~doc:"Rows per columnar batch for the $(b,vectorized) engine.")
+
+(* --domains/--batch-rows travel together; applied in [with_report]. *)
+let vec_args =
+  Term.(const (fun d b -> (max 1 d, max 1 b)) $ domains_arg $ batch_rows_arg)
 
 let json_arg =
   Arg.(
@@ -1003,12 +1033,17 @@ let prune_check_arg =
            pruning disabled and assert that the pruned and unpruned plans \
            produce identical results (roughly doubles evaluation work).")
 
-(* Parse --engine/--json/--lint-check/--prune-check, run the command
-   body, then flush the report. *)
-let with_report ?(lint = false) ?(prune = false) engine json body =
+(* Parse --engine/--json/--lint-check/--prune-check (plus the
+   vectorized engine's --domains/--batch-rows), run the command body,
+   then flush the report. *)
+let with_report ?(lint = false) ?(prune = false) ?(vec = (1, 2048)) engine json
+    body =
   lint_check := lint;
   prune_check := prune;
   json_path := json;
+  let domains, batch = vec in
+  Vexec.domains := domains;
+  Vexec.batch_rows := batch;
   let engines =
     try engines_of_string engine
     with Invalid_argument msg ->
@@ -1019,25 +1054,25 @@ let with_report ?(lint = false) ?(prune = false) engine json body =
   write_json ()
 
 let fig6_cmd =
-  let run timeout instances scales engine json lint prune =
-    with_report ~lint ~prune engine json (fun engines ->
+  let run timeout instances scales engine vec json lint prune =
+    with_report ~lint ~prune ~vec engine json (fun engines ->
         fig6 ~timeout ~instances ~scales ~engines ())
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"TPC-H figure 6 (a-d)")
     Term.(
       const run $ timeout_arg $ instances_arg $ scales_arg $ engine_arg
-      $ json_arg $ lint_check_arg $ prune_check_arg)
+      $ vec_args $ json_arg $ lint_check_arg $ prune_check_arg)
 
 let mk_synth_cmd name doc f =
-  let run timeout instances full sizes engine json lint prune =
-    with_report ~lint ~prune engine json (fun engines ->
+  let run timeout instances full sizes engine vec json lint prune =
+    with_report ~lint ~prune ~vec engine json (fun engines ->
         f ~timeout ~instances ~full ~sizes ~engines ())
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ timeout_arg $ instances_arg $ full_arg $ sizes_arg
-      $ engine_arg $ json_arg $ lint_check_arg $ prune_check_arg)
+      $ engine_arg $ vec_args $ json_arg $ lint_check_arg $ prune_check_arg)
 
 let prune_cmd =
   let sf_arg =
@@ -1045,16 +1080,16 @@ let prune_cmd =
       value & opt float 1.0
       & info [ "sf" ] ~doc:"TPC-H scale factor for the prune benchmark.")
   in
-  let run timeout instances sf engine json lint prune =
-    with_report ~lint ~prune engine json (fun engines ->
+  let run timeout instances sf engine vec json lint prune =
+    with_report ~lint ~prune ~vec engine json (fun engines ->
         prune_bench ~timeout ~instances ~sf ~engines ())
   in
   Cmd.v
     (Cmd.info "prune"
        ~doc:"Dead-column pruning: pruned vs unpruned rewritten plans")
     Term.(
-      const run $ timeout_arg $ instances_arg $ sf_arg $ engine_arg $ json_arg
-      $ lint_check_arg $ prune_check_arg)
+      const run $ timeout_arg $ instances_arg $ sf_arg $ engine_arg $ vec_args
+      $ json_arg $ lint_check_arg $ prune_check_arg)
 
 let ablation_cmd =
   let run timeout instances = ablation ~timeout ~instances () in
@@ -1068,15 +1103,16 @@ let governor_cmd =
       value & opt float 0.4
       & info [ "sf" ] ~doc:"TPC-H scale factor for the overhead measurement.")
   in
-  let run timeout instances sf engine json =
-    with_report engine json (fun engines ->
+  let run timeout instances sf engine vec json =
+    with_report ~vec engine json (fun engines ->
         governor_bench ~timeout ~instances ~sf ~engines ())
   in
   Cmd.v
     (Cmd.info "governor"
        ~doc:"Execution governor: checkpoint overhead and censored cells")
     Term.(
-      const run $ timeout_arg $ instances_arg $ sf_arg $ engine_arg $ json_arg)
+      const run $ timeout_arg $ instances_arg $ sf_arg $ engine_arg $ vec_args
+      $ json_arg)
 
 let advisor_cmd =
   Cmd.v

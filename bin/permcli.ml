@@ -8,7 +8,8 @@
 
    REPL commands:  \d [table]    list tables / describe one
                    \strategy S   rewrite strategy (gen|left|move|unn|auto)
-                   \engine E     execution engine (compiled|reference)
+                   \engine E     execution engine
+                                 (compiled|reference|vectorized)
                    \plan         toggle plan printing
                    \timing       toggle timing
                    \stats        toggle EXPLAIN-ANALYZE-style counters
@@ -482,7 +483,23 @@ let engine_arg =
     & info [ "engine" ] ~docv:"E"
         ~doc:
           "Execution engine: $(b,compiled) (offset-resolved closures, the \
-           default) or $(b,reference) (tree-walking interpreter).")
+           default), $(b,reference) (tree-walking interpreter), or \
+           $(b,vectorized) (columnar batches; see --domains and \
+           --batch-rows).")
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the $(b,vectorized) engine (morsel-driven \
+           parallelism); 1 runs sequentially.")
+
+let batch_rows_arg =
+  Arg.(
+    value & opt int 2048
+    & info [ "batch-rows" ] ~docv:"N"
+        ~doc:"Rows per columnar batch for the $(b,vectorized) engine.")
 
 let lint_arg =
   Arg.(
@@ -569,14 +586,16 @@ let replay_bundle dir =
       Printf.eprintf "error: cannot read bundle: %s\n" msg;
       Stdlib.exit 2
 
-let main tpch demo loads exec file strategy plan engine lint certify replay
-    werror timeout max_rows fallback =
+let main tpch demo loads exec file strategy plan engine domains batch_rows lint
+    certify replay werror timeout max_rows fallback =
   (match replay with Some dir -> replay_bundle dir | None -> ());
   (match Eval.engine_of_string engine with
   | e -> Eval.default_engine := e
   | exception Invalid_argument msg ->
       prerr_endline msg;
       Stdlib.exit 2);
+  Vexec.domains := max 1 domains;
+  Vexec.batch_rows := max 1 batch_rows;
   let db = Database.create () in
   if demo then
     List.iter (fun n -> Database.add db n (Database.find (demo_db ()) n)) [ "r"; "s" ];
@@ -659,7 +678,8 @@ let cmd =
     (Cmd.info "permcli" ~doc:"SQL shell with Perm-style provenance")
     Term.(
       const main $ tpch_arg $ demo_arg $ load_arg $ exec_arg $ file_arg
-      $ strategy_arg $ plan_arg $ engine_arg $ lint_arg $ certify_arg
-      $ replay_arg $ werror_arg $ timeout_arg $ max_rows_arg $ fallback_arg)
+      $ strategy_arg $ plan_arg $ engine_arg $ domains_arg $ batch_rows_arg
+      $ lint_arg $ certify_arg $ replay_arg $ werror_arg $ timeout_arg
+      $ max_rows_arg $ fallback_arg)
 
 let () = Stdlib.exit (Cmd.eval cmd)

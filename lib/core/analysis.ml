@@ -20,7 +20,7 @@ let offsets_of n_orig (provs : Pschema.prov_rel list) =
   offs
 
 let witness_of_row t pos width =
-  let w = Tuple.project t (List.init width (fun i -> pos + i)) in
+  let w = Tuple.project_arr t (Array.init width (fun i -> pos + i)) in
   if Array.for_all Value.is_null (w : Tuple.t :> Value.t array) then None
   else Some w
 
@@ -39,10 +39,11 @@ type influence = {
 let influence_cols ~n_orig (rel : Relation.t) (provs : Pschema.prov_rel list) :
     influence list =
   let offs = offsets_of n_orig provs in
+  let orig_positions = Array.init n_orig (fun i -> i) in
   let counts : (string * Tuple.t, unit Tuple.Tbl.t) Hashtbl.t = Hashtbl.create 32 in
   List.iter
     (fun t ->
-      let result_key = Tuple.project t (List.init n_orig (fun i -> i)) in
+      let result_key = Tuple.project_arr t orig_positions in
       List.iter
         (fun ((pr : Pschema.prov_rel), pos) ->
           match witness_of_row t pos (List.length pr.Pschema.pr_cols) with
@@ -160,9 +161,10 @@ let to_dot_cols ~n_orig (rel : Relation.t) (provs : Pschema.prov_rel list) : str
   in
   (* collect edges, deduplicated *)
   let edges = Hashtbl.create 32 in
+  let orig_positions = Array.init n_orig (fun i -> i) in
   List.iter
     (fun t ->
-      let rk = Tuple.project t (List.init n_orig (fun i -> i)) in
+      let rk = Tuple.project_arr t orig_positions in
       let rid = result_id rk in
       List.iter
         (fun ((pr : Pschema.prov_rel), pos) ->

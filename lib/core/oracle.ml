@@ -153,9 +153,10 @@ let rec rows db (env : Eval.env) (q : query) : prow list =
         let fenv = Eval.frame in_schema r.pt :: env in
         Tuple.of_list (List.map (Eval.expr db ~env:fenv) group_exprs)
       in
+      let group_positions = Array.init n_group (fun i -> i) in
       List.concat_map
         (fun g ->
-          let key = Tuple.project g (List.init n_group (fun i -> i)) in
+          let key = Tuple.project_arr g group_positions in
           let members = List.filter (fun r -> Tuple.equal (key_of r) key) in_rows in
           if members = [] then [ { pt = g; pw = null_witness win } ]
           else List.map (fun m -> { pt = g; pw = m.pw }) members)

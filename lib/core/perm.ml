@@ -260,12 +260,12 @@ let witness_sets db q (rel : Relation.t) (provs : Pschema.prov_rel list) :
   let schema = Relation.schema rel in
   let orig_names = Scope.out_names db q in
   let n_orig = List.length orig_names in
-  let orig_positions = List.init n_orig (fun i -> i) in
+  let orig_positions = Array.init n_orig (fun i -> i) in
   let groups : Tuple.t list Tuple.Tbl.t = Tuple.Tbl.create 16 in
   let order = ref [] in
   List.iter
     (fun t ->
-      let key = Tuple.project t orig_positions in
+      let key = Tuple.project_arr t orig_positions in
       match Tuple.Tbl.find_opt groups key with
       | Some rows -> Tuple.Tbl.replace groups key (t :: rows)
       | None ->
@@ -298,12 +298,11 @@ let witness_sets db q (rel : Relation.t) (provs : Pschema.prov_rel list) :
               Relation.schema (Database.find db pr.Pschema.pr_rel)
             in
             let width = List.length pr.Pschema.pr_cols in
+            let positions = Array.init width (fun i -> pos + i) in
             let tuples =
               List.filter_map
                 (fun t ->
-                  let w =
-                    Tuple.project t (List.init width (fun i -> pos + i))
-                  in
+                  let w = Tuple.project_arr t positions in
                   if Array.for_all Value.is_null (w : Tuple.t :> Value.t array)
                   then None
                   else Some w)

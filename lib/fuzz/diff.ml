@@ -1,9 +1,9 @@
 (** The differential harness: one fuzz case is evaluated under every
-    applicable provenance strategy × both engines and compared against
-    the enumeration oracle, plus a plain (no-provenance) engine-parity
-    check and the Theorem-1 projection property (the provenance rows
-    restricted to the original columns are exactly the plain result,
-    set-level).
+    applicable provenance strategy × all three engines (reference,
+    compiled, vectorized) and compared against the enumeration oracle,
+    plus a plain (no-provenance) engine-parity check and the Theorem-1
+    projection property (the provenance rows restricted to the original
+    columns are exactly the plain result, set-level).
 
     Configurations that legitimately cannot run — a strategy whose
     applicability conditions the query violates, an oracle-unsupported
@@ -91,6 +91,10 @@ let check ?(budget = default_budget) (case : Qgen.case) : verdict =
           let plain_comp =
             guarded budget (fun () -> Relation.tuples (Eval.query_compiled db q))
           in
+          let plain_vec =
+            guarded budget (fun () ->
+                Relation.tuples (Eval.query_vectorized db q))
+          in
           let oracle =
             guarded budget (fun () -> Oracle.provenance db q)
           in
@@ -115,6 +119,9 @@ let check ?(budget = default_budget) (case : Qgen.case) : verdict =
                       ( "prov/" ^ name ^ "/compiled",
                         guarded budget (fun () ->
                             Relation.tuples (Eval.query_compiled db plan)) );
+                      ( "prov/" ^ name ^ "/vectorized",
+                        guarded budget (fun () ->
+                            Relation.tuples (Eval.query_vectorized db plan)) );
                     ])
               Strategy.all
             |> List.concat
@@ -135,19 +142,31 @@ let check ?(budget = default_budget) (case : Qgen.case) : verdict =
           (* 1. plain engine parity (bag-level) *)
           compare_rows ~canon:canon_bag "plain/reference" "plain/compiled"
             plain_ref plain_comp;
+          compare_rows ~canon:canon_bag "plain/reference" "plain/vectorized"
+            plain_ref plain_vec;
           (* 2. engine parity per strategy (bag-level) *)
           List.iter
             (fun strategy ->
               let name = Strategy.to_string strategy in
               let find l = List.assoc_opt l prov_runs in
-              match
-                (find ("prov/" ^ name ^ "/reference"),
-                 find ("prov/" ^ name ^ "/compiled"))
-              with
+              (match
+                 (find ("prov/" ^ name ^ "/reference"),
+                  find ("prov/" ^ name ^ "/compiled"))
+               with
               | Some l, Some r ->
                   compare_rows ~canon:canon_bag
                     ("prov/" ^ name ^ "/reference")
                     ("prov/" ^ name ^ "/compiled")
+                    l r
+              | _ -> ());
+              match
+                (find ("prov/" ^ name ^ "/reference"),
+                 find ("prov/" ^ name ^ "/vectorized"))
+              with
+              | Some l, Some r ->
+                  compare_rows ~canon:canon_bag
+                    ("prov/" ^ name ^ "/reference")
+                    ("prov/" ^ name ^ "/vectorized")
                     l r
               | _ -> ())
             Strategy.all;
@@ -172,9 +191,10 @@ let check ?(budget = default_budget) (case : Qgen.case) : verdict =
               match (r, plain_ref) with
               | Ok rows, Ok _ ->
                   let projected =
+                    let positions = Array.init n_orig Fun.id in
                     Ok
                       (List.map
-                         (fun t -> Tuple.project t (List.init n_orig Fun.id))
+                         (fun t -> Tuple.project_arr t positions)
                          rows)
                   in
                   compare_rows ~canon:canon_set

@@ -377,6 +377,7 @@ let check_obligation db flow ~budget acc (ob : obligation) =
            (String.concat "; " outs_before)
            (String.concat "; " outs_after))
   | Some positions -> (
+      let positions = Array.of_list positions in
       (* --- typecheck: after must type whenever before does --------- *)
       let frees = free_names db [ before; after ] in
       let closed = frees = [] in
@@ -481,7 +482,7 @@ let check_obligation db flow ~budget acc (ob : obligation) =
                     acc.a_compared <- acc.a_compared + 1;
                     let projected =
                       List.sort Tuple.compare
-                        (List.map (fun t -> Tuple.project t positions) rows_b)
+                        (List.map (fun t -> Tuple.project_arr t positions) rows_b)
                     in
                     let only_b, only_a = bag_diff projected rows_a in
                     if only_b <> [] || only_a <> [] then

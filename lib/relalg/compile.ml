@@ -1024,3 +1024,70 @@ let expr ?(env = []) db e =
   cur_compile_path := [];
   let ce = compile_expr db (List.map fst env) e in
   ce (mk_ctx db) (List.map snd env)
+
+(** {1 Engine-internal surface}
+
+    The vectorized engine ({!Vexec}) lowers the same type-checked
+    algebra but executes batch-at-a-time; for everything that is not a
+    columnar kernel — row-wise fallback expressions, join residuals,
+    aggregate arguments — it reuses this module's compiled closures so
+    the two engines share one semantics (and one sublink memo/summary
+    cache per execution context). *)
+
+let ctx_stats (ctx : ctx) = ctx.stats
+let ctx_db (ctx : ctx) = ctx.db
+
+let compile_scalar ?(path = []) db cenv e : cexpr =
+  cur_compile_path := path;
+  compile_expr db cenv e
+
+let compile_predicate ?(path = []) db cenv e : ctx -> renv -> int =
+  cur_compile_path := path;
+  compile_pred db cenv e
+
+let eval_exprs = eval_row
+let offsets_of_projection = own_offsets
+
+(** [sublink_summary db cenv s] — for an {e uncorrelated} sublink, a
+    per-execution summary accessor sharing the compiled engine's memo
+    tables and counter behavior (first call per [ctx] materializes and
+    counts one eval; later calls are silent summary reuse, exactly as
+    the compiled engine's per-row path behaves). [None] when [s] is
+    correlated. The vectorized ANY/ALL probe kernels call this once
+    per execution, before any parallel section, so the summary is
+    immutable by the time workers read it. *)
+let sublink_summary ?(path = []) db cenv (s : sublink) :
+    (ctx -> renv -> Sem.summary) option =
+  if Scope.free_of_query db s.query <> [] then None
+  else begin
+    cur_compile_path := path;
+    let spath = path @ [ Printf.sprintf "sublink[%d]" s.id ] in
+    let csub = compile_query db spath cenv s.query in
+    cur_compile_path := path;
+    let k0 = (s.id, []) in
+    Some
+      (fun ctx env ->
+        match Hashtbl.find_opt ctx.sub_summaries k0 with
+        | Some sm -> sm
+        | None ->
+            let rel =
+              match Hashtbl.find_opt ctx.sub_results k0 with
+              | Some rel ->
+                  ctx.stats.Sem.st_sublink_hits <-
+                    ctx.stats.Sem.st_sublink_hits + 1;
+                  rel
+              | None ->
+                  ctx.stats.Sem.st_sublink_evals <-
+                    ctx.stats.Sem.st_sublink_evals + 1;
+                  Guard.Faults.fire_point Guard.Faults.Sublink spath;
+                  let rel = csub.c_run ctx env in
+                  Hashtbl.add ctx.sub_results k0 rel;
+                  rel
+            in
+            let sm =
+              Sem.summarize
+                (List.map (fun t -> Tuple.get t 0) (Relation.tuples rel))
+            in
+            Hashtbl.add ctx.sub_summaries k0 sm;
+            sm)
+  end

@@ -62,3 +62,67 @@ val query_stats :
     allowed). *)
 val expr :
   ?env:(Schema.t * Tuple.t) list -> Database.t -> Algebra.expr -> Value.t
+
+(** {1 Engine-internal surface}
+
+    Used by the vectorized engine ({!Vexec}) so both engines share one
+    expression semantics and one per-execution sublink memo/summary
+    cache. Not a stable API. *)
+
+(** Fresh per-execution context (memo tables + counters). *)
+val mk_ctx : Database.t -> ctx
+
+(** The context's execution counters (mutable; shared with every
+    closure run under this context). *)
+val ctx_stats : ctx -> Sem.stats
+
+val ctx_db : ctx -> Database.t
+
+(** [compile_scalar ?path db cenv e] — compile a scalar expression
+    against a schema stack (innermost first); [path] seeds the
+    operator path sublink boundaries report under. *)
+val compile_scalar :
+  ?path:string list ->
+  Database.t ->
+  Schema.t list ->
+  Algebra.expr ->
+  cexpr
+
+(** [compile_predicate ?path db cenv e] — compile a predicate to the
+    unboxed three-valued form: 0 false, 1 true, 2 unknown. *)
+val compile_predicate :
+  ?path:string list ->
+  Database.t ->
+  Schema.t list ->
+  Algebra.expr ->
+  ctx ->
+  Tuple.t list ->
+  int
+
+(** [eval_exprs ces ctx env] — evaluate compiled expressions into a
+    fresh tuple. *)
+val eval_exprs : cexpr array -> ctx -> Tuple.t list -> Tuple.t
+
+(** Offsets of a projection list that only reads the input frame's own
+    columns; [None] as soon as any item is not a bare in-frame
+    [Attr]. *)
+val offsets_of_projection :
+  Schema.t -> (Algebra.expr * string) list -> int array option
+
+(** Whether re-evaluating an expression more or fewer times (binding
+    unchanged) leaves the execution counters untouched. *)
+val counter_silent : Algebra.expr -> bool
+
+(** Attribute names an expression's evaluation can read (own [Attr]s
+    plus sublink free variables). *)
+val expr_deps : Database.t -> Algebra.expr -> string list
+
+(** [sublink_summary ?path db cenv s] — per-execution ANY/ALL summary
+    accessor for an {e uncorrelated} sublink, sharing the compiled
+    engine's memo tables and counters; [None] when correlated. *)
+val sublink_summary :
+  ?path:string list ->
+  Database.t ->
+  Schema.t list ->
+  Algebra.sublink ->
+  (ctx -> Tuple.t list -> Sem.summary) option

@@ -496,18 +496,25 @@ and eval_agg ctx here env { group_by; aggs; agg_input } : Relation.t =
 (** {1 Public API} *)
 
 (** Which engine {!query}, {!query_stats} and {!expr} dispatch to.
-    [Compiled] is the default; [Reference] selects the tree walker
-    (permcli's [--engine] and the benchmark harness flip this). *)
-type engine = Compiled | Reference
+    [Compiled] is the default; [Reference] selects the tree walker and
+    [Vectorized] the columnar batch engine ({!Vexec}) — permcli's
+    [--engine] and the benchmark harness flip this. *)
+type engine = Compiled | Reference | Vectorized
 
 let default_engine = ref Compiled
 
-let engine_name = function Compiled -> "compiled" | Reference -> "reference"
+let engine_name = function
+  | Compiled -> "compiled"
+  | Reference -> "reference"
+  | Vectorized -> "vectorized"
 
 let engine_of_string = function
   | "compiled" -> Compiled
   | "reference" -> Reference
-  | s -> invalid_arg (Printf.sprintf "unknown engine %S (compiled|reference)" s)
+  | "vectorized" -> Vectorized
+  | s ->
+      invalid_arg
+        (Printf.sprintf "unknown engine %S (compiled|reference|vectorized)" s)
 
 let compile_env env = List.map (fun f -> (f.f_schema, f.f_tuple)) env
 
@@ -518,6 +525,11 @@ let query_reference ?(env = []) db q = eval_query (mk_ctx db) [] env q
     runs the compiled plan. *)
 let query_compiled ?(env = []) db q = Compile.query ~env:(compile_env env) db q
 
+(** [query_vectorized db q] executes [q] with the columnar batch
+    engine (worker count and batch size from {!Vexec.domains} /
+    {!Vexec.batch_rows}). *)
+let query_vectorized ?(env = []) db q = Vexec.query ~env:(compile_env env) db q
+
 (** [query db q] evaluates [q] against [db] with a fresh context, using
     the engine selected by {!default_engine} (compiled by default);
     [env] supplies outer frames for correlated evaluation. *)
@@ -525,6 +537,7 @@ let query ?(env = []) db q =
   match !default_engine with
   | Compiled -> query_compiled ~env db q
   | Reference -> query_reference ~env db q
+  | Vectorized -> query_vectorized ~env db q
 
 let query_stats_reference ?(env = []) db q =
   let ctx = mk_ctx db in
@@ -534,20 +547,26 @@ let query_stats_reference ?(env = []) db q =
 let query_stats_compiled ?(env = []) db q =
   Compile.query_stats ~env:(compile_env env) db q
 
+let query_stats_vectorized ?(env = []) db q =
+  Vexec.query_stats ~env:(compile_env env) db q
+
 (** [query_stats db q] additionally reports the execution counters —
     an EXPLAIN-ANALYZE-style summary of how the plan ran. *)
 let query_stats ?(env = []) db q =
   match !default_engine with
   | Compiled -> query_stats_compiled ~env db q
   | Reference -> query_stats_reference ~env db q
+  | Vectorized -> query_stats_vectorized ~env db q
 
 let expr_reference ?(env = []) db e = eval_expr (mk_ctx db) env e
 
 let expr_compiled ?(env = []) db e = Compile.expr ~env:(compile_env env) db e
 
 (** [expr db env e] evaluates a scalar expression (used by tests and the
-    provenance oracle), dispatching like {!query}. *)
+    provenance oracle), dispatching like {!query}. Scalar expressions
+    have no batches to vectorize, so [Vectorized] uses the compiled
+    closures (the semantics the vectorized engine shares). *)
 let expr ?(env = []) db e =
   match !default_engine with
-  | Compiled -> expr_compiled ~env db e
+  | Compiled | Vectorized -> expr_compiled ~env db e
   | Reference -> expr_reference ~env db e

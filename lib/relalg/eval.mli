@@ -52,8 +52,9 @@ val all_of_summary : Algebra.cmpop -> Value.t -> summary -> Value.t
 (** {1 Engine selection} *)
 
 (** [Compiled] lowers the plan to offset-resolved closures ({!Compile});
-    [Reference] interprets the AST per tuple. *)
-type engine = Compiled | Reference
+    [Reference] interprets the AST per tuple; [Vectorized] executes
+    columnar batch kernels, optionally across domains ({!Vexec}). *)
+type engine = Compiled | Reference | Vectorized
 
 (** The engine used by {!query}, {!query_stats} and {!expr}. Defaults to
     [Compiled]; permcli's [--engine] and the benchmark harness set it. *)
@@ -61,8 +62,8 @@ val default_engine : engine ref
 
 val engine_name : engine -> string
 
-(** [engine_of_string s] parses ["compiled"|"reference"]; raises
-    [Invalid_argument] otherwise. *)
+(** [engine_of_string s] parses ["compiled"|"reference"|"vectorized"];
+    raises [Invalid_argument] otherwise. *)
 val engine_of_string : string -> engine
 
 (** {1 Evaluation} *)
@@ -77,6 +78,11 @@ val query_reference : ?env:env -> Database.t -> Algebra.query -> Relation.t
 
 (** [query_compiled db q] always compiles and runs via {!Compile}. *)
 val query_compiled : ?env:env -> Database.t -> Algebra.query -> Relation.t
+
+(** [query_vectorized db q] always runs the columnar engine
+    ({!Vexec}); worker count and batch size come from
+    {!Vexec.domains} / {!Vexec.batch_rows}. *)
+val query_vectorized : ?env:env -> Database.t -> Algebra.query -> Relation.t
 
 (** Execution counters, in the spirit of EXPLAIN ANALYZE (shared between
     the engines via {!Sem}). *)
@@ -99,6 +105,9 @@ val query_stats_reference :
   ?env:env -> Database.t -> Algebra.query -> Relation.t * stats
 
 val query_stats_compiled :
+  ?env:env -> Database.t -> Algebra.query -> Relation.t * stats
+
+val query_stats_vectorized :
   ?env:env -> Database.t -> Algebra.query -> Relation.t * stats
 
 (** [expr db e] evaluates a scalar expression (sublinks allowed),

@@ -128,6 +128,10 @@ type state = {
   mutable st_rows : int;
   mutable st_pairs : int;
   mutable st_fuel : int;
+  mutable st_alloc_extra : float;
+      (* bytes allocated on worker domains, reported by the coordinator
+         at merge points; [Gc.allocated_bytes] is per-domain, so this is
+         how parallel sections fold into the shared allocation budget *)
 }
 
 (* The innermost active scope. [active] mirrors [current <> None] so the
@@ -135,12 +139,15 @@ type state = {
 let current : state option ref = ref None
 let active = ref false
 
+let scope_alloc_bytes st =
+  Gc.allocated_bytes () -. st.st_alloc0 +. st.st_alloc_extra
+
 let snapshot st =
   {
     c_rows = st.st_rows;
     c_pairs = st.st_pairs;
     c_elapsed = Unix.gettimeofday () -. st.st_t0;
-    c_alloc_mb = (Gc.allocated_bytes () -. st.st_alloc0) /. 1_048_576.0;
+    c_alloc_mb = scope_alloc_bytes st /. 1_048_576.0;
   }
 
 let trip st path reason =
@@ -172,8 +179,7 @@ let slow_check st path =
       trip st path (Timed_out (Option.get st.st_budget.g_timeout))
   | _ -> ());
   match st.st_budget.g_max_alloc_mb with
-  | Some mb
-    when (Gc.allocated_bytes () -. st.st_alloc0) /. 1_048_576.0 > mb ->
+  | Some mb when scope_alloc_bytes st /. 1_048_576.0 > mb ->
       trip st path (Alloc_exceeded mb)
   | _ -> ()
 
@@ -234,6 +240,18 @@ let tick path =
         st.st_fuel <- st.st_fuel - 1;
         if st.st_fuel <= 0 then slow_check st path
 
+(* [note_alloc path bytes] folds bytes allocated on {e worker} domains
+   into the active scope's allocation accounting. Called only by the
+   parallel coordinator at morsel merge points — the governor's state
+   is coordinator-private, so workers never touch it directly. *)
+let note_alloc path bytes =
+  if !active then
+    match !current with
+    | None -> ()
+    | Some st ->
+        st.st_alloc_extra <- st.st_alloc_extra +. bytes;
+        if st.st_budget.g_max_alloc_mb <> None then slow_check st path
+
 (** [with_budget b f] runs [f] governed by [b] ([None] = unchanged).
     Installing a scope inside another {e suspends} the outer scope: its
     counters and deadline are neither advanced nor checked until the
@@ -256,6 +274,7 @@ let with_budget b f =
           st_rows = 0;
           st_pairs = 0;
           st_fuel = fuel_interval;
+          st_alloc_extra = 0.0;
         }
       in
       let saved = !current in

@@ -125,6 +125,12 @@ val cross_guard : string list -> left:int -> right:int -> unit
     timeout/allocation budgets trip even on plans with few operators. *)
 val tick : string list -> unit
 
+(** [note_alloc path bytes] folds bytes allocated on {e worker} domains
+    into the active scope's allocation budget ([Gc.allocated_bytes] is
+    per-domain). Called by the vectorized engine's coordinator at
+    morsel merge points; checks the allocation ceiling immediately. *)
+val note_alloc : string list -> float -> unit
+
 (** {1 Paths} *)
 
 (** Same operator labels as [Lint]'s diagnostics paths. *)

@@ -1,0 +1,241 @@
+(** Morsel-driven parallel scheduler for the vectorized engine.
+
+    A pool of [size] workers — [size - 1] OCaml 5 domains plus the
+    calling (coordinator) domain — executes a set of integer-indexed
+    tasks ("morsels": batch indices / row ranges chosen by the caller).
+    Tasks are distributed as contiguous chunks into one work-stealing
+    deque per worker: the owner pops from the bottom of its own deque,
+    an idle worker steals from the top of another's, so skew in morsel
+    cost balances out while each worker mostly walks a cache-friendly
+    contiguous range.
+
+    Determinism: the scheduler only decides {e which worker} runs a
+    task, never what the task writes — callers give each task its own
+    result slot (indexed by the task id) and merge slots in task order
+    after {!run} returns, so results are bit-identical across runs and
+    worker counts.
+
+    The pool is coordinator-driven: {!run} publishes a job, wakes the
+    workers, participates itself, and returns only when every task has
+    finished (a barrier). Worker domains never touch the {!Guard}
+    governor or any other global engine state — the coordinator does
+    all accounting at merge points. Task bodies are expected not to
+    raise; if one does, the first exception is re-raised from {!run}
+    after the barrier.
+
+    Re-entrant {!run} calls (a task body calling {!run} on the same
+    pool) and single-worker pools degrade to sequential in-caller
+    execution. Pools are cached per size and per process — a pool
+    inherited through [fork] is invalid (only the forking thread
+    survives in the child), so the cache is keyed on the pid and the
+    child transparently builds fresh domains. *)
+
+(* A mutex-guarded deque of task ids. Morsels are coarse (hundreds of
+   rows each), so a lock per pop/steal is noise; the deque discipline
+   is what matters for locality and balance. *)
+type deque = {
+  items : int array;
+  mutable top : int;  (* next index to steal *)
+  mutable bot : int;  (* one past the owner's end *)
+  dq_lock : Mutex.t;
+}
+
+let deque_pop dq =
+  Mutex.lock dq.dq_lock;
+  let r =
+    if dq.bot > dq.top then begin
+      dq.bot <- dq.bot - 1;
+      Some dq.items.(dq.bot)
+    end
+    else None
+  in
+  Mutex.unlock dq.dq_lock;
+  r
+
+let deque_steal dq =
+  Mutex.lock dq.dq_lock;
+  let r =
+    if dq.bot > dq.top then begin
+      let t = dq.items.(dq.top) in
+      dq.top <- dq.top + 1;
+      Some t
+    end
+    else None
+  in
+  Mutex.unlock dq.dq_lock;
+  r
+
+type job = {
+  j_f : int -> int -> unit;  (* worker id, task id *)
+  j_deques : deque array;
+  j_remaining : int Atomic.t;
+  mutable j_exn : exn option;
+}
+
+type pool = {
+  p_size : int;
+  p_lock : Mutex.t;
+  p_work : Condition.t;  (* a new job was published *)
+  p_done : Condition.t;  (* the last task of a job finished *)
+  mutable p_epoch : int;
+  mutable p_job : job option;  (* the job of the current epoch *)
+  mutable p_busy : bool;
+  mutable p_shutdown : bool;
+  mutable p_domains : unit Domain.t list;
+}
+
+let size p = p.p_size
+
+let record_exn pool job e =
+  Mutex.lock pool.p_lock;
+  if job.j_exn = None then job.j_exn <- Some e;
+  Mutex.unlock pool.p_lock
+
+(* Drain the job: own deque first, then steal sweeps; exit when every
+   deque is empty (in-flight tasks on other workers finish there). *)
+let participate pool job w =
+  let nd = Array.length job.j_deques in
+  let run_task t =
+    (try job.j_f w t with e -> record_exn pool job e);
+    if Atomic.fetch_and_add job.j_remaining (-1) = 1 then begin
+      Mutex.lock pool.p_lock;
+      Condition.broadcast pool.p_done;
+      Mutex.unlock pool.p_lock
+    end
+  in
+  let rec own () =
+    match deque_pop job.j_deques.(w) with
+    | Some t ->
+        run_task t;
+        own ()
+    | None -> steal 1
+  and steal k =
+    if k < nd then
+      match deque_steal job.j_deques.((w + k) mod nd) with
+      | Some t ->
+          run_task t;
+          own ()
+      | None -> steal (k + 1)
+  in
+  own ()
+
+let worker_loop pool w =
+  let my_epoch = ref 0 in
+  let rec loop () =
+    Mutex.lock pool.p_lock;
+    while (not pool.p_shutdown) && pool.p_epoch = !my_epoch do
+      Condition.wait pool.p_work pool.p_lock
+    done;
+    if pool.p_shutdown then Mutex.unlock pool.p_lock
+    else begin
+      my_epoch := pool.p_epoch;
+      let job = pool.p_job in
+      Mutex.unlock pool.p_lock;
+      (match job with Some j -> participate pool j w | None -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create n =
+  let n = max 1 (min 128 n) in
+  let pool =
+    {
+      p_size = n;
+      p_lock = Mutex.create ();
+      p_work = Condition.create ();
+      p_done = Condition.create ();
+      p_epoch = 0;
+      p_job = None;
+      p_busy = false;
+      p_shutdown = false;
+      p_domains = [];
+    }
+  in
+  pool.p_domains <-
+    List.init (n - 1) (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.p_lock;
+  pool.p_shutdown <- true;
+  Condition.broadcast pool.p_work;
+  Mutex.unlock pool.p_lock;
+  List.iter Domain.join pool.p_domains;
+  pool.p_domains <- []
+
+(* Contiguous chunk per worker: worker [w] owns tasks
+   [w*q + min w r .. ) — balanced to within one task. *)
+let partition ~tasks ~workers =
+  let q = tasks / workers and r = tasks mod workers in
+  Array.init workers (fun w ->
+      let lo = (w * q) + min w r in
+      let len = q + if w < r then 1 else 0 in
+      {
+        items = Array.init len (fun i -> lo + i);
+        top = 0;
+        bot = len;
+        dq_lock = Mutex.create ();
+      })
+
+let run pool ~tasks (f : int -> int -> unit) =
+  if tasks > 0 then
+    if pool.p_size = 1 || pool.p_busy then
+      for t = 0 to tasks - 1 do
+        f 0 t
+      done
+    else begin
+      let job =
+        {
+          j_f = f;
+          j_deques = partition ~tasks ~workers:pool.p_size;
+          j_remaining = Atomic.make tasks;
+          j_exn = None;
+        }
+      in
+      Mutex.lock pool.p_lock;
+      pool.p_job <- Some job;
+      pool.p_epoch <- pool.p_epoch + 1;
+      pool.p_busy <- true;
+      Condition.broadcast pool.p_work;
+      Mutex.unlock pool.p_lock;
+      participate pool job 0;
+      Mutex.lock pool.p_lock;
+      while Atomic.get job.j_remaining > 0 do
+        Condition.wait pool.p_done pool.p_lock
+      done;
+      pool.p_busy <- false;
+      Mutex.unlock pool.p_lock;
+      match job.j_exn with Some e -> raise e | None -> ()
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide pool cache                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Keyed on (size, pid): a pool inherited through [fork] has no live
+   worker domains in the child (fork preserves only the calling
+   thread), so a pid mismatch discards the entry and builds fresh.
+   The benchmark harness forks a child per measurement; each child
+   lazily creates its own pool on first vectorized run. *)
+let cache : (int, int * pool) Hashtbl.t = Hashtbl.create 4
+let cache_lock = Mutex.create ()
+
+let default_domains () = Domain.recommended_domain_count ()
+
+(* Clamped to the hardware parallelism the runtime reports: domains
+   beyond the available cores cannot run anything in parallel, but
+   every one of them still joins each stop-the-world section, so an
+   oversubscribed pool makes the whole process slower (dramatically so
+   on single-core hosts). [create] stays unclamped for tests that
+   exercise cross-domain scheduling regardless of core count. *)
+let get n =
+  let n = max 1 (min 128 (min n (default_domains ()))) in
+  Mutex.protect cache_lock (fun () ->
+      let pid = Unix.getpid () in
+      match Hashtbl.find_opt cache n with
+      | Some (p, pool) when p = pid -> pool
+      | _ ->
+          let pool = create n in
+          Hashtbl.replace cache n (pid, pool);
+          pool)

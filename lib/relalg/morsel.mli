@@ -1,0 +1,45 @@
+(** Morsel-driven parallel scheduler: a fixed pool of OCaml 5 domains
+    (plus the calling coordinator) executing integer-indexed tasks from
+    per-worker work-stealing deques.
+
+    Determinism contract: the scheduler decides only {e which worker}
+    runs a task. Callers give every task its own result slot (indexed
+    by task id) and merge in task order after {!run} returns, so
+    results are identical across runs and worker counts.
+
+    Worker domains must not touch global engine state ({!Guard},
+    compile caches, statistics) — the coordinator does all accounting
+    at merge points. *)
+
+type pool
+
+val create : int -> pool
+(** [create n] — a pool of [n] workers total: [n - 1] spawned domains
+    plus the caller. Clamped to [1..128]. *)
+
+val size : pool -> int
+
+val run : pool -> tasks:int -> (int -> int -> unit) -> unit
+(** [run pool ~tasks f] executes [f worker_id task_id] for every
+    [task_id] in [0..tasks-1] and returns when all have finished (a
+    barrier). [worker_id 0] is the caller. Tasks are expected not to
+    raise; the first exception raised by a task is re-raised here after
+    the barrier. Re-entrant calls and single-worker pools execute
+    sequentially in the caller (with [worker_id = 0]). *)
+
+val shutdown : pool -> unit
+(** Stop and join the pool's domains. Cached pools normally live for
+    the process; this is for tests. *)
+
+val get : int -> pool
+(** [get n] — the process-wide cached pool of [min n (default_domains
+    ())] workers, created on first use. The clamp is deliberate:
+    domains beyond the available cores cannot run anything in
+    parallel, yet each one still joins every stop-the-world section,
+    so an oversubscribed pool slows the whole process down ({!create}
+    stays unclamped for scheduler tests). Safe across [fork]: the
+    cache is keyed on the pid, so a child process builds fresh domains
+    instead of trusting inherited (dead) ones. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()]. *)

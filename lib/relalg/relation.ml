@@ -8,16 +8,35 @@
     The per-tuple multiplicity table is computed lazily and cached in
     the relation (relations are immutable once built), so repeated
     multiplicity queries — the access pattern of the bag set-operations
-    and of [equal_bag] — pay the O(n) table build once. *)
+    and of [equal_bag] — pay the O(n) table build once.
+
+    The lazy caches are domain-safe: the memo fields are [Atomic.t]
+    (so publishing a fully built table establishes the happens-before
+    edge a concurrent reader needs to see the table's internals), and
+    initialization is serialized by a mutex so two domains racing on
+    first use cannot both build — the vectorized engine's parallel
+    probe workers read these caches concurrently. *)
 
 type t = {
   schema : Schema.t;
-  tuples : Tuple.t list;
-  mutable counts_memo : int Tuple.Tbl.t option;
+  rows_memo : Tuple.t list option Atomic.t;
+      (* the tuple list; [None] until the producer has run *)
+  producer : (unit -> Tuple.t list) option;
+      (* late materialization: how to build the rows on first use.
+         [None] iff [rows_memo] was seeded eagerly. *)
+  known_card : int option;
+      (* cardinality promised by a lazy producer, so [cardinality]
+         never forces the rows *)
+  counts_memo : int Tuple.Tbl.t option Atomic.t;
       (* lazily built multiplicity table; never mutated after exposure *)
-  mutable nullable_memo : bool array option;
+  nullable_memo : bool array option Atomic.t;
       (* lazily built per-column "contains a NULL" flags *)
 }
+
+(* One lock for all relations: memo initialization is rare (once per
+   relation per cache) and short, so contention is negligible and the
+   per-relation footprint stays two words. *)
+let memo_lock = Mutex.create ()
 
 exception Relation_error of string
 
@@ -27,7 +46,14 @@ let relation_error fmt = Format.kasprintf (fun s -> raise (Relation_error s)) fm
     per-tuple arity check — for operators (e.g. the compiled engine)
     whose output arity is known correct by construction. *)
 let make_unchecked schema tuples =
-  { schema; tuples; counts_memo = None; nullable_memo = None }
+  {
+    schema;
+    rows_memo = Atomic.make (Some tuples);
+    producer = None;
+    known_card = None;
+    counts_memo = Atomic.make None;
+    nullable_memo = Atomic.make None;
+  }
 
 let make schema tuples =
   List.iter
@@ -38,32 +64,75 @@ let make schema tuples =
     tuples;
   make_unchecked schema tuples
 
+(** [make_lazy ~cardinality schema produce] — a relation whose rows are
+    built by [produce ()] on first access (late materialization: the
+    vectorized engine keeps results in batch form and only transposes
+    to boxed rows if a consumer actually reads them). [cardinality]
+    must equal the length of the produced list; it is served without
+    forcing the rows. [produce] must be pure — it may run once on any
+    domain, and the result is cached. *)
+let make_lazy ~cardinality schema produce =
+  {
+    schema;
+    rows_memo = Atomic.make None;
+    producer = Some produce;
+    known_card = Some cardinality;
+    counts_memo = Atomic.make None;
+    nullable_memo = Atomic.make None;
+  }
+
 let empty schema = make_unchecked schema []
 let schema r = r.schema
-let tuples r = r.tuples
-let cardinality r = List.length r.tuples
-let is_empty r = r.tuples = []
 
 (** [of_values schema rows] builds a relation from value-list rows. *)
 let of_values schema rows = make schema (List.map Tuple.of_list rows)
 
 (** {1 Multiplicity bookkeeping} *)
 
+(* Double-checked lazy initialization: the common path is one atomic
+   load; a miss takes the lock, re-checks, builds privately and only
+   then publishes — so concurrent readers either see [None] or a
+   completely built value, never a table under construction. *)
+let memo_init (cell : 'a option Atomic.t) (build : unit -> 'a) : 'a =
+  match Atomic.get cell with
+  | Some v -> v
+  | None ->
+      Mutex.protect memo_lock (fun () ->
+          match Atomic.get cell with
+          | Some v -> v
+          | None ->
+              let v = build () in
+              Atomic.set cell (Some v);
+              v)
+
+let tuples r =
+  memo_init r.rows_memo (fun () ->
+      match r.producer with
+      | Some produce -> produce ()
+      | None -> assert false (* eager relations seed [rows_memo] *))
+
+let cardinality r =
+  match r.known_card with
+  | Some n -> n
+  | None -> List.length (tuples r)
+
+let is_empty r = cardinality r = 0
+
 (** [counts r] maps each distinct tuple to its multiplicity; computed
     on first use and cached. Callers must not mutate the result. *)
 let counts r =
-  match r.counts_memo with
-  | Some tbl -> tbl
-  | None ->
+  (* Force the rows before taking the memo lock — [tuples] uses the
+     same lock, and it is not recursive. *)
+  let rows = tuples r in
+  memo_init r.counts_memo (fun () ->
       let tbl = Tuple.Tbl.create (max 16 (cardinality r)) in
       List.iter
         (fun t ->
           match Tuple.Tbl.find_opt tbl t with
           | Some n -> Tuple.Tbl.replace tbl t (n + 1)
           | None -> Tuple.Tbl.add tbl t 1)
-        r.tuples;
-      r.counts_memo <- Some tbl;
-      tbl
+        rows;
+      tbl)
 
 let multiplicity r t =
   match Tuple.Tbl.find_opt (counts r) t with Some n -> n | None -> 0
@@ -72,22 +141,21 @@ let multiplicity r t =
     NULL there; computed on first use and cached. Callers must not
     mutate the result. *)
 let nullable_columns r =
-  match r.nullable_memo with
-  | Some flags -> flags
-  | None ->
+  (* Force the rows before taking the memo lock (see [counts]). *)
+  let rows = tuples r in
+  memo_init r.nullable_memo (fun () ->
       let flags = Array.make (Schema.arity r.schema) false in
       List.iter
         (fun t ->
           Array.iteri
             (fun i v -> if Value.is_null v then flags.(i) <- true)
             t)
-        r.tuples;
-      r.nullable_memo <- Some flags;
-      flags
+        rows;
+      flags)
 
 let column_nullable r i = (nullable_columns r).(i)
 
-let mem r t = List.exists (Tuple.equal t) r.tuples
+let mem r t = List.exists (Tuple.equal t) (tuples r)
 
 (** [distinct r] removes duplicates, keeping first occurrences in order. *)
 let distinct r =
@@ -100,7 +168,7 @@ let distinct r =
           Tuple.Tbl.add seen t ();
           true
         end)
-      r.tuples
+      (tuples r)
   in
   make_unchecked r.schema keep
 
@@ -114,7 +182,7 @@ let check_compatible op a b =
 
 let union_bag a b =
   check_compatible "union" a b;
-  make_unchecked a.schema (a.tuples @ b.tuples)
+  make_unchecked a.schema (tuples a @ tuples b)
 
 let inter_bag a b =
   check_compatible "intersect" a b;
@@ -130,7 +198,7 @@ let inter_bag a b =
           true
         end
         else false)
-      a.tuples
+      (tuples a)
   in
   make_unchecked a.schema keep
 
@@ -148,7 +216,7 @@ let diff_bag a b =
           false
         end
         else true)
-      a.tuples
+      (tuples a)
   in
   make_unchecked a.schema keep
 
@@ -162,7 +230,7 @@ let diff_set a b =
   let cb = counts b in
   distinct
     (make_unchecked a.schema
-       (List.filter (fun t -> not (Tuple.Tbl.mem cb t)) a.tuples))
+       (List.filter (fun t -> not (Tuple.Tbl.mem cb t)) (tuples a)))
 
 (** {1 Comparison} *)
 
@@ -190,7 +258,7 @@ let equal_set a b =
   !ok
 
 (** Canonical sorted tuple list — handy for deterministic test output. *)
-let sorted_tuples r = List.sort Tuple.compare r.tuples
+let sorted_tuples r = List.sort Tuple.compare (tuples r)
 
 let pp ppf r =
   Format.fprintf ppf "@[<v>%a@,%a@]" Schema.pp r.schema

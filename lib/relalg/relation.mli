@@ -14,6 +14,16 @@ val make : Schema.t -> Tuple.t list -> t
     correct by construction. *)
 val make_unchecked : Schema.t -> Tuple.t list -> t
 
+(** [make_lazy ~cardinality schema produce] — late materialization: the
+    rows are built by [produce ()] on first access and cached (the
+    vectorized engine keeps results in columnar batches and only
+    transposes to boxed rows if a consumer actually reads them).
+    [cardinality] must equal the produced list's length; {!cardinality}
+    and {!is_empty} are answered without forcing the rows. [produce]
+    must be pure; forcing is domain-safe (same discipline as
+    {!counts}). *)
+val make_lazy : cardinality:int -> Schema.t -> (unit -> Tuple.t list) -> t
+
 val empty : Schema.t -> t
 val schema : t -> Schema.t
 val tuples : t -> Tuple.t list
@@ -25,16 +35,19 @@ val of_values : Schema.t -> Value.t list list -> t
 
 (** [counts r] maps each distinct tuple to its multiplicity; computed
     on first use and cached in the relation, so repeated calls (and
-    {!multiplicity} queries) are O(1) after the first. Callers must
-    not mutate the result. *)
+    {!multiplicity} queries) are O(1) after the first. Initialization
+    is domain-safe (atomic publication + mutex-serialized build), so
+    parallel readers may call this concurrently. Callers must not
+    mutate the result. *)
 val counts : t -> int Tuple.Tbl.t
 
 val multiplicity : t -> Tuple.t -> int
 val mem : t -> Tuple.t -> bool
 
 (** [nullable_columns r] flags, per column, whether any tuple holds a
-    NULL there; computed on first use and cached in the relation.
-    Callers must not mutate the result. *)
+    NULL there; computed on first use and cached in the relation
+    (domain-safe, like {!counts}). Callers must not mutate the
+    result. *)
 val nullable_columns : t -> bool array
 
 (** [column_nullable r i] is [(nullable_columns r).(i)]. *)

@@ -88,6 +88,15 @@ let summarize values =
 
 let set_mem s v = Tuple.Tbl.mem s.s_set [| v |]
 
+(* Read-only summary accessors for the vectorized probe kernels
+   ({!Vexec}), which specialize the ANY-equality membership test to an
+   unboxed integer set when every distinct value is an [Int]. *)
+let summary_is_empty s = s.s_empty
+let summary_has_null s = s.s_has_null
+
+let summary_distinct_values s =
+  Tuple.Tbl.fold (fun k () acc -> k.(0) :: acc) s.s_set []
+
 let unknown_or s base = if s.s_has_null then Value.Null else base
 
 (** [any_of_summary op lhs s] = [lhs op ANY Tsub] from the summary. *)

@@ -28,6 +28,15 @@ val summarize : Value.t list -> summary
 val any_of_summary : Algebra.cmpop -> Value.t -> summary -> Value.t
 val all_of_summary : Algebra.cmpop -> Value.t -> summary -> Value.t
 
+(** Read-only summary accessors, used by the vectorized engine's probe
+    kernels to build unboxed membership sets. *)
+val summary_is_empty : summary -> bool
+
+val summary_has_null : summary -> bool
+
+(** Distinct non-null values of the summarized column (unordered). *)
+val summary_distinct_values : summary -> Value.t list
+
 (** {1 Execution counters} — in the spirit of EXPLAIN ANALYZE. *)
 
 type stats = {

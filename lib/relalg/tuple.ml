@@ -13,8 +13,21 @@ let get (t : t) i = t.(i)
 
 let concat (a : t) (b : t) : t = Array.append a b
 
-(** [project t positions] keeps the values at [positions], in order. *)
-let project (t : t) positions : t = Array.map (fun i -> t.(i)) (Array.of_list positions)
+(** [project_arr t positions] keeps the values at [positions], in
+    order. The positions array is typically precomputed once per
+    operator, so the per-row cost is a single bounds-checked gather
+    loop with no intermediate list. *)
+let project_arr (t : t) (positions : int array) : t =
+  let n = Array.length positions in
+  let out = Array.make n Value.Null in
+  for j = 0 to n - 1 do
+    Array.unsafe_set out j (Array.unsafe_get t (Array.unsafe_get positions j))
+  done;
+  out
+
+(** [project t positions] keeps the values at [positions], in order.
+    Hot paths precompute an [int array] and call {!project_arr}. *)
+let project (t : t) positions : t = project_arr t (Array.of_list positions)
 
 (** All-NULL tuple of arity [n] — the [null(R)] padding tuple from the
     Gen strategy (Section 3.3). *)

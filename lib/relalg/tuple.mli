@@ -15,6 +15,11 @@ val concat : t -> t -> t
 (** [project t positions] keeps the values at [positions], in order. *)
 val project : t -> int list -> t
 
+(** [project_arr t positions] is {!project} over a precomputed
+    positions array — the form hot per-row paths use, avoiding the
+    per-call list-to-array conversion. *)
+val project_arr : t -> int array -> t
+
 (** All-NULL tuple of arity [n] — the [null(R)] padding tuple of the
     Gen strategy (Section 3.3). *)
 val nulls : int -> t

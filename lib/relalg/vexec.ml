@@ -1,0 +1,1410 @@
+(** Vectorized columnar execution: batch-at-a-time kernels over
+    {!Vector} batches, lowered from the same type-checked algebra the
+    closure engine ({!Compile}) consumes.
+
+    The engine materializes operator outputs as batch lists instead of
+    streaming rows, evaluates selection predicates as columnar masks
+    (unboxed three-valued bytes over a selection vector), probes
+    uncorrelated [ANY]/[ALL] sublinks against an unboxed integer set
+    specialized from the shared {!Sem} summary, and parallelizes leaf
+    scan filtering and hash-join probing across OCaml 5 domains with
+    the morsel scheduler ({!Morsel}).
+
+    Everything that has no columnar kernel — residual join predicates,
+    projection expressions, aggregation, ordering — reuses the compiled
+    engine's closures ({!Compile.compile_scalar} /
+    {!Compile.compile_predicate}), so the two engines share one
+    expression semantics and one per-execution sublink memo cache.
+    Results match the reference and compiled engines row for row
+    (schema names, row order, error messages); the {!Sem.stats}
+    counters reflect the same plan events at batch granularity.
+
+    Determinism and domain safety: worker domains only read frozen
+    structures (columnar batches, prepped probe sets, a built hash
+    table) and write to per-task result slots; the coordinator does all
+    {!Guard} accounting, folding worker-domain allocation into the
+    budget at merge points ({!Guard.note_alloc}). *)
+
+open Algebra
+
+(** Workers per query (1 = sequential). Set via [--domains]. *)
+let domains = ref 1
+
+(** Rows per columnar batch. Set via [--batch-rows]. *)
+let batch_rows = ref 2048
+
+(* ---- columnar base-relation cache --------------------------------- *)
+
+(* Base relations are converted to columnar batches once and reused
+   across executions (keyed on physical identity plus the batch size
+   they were split with — a DDL'd catalog entry is a fresh relation and
+   misses). Guarded by a mutex: executions on different domains may
+   race on the cache even though one query's conversion happens on the
+   coordinator. *)
+let cache_lock = Mutex.create ()
+let cache : (Relation.t * int * Vector.t array) list ref = ref []
+let cache_cap = 32
+
+let clear_cache () = Mutex.protect cache_lock (fun () -> cache := [])
+
+let rec take_n n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take_n (n - 1) rest
+
+let columnar_batches rel : Vector.t array =
+  let br = max 1 !batch_rows in
+  let hit =
+    Mutex.protect cache_lock (fun () ->
+        List.find_opt (fun (r, b, _) -> r == rel && b = br) !cache)
+  in
+  match hit with
+  | Some (_, _, bats) -> bats
+  | None ->
+      let bats = Vector.of_relation ~batch_rows:br rel in
+      Mutex.protect cache_lock (fun () ->
+          cache :=
+            take_n cache_cap
+              ((rel, br, bats)
+              :: List.filter (fun (r, b, _) -> not (r == rel && b = br)) !cache));
+      bats
+
+(* ---- runtime ------------------------------------------------------- *)
+
+(** Per-execution runtime: the compiled engine's context (sublink memo
+    tables + counters), the outer tuple frames, and the worker pool. *)
+type rt = {
+  cctx : Compile.ctx;
+  renv : Tuple.t list;
+  pool : Morsel.pool option;
+}
+
+(** A lowered operator: batches out, in the reference row order. *)
+type vop = { v_schema : Schema.t; v_run : rt -> Vector.t list }
+
+(* Batch-granularity governor checkpoints: tick at operator entry, row
+   accounting per produced batch at operator exit (the vectorized
+   analogue of the compiled engine's per-push [count_row]). *)
+let guarded here (v : vop) : vop =
+  {
+    v_schema = v.v_schema;
+    v_run =
+      (fun rt ->
+        Guard.tick here;
+        let bats = v.v_run rt in
+        if Guard.counts_rows () then
+          List.iter (fun b -> Guard.count_rows here (Vector.length b)) bats
+        else Guard.tick here;
+        bats);
+  }
+
+(* [par_run here pool ~tasks f] — run [f 0..tasks-1] on the pool. The
+   coordinator (worker 0) keeps ticking the governor; worker domains
+   must not touch {!Guard} (its scope state is domain-local), so their
+   allocation is measured per task ([Gc.allocated_bytes] is per-domain)
+   and folded into the budget at the barrier. *)
+let par_run here pool ~tasks (f : int -> unit) =
+  if tasks > 0 then begin
+    let allocs = Array.make (Morsel.size pool) 0.0 in
+    Morsel.run pool ~tasks (fun w t ->
+        if w = 0 then begin
+          Guard.tick here;
+          f t
+        end
+        else begin
+          let a0 = Gc.allocated_bytes () in
+          f t;
+          allocs.(w) <- allocs.(w) +. (Gc.allocated_bytes () -. a0)
+        end);
+    let worker_bytes = Array.fold_left ( +. ) 0.0 allocs in
+    if worker_bytes > 0.0 then Guard.note_alloc here worker_bytes
+  end
+
+(* ---- batch utilities ----------------------------------------------- *)
+
+(* Physical indices of a batch's surviving rows, in order. *)
+let idx_of (b : Vector.t) : int array =
+  match b with
+  | Vector.Cols { sel = Some s; _ } -> s
+  | Vector.Cols { n; _ } -> Array.init n (fun i -> i)
+  | Vector.Rows { rows; _ } -> Array.init (Array.length rows) (fun i -> i)
+  | Vector.CrossB _ -> Array.init (Vector.length b) (fun i -> i)
+
+(* Value of column [j] at physical row [i]. *)
+let batch_get (b : Vector.t) j i : Value.t =
+  match b with
+  | Vector.Cols { cols; _ } -> Vector.col_value cols.(j) i
+  | Vector.Rows { rows; _ } -> Tuple.get rows.(i) j
+  | Vector.CrossB { lefts; right_cols; card_b; srcs; _ } ->
+      let s = srcs.(j) in
+      if s >= 0 then Tuple.get lefts.(i / card_b) s
+      else right_cols.(lnot s).(i mod card_b)
+
+let col_of (b : Vector.t) j : Vector.column option =
+  match b with
+  | Vector.Cols { cols; _ } -> Some cols.(j)
+  | Vector.Rows _ | Vector.CrossB _ -> None
+
+(* Split a materialized row list into [Rows] batches. *)
+let chunk_rows schema (rows : Tuple.t list) : Vector.t list =
+  match rows with
+  | [] -> []
+  | _ ->
+      let arr = Array.of_list rows in
+      let n = Array.length arr in
+      let br = max 1 !batch_rows in
+      let rec go lo acc =
+        if lo >= n then List.rev acc
+        else
+          let len = min br (n - lo) in
+          go (lo + len) (Vector.rows_batch schema (Array.sub arr lo len) :: acc)
+      in
+      go 0 []
+
+(* ---- three-valued scalar kernels ----------------------------------- *)
+
+(* 0 = false, 1 = true, 2 = unknown — the compiled engine's unboxed
+   predicate encoding ({!Compile.compile_predicate}). *)
+let b3_of_value v =
+  if Value.is_true v then 1 else if Value.is_null v then 2 else 0
+
+let icmp op (x : int) (y : int) =
+  match op with
+  | Eq | EqNull -> x = y
+  | Neq -> x <> y
+  | Lt -> x < y
+  | Leq -> x <= y
+  | Gt -> x > y
+  | Geq -> x >= y
+
+let ctest op c =
+  match op with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Leq -> c <= 0
+  | Gt -> c > 0
+  | Geq -> c >= 0
+  | EqNull -> assert false
+
+(* One comparison under the compiled engine's semantics: [=n] is
+   two-valued, anything else is unknown on NULL or incomparable. *)
+let cmp_b3 op (va : Value.t) (vb : Value.t) : int =
+  match op with
+  | EqNull -> if Value.equal_null va vb then 1 else 0
+  | _ -> (
+      match (va, vb) with
+      | Value.Int x, Value.Int y -> if icmp op x y then 1 else 0
+      | Value.Null, _ | _, Value.Null -> 2
+      | _ -> (
+          match Value.cmp_sql va vb with
+          | None -> 2
+          | Some c -> if ctest op c then 1 else 0))
+
+(* Syntactically boolean-valued expressions (local copy of the compiled
+   engine's shape test, which it does not export). *)
+let is_boolean_shape = function
+  | Cmp _ | And _ | Or _ | Not _ | IsNull _ | Like _ | InList _
+  | Const (Value.Bool _)
+  | Sublink { kind = Exists | AnyOp _ | AllOp _; _ } ->
+      true
+  | _ -> false
+
+let const_of = function
+  | Const v -> Some v
+  | TypedNull _ -> Some Value.Null
+  | _ -> None
+
+(* ---- vectorized predicate masks ------------------------------------ *)
+
+(* An uncorrelated ANY/ALL sublink probe. The summary accessor shares
+   the compiled engine's memo tables and counters; [pr_prep] caches the
+   per-execution specialization (keyed on the context by identity).
+   When every distinct summary value is an [Int], equality-style
+   membership is answered from an unboxed int set — sound only then,
+   because the summary's own set equates [Int 3] with [Float 3.] and
+   the int set would not. *)
+type prep = {
+  p_sum : Sem.summary;
+  p_empty : bool;
+  p_has_null : bool;
+  p_iset : (int, unit) Hashtbl.t option;
+}
+
+type probe = {
+  pr_get : Compile.ctx -> Tuple.t list -> Sem.summary;
+  pr_any : bool;
+  pr_op : cmpop;
+  pr_lhs : int;  (** depth-0 column offset of the lhs attribute *)
+  pr_env0 : Tuple.t;  (** NULL frame standing in for the input row *)
+  mutable pr_prep : (Compile.ctx * prep) option;
+}
+
+type leaf =
+  | LAttr of int  (** boolean-position column read *)
+  | LIsNull of int
+  | LCmpCC of cmpop * int * Value.t  (** column op constant *)
+  | LCmpRev of cmpop * Value.t * int  (** constant op column *)
+  | LCmpCols of cmpop * int * int
+  | LProbe of probe
+
+(* Mask AST: the vectorizable fragment of predicate expressions, with
+   the compiled engine's evaluation rules — [MAnd]/[MOr] evaluate their
+   second operand only on the rows whose first operand does not already
+   decide the result, preserving short-circuit evaluation frequency
+   (and thus error behavior and sublink materialization timing). *)
+type mask =
+  | MConst of int
+  | MNot of mask
+  | MAnd of mask * mask
+  | MOr of mask * mask
+  | MBoolEq of mask * bool  (** [p =n TRUE/FALSE] over a boolean shape *)
+  | MLeaf of leaf
+
+let rec mask_probes acc = function
+  | MConst _ | MLeaf (LAttr _ | LIsNull _ | LCmpCC _ | LCmpRev _ | LCmpCols _)
+    ->
+      acc
+  | MNot a | MBoolEq (a, _) -> mask_probes acc a
+  | MAnd (a, b) | MOr (a, b) -> mask_probes (mask_probes acc a) b
+  | MLeaf (LProbe p) -> p :: acc
+
+let prepped rt pr =
+  match pr.pr_prep with Some (c, _) -> c == rt.cctx | None -> false
+
+let prep_probe rt pr : prep =
+  match pr.pr_prep with
+  | Some (c, p) when c == rt.cctx -> p
+  | _ ->
+      let sum = pr.pr_get rt.cctx (pr.pr_env0 :: rt.renv) in
+      let memberish =
+        (pr.pr_any && (pr.pr_op = Eq || pr.pr_op = EqNull))
+        || ((not pr.pr_any) && pr.pr_op = Neq)
+      in
+      let iset =
+        if not memberish then None
+        else
+          let vs = Sem.summary_distinct_values sum in
+          if List.for_all (function Value.Int _ -> true | _ -> false) vs
+          then begin
+            let h = Hashtbl.create (max 16 (2 * List.length vs)) in
+            List.iter
+              (function Value.Int x -> Hashtbl.replace h x () | _ -> ())
+              vs;
+            Some h
+          end
+          else None
+      in
+      let p =
+        {
+          p_sum = sum;
+          p_empty = Sem.summary_is_empty sum;
+          p_has_null = Sem.summary_has_null sum;
+          p_iset = iset;
+        }
+      in
+      pr.pr_prep <- Some (rt.cctx, p);
+      p
+
+(* Per-value probe result; must coincide with {!Sem.any_of_summary} /
+   {!Sem.all_of_summary} on the membership-style operators the int set
+   covers, and falls back to them otherwise. *)
+let probe_b3 pr prep (lhs : Value.t) : int =
+  let generic () =
+    b3_of_value
+      ((if pr.pr_any then Sem.any_of_summary else Sem.all_of_summary)
+         pr.pr_op lhs prep.p_sum)
+  in
+  match (prep.p_iset, lhs) with
+  | Some iset, Value.Int x ->
+      if prep.p_empty then if pr.pr_any then 0 else 1
+      else
+        let mem = Hashtbl.mem iset x in
+        if pr.pr_any then
+          if pr.pr_op = EqNull then if mem then 1 else 0
+          else if mem then 1
+          else if prep.p_has_null then 2
+          else 0
+        else if mem then 0
+        else if prep.p_has_null then 2
+        else 1
+  | Some _, Value.Null when not (pr.pr_any && pr.pr_op = EqNull) ->
+      if prep.p_empty then if pr.pr_any then 0 else 1 else 2
+  | _ -> generic ()
+
+(* ---- leaf kernels --------------------------------------------------- *)
+
+let eval_attr b idx j : Bytes.t =
+  let m = Array.length idx in
+  let out = Bytes.create m in
+  for k = 0 to m - 1 do
+    Bytes.unsafe_set out k
+      (Char.unsafe_chr (b3_of_value (batch_get b j (Array.unsafe_get idx k))))
+  done;
+  out
+
+let eval_isnull b idx j : Bytes.t =
+  let m = Array.length idx in
+  let out = Bytes.create m in
+  let generic () =
+    for k = 0 to m - 1 do
+      Bytes.unsafe_set out k
+        (if Value.is_null (batch_get b j (Array.unsafe_get idx k)) then '\001'
+         else '\000')
+    done
+  in
+  (match col_of b j with
+  | Some col -> (
+      match (col.data, col.valid) with
+      | Vector.DVal _, _ -> generic ()
+      | _, None -> Bytes.fill out 0 m '\000'
+      | _, Some bm ->
+          for k = 0 to m - 1 do
+            Bytes.unsafe_set out k
+              (if Vector.bit_get bm (Array.unsafe_get idx k) then '\000'
+               else '\001')
+          done)
+  | None -> generic ());
+  out
+
+let eval_cmp_cc b idx op j (cv : Value.t) : Bytes.t =
+  let m = Array.length idx in
+  let out = Bytes.create m in
+  let generic () =
+    for k = 0 to m - 1 do
+      Bytes.unsafe_set out k
+        (Char.unsafe_chr (cmp_b3 op (batch_get b j (Array.unsafe_get idx k)) cv))
+    done
+  in
+  (match (col_of b j, cv) with
+  | Some col, Value.Int c -> (
+      match col.data with
+      | Vector.DInt a -> (
+          match col.valid with
+          | None ->
+              for k = 0 to m - 1 do
+                let x = Bigarray.Array1.unsafe_get a (Array.unsafe_get idx k) in
+                Bytes.unsafe_set out k (if icmp op x c then '\001' else '\000')
+              done
+          | Some bm ->
+              let null_r = if op = EqNull then '\000' else '\002' in
+              for k = 0 to m - 1 do
+                let i = Array.unsafe_get idx k in
+                Bytes.unsafe_set out k
+                  (if Vector.bit_get bm i then
+                     if icmp op (Bigarray.Array1.unsafe_get a i) c then '\001'
+                     else '\000'
+                   else null_r)
+              done)
+      | _ -> generic ())
+  | _ -> generic ());
+  out
+
+let eval_cmp_rev b idx op (cv : Value.t) j : Bytes.t =
+  let m = Array.length idx in
+  let out = Bytes.create m in
+  let generic () =
+    for k = 0 to m - 1 do
+      Bytes.unsafe_set out k
+        (Char.unsafe_chr (cmp_b3 op cv (batch_get b j (Array.unsafe_get idx k))))
+    done
+  in
+  (match (col_of b j, cv) with
+  | Some col, Value.Int c -> (
+      match col.data with
+      | Vector.DInt a -> (
+          match col.valid with
+          | None ->
+              for k = 0 to m - 1 do
+                let x = Bigarray.Array1.unsafe_get a (Array.unsafe_get idx k) in
+                Bytes.unsafe_set out k (if icmp op c x then '\001' else '\000')
+              done
+          | Some bm ->
+              let null_r = if op = EqNull then '\000' else '\002' in
+              for k = 0 to m - 1 do
+                let i = Array.unsafe_get idx k in
+                Bytes.unsafe_set out k
+                  (if Vector.bit_get bm i then
+                     if icmp op c (Bigarray.Array1.unsafe_get a i) then '\001'
+                     else '\000'
+                   else null_r)
+              done)
+      | _ -> generic ())
+  | _ -> generic ());
+  out
+
+let eval_cmp_cols b idx op j1 j2 : Bytes.t =
+  let m = Array.length idx in
+  let out = Bytes.create m in
+  let generic () =
+    for k = 0 to m - 1 do
+      let i = Array.unsafe_get idx k in
+      Bytes.unsafe_set out k
+        (Char.unsafe_chr (cmp_b3 op (batch_get b j1 i) (batch_get b j2 i)))
+    done
+  in
+  (match (col_of b j1, col_of b j2) with
+  | Some c1, Some c2 -> (
+      match (c1.data, c2.data, c1.valid, c2.valid) with
+      | Vector.DInt a1, Vector.DInt a2, None, None ->
+          for k = 0 to m - 1 do
+            let i = Array.unsafe_get idx k in
+            Bytes.unsafe_set out k
+              (if
+                 icmp op
+                   (Bigarray.Array1.unsafe_get a1 i)
+                   (Bigarray.Array1.unsafe_get a2 i)
+               then '\001'
+               else '\000')
+          done
+      | _ -> generic ())
+  | _ -> generic ());
+  out
+
+let eval_probe rt b idx pr : Bytes.t =
+  let prep = prep_probe rt pr in
+  let m = Array.length idx in
+  let out = Bytes.create m in
+  let generic () =
+    for k = 0 to m - 1 do
+      Bytes.unsafe_set out k
+        (Char.unsafe_chr
+           (probe_b3 pr prep (batch_get b pr.pr_lhs (Array.unsafe_get idx k))))
+    done
+  in
+  (match (col_of b pr.pr_lhs, prep.p_iset) with
+  | Some col, Some iset -> (
+      match col.data with
+      | Vector.DInt a ->
+          if prep.p_empty then
+            Bytes.fill out 0 m (if pr.pr_any then '\000' else '\001')
+          else begin
+            let any = pr.pr_any
+            and eqn = pr.pr_op = EqNull
+            and hn = prep.p_has_null in
+            let hit (x : int) =
+              let mem = Hashtbl.mem iset x in
+              if any then
+                if eqn then if mem then 1 else 0
+                else if mem then 1
+                else if hn then 2
+                else 0
+              else if mem then 0
+              else if hn then 2
+              else 1
+            in
+            match col.valid with
+            | None ->
+                for k = 0 to m - 1 do
+                  Bytes.unsafe_set out k
+                    (Char.unsafe_chr
+                       (hit
+                          (Bigarray.Array1.unsafe_get a
+                             (Array.unsafe_get idx k))))
+                done
+            | Some bm ->
+                let null_r =
+                  if any && eqn then if hn then 1 else 0 else 2
+                in
+                for k = 0 to m - 1 do
+                  let i = Array.unsafe_get idx k in
+                  Bytes.unsafe_set out k
+                    (Char.unsafe_chr
+                       (if Vector.bit_get bm i then
+                          hit (Bigarray.Array1.unsafe_get a i)
+                        else null_r))
+                done
+          end
+      | _ -> generic ())
+  | _ -> generic ());
+  out
+
+(* ---- mask evaluation ------------------------------------------------ *)
+
+(* [eval_mask rt b idx m] — three-valued results, one byte per entry of
+   [idx] (physical indices). AND/OR evaluate the second operand only on
+   the undecided subset, mirroring the compiled engine's per-row
+   short-circuit exactly (per row, not just per batch). *)
+let rec eval_mask rt (b : Vector.t) (idx : int array) (m : mask) : Bytes.t =
+  match m with
+  | MConst v -> Bytes.make (Array.length idx) (Char.chr v)
+  | MLeaf l -> eval_leaf rt b idx l
+  | MNot a ->
+      let r = eval_mask rt b idx a in
+      for k = 0 to Bytes.length r - 1 do
+        let v = Char.code (Bytes.unsafe_get r k) in
+        Bytes.unsafe_set r k
+          (Char.unsafe_chr (if v = 0 then 1 else if v = 1 then 0 else 2))
+      done;
+      r
+  | MBoolEq (a, bv) ->
+      let r = eval_mask rt b idx a in
+      for k = 0 to Bytes.length r - 1 do
+        let v = Char.code (Bytes.unsafe_get r k) in
+        Bytes.unsafe_set r k
+          (if v = 2 then '\000' else if (v = 1) = bv then '\001' else '\000')
+      done;
+      r
+  | MAnd (x, y) ->
+      let rx = eval_mask rt b idx x in
+      let mlen = Array.length idx in
+      let cnt = ref 0 in
+      for k = 0 to mlen - 1 do
+        if Bytes.unsafe_get rx k <> '\000' then incr cnt
+      done;
+      if !cnt = 0 then rx
+      else begin
+        let sub = Array.make !cnt 0 and pos = Array.make !cnt 0 in
+        let p = ref 0 in
+        for k = 0 to mlen - 1 do
+          if Bytes.unsafe_get rx k <> '\000' then begin
+            sub.(!p) <- Array.unsafe_get idx k;
+            pos.(!p) <- k;
+            incr p
+          end
+        done;
+        let ry = eval_mask rt b sub y in
+        for q = 0 to !cnt - 1 do
+          let k = pos.(q) in
+          let va = Char.code (Bytes.unsafe_get rx k) in
+          let vb = Char.code (Bytes.unsafe_get ry q) in
+          Bytes.unsafe_set rx k
+            (Char.unsafe_chr
+               (if vb = 0 then 0 else if va = 2 || vb = 2 then 2 else 1))
+        done;
+        rx
+      end
+  | MOr (x, y) ->
+      let rx = eval_mask rt b idx x in
+      let mlen = Array.length idx in
+      let cnt = ref 0 in
+      for k = 0 to mlen - 1 do
+        if Bytes.unsafe_get rx k <> '\001' then incr cnt
+      done;
+      if !cnt = 0 then rx
+      else begin
+        let sub = Array.make !cnt 0 and pos = Array.make !cnt 0 in
+        let p = ref 0 in
+        for k = 0 to mlen - 1 do
+          if Bytes.unsafe_get rx k <> '\001' then begin
+            sub.(!p) <- Array.unsafe_get idx k;
+            pos.(!p) <- k;
+            incr p
+          end
+        done;
+        let ry = eval_mask rt b sub y in
+        for q = 0 to !cnt - 1 do
+          let k = pos.(q) in
+          let va = Char.code (Bytes.unsafe_get rx k) in
+          let vb = Char.code (Bytes.unsafe_get ry q) in
+          Bytes.unsafe_set rx k
+            (Char.unsafe_chr
+               (if vb = 1 then 1 else if va = 2 || vb = 2 then 2 else 0))
+        done;
+        rx
+      end
+
+and eval_leaf rt b idx = function
+  | LAttr j -> eval_attr b idx j
+  | LIsNull j -> eval_isnull b idx j
+  | LCmpCC (op, j, cv) -> eval_cmp_cc b idx op j cv
+  | LCmpRev (op, cv, j) -> eval_cmp_rev b idx op cv j
+  | LCmpCols (op, j1, j2) -> eval_cmp_cols b idx op j1 j2
+  | LProbe pr -> eval_probe rt b idx pr
+
+(* Apply a computed mask: surviving rows become the batch's selection
+   vector ([Cols], zero-copy) or a filtered [Rows] batch; an all-kept
+   batch passes through unchanged and an emptied one is dropped. *)
+let apply_mask (b : Vector.t) (idx : int array) (r : Bytes.t) :
+    Vector.t option =
+  let m = Array.length idx in
+  let cnt = ref 0 in
+  for k = 0 to m - 1 do
+    if Bytes.unsafe_get r k = '\001' then incr cnt
+  done;
+  if !cnt = 0 then None
+  else if !cnt = m then Some b
+  else
+    match b with
+    | Vector.Cols _ ->
+        let keep = Array.make !cnt 0 in
+        let p = ref 0 in
+        for k = 0 to m - 1 do
+          if Bytes.unsafe_get r k = '\001' then begin
+            keep.(!p) <- Array.unsafe_get idx k;
+            incr p
+          end
+        done;
+        Some (Vector.with_sel b (Some keep))
+    | Vector.Rows { schema; rows } ->
+        let keep = Array.make !cnt rows.(0) in
+        let p = ref 0 in
+        for k = 0 to m - 1 do
+          if Bytes.unsafe_get r k = '\001' then begin
+            keep.(!p) <- rows.(Array.unsafe_get idx k);
+            incr p
+          end
+        done;
+        Some (Vector.rows_batch schema keep)
+    | Vector.CrossB _ ->
+        let schema = Vector.schema b in
+        let keep = Array.make !cnt (Vector.tuple_at b idx.(0)) in
+        let p = ref 0 in
+        for k = 0 to m - 1 do
+          if Bytes.unsafe_get r k = '\001' then begin
+            keep.(!p) <- Vector.tuple_at b (Array.unsafe_get idx k);
+            incr p
+          end
+        done;
+        Some (Vector.rows_batch schema keep)
+
+(* ---- predicate vectorization ---------------------------------------- *)
+
+(* Lower a predicate to a mask when every node has a columnar kernel
+   against the depth-0 input schema; any unsupported or outer-resolving
+   node rejects the whole predicate, and the caller falls back to the
+   compiled row-wise form (which preserves evaluation order, sublink
+   correlation and error behavior by construction). The match arms
+   mirror {!Compile.compile_predicate}'s, in the same order. *)
+let rec vectorize db here schema cenv (e : expr) : mask option =
+  let find n = Schema.find schema n in
+  match e with
+  | Const v -> Some (MConst (b3_of_value v))
+  | Cmp (EqNull, p, Const (Value.Bool bv)) when is_boolean_shape p -> (
+      match vectorize db here schema cenv p with
+      | Some m -> Some (MBoolEq (m, bv))
+      | None -> None)
+  | Cmp (EqNull, Const (Value.Bool bv), p) when is_boolean_shape p -> (
+      match vectorize db here schema cenv p with
+      | Some m -> Some (MBoolEq (m, bv))
+      | None -> None)
+  | Cmp (op, Attr n1, Attr n2) -> (
+      match (find n1, find n2) with
+      | Some j1, Some j2 -> Some (MLeaf (LCmpCols (op, j1, j2)))
+      | _ -> None)
+  | Cmp (op, Attr n, rhs) when const_of rhs <> None -> (
+      match find n with
+      | Some j -> Some (MLeaf (LCmpCC (op, j, Option.get (const_of rhs))))
+      | None -> None)
+  | Cmp (op, lhs, Attr n) when const_of lhs <> None -> (
+      match find n with
+      | Some j -> Some (MLeaf (LCmpRev (op, Option.get (const_of lhs), j)))
+      | None -> None)
+  | And (a, b) -> (
+      match
+        (vectorize db here schema cenv a, vectorize db here schema cenv b)
+      with
+      | Some ma, Some mb -> Some (MAnd (ma, mb))
+      | _ -> None)
+  | Or (a, b) -> (
+      match
+        (vectorize db here schema cenv a, vectorize db here schema cenv b)
+      with
+      | Some ma, Some mb -> Some (MOr (ma, mb))
+      | _ -> None)
+  | Not a ->
+      Option.map (fun m -> MNot m) (vectorize db here schema cenv a)
+  | IsNull (Attr n) -> (
+      match find n with Some j -> Some (MLeaf (LIsNull j)) | None -> None)
+  | Attr n -> (
+      match find n with Some j -> Some (MLeaf (LAttr j)) | None -> None)
+  | Sublink ({ kind = AnyOp (op, Attr n); _ } as s) ->
+      probe_of db here schema cenv ~any:true op n s
+  | Sublink ({ kind = AllOp (op, Attr n); _ } as s) ->
+      probe_of db here schema cenv ~any:false op n s
+  | _ -> None
+
+and probe_of db here schema cenv ~any op n s : mask option =
+  match Schema.find schema n with
+  | None -> None
+  | Some j -> (
+      match Compile.sublink_summary ~path:here db (schema :: cenv) s with
+      | None -> None (* correlated: row-wise fallback *)
+      | Some get ->
+          Some
+            (MLeaf
+               (LProbe
+                  {
+                    pr_get = get;
+                    pr_any = any;
+                    pr_op = op;
+                    pr_lhs = j;
+                    pr_env0 = Tuple.nulls (Schema.arity schema);
+                    pr_prep = None;
+                  })))
+
+(* ---- lowering ------------------------------------------------------- *)
+
+(* [lower db path cenv q] mirrors {!Compile.compile_query} operator by
+   operator: same child paths (the rev-last-segment [left]/[right]
+   qualifiers for joins), same fusions (selection over product/join),
+   same runtime evaluation order (right join input before left), same
+   fault-injection boundaries and stats updates — so results, errors
+   and governor trip paths coincide with the compiled engine's. *)
+let rec lower db path (cenv : Schema.t list) (q : query) : vop =
+  let here = path @ [ Guard.op_label q ] in
+  let cpath qual = path @ [ Guard.op_label q ^ qual ] in
+  guarded here
+  @@
+  match q with
+  | Base name ->
+      let schema = Relation.schema (Database.find db name) in
+      {
+        v_schema = schema;
+        v_run =
+          (fun rt ->
+            Guard.Faults.fire_point Guard.Faults.Scan here;
+            Array.to_list
+              (columnar_batches (Database.find (Compile.ctx_db rt.cctx) name)));
+      }
+  | TableExpr rel ->
+      {
+        v_schema = Relation.schema rel;
+        v_run =
+          (fun _rt ->
+            Guard.Faults.fire_point Guard.Faults.Scan here;
+            Array.to_list (columnar_batches rel));
+      }
+  | Select (cond, Cross (a, b)) -> lower_join db here cenv ~outer:false cond a b
+  | Select (cond, Join (c, a, b)) ->
+      lower_join db here cenv ~outer:false (And (c, cond)) a b
+  | Select (cond, input) -> (
+      let vin = lower db (cpath "") cenv input in
+      let schema = vin.v_schema in
+      match vectorize db here schema cenv cond with
+      | Some m ->
+          let probes = mask_probes [] m in
+          {
+            v_schema = schema;
+            v_run =
+              (fun rt ->
+                let bats = Array.of_list (vin.v_run rt) in
+                let nb = Array.length bats in
+                let out = Array.make nb None in
+                let work i =
+                  let b = bats.(i) in
+                  let idx = idx_of b in
+                  let r = eval_mask rt b idx m in
+                  out.(i) <- apply_mask b idx r
+                in
+                (* Probe preparation materializes the sublink (memo
+                   counters, fault points, possible errors) — it must
+                   happen on the coordinator, so batches run
+                   sequentially until every probe is prepped, then the
+                   rest fan out over the pool. *)
+                let start = ref 0 in
+                if probes <> [] then
+                  while
+                    !start < nb && not (List.for_all (prepped rt) probes)
+                  do
+                    Guard.tick here;
+                    work !start;
+                    incr start
+                  done;
+                (match rt.pool with
+                | Some pool when nb - !start > 1 ->
+                    par_run here pool ~tasks:(nb - !start) (fun t ->
+                        work (!start + t))
+                | _ ->
+                    for i = !start to nb - 1 do
+                      Guard.tick here;
+                      work i
+                    done);
+                List.filter_map Fun.id (Array.to_list out));
+          }
+      | None ->
+          let pcond =
+            Compile.compile_predicate ~path:here db (schema :: cenv) cond
+          in
+          {
+            v_schema = schema;
+            v_run =
+              (fun rt ->
+                List.filter_map
+                  (fun b ->
+                    Guard.tick here;
+                    let keep = ref [] in
+                    Vector.iter_tuples b (fun t ->
+                        if pcond rt.cctx (t :: rt.renv) = 1 then
+                          keep := t :: !keep);
+                    match !keep with
+                    | [] -> None
+                    | l ->
+                        Some
+                          (Vector.rows_batch schema (Array.of_list (List.rev l))))
+                  (vin.v_run rt));
+          })
+  | Project { distinct; cols; proj_input } -> (
+      let vin = lower db (cpath "") cenv proj_input in
+      let ienv = vin.v_schema :: cenv in
+      let out_schema = Typecheck.projection_schema db ienv cols in
+      match Compile.offsets_of_projection vin.v_schema cols with
+      | Some offs when not distinct ->
+          (* Attribute-only projection: per-batch column gather, sharing
+             storage and selection vectors — no row data moves. *)
+          {
+            v_schema = out_schema;
+            v_run =
+              (fun rt ->
+                List.map
+                  (fun b -> Vector.select_cols out_schema b offs)
+                  (vin.v_run rt));
+          }
+      | Some offs ->
+          {
+            v_schema = out_schema;
+            v_run =
+              (fun rt ->
+                let rows =
+                  List.concat_map
+                    (fun b ->
+                      Guard.tick here;
+                      Vector.to_tuples (Vector.select_cols out_schema b offs))
+                    (vin.v_run rt)
+                in
+                let rel =
+                  Relation.distinct (Relation.make_unchecked out_schema rows)
+                in
+                chunk_rows out_schema (Relation.tuples rel));
+          }
+      | None ->
+          let cexprs =
+            Array.of_list
+              (List.map
+                 (fun (e, _) -> Compile.compile_scalar ~path:here db ienv e)
+                 cols)
+          in
+          let eval_rows rt bats =
+            List.concat_map
+              (fun b ->
+                Guard.tick here;
+                let acc = ref [] in
+                Vector.iter_tuples b (fun t ->
+                    acc := Compile.eval_exprs cexprs rt.cctx (t :: rt.renv) :: !acc);
+                List.rev !acc)
+              bats
+          in
+          if distinct then
+            {
+              v_schema = out_schema;
+              v_run =
+                (fun rt ->
+                  let rows = eval_rows rt (vin.v_run rt) in
+                  let rel =
+                    Relation.distinct (Relation.make_unchecked out_schema rows)
+                  in
+                  chunk_rows out_schema (Relation.tuples rel));
+            }
+          else
+            {
+              v_schema = out_schema;
+              v_run = (fun rt -> chunk_rows out_schema (eval_rows rt (vin.v_run rt)));
+            })
+  | Cross (a, b) ->
+      let va = lower db (cpath "[left]") cenv a
+      and vb = lower db (cpath "[right]") cenv b in
+      let schema = Schema.concat va.v_schema vb.v_schema in
+      {
+        v_schema = schema;
+        v_run =
+          (fun rt ->
+            Guard.Faults.fire_point Guard.Faults.Join here;
+            let tbs = List.concat_map Vector.to_tuples (vb.v_run rt) in
+            let card_b = List.length tbs in
+            let acc = ref [] in
+            List.iter
+              (fun ba ->
+                Guard.tick here;
+                Vector.iter_tuples ba (fun ta ->
+                    Guard.count_pairs here card_b;
+                    List.iter (fun tb -> acc := Tuple.concat ta tb :: !acc) tbs))
+              (va.v_run rt);
+            chunk_rows schema (List.rev !acc));
+      }
+  | Join (cond, a, b) -> lower_join db here cenv ~outer:false cond a b
+  | LeftJoin (cond, a, b) -> lower_join db here cenv ~outer:true cond a b
+  | Agg { group_by; aggs; agg_input } ->
+      (* Child lowered at [here] itself (no qualifier) — the compiled
+         engine's path layout, mirrored for identical trip paths. *)
+      let vin = lower db here cenv agg_input in
+      let ienv = vin.v_schema :: cenv in
+      let out_schema = Typecheck.aggregation_schema db ienv group_by aggs in
+      let group_cexprs =
+        Array.of_list
+          (List.map
+             (fun (e, _) -> Compile.compile_scalar ~path:here db ienv e)
+             group_by)
+      in
+      let agg_specs =
+        List.map
+          (fun call ->
+            ( call.agg_func,
+              call.agg_distinct,
+              Option.map (Compile.compile_scalar ~path:here db ienv) call.agg_arg
+            ))
+          aggs
+      in
+      let grouped = group_by <> [] in
+      {
+        v_schema = out_schema;
+        v_run =
+          (fun rt ->
+            let groups = Tuple.Tbl.create 64 in
+            let order = ref [] in
+            let saw_input = ref false in
+            List.iter
+              (fun b ->
+                Guard.tick here;
+                Vector.iter_tuples b (fun t ->
+                    saw_input := true;
+                    let key =
+                      Compile.eval_exprs group_cexprs rt.cctx (t :: rt.renv)
+                    in
+                    match Tuple.Tbl.find_opt groups key with
+                    | Some members -> Tuple.Tbl.replace groups key (t :: members)
+                    | None ->
+                        Tuple.Tbl.add groups key [ t ];
+                        order := key :: !order))
+              (vin.v_run rt);
+            let keys =
+              if (not grouped) && not !saw_input then [ Tuple.of_list [] ]
+              else List.rev !order
+            in
+            let compute_group key =
+              let members =
+                match Tuple.Tbl.find_opt groups key with
+                | Some ms -> List.rev ms
+                | None -> []
+              in
+              let agg_values =
+                List.map
+                  (fun (func, distinct, carg) ->
+                    let raw =
+                      match carg with
+                      | None -> List.map (fun _ -> Value.Int 1) members
+                      | Some ce ->
+                          List.filter_map
+                            (fun t ->
+                              let v = ce rt.cctx (t :: rt.renv) in
+                              if Value.is_null v then None else Some v)
+                            members
+                    in
+                    Builtin.apply_aggregate func ~distinct raw)
+                  agg_specs
+              in
+              Tuple.concat key (Tuple.of_list agg_values)
+            in
+            chunk_rows out_schema (List.map compute_group keys));
+      }
+  | Union (sem, a, b) ->
+      let op =
+        match sem with Bag -> Relation.union_bag | SetSem -> Relation.union_set
+      in
+      lower_setop db (cpath "[left]") (cpath "[right]") cenv op a b
+  | Inter (sem, a, b) ->
+      let op =
+        match sem with Bag -> Relation.inter_bag | SetSem -> Relation.inter_set
+      in
+      lower_setop db (cpath "[left]") (cpath "[right]") cenv op a b
+  | Diff (sem, a, b) ->
+      let op =
+        match sem with Bag -> Relation.diff_bag | SetSem -> Relation.diff_set
+      in
+      lower_setop db (cpath "[left]") (cpath "[right]") cenv op a b
+  | Order (keys, input) ->
+      let vin = lower db (cpath "") cenv input in
+      let ienv = vin.v_schema :: cenv in
+      let ckeys =
+        Array.of_list
+          (List.map
+             (fun (e, d) -> (Compile.compile_scalar ~path:here db ienv e, d))
+             keys)
+      in
+      let nkeys = Array.length ckeys in
+      let kexprs = Array.map fst ckeys in
+      {
+        v_schema = vin.v_schema;
+        v_run =
+          (fun rt ->
+            let decorated = ref [] in
+            List.iter
+              (fun b ->
+                Guard.tick here;
+                Vector.iter_tuples b (fun t ->
+                    decorated :=
+                      (Compile.eval_exprs kexprs rt.cctx (t :: rt.renv), t)
+                      :: !decorated))
+              (vin.v_run rt);
+            let cmp (ka, _) (kb, _) =
+              let rec go i =
+                if i >= nkeys then 0
+                else
+                  let _, d = ckeys.(i) in
+                  let c = Value.compare_total ka.(i) kb.(i) in
+                  let c = match d with Asc -> c | Desc -> -c in
+                  if c <> 0 then c else go (i + 1)
+              in
+              go 0
+            in
+            chunk_rows vin.v_schema
+              (List.map snd (List.stable_sort cmp (List.rev !decorated))));
+      }
+  | Limit (n, input) ->
+      let vin = lower db (cpath "") cenv input in
+      {
+        v_schema = vin.v_schema;
+        v_run =
+          (fun rt ->
+            (* The child is fully materialized before slicing — the full
+               drain the compiled engine performs for counter parity. *)
+            let bats = vin.v_run rt in
+            let taken = ref 0 in
+            List.filter_map
+              (fun b ->
+                let len = Vector.length b in
+                if !taken >= n then None
+                else if !taken + len <= n then begin
+                  taken := !taken + len;
+                  Some b
+                end
+                else begin
+                  let need = n - !taken in
+                  taken := n;
+                  match b with
+                  | Vector.Cols _ ->
+                      let idx = idx_of b in
+                      Some (Vector.with_sel b (Some (Array.sub idx 0 need)))
+                  | Vector.Rows { schema; rows } ->
+                      Some (Vector.rows_batch schema (Array.sub rows 0 need))
+                  | Vector.CrossB _ ->
+                      Some
+                        (Vector.rows_batch (Vector.schema b)
+                           (Array.init need (fun i -> Vector.tuple_at b i)))
+                end)
+              bats);
+      }
+
+and lower_setop db lpath rpath cenv op a b : vop =
+  let va = lower db lpath cenv a and vb = lower db rpath cenv b in
+  {
+    v_schema = va.v_schema;
+    v_run =
+      (fun rt ->
+        (* The compiled engine applies [op (ca.c_run ..) (cb.c_run ..)];
+           OCaml evaluates the arguments right to left, so the right
+           child runs first — mirrored for error-order parity. *)
+        let rb = Vector.relation_of vb.v_schema (vb.v_run rt) in
+        let ra = Vector.relation_of va.v_schema (va.v_run rt) in
+        chunk_rows va.v_schema (Relation.tuples (op ra rb)));
+  }
+
+and lower_join db here cenv ~outer cond a b : vop =
+  let qual s =
+    match List.rev here with
+    | last :: rest -> List.rev ((last ^ s) :: rest)
+    | [] -> [ s ]
+  in
+  let va = lower db (qual "[left]") cenv a
+  and vb = lower db (qual "[right]") cenv b in
+  let sa = va.v_schema and sb = vb.v_schema in
+  let joint = Schema.concat sa sb in
+  let arity_b = Schema.arity sb in
+  let pairs, residual =
+    Scope.split_equi db ~left:(Schema.names sa) ~right:(Schema.names sb) cond
+  in
+  if pairs = [] then begin
+    (* Nested loop, with the compiled engine's left-only hoisting. *)
+    let hoistable x =
+      Compile.counter_silent x
+      &&
+      let sbn = Schema.names sb in
+      List.for_all (fun n -> not (List.mem n sbn)) (Compile.expr_deps db x)
+    in
+    let penv = sb :: sa :: cenv in
+    let split =
+      match cond with
+      | Or (x, y) when hoistable x ->
+          `Or
+            ( Compile.compile_predicate ~path:here db (sa :: cenv) x,
+              Compile.compile_predicate ~path:here db penv y )
+      | And (x, y) when hoistable x ->
+          `And
+            ( Compile.compile_predicate ~path:here db (sa :: cenv) x,
+              Compile.compile_predicate ~path:here db penv y )
+      | _ -> `Whole (Compile.compile_predicate ~path:here db penv cond)
+    in
+    {
+      v_schema = joint;
+      v_run =
+        (fun rt ->
+          Guard.Faults.fire_point Guard.Faults.Join here;
+          let stats = Compile.ctx_stats rt.cctx in
+          stats.Sem.st_nested_loop_joins <- stats.Sem.st_nested_loop_joins + 1;
+          let tbs = List.concat_map Vector.to_tuples (vb.v_run rt) in
+          let tb_arr = Array.of_list tbs in
+          let card_b = Array.length tb_arr in
+          let pad = Tuple.nulls arity_b in
+          let nleft = ref 0 and emitted = ref 0 in
+          (* Output is a batch list in left-row order: row-wise runs
+             (filtered matches, outer padding) interleaved with columnar
+             cross blocks (the all-match case of the hoisted OR). At most
+             one of [acc]/[pending] is nonempty at any point. *)
+          let out = ref [] in
+          let acc = ref [] and n_acc = ref 0 in
+          let pending = ref [] and n_pending = ref 0 in
+          let right_cols = lazy (Vector.transpose tb_arr ~arity:arity_b) in
+          let flush_acc () =
+            if !n_acc > 0 then begin
+              let rows = Array.make !n_acc pad in
+              let rec fill i = function
+                | [] -> ()
+                | t :: rest ->
+                    Array.unsafe_set rows i t;
+                    fill (i - 1) rest
+              in
+              fill (!n_acc - 1) !acc;
+              acc := [];
+              n_acc := 0;
+              out := Vector.rows_batch joint rows :: !out
+            end
+          in
+          let flush_pending () =
+            if !n_pending > 0 then begin
+              let lefts = Array.make !n_pending pad in
+              let rec fill i = function
+                | [] -> ()
+                | t :: rest ->
+                    Array.unsafe_set lefts i t;
+                    fill (i - 1) rest
+              in
+              fill (!n_pending - 1) !pending;
+              pending := [];
+              n_pending := 0;
+              out :=
+                Vector.cross_block joint ~lefts
+                  ~right_cols:(Lazy.force right_cols) ~card_b
+                :: !out
+            end
+          in
+          let push t =
+            flush_pending ();
+            acc := t :: !acc;
+            incr n_acc
+          in
+          let emit_pad ta =
+            incr emitted;
+            push (Tuple.concat ta pad)
+          in
+          (* Every pair of [ta × tbs] is emitted with no per-pair
+             predicate, so the block is built columnarly — left values
+             repeated, right columns tiled, zero per-pair allocation.
+             Runs of such rows coalesce into one block, flushed at a
+             size cap so the governor still sees batch granularity. *)
+          let emit_all ta =
+            flush_acc ();
+            emitted := !emitted + card_b;
+            pending := ta :: !pending;
+            incr n_pending;
+            if !n_pending * card_b >= 65536 then flush_pending ()
+          in
+          let emit_filtered ta aenv p =
+            let hit = ref false in
+            List.iter
+              (fun tb ->
+                if p rt.cctx (tb :: aenv) = 1 then begin
+                  hit := true;
+                  incr emitted;
+                  push (Tuple.concat ta tb)
+                end)
+              tbs;
+            if outer && not !hit then emit_pad ta
+          in
+          let drain_drop ta aenv p =
+            List.iter (fun tb -> ignore (p rt.cctx (tb :: aenv))) tbs;
+            if outer then emit_pad ta
+          in
+          List.iter
+            (fun ba ->
+              Guard.tick here;
+              Vector.iter_tuples ba (fun ta ->
+                  incr nleft;
+                  Guard.count_pairs here card_b;
+                  let aenv = ta :: rt.renv in
+                  match tbs with
+                  | [] -> if outer then emit_pad ta
+                  | _ -> (
+                      match split with
+                      | `Whole p -> emit_filtered ta aenv p
+                      | `Or (px, py) ->
+                          if px rt.cctx aenv = 1 then emit_all ta
+                          else emit_filtered ta aenv py
+                      | `And (px, py) -> (
+                          match px rt.cctx aenv with
+                          | 0 -> if outer then emit_pad ta
+                          | 1 -> emit_filtered ta aenv py
+                          | _ -> drain_drop ta aenv py))))
+            (va.v_run rt);
+          flush_acc ();
+          flush_pending ();
+          stats.Sem.st_nested_pairs <-
+            stats.Sem.st_nested_pairs + (!nleft * card_b);
+          stats.Sem.st_rows_emitted <- stats.Sem.st_rows_emitted + !emitted;
+          List.rev !out);
+    }
+  end
+  else begin
+    let left_keys =
+      Array.of_list
+        (List.map
+           (fun (e, _, _) -> Compile.compile_scalar ~path:here db (sa :: cenv) e)
+           pairs)
+    in
+    let right_keys =
+      Array.of_list
+        (List.map
+           (fun (_, e, _) -> Compile.compile_scalar ~path:here db (sb :: cenv) e)
+           pairs)
+    in
+    let safe = Array.of_list (List.map (fun (_, _, s) -> s) pairs) in
+    let nkeys = Array.length safe in
+    let cresidual =
+      match residual with
+      | [] -> None
+      | r -> Some (Compile.compile_predicate ~path:here db (sb :: sa :: cenv) (conj r))
+    in
+    let usable (key : Tuple.t) =
+      let rec go i =
+        i >= nkeys || ((safe.(i) || not (Value.is_null key.(i))) && go (i + 1))
+      in
+      go 0
+    in
+    (* Bare depth-0 attribute keys on both sides and no residual: the
+       probe phase then reads only tuple offsets and a frozen hash
+       table, so left batches can fan out over worker domains. *)
+    let bare_offsets =
+      match cresidual with
+      | Some _ -> None
+      | None ->
+          let rec go l r = function
+            | [] -> Some (Array.of_list (List.rev l))
+            | (Attr ln, Attr rn, _) :: rest -> (
+                match (Schema.find sa ln, Schema.find sb rn) with
+                | Some li, Some _ -> go (li :: l) r rest
+                | _ -> None)
+            | _ :: _ -> None
+          in
+          go [] [] pairs
+    in
+    {
+      v_schema = joint;
+      v_run =
+        (fun rt ->
+          Guard.Faults.fire_point Guard.Faults.Join here;
+          let stats = Compile.ctx_stats rt.cctx in
+          stats.Sem.st_hash_joins <- stats.Sem.st_hash_joins + 1;
+          let rbats = vb.v_run rt in
+          let card_b = List.fold_left (fun n b -> n + Vector.length b) 0 rbats in
+          let table = Tuple.Tbl.create (max 16 card_b) in
+          List.iter
+            (fun bb ->
+              Guard.tick here;
+              Vector.iter_tuples bb (fun tb ->
+                  let key =
+                    Compile.eval_exprs right_keys rt.cctx (tb :: rt.renv)
+                  in
+                  if usable key then
+                    let existing =
+                      try Tuple.Tbl.find table key with Not_found -> []
+                    in
+                    Tuple.Tbl.replace table key (tb :: existing)))
+            rbats;
+          let pad = Tuple.nulls arity_b in
+          let abats = Array.of_list (va.v_run rt) in
+          let nb = Array.length abats in
+          let emitted = ref 0 in
+          match (bare_offsets, rt.pool) with
+          | Some loffs, Some pool when nb > 1 ->
+              let out_rows = Array.make nb [] in
+              let out_emitted = Array.make nb 0 in
+              let work i =
+                let acc = ref [] and em = ref 0 in
+                Vector.iter_tuples abats.(i) (fun ta ->
+                    let key = Tuple.project_arr ta loffs in
+                    let matches =
+                      if usable key then
+                        match Tuple.Tbl.find_opt table key with
+                        | Some tbs -> List.rev tbs
+                        | None -> []
+                      else []
+                    in
+                    let hit = ref false in
+                    List.iter
+                      (fun tb ->
+                        hit := true;
+                        incr em;
+                        acc := Tuple.concat ta tb :: !acc)
+                      matches;
+                    if outer && not !hit then begin
+                      incr em;
+                      acc := Tuple.concat ta pad :: !acc
+                    end);
+                out_rows.(i) <- List.rev !acc;
+                out_emitted.(i) <- !em
+              in
+              par_run here pool ~tasks:nb work;
+              Array.iter (fun e -> emitted := !emitted + e) out_emitted;
+              stats.Sem.st_rows_emitted <- stats.Sem.st_rows_emitted + !emitted;
+              chunk_rows joint (List.concat (Array.to_list out_rows))
+          | _ ->
+              let acc = ref [] in
+              Array.iter
+                (fun ba ->
+                  Guard.tick here;
+                  Vector.iter_tuples ba (fun ta ->
+                      let fenv = ta :: rt.renv in
+                      let key = Compile.eval_exprs left_keys rt.cctx fenv in
+                      let matches =
+                        if usable key then
+                          match Tuple.Tbl.find_opt table key with
+                          | Some tbs -> List.rev tbs
+                          | None -> []
+                        else []
+                      in
+                      let hit = ref false in
+                      (match cresidual with
+                      | None ->
+                          List.iter
+                            (fun tb ->
+                              hit := true;
+                              incr emitted;
+                              acc := Tuple.concat ta tb :: !acc)
+                            matches
+                      | Some cr ->
+                          List.iter
+                            (fun tb ->
+                              if cr rt.cctx (tb :: fenv) = 1 then begin
+                                hit := true;
+                                incr emitted;
+                                acc := Tuple.concat ta tb :: !acc
+                              end)
+                            matches);
+                      if outer && not !hit then begin
+                        incr emitted;
+                        acc := Tuple.concat ta pad :: !acc
+                      end))
+                abats;
+              stats.Sem.st_rows_emitted <- stats.Sem.st_rows_emitted + !emitted;
+              chunk_rows joint (List.rev !acc));
+    }
+  end
+
+(* ---- public API ------------------------------------------------------ *)
+
+let query_stats ?(env = []) db q : Relation.t * Sem.stats =
+  let cenv = List.map fst env and renv = List.map snd env in
+  let v = lower db [] cenv q in
+  let pool = if !domains > 1 then Some (Morsel.get !domains) else None in
+  let rt = { cctx = Compile.mk_ctx db; renv; pool } in
+  let bats = v.v_run rt in
+  (Vector.relation_of v.v_schema bats, Compile.ctx_stats rt.cctx)
+
+let query ?(env = []) db q = fst (query_stats ~env db q)

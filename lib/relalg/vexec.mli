@@ -1,0 +1,37 @@
+(** Vectorized columnar execution engine: batch-at-a-time kernels over
+    {!Vector} batches with morsel-driven multicore parallelism
+    ({!Morsel}), lowered from the same type-checked {!Algebra.query}
+    the compiled engine consumes.
+
+    Results are row-identical to the reference and compiled engines
+    (schema names, row order, error messages — property-tested in the
+    suite); governor checkpoints run at batch granularity with the
+    compiled engine's operator paths. Row-wise fallbacks and all
+    non-columnar expressions reuse {!Compile}'s closures, so the
+    engines share one expression semantics and one per-execution
+    sublink memo/summary cache. *)
+
+(** Worker domains per query (including the coordinator); 1 runs
+    sequentially. Workers come from the process-wide {!Morsel} pool. *)
+val domains : int ref
+
+(** Rows per columnar batch (conversion granularity, selection/probe
+    kernel unit, and the governor's row-accounting granularity). *)
+val batch_rows : int ref
+
+(** Drop the columnar base-relation cache (identity-keyed; tests use
+    this to measure cold conversions). *)
+val clear_cache : unit -> unit
+
+(** [query db q] — execute vectorized; [env] pairs each outer frame's
+    schema with its tuple, innermost first (the compiled engine's
+    convention). *)
+val query :
+  ?env:(Schema.t * Tuple.t) list -> Database.t -> Algebra.query -> Relation.t
+
+(** [query_stats db q] also reports the execution counters. *)
+val query_stats :
+  ?env:(Schema.t * Tuple.t) list ->
+  Database.t ->
+  Algebra.query ->
+  Relation.t * Sem.stats

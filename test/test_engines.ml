@@ -32,22 +32,59 @@ let mk_db r_rows s_rows =
       ("S", Relation.of_values s_schema s_rows);
     ]
 
-(* Both engines, same plan: schema, row list (order included), and
-   counters must all agree — or both must fail with the same error. *)
+(* Vectorized-engine configurations every parity check runs under:
+   sequential with the default batch size, sequential with tiny batches
+   (exercises batch boundaries in every kernel), and two domains with
+   small batches (exercises the morsel scheduler). *)
+let vec_configs = [ ("d1", 1, 2048); ("d1/b3", 1, 3); ("d2/b64", 2, 64) ]
+
+let with_vec_config (_, d, b) f =
+  let saved_d = !Vexec.domains and saved_b = !Vexec.batch_rows in
+  Vexec.domains := d;
+  Vexec.batch_rows := b;
+  Fun.protect
+    ~finally:(fun () ->
+      Vexec.domains := saved_d;
+      Vexec.batch_rows := saved_b)
+    f
+
+(* All three engines, same plan. Reference and compiled must agree on
+   schema, row list (order included), counters — or fail with the same
+   error. The vectorized engine must match on schema, rows and errors
+   under every configuration; its counters are not compared (batch
+   kernels legitimately skip per-row bookkeeping). *)
 let same_execution db plan =
   let run f =
     try Ok (f ()) with Eval.Eval_error m -> Error m
   in
-  match
+  let rc =
     ( run (fun () -> Eval.query_stats_reference db plan),
       run (fun () -> Eval.query_stats_compiled db plan) )
-  with
-  | Ok (ra, sa), Ok (rb, sb) ->
-      Schema.names (Relation.schema ra) = Schema.names (Relation.schema rb)
-      && Relation.tuples ra = Relation.tuples rb
-      && sa = sb
-  | Error a, Error b -> a = b
-  | _ -> false
+  in
+  let two_way =
+    match rc with
+    | Ok (ra, sa), Ok (rb, sb) ->
+        Schema.names (Relation.schema ra) = Schema.names (Relation.schema rb)
+        && Relation.tuples ra = Relation.tuples rb
+        && sa = sb
+    | Error a, Error b -> a = b
+    | _ -> false
+  in
+  two_way
+  && List.for_all
+       (fun cfg ->
+         let rv =
+           with_vec_config cfg (fun () ->
+               run (fun () -> Eval.query_vectorized db plan))
+         in
+         match (fst rc, rv) with
+         | Ok (ra, _), Ok rb ->
+             Schema.names (Relation.schema ra)
+             = Schema.names (Relation.schema rb)
+             && Relation.tuples ra = Relation.tuples rb
+         | Error a, Error b -> a = b
+         | _ -> false)
+       vec_configs
 
 let check_same msg db plan =
   let ra, sa = Eval.query_stats_reference db plan in
@@ -63,7 +100,19 @@ let check_same msg db plan =
     (Relation.tuples ra = Relation.tuples rb);
   Alcotest.(check string)
     (msg ^ ": same counters")
-    (Eval.stats_to_string sa) (Eval.stats_to_string sb)
+    (Eval.stats_to_string sa) (Eval.stats_to_string sb);
+  List.iter
+    (fun ((label, _, _) as cfg) ->
+      let rv = with_vec_config cfg (fun () -> Eval.query_vectorized db plan) in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s: vectorized[%s] schema" msg label)
+        (Schema.names (Relation.schema ra))
+        (Schema.names (Relation.schema rv));
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: vectorized[%s] same rows" msg label)
+        true
+        (Relation.tuples ra = Relation.tuples rv))
+    vec_configs
 
 (* ------------------------------------------------------------------ *)
 (* Randomized queries from the shared fuzz generator                    *)
@@ -179,10 +228,19 @@ let test_dispatch () =
   let a = Eval.query db q in
   Eval.default_engine := Eval.Compiled;
   let b = Eval.query db q in
+  Eval.default_engine := Eval.Vectorized;
+  let c = Eval.query db q in
   Eval.default_engine := saved;
   Alcotest.(check bool) "same result" true (Relation.equal_bag a b);
+  Alcotest.(check bool) "same result vectorized" true (Relation.equal_bag a c);
   Alcotest.(check string) "names" "compiled" (Eval.engine_name Eval.Compiled);
-  Alcotest.(check bool) "parse" true (Eval.engine_of_string "reference" = Eval.Reference)
+  Alcotest.(check string)
+    "vectorized name" "vectorized"
+    (Eval.engine_name Eval.Vectorized);
+  Alcotest.(check bool) "parse" true (Eval.engine_of_string "reference" = Eval.Reference);
+  Alcotest.(check bool)
+    "parse vectorized" true
+    (Eval.engine_of_string "vectorized" = Eval.Vectorized)
 
 let test_error_parity () =
   let db = mk_db [ [ i 1; i 1 ]; [ i 2; i 2 ] ] [ [ i 1; i 1 ]; [ i 2; i 2 ] ] in
@@ -199,11 +257,159 @@ let test_error_parity () =
     (msg_of (fun () -> Eval.query_compiled db bad));
   (* unknown attribute: runtime in the walker, compile time in Compile,
      same exception and message either way *)
+  Alcotest.(check string)
+    "scalar cardinality error, vectorized"
+    (msg_of (fun () -> Eval.query_reference db bad))
+    (msg_of (fun () -> Eval.query_vectorized db bad));
   let ghost = Algebra.attr "ghost" in
   Alcotest.(check string)
     "unknown attribute error"
     (msg_of (fun () -> Eval.expr_reference db ghost))
     (msg_of (fun () -> Eval.expr_compiled db ghost))
+
+(* ------------------------------------------------------------------ *)
+(* Vectorized engine: governor trips at batch granularity               *)
+(* ------------------------------------------------------------------ *)
+
+(* The vectorized engine checkpoints at batch boundaries, so a budget
+   ceiling must trip with the tripping operator's path attributed —
+   same path vocabulary as the other engines. *)
+let test_vectorized_guard_trips () =
+  let n1 = 400 and n2 = 60 in
+  let db = Synthetic.Workload.make_db ~seed:5 ~n1 ~n2 () in
+  let q = (Synthetic.Workload.q1 ~seed:5 ~n1 ~n2 ()).Synthetic.Workload.query in
+  let trip_of budget =
+    with_vec_config ("d1/b64", 1, 64) (fun () ->
+        match
+          Guard.with_budget (Some budget) (fun () -> Eval.query_vectorized db q)
+        with
+        | _ -> None
+        | exception Guard.Budget_exceeded t -> Some t)
+  in
+  (* Row ceiling: batches of 64 rows over a 400-row scan must trip. *)
+  (match trip_of (Guard.budget ~max_rows:100 ()) with
+  | None -> Alcotest.fail "row ceiling did not trip"
+  | Some t ->
+      Alcotest.(check bool)
+        "row trip reason" true
+        (match t.Guard.t_reason with Guard.Rows_exceeded _ -> true | _ -> false);
+      Alcotest.(check bool)
+        "row trip has an operator path" true
+        (t.Guard.t_path <> []);
+      Alcotest.(check bool)
+        "row trip counters at batch granularity" true
+        (t.Guard.t_counters.Guard.c_rows >= 64));
+  (* Wall-clock ceiling: timeout-only budgets are checked by the
+     amortized batch ticks (every [fuel_interval] cheap checkpoints), so
+     run one-row batches over a relation wide enough to exhaust the
+     fuel — an already-expired deadline must then trip. *)
+  (let tn1 = 700 and tn2 = 20 in
+   let tdb = Synthetic.Workload.make_db ~seed:6 ~n1:tn1 ~n2:tn2 () in
+   let tq =
+     (Synthetic.Workload.q1 ~seed:6 ~n1:tn1 ~n2:tn2 ()).Synthetic.Workload.query
+   in
+   let t =
+     with_vec_config ("d1/b1", 1, 1) (fun () ->
+         match
+           Guard.with_budget
+             (Some (Guard.budget ~timeout:0.0 ()))
+             (fun () -> Eval.query_vectorized tdb tq)
+         with
+         | _ -> None
+         | exception Guard.Budget_exceeded t -> Some t)
+   in
+   match t with
+   | None -> Alcotest.fail "timeout did not trip"
+   | Some t ->
+       Alcotest.(check bool)
+         "timeout reason" true
+         (match t.Guard.t_reason with Guard.Timed_out _ -> true | _ -> false));
+  (* Two domains: worker allocations fold into the shared budget via
+     the coordinator, and the trip still carries a path. *)
+  let t2 =
+    with_vec_config ("d2", 2, 64) (fun () ->
+        match
+          Guard.with_budget
+            (Some (Guard.budget ~max_rows:100 ()))
+            (fun () -> Eval.query_vectorized db q)
+        with
+        | _ -> None
+        | exception Guard.Budget_exceeded t -> Some t)
+  in
+  match t2 with
+  | None -> Alcotest.fail "row ceiling did not trip under two domains"
+  | Some t ->
+      Alcotest.(check bool)
+        "two-domain trip has an operator path" true
+        (t.Guard.t_path <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Morsel scheduler with real worker domains                            *)
+(* ------------------------------------------------------------------ *)
+
+(* [Morsel.get] clamps to the available cores, so exercise the
+   scheduler itself through the unclamped [Morsel.create]: every task
+   runs exactly once into its own slot (work stealing decides only the
+   worker, never the result), and a task exception survives the
+   barrier. *)
+let test_morsel_scheduler () =
+  let pool = Morsel.create 2 in
+  Fun.protect
+    ~finally:(fun () -> Morsel.shutdown pool)
+    (fun () ->
+      let n = 1000 in
+      let slots = Array.make n (-1) in
+      Morsel.run pool ~tasks:n (fun _w t -> slots.(t) <- t * t);
+      Alcotest.(check bool)
+        "every task ran into its slot" true
+        (Array.for_all (fun v -> v >= 0) slots
+        && Array.to_list slots = List.init n (fun i -> i * i));
+      (* a second job on the same pool (epoch advance) *)
+      let hits = Array.make 64 0 in
+      Morsel.run pool ~tasks:64 (fun _w t -> hits.(t) <- hits.(t) + 1);
+      Alcotest.(check bool)
+        "second job: exactly once each" true
+        (Array.for_all (fun c -> c = 1) hits);
+      (* exceptions cross the barrier *)
+      match Morsel.run pool ~tasks:8 (fun _w t -> if t = 5 then failwith "boom") with
+      | () -> Alcotest.fail "task exception was swallowed"
+      | exception Failure m -> Alcotest.(check string) "exn payload" "boom" m)
+
+(* ------------------------------------------------------------------ *)
+(* Relation memo caches under concurrent domains                        *)
+(* ------------------------------------------------------------------ *)
+
+(* [Relation.counts] and [Relation.nullable_columns] are lazily memoized
+   and shared across worker domains: hammer both from two domains at
+   once and check every observation agrees with a fresh sequential
+   computation. *)
+let test_relation_memo_two_domains () =
+  let rows =
+    List.init 512 (fun k ->
+        [ i (k mod 7); (if k mod 11 = 0 then Value.Null else i (k mod 3)) ])
+  in
+  let expected_nullable = [| false; true |] in
+  List.iter
+    (fun trial ->
+      ignore trial;
+      (* fresh relation per trial so each race starts from a cold memo *)
+      let r = Relation.of_values r_schema rows in
+      let worker () =
+        let ok = ref true in
+        for _ = 1 to 50 do
+          let c = Relation.counts r in
+          if Tuple.Tbl.length c <> 7 * 3 + 7 then ok := false;
+          if Relation.nullable_columns r <> expected_nullable then ok := false;
+          if Tuple.Tbl.find_opt c [| i 0; i 0 |] = None then ok := false
+        done;
+        !ok
+      in
+      let d = Domain.spawn worker in
+      let here = worker () in
+      let there = Domain.join d in
+      Alcotest.(check bool) "coordinator domain observations" true here;
+      Alcotest.(check bool) "spawned domain observations" true there)
+    [ 1; 2; 3 ]
 
 let qsuite name tests =
   (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
@@ -218,6 +424,14 @@ let () =
           tc "tpch, all strategies" `Quick test_tpch_strategies;
           tc "engine dispatch" `Quick test_dispatch;
           tc "error parity" `Quick test_error_parity;
+        ] );
+      ( "vectorized",
+        [
+          tc "governor trips at batch granularity" `Quick
+            test_vectorized_guard_trips;
+          tc "morsel scheduler, two real domains" `Quick test_morsel_scheduler;
+          tc "relation memos race two domains" `Quick
+            test_relation_memo_two_domains;
         ] );
       qsuite "properties" [ prop_fuzz_parity; prop_fuzz_strategy_parity ];
     ]
