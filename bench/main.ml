@@ -623,6 +623,86 @@ let ablation ~timeout ~instances () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Symbolic optimizer passes (beyond paper)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Plans where specifically the solver-backed passes pay off:
+   - "unsat": a contradictory range ([xb < 0 AND xb > 0] behind a
+     renaming projection, so plain constant folding cannot see it)
+     guarding a cross product — unsat-fold collapses the plan to an
+     empty TableExpr before a single pair is enumerated;
+   - "implied": an equi-join whose range predicate constrains one side
+     only — implied-predicate derives the mirror range through the
+     join equality, so both inputs shrink before the join.
+   Recorded as figure "symbolic", series "optimized"/"unoptimized". *)
+let symbolic_bench ~timeout ~instances () =
+  Printf.printf
+    "\n\
+     === Symbolic passes (beyond paper): unsat-fold and implied-predicate \
+     ===\n";
+  let renamed alias q =
+    Algebra.(project [ (attr "a", alias ^ "a"); (attr "b", alias ^ "b") ] q)
+  in
+  let sides =
+    Algebra.(Cross (renamed "x" (Base "r1"), renamed "y" (Base "r2")))
+  in
+  let unsat =
+    Algebra.(
+      Select
+        (And (Cmp (Lt, attr "xb", int 0), Cmp (Gt, attr "xb", int 0)), sides))
+  in
+  (* values are Gaussian with mean 0 and stddev = table size: a range
+     of one fifth of a stddev keeps ~8% of each side *)
+  let implied n =
+    let w = n / 10 in
+    Algebra.(
+      Select
+        ( And
+            ( Cmp (Eq, attr "xa", attr "ya"),
+              And (Cmp (Geq, attr "xa", int (-w)), Cmp (Leq, attr "xa", int w))
+            ),
+          sides ))
+  in
+  let sizes = [ 1000; 2000 ] in
+  let rows =
+    List.concat_map
+      (fun n ->
+        let cell label q opt =
+          let params = [ ("n1", float_of_int n); ("n2", float_of_int n) ] in
+          fst
+            (record ~figure:"symbolic" ~query:label
+               ~series:(if opt then "optimized" else "unoptimized")
+               ~params
+               (measure ~timeout ~instances (fun k () ->
+                    let db =
+                      Synthetic.Workload.make_db ~seed:(k + 1) ~n1:n ~n2:n ()
+                    in
+                    fun () ->
+                      let plan = if opt then Optimizer.optimize db q else q in
+                      snd (Eval.query_stats db plan))))
+          |> outcome_to_string
+        in
+        [
+          [
+            string_of_int n;
+            "unsat";
+            cell "unsat" unsat true;
+            cell "unsat" unsat false;
+          ];
+          [
+            string_of_int n;
+            "implied";
+            cell "implied" (implied n) true;
+            cell "implied" (implied n) false;
+          ];
+        ])
+      sizes
+  in
+  print_table ~title:"runtime [s]: full optimizer vs unoptimized plan"
+    ~header:[ "n (rows per side)"; "plan"; "optimized"; "unoptimized" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Dead-column pruning: pruned vs unpruned plans (beyond paper)         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1097,6 +1177,18 @@ let ablation_cmd =
     (Cmd.info "ablation" ~doc:"Optimizer on/off ablation")
     Term.(const run $ timeout_arg $ instances_arg)
 
+let symbolic_cmd =
+  let run timeout instances json =
+    with_report "compiled" json (fun _engines ->
+        symbolic_bench ~timeout ~instances ())
+  in
+  Cmd.v
+    (Cmd.info "symbolic"
+       ~doc:
+         "Solver-backed optimizer passes (unsat-fold, implied-predicate) vs \
+          the unoptimized plans")
+    Term.(const run $ timeout_arg $ instances_arg $ json_arg)
+
 let governor_cmd =
   let sf_arg =
     Arg.(
@@ -1170,6 +1262,7 @@ let fuzz_cmd =
    certificate. *)
 let certify_workloads ~sf () =
   let failures = ref 0 in
+  let aggregate = ref Certify.empty_report in
   let certified name db q strategies =
     List.iter
       (fun strategy ->
@@ -1177,6 +1270,7 @@ let certify_workloads ~sf () =
         | exception Strategy.Unsupported _ -> ()
         | q_plus, _ ->
             let _plan, report = Certify.optimize db q_plus in
+            aggregate := Certify.merge !aggregate report;
             Printf.printf "%-16s %-5s %s%!" name (Strategy.to_string strategy)
               (Certify.report_to_string report);
             if not (Certify.ok report) then incr failures)
@@ -1206,6 +1300,17 @@ let certify_workloads ~sf () =
         (Printf.sprintf "tpch Q%d" number)
         db analyzed.Sql_frontend.Analyzer.query Strategy.all)
     Tpch.Tpch_queries.numbers;
+  let agg = !aggregate in
+  let proved = List.length agg.Certify.r_proved in
+  Printf.printf
+    "aggregate: %d obligations, %d on predicates, %d proved symbolically \
+     (%.1f%% of predicate obligations), %d witness comparisons, %d skips\n"
+    agg.Certify.r_total agg.Certify.r_predicates proved
+    (if agg.Certify.r_predicates = 0 then 0.0
+     else
+       100.0 *. float_of_int proved /. float_of_int agg.Certify.r_predicates)
+    agg.Certify.r_compared
+    (List.length agg.Certify.r_skips);
   if !failures > 0 then begin
     Printf.printf "%d certification failure(s)\n" !failures;
     Stdlib.exit 1
@@ -1237,6 +1342,7 @@ let all ~timeout ~instances ~full ~engines () =
   fig8 ~timeout ~instances ~full ~sizes:None ~engines ();
   fig9 ~timeout ~instances ~full ~sizes:None ~engines ();
   ablation ~timeout ~instances ();
+  symbolic_bench ~timeout ~instances ();
   prune_bench ~timeout ~instances ~sf:1.0 ~engines ();
   advisor_report ();
   Printf.printf "\nDone. See EXPERIMENTS.md for the paper-vs-measured discussion.\n"
@@ -1272,6 +1378,7 @@ let () =
             mk_synth_cmd "fig8" "Synthetic figure 8" fig8;
             mk_synth_cmd "fig9" "Synthetic figure 9" fig9;
             ablation_cmd;
+            symbolic_cmd;
             prune_cmd;
             governor_cmd;
             advisor_cmd;

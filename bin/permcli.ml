@@ -167,18 +167,20 @@ let describe session = function
       | Some rel -> Printf.printf "%s %s\n" name (Schema.to_string (Relation.schema rel))
       | None -> Printf.printf "unknown table %S\n" name)
 
-(* \lint SQL: report diagnostics for one statement without running it —
-   the Lint rules on the analyzed plan, plus the Provcheck contract on
-   its provenance rewrite when the PROVENANCE marker is present. *)
-let lint_statement session sql =
+let strip_semi sql =
   let sql = String.trim sql in
-  let sql =
-    if String.length sql > 0 && sql.[String.length sql - 1] = ';' then
-      String.sub sql 0 (String.length sql - 1)
-    else sql
-  in
-  match Sql_frontend.Analyzer.analyze_string session.db sql with
-  | analyzed -> (
+  if String.length sql > 0 && sql.[String.length sql - 1] = ';' then
+    String.sub sql 0 (String.length sql - 1)
+  else sql
+
+(* Diagnostics for one statement without running it — the Lint rules on
+   the analyzed plan, plus the Provcheck contract on its provenance
+   rewrite when the PROVENANCE marker is present. [Error msg] when the
+   statement cannot even be analyzed. *)
+let statement_diagnostics session sql :
+    (Lint.diagnostic list, string) Stdlib.result =
+  match Sql_frontend.Analyzer.analyze_string session.db (strip_semi sql) with
+  | analyzed ->
       let q = analyzed.Sql_frontend.Analyzer.query in
       let diags = Lint.lint session.db q in
       let prov_diags =
@@ -199,17 +201,60 @@ let lint_statement session sql =
               ]
         end
       in
-      match diags @ prov_diags with
-      | [] -> print_endline "no diagnostics"
-      | ds -> print_endline (Lint.report ds))
+      Ok (diags @ prov_diags)
   | exception Sql_frontend.Lexer.Lex_error (msg, line, col) ->
-      Printf.printf "lex error at %d:%d: %s\n" line col msg
+      Error (Printf.sprintf "lex error at %d:%d: %s" line col msg)
   | exception Sql_frontend.Parser.Parse_error (msg, line, col) ->
-      Printf.printf "parse error at %d:%d: %s\n" line col msg
+      Error (Printf.sprintf "parse error at %d:%d: %s" line col msg)
   | exception Sql_frontend.Analyzer.Analyze_error msg ->
-      Printf.printf "analysis error: %s\n" msg
-  | exception Typecheck.Type_error msg -> Printf.printf "type error: %s\n" msg
-  | exception Value.Type_clash msg -> Printf.printf "value error: %s\n" msg
+      Error (Printf.sprintf "analysis error: %s" msg)
+  | exception Typecheck.Type_error msg ->
+      Error (Printf.sprintf "type error: %s" msg)
+  | exception Value.Type_clash msg ->
+      Error (Printf.sprintf "value error: %s" msg)
+
+(* \lint SQL *)
+let lint_statement session sql =
+  match statement_diagnostics session sql with
+  | Ok [] -> print_endline "no diagnostics"
+  | Ok ds -> print_endline (Lint.report ds)
+  | Error msg -> print_endline msg
+
+(* --lint-json SQL: the same diagnostics as one machine-readable JSON
+   object keyed on the stable rule identifiers of the Lint registry. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let diag_to_json d =
+  Printf.sprintf
+    "{\"severity\":\"%s\",\"rule\":\"%s\",\"path\":\"%s\",\"message\":\"%s\"}"
+    (Lint.severity_to_string d.Lint.severity)
+    (json_escape d.Lint.rule)
+    (json_escape (Lint.path_to_string d.Lint.path))
+    (json_escape d.Lint.message)
+
+let lint_json_statement session sql : int =
+  match statement_diagnostics session sql with
+  | Ok ds ->
+      Printf.printf "{\"diagnostics\":[%s],\"errors\":%d}\n"
+        (String.concat "," (List.map diag_to_json ds))
+        (List.length (Lint.errors ds));
+      if Lint.errors ds = [] then 0 else 1
+  | Error msg ->
+      Printf.printf "{\"error\":\"%s\"}\n" (json_escape msg);
+      2
 
 (* \analyze SQL: per-operator dataflow fact dump (cardinality interval,
    maybe-null flags, base-column lineage) for one statement, without
@@ -533,6 +578,18 @@ let replay_arg =
            all configurations agree, 1 on a mismatch, 2 when the bundle \
            cannot be checked.")
 
+let lint_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "lint-json" ] ~docv:"SQL"
+        ~doc:
+          "Lint one statement without executing it and print the diagnostics \
+           as one JSON object — stable rule identifier, operator path, \
+           severity, message. Exits 0 when no error-severity diagnostics are \
+           present, 1 when some are, 2 when the statement cannot be \
+           analyzed.")
+
 let werror_arg =
   Arg.(
     value & flag
@@ -587,7 +644,7 @@ let replay_bundle dir =
       Stdlib.exit 2
 
 let main tpch demo loads exec file strategy plan engine domains batch_rows lint
-    certify replay werror timeout max_rows fallback =
+    certify replay lint_json werror timeout max_rows fallback =
   (match replay with Some dir -> replay_bundle dir | None -> ());
   (match Eval.engine_of_string engine with
   | e -> Eval.default_engine := e
@@ -644,6 +701,9 @@ let main tpch demo loads exec file strategy plan engine domains batch_rows lint
       last_provenance = None;
     }
   in
+  (match lint_json with
+  | Some sql -> Stdlib.exit (lint_json_statement session sql)
+  | None -> ());
   match (exec, file) with
   | Some sql, _ -> if not (execute session sql) then exit 2
   | None, Some path -> (
@@ -679,7 +739,7 @@ let cmd =
     Term.(
       const main $ tpch_arg $ demo_arg $ load_arg $ exec_arg $ file_arg
       $ strategy_arg $ plan_arg $ engine_arg $ domains_arg $ batch_rows_arg
-      $ lint_arg $ certify_arg $ replay_arg $ werror_arg $ timeout_arg
-      $ max_rows_arg $ fallback_arg)
+      $ lint_arg $ certify_arg $ replay_arg $ lint_json_arg $ werror_arg
+      $ timeout_arg $ max_rows_arg $ fallback_arg)
 
 let () = Stdlib.exit (Cmd.eval cmd)

@@ -110,14 +110,58 @@ type estimate = {
   est_safe : bool;  (** nullability proves the rewrite's fast paths safe *)
 }
 
+(* The {!Dataflow} nullability lattice is per-column and flows through
+   operators, but it cannot see that a selection *filters* NULLs out:
+   [SELECT c FROM t WHERE c > 0] yields a never-NULL column even when
+   [t.c] is nullable, because a comparison is only TRUE on non-NULL
+   operands. The 3VL solver proves exactly that: [cond ⟹ c IS NOT
+   NULL] as filter implication. [Proved] is a theorem, so upgrading the
+   lattice verdict here is sound; correlated conditions are fine too
+   (outer attributes are free for the solver, so the implication holds
+   under every binding). *)
+let rec filtered_notnull c (q : query) : bool =
+  match q with
+  | Select (cond, input) ->
+      ((not (has_sublink cond))
+      && Symbolic.implies (Symbolic.ctx ()) cond (Not (IsNull (Attr c)))
+         = Symbolic.Proved)
+      || filtered_notnull c input
+  | Project { cols; proj_input; _ } -> (
+      match List.find_opt (fun (_, n) -> n = c) cols with
+      | Some (Attr c', _) -> filtered_notnull c' proj_input
+      | Some (Const v, _) -> not (Value.is_null v)
+      | _ -> false)
+  | Join (_, a, b) | Cross (a, b) ->
+      (* names are disjoint across well-formed join sides, so whichever
+         side binds [c] is the one a matching filter constrains *)
+      filtered_notnull c a || filtered_notnull c b
+  | Order (_, i) | Limit (_, i) -> filtered_notnull c i
+  | _ -> false
+
+(* Every output column of the sublink query proved non-NULL by the
+   filter argument above. Only the [SELECT es FROM ...] (Project root)
+   shape is attempted — that is what the SQL frontend builds. *)
+let sublink_output_notnull (q : query) : bool =
+  match q with
+  | Project { cols; proj_input; _ } ->
+      List.for_all
+        (fun (e, _) ->
+          match e with
+          | Attr c -> filtered_notnull c proj_input
+          | Const v -> not (Value.is_null v)
+          | _ -> false)
+        cols
+  | _ -> false
+
 (* Unn de-correlates an [= ANY] sublink into a plain equi-join. With a
    NULL on either side of the equality the original membership test is
    three-valued while the join's hash path is two-valued, so the
    rewrite's correctness rests on the subtle interplay of UNKNOWN
-   filtering and duplicate handling. Prefer Unn only when the
-   {!Dataflow} nullability analysis proves no NULL can reach the
-   comparison: the left-hand side and every sublink output column must
-   be provably non-NULL (under the sublink's correlation scope). *)
+   filtering and duplicate handling. Prefer Unn only when no NULL can
+   reach the comparison: the left-hand side and every sublink output
+   column must be provably non-NULL (under the sublink's correlation
+   scope) — by the {!Dataflow} lattice, or, where the lattice is too
+   coarse, by a {!Symbolic} filter-implication proof. *)
 let unn_equi_safe db (q : query) : bool =
   let dfa = Dataflow.create db in
   let exception Unsafe in
@@ -135,11 +179,12 @@ let unn_equi_safe db (q : query) : bool =
           (fun s ->
             (match s.kind with
             | AnyOp (Eq, lhs) ->
-                if
-                  Dataflow.expr_nullable dfa ~env:env' lhs
-                  || List.exists Fun.id
-                       (Dataflow.nullability dfa ~env:env' s.query)
-                         .Dataflow.n_maybe
+                let col_maybe_null =
+                  List.exists Fun.id
+                    (Dataflow.nullability dfa ~env:env' s.query).Dataflow.n_maybe
+                  && not (sublink_output_notnull s.query)
+                in
+                if Dataflow.expr_nullable dfa ~env:env' lhs || col_maybe_null
                 then raise Unsafe
             | _ -> ());
             walk ~env:env' s.query)

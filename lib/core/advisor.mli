@@ -22,6 +22,14 @@ type estimate = {
           the strategies that keep the original sublink semantics. *)
 }
 
+(** [unn_equi_safe db q]: no NULL can reach any [= ANY] equality of
+    [q]'s sublinks, so Unn's two-valued equi-join is exact — proved by
+    the {!Dataflow} nullability lattice, or, where the lattice is too
+    coarse, by a {!Symbolic} filter-implication proof that the
+    sublink's own selection filters NULLs out ([cond ⟹ c IS NOT
+    NULL]). Gates [est_safe] for Unn. *)
+val unn_equi_safe : Database.t -> Algebra.query -> bool
+
 (** [estimates db q]: every applicable strategy's optimized-plan cost;
     nullability-safe strategies first, cheapest within each group. *)
 val estimates : Database.t -> Algebra.query -> estimate list

@@ -79,6 +79,23 @@ let gen_cmp st cols =
   let rhs = if chance st 0.6 then small_const st else col (pick st cols) in
   Ast.ECmp (op, lhs, rhs)
 
+(* A constant range conjunction over one column — [c >/>= lo AND c
+   </<= hi] — deliberately contradictory (empty range) about a third
+   of the time. These shapes drive the optimizer's symbolic passes
+   (unsat-fold, drop-implied) and the lint contradiction rules through
+   the differential harness, where a miscompiled fold would show up as
+   a row-set mismatch. *)
+let gen_range st cols =
+  let c = col (pick st cols) in
+  let lo = Random.State.int st 5 - 1 in
+  let hi =
+    if chance st 0.35 then lo - 1 - Random.State.int st 3 (* empty *)
+    else lo + Random.State.int st 4
+  in
+  let lower = pick st [ Ast.CGt; Ast.CGeq ] in
+  let upper = pick st [ Ast.CLt; Ast.CLeq ] in
+  Ast.EAnd (Ast.ECmp (lower, c, Ast.EInt lo), Ast.ECmp (upper, c, Ast.EInt hi))
+
 (* [gen_pred st cfg ~depth ~cols ~outer ~budget] is a boolean
    expression over the in-scope [cols]; [outer] are enclosing-scope
    columns available for correlation; [depth] bounds sublink nesting;
@@ -103,6 +120,7 @@ and gen_atom st cfg ~depth ~cols ~outer =
   if depth > 0 && chance st 0.55 then gen_sublink st cfg ~depth ~cols ~outer
   else if chance st 0.2 then
     Ast.EIsNull { negated = chance st 0.5; arg = col (pick st cols) }
+  else if chance st 0.2 then gen_range st cols
   else gen_cmp st cols
 
 (* A sublink atom. The subquery draws from a table different from the

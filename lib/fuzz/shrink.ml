@@ -95,6 +95,37 @@ let is_leaf (e : Ast.expr) =
       true
   | _ -> false
 
+(* Constant folding: replace a closed comparison / arithmetic subterm
+   by its value. Folding is a *reduction*, not a semantic no-op the
+   harness must trust — the candidate still goes through [still_fails]
+   — but it turns shapes like [2 < 1 OR p] into [FALSE OR p] in one
+   confirmable step, after which the boolean absorptions below finish
+   the job. Division and modulo are left alone (folding by zero would
+   change error behavior, so the candidate would be rejected anyway). *)
+let const_fold (e : Ast.expr) : Ast.expr list =
+  match e with
+  | Ast.ECmp (op, Ast.EInt a, Ast.EInt b) ->
+      let v =
+        match op with
+        | Ast.CEq -> a = b
+        | Ast.CNeq -> a <> b
+        | Ast.CLt -> a < b
+        | Ast.CLeq -> a <= b
+        | Ast.CGt -> a > b
+        | Ast.CGeq -> a >= b
+      in
+      [ Ast.EBool v ]
+  | Ast.EBinop (Ast.Plus, Ast.EInt a, Ast.EInt b) -> [ Ast.EInt (a + b) ]
+  | Ast.EBinop (Ast.Minus, Ast.EInt a, Ast.EInt b) -> [ Ast.EInt (a - b) ]
+  | Ast.EBinop (Ast.Times, Ast.EInt a, Ast.EInt b) -> [ Ast.EInt (a * b) ]
+  | Ast.ENot (Ast.EBool v) -> [ Ast.EBool (not v) ]
+  | Ast.EAnd ((Ast.EBool false as f), _) | Ast.EAnd (_, (Ast.EBool false as f))
+    ->
+      [ f ]
+  | Ast.EOr ((Ast.EBool true as t), _) | Ast.EOr (_, (Ast.EBool true as t)) ->
+      [ t ]
+  | _ -> []
+
 let rec expr_reductions (e : Ast.expr) : Ast.expr list =
   let shrink_to_bool = if is_leaf e then [] else [ Ast.EBool true ] in
   let structural =
@@ -127,7 +158,7 @@ let rec expr_reductions (e : Ast.expr) : Ast.expr list =
         List.map (fun sub' -> Ast.ESub (kind, sub')) (select_reductions sub)
     | _ -> []
   in
-  structural @ shrink_to_bool
+  const_fold e @ structural @ shrink_to_bool
 
 (* One-step reductions of a select (used both at top level and inside
    sublinks). Analyzability of a candidate is not checked here — the

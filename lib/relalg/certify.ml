@@ -56,18 +56,60 @@ type failure = {
 
 type report = {
   r_total : int;  (** proof obligations checked *)
+  r_predicates : int;
+      (** the subset that are predicate obligations — applications of
+          rules that only fold, move or derive selection/join
+          conditions over an unchanged operator tree (see
+          {!predicate_rules}); the denominator for the symbolic
+          discharge rate *)
   r_compared : int;  (** (obligation, witness database, binding) evaluations *)
+  r_proved : (string * string) list;
+      (** obligations discharged symbolically (rule, rendered path) —
+          actual proofs, not bounded evidence *)
   r_skips : (string * string) list;
       (** dynamic checks skipped: rendered path, reason *)
   r_failures : failure list;  (** deepest path first *)
 }
 
-let empty_report = { r_total = 0; r_compared = 0; r_skips = []; r_failures = [] }
+(* The rules whose correctness argument is purely about
+   filter-equivalence of conditions: the operator tree below is
+   untouched (up to Select/Cross/Join reassociation), only predicates
+   fold, move or appear. These are the obligations the symbolic stage
+   is expected to discharge; rules that rewrite projections or narrow
+   schemas ([pushdown-through-project], [merge-projects], [prune],
+   [fold-exprs]) are out of its scope by design. *)
+let predicate_rules =
+  [
+    "select-true";
+    "join-true-to-cross";
+    "unsat-fold";
+    "taut-fold";
+    "drop-implied";
+    "implied-predicate";
+    "pushdown-into-cross";
+    "pushdown-into-join";
+    "pushdown-into-leftjoin";
+    "pushdown-residual";
+  ]
+
+let is_predicate_rule rule = List.mem rule predicate_rules
+
+let empty_report =
+  {
+    r_total = 0;
+    r_predicates = 0;
+    r_compared = 0;
+    r_proved = [];
+    r_skips = [];
+    r_failures = [];
+  }
 
 let merge a b =
   {
     r_total = a.r_total + b.r_total;
+    r_predicates = a.r_predicates + b.r_predicates;
     r_compared = a.r_compared + b.r_compared;
+    r_proved = a.r_proved @ b.r_proved;
     r_skips = a.r_skips @ b.r_skips;
     r_failures = a.r_failures @ b.r_failures;
   }
@@ -293,6 +335,116 @@ let intervals_intersect (a : Dataflow.card) (b : Dataflow.card) =
   && bound_le (Dataflow.Fin b.Dataflow.c_lo) a.Dataflow.c_hi
 
 (* ------------------------------------------------------------------ *)
+(* Symbolic discharge                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Flatten a tree of Select / Cross / Join nodes into the conjuncts of
+   all its conditions plus the in-order leaf subplans below them. When
+   the leaf output names are pairwise distinct (so every predicate
+   reference binds to the same column at every level), any such tree
+   is bag-equivalent to [Select (conj cs, Cross leaves)]; two trees
+   over identical leaf sequences are therefore equivalent whenever
+   their conjunct sets are filter-equivalent — a question {!Symbolic}
+   can settle outright. *)
+let rec flatten (q : query) : expr list * query list =
+  match q with
+  | Select (c, q1) ->
+      let cs, ls = flatten q1 in
+      (conjuncts c @ cs, ls)
+  | Cross (a, b) ->
+      let ca, la = flatten a and cb, lb = flatten b in
+      (ca @ cb, la @ lb)
+  | Join (c, a, b) ->
+      let ca, la = flatten a and cb, lb = flatten b in
+      (conjuncts c @ ca @ cb, la @ lb)
+  | _ -> ([], [ q ])
+
+(* Structural equality robust to closures inside [TableExpr] leaves. *)
+let struct_equal (a : query list) (b : query list) =
+  try a = b with Invalid_argument _ -> false
+
+(* Bag equality of two conjunct lists under structural equality
+   (guarded: sublink conditions can reach [TableExpr] closures). Over
+   identical flat leaves, equal conjunct bags mean both trees are
+   [Select (conj cs, Cross leaves)] up to AND/Cross reassociation —
+   proved without consulting the solver, so conjuncts the solver
+   treats as opaque (sublinks, LIKE, arithmetic) cannot block the
+   discharge of a pure predicate-motion rule. *)
+let conjunct_bags_equal (a : expr list) (b : expr list) =
+  let remove_one x ys =
+    let rec go acc = function
+      | [] -> None
+      | y :: rest ->
+          if try x = y with Invalid_argument _ -> false then
+            Some (List.rev_append acc rest)
+          else go (y :: acc) rest
+    in
+    go [] ys
+  in
+  List.length a = List.length b
+  && Option.is_some
+       (List.fold_left (fun acc x -> Option.bind acc (remove_one x)) (Some b) a)
+
+(* The flattening argument needs every column reference to bind
+   identically at every level of both trees: leaf output names must be
+   pairwise distinct and disjoint from the obligation's correlated
+   (free) names. *)
+let flat_namespace db frees leaves =
+  match List.concat_map (fun l -> Scope.out_names db l) leaves with
+  | names ->
+      List.length (dedup_keep names) = List.length names
+      && List.for_all (fun f -> not (List.mem f names)) frees
+  | exception _ -> false
+
+(* Column types for the solver's integer bound tightening — static
+   facts only (no witness-data nullability), so proofs hold on every
+   database. Only available when the leaves are closed and type. *)
+let solver_ctx db ~closed leaves =
+  let types =
+    if not closed then fun _ -> None
+    else
+      let schemas = List.map (typecheck_under db []) leaves in
+      if List.for_all Option.is_some schemas then begin
+        let assoc =
+          List.concat_map
+            (fun s ->
+              let s = Option.get s in
+              List.map2 (fun n t -> (n, t)) (Schema.names s) (Schema.types s))
+            schemas
+        in
+        fun n -> List.assoc_opt n assoc
+      end
+      else fun _ -> None
+  in
+  Symbolic.ctx ~types ()
+
+(* [true] iff the obligation is proved — not merely tested — correct:
+   either both sides flatten to the same leaves with filter-equivalent
+   conjunctions, or the rewrite folds a selection/join whose condition
+   provably never holds to the empty relation. Schema and typing
+   preservation have already been checked by the static stages. *)
+let symbolic_discharge db (ob : obligation) : bool =
+  (not (is_narrowing_rule ob.ob_rule))
+  &&
+  let frees = free_names db [ ob.ob_before; ob.ob_after ] in
+  let closed = frees = [] in
+  let cs_b, ls_b = flatten ob.ob_before in
+  match ob.ob_after with
+  | TableExpr rel when Relation.cardinality rel = 0 ->
+      cs_b <> []
+      && flat_namespace db frees ls_b
+      && Symbolic.never_true (solver_ctx db ~closed ls_b) (conj cs_b)
+         = Symbolic.Proved
+  | after ->
+      let cs_a, ls_a = flatten after in
+      struct_equal ls_b ls_a
+      && flat_namespace db frees ls_b
+      && (conjunct_bags_equal cs_b cs_a
+         || Symbolic.equiv (solver_ctx db ~closed ls_b) (conj cs_b)
+              (conj cs_a)
+            = Symbolic.Proved)
+
+(* ------------------------------------------------------------------ *)
 (* Dynamic (witness) checks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -338,6 +490,7 @@ let run_side wdb env plan =
 
 type acc = {
   mutable a_compared : int;
+  mutable a_proved : (string * string) list;
   mutable a_skips : (string * string) list;
   mutable a_failures : failure list;
 }
@@ -359,6 +512,7 @@ let check_obligation db flow ~budget acc (ob : obligation) =
   let skip reason =
     acc.a_skips <- (Guard.path_to_string ob.ob_path, reason) :: acc.a_skips
   in
+  let failures_at_entry = List.length acc.a_failures in
   let before = ob.ob_before and after = ob.ob_after in
   (* --- schema: name preservation / order-preserving narrowing ------ *)
   let outs_before = Scope.out_names db before in
@@ -437,6 +591,15 @@ let check_obligation db flow ~budget acc (ob : obligation) =
             outs_after
         end
       in
+      (* --- symbolic discharge: a proof beats bounded testing ------- *)
+      if
+        strengthened = []
+        && List.length acc.a_failures = failures_at_entry
+        && symbolic_discharge db ob
+      then
+        acc.a_proved <-
+          (ob.ob_rule, Guard.path_to_string ob.ob_path) :: acc.a_proved
+      else
       (* --- bounded equivalence on witness databases ---------------- *)
       match witness_databases_for db [ before; after ] with
       | None -> skip "references a non-stored relation (view?)"
@@ -542,7 +705,7 @@ let dedup_entries (entries : Rewrite_trace.entry list) =
 let check_entries ?(budget = default_budget) db entries : report =
   let entries = dedup_entries entries in
   let flow = Dataflow.create db in
-  let acc = { a_compared = 0; a_skips = []; a_failures = [] } in
+  let acc = { a_compared = 0; a_proved = []; a_skips = []; a_failures = [] } in
   List.iter
     (fun (e : Rewrite_trace.entry) ->
       let ob =
@@ -564,7 +727,13 @@ let check_entries ?(budget = default_budget) db entries : report =
     entries;
   {
     r_total = List.length entries;
+    r_predicates =
+      List.length
+        (List.filter
+           (fun (e : Rewrite_trace.entry) -> is_predicate_rule e.e_rule)
+           entries);
     r_compared = acc.a_compared;
+    r_proved = List.rev acc.a_proved;
     r_skips = List.rev acc.a_skips;
     r_failures =
       (* deepest failing obligation first: the most precise attribution *)
@@ -621,18 +790,24 @@ let failure_to_string ?(verbose = true) f =
 let report_to_string ?(verbose = false) r =
   let b = Buffer.create 256 in
   Printf.bprintf b
-    "certify: %d obligation%s, %d witness comparison%s, %d skipped, %d \
-     failed\n"
+    "certify: %d obligation%s (%d on predicates), %d proved symbolically, \
+     %d witness comparison%s, %d skipped, %d failed\n"
     r.r_total
     (if r.r_total = 1 then "" else "s")
+    r.r_predicates
+    (List.length r.r_proved)
     r.r_compared
     (if r.r_compared = 1 then "" else "s")
     (List.length r.r_skips)
     (List.length r.r_failures);
   List.iter (fun f -> Buffer.add_string b (failure_to_string ~verbose f)) r.r_failures;
-  if verbose then
+  if verbose then begin
+    List.iter
+      (fun (rule, path) -> Printf.bprintf b "proved [%s] at %s\n" rule path)
+      r.r_proved;
     List.iter
       (fun (path, reason) ->
         Printf.bprintf b "skipped %s: %s\n" path reason)
-      r.r_skips;
+      r.r_skips
+  end;
   Buffer.contents b

@@ -5,14 +5,22 @@
     into a proof obligation — "the before and after subplans are
     equivalent" (or, for the dead-column [prune] rule, "the after plan
     is the before plan projected onto its remaining columns") — and
-    discharges it with static checks plus bounded equivalence on small
-    witness databases derived from the subplans' own constants.
+    discharges it — symbolically where possible, by bounded testing
+    otherwise.
+
+    The symbolic stage ({!Symbolic}) proves filter-equivalence of the
+    two sides' flattened selection/join conditions, or that a folded
+    condition never holds; a [Proved] verdict is an actual proof,
+    recorded in the report's [r_proved] list. Obligations the solver
+    cannot settle fall back to static checks plus bounded equivalence
+    on small witness databases derived from the subplans' own
+    constants.
 
     The dynamic check is {e small-scope}: agreement on the witness
-    databases is strong evidence, not a proof (see DESIGN.md §10 for
-    the soundness caveat). A reported failure, however, is a concrete
-    counterexample: the certificate carries the rule name, the operator
-    path, the witness database and the differing rows. *)
+    databases is strong evidence, not a proof (see DESIGN.md §10 and
+    §12 for the soundness caveats). A reported failure, however, is a
+    concrete counterexample: the certificate carries the rule name, the
+    operator path, the witness database and the differing rows. *)
 
 (** One applied rewrite to validate. *)
 type obligation = {
@@ -38,13 +46,27 @@ type failure = {
 
 type report = {
   r_total : int;  (** proof obligations checked *)
+  r_predicates : int;
+      (** the subset that are predicate obligations — applications of
+          rules that only fold, move or derive selection/join
+          conditions over an unchanged operator tree; the denominator
+          for the symbolic discharge rate *)
   r_compared : int;  (** witness evaluations actually compared *)
+  r_proved : (string * string) list;
+      (** obligations discharged symbolically (rule, rendered path) —
+          proofs on all databases, not bounded evidence; these skip
+          witness testing entirely *)
   r_skips : (string * string) list;
       (** dynamic checks skipped (rendered path, reason) — e.g.
           untypable correlation guesses or budget trips *)
   r_failures : failure list;  (** deepest path first *)
 }
 
+(** The rules classified as predicate obligations, with one name per
+    entry of {!Rewrite_trace.rules} they cover. *)
+val predicate_rules : string list
+
+val is_predicate_rule : string -> bool
 val empty_report : report
 val merge : report -> report -> report
 

@@ -85,7 +85,6 @@ type ctx = {
   db : Database.t;
   sub_results : (int * Value.t list, Relation.t) Hashtbl.t;
   sub_summaries : (int * Value.t list, summary) Hashtbl.t;
-  sub_free : (int, string list) Hashtbl.t;
   stats : stats;
   mutable cur_path : string list;
       (** {!Guard} path of the operator whose expressions are being
@@ -97,18 +96,18 @@ let mk_ctx db =
     db;
     sub_results = Hashtbl.create 64;
     sub_summaries = Hashtbl.create 64;
-    sub_free = Hashtbl.create 16;
     stats = fresh_stats ();
     cur_path = [];
   }
 
-let free_names ctx (s : sublink) =
-  match Hashtbl.find_opt ctx.sub_free s.id with
-  | Some names -> names
-  | None ->
-      let names = Scope.free_of_query ctx.db s.query in
-      Hashtbl.add ctx.sub_free s.id names;
-      names
+(* Computed per occurrence, not cached per [s.id]: the optimizer's
+   context-sensitive rules (e.g. unsat-fold under implied predicates)
+   can rewrite one occurrence of a duplicated sublink body while an
+   equivalent same-id copy elsewhere keeps its correlated form. The
+   compiled engine resolves each occurrence's free variables at compile
+   time, so the reference evaluator must key its memo the same way or
+   the two engines' eval/hit counters drift apart. *)
+let free_names ctx (s : sublink) = Scope.free_of_query ctx.db s.query
 
 (** {1 Expression evaluation (reference engine)} *)
 

@@ -203,6 +203,15 @@ let rules =
     ( "constant-condition",
       "a selection or join condition that is statically always FALSE or \
        always NULL" );
+    ( "contradictory-condition",
+      "a selection or join condition the 3VL solver proves can never be \
+       TRUE — the operator keeps no rows" );
+    ( "tautological-condition",
+      "a selection or join condition the 3VL solver proves TRUE on every \
+       row — the filter is redundant" );
+    ( "condition-always-null",
+      "a selection or join condition the 3VL solver proves evaluates to \
+       NULL on every row — it silently selects nothing" );
     ("div-by-zero", "division or modulo by a constant zero");
     ( "suspicious-like",
       "a LIKE pattern with no wildcard, a redundant '%%', or a backslash \
@@ -229,12 +238,15 @@ let rules =
 (* The semantic sublink rules target source queries: a rewritten plan
    contains sublinks the rewriter placed deliberately (and, under Gen,
    CrossBase columns that are maybe-NULL by construction), so re-warning
-   about them there is noise — same reasoning as rewrite-unsupported. *)
+   about them there is noise — same reasoning as rewrite-unsupported.
+   Tautological conditions are likewise deliberate in rewritten plans
+   (Gen builds [(x =n v) OR NOT (x =n v)]-shaped guards). *)
 let plan_rules =
   List.filter
     (fun n ->
       n <> "rewrite-unsupported" && n <> "shadowed-attribute"
-      && n <> "sublink-null-trap" && n <> "scalar-cardinality")
+      && n <> "sublink-null-trap" && n <> "scalar-cardinality"
+      && n <> "tautological-condition")
     (List.map fst rules)
 
 (* --- name resolution -------------------------------------------------- *)
@@ -417,7 +429,50 @@ let check_types db (s : site) : diagnostic list =
                     (Printf.sprintf
                        "%s is statically always NULL (selects no rows)" label);
                 ]
-            | _ -> []
+            | Const _ -> []
+            | folded ->
+                (* Beyond constant folding: ask the 3VL solver. The
+                   scope stack supplies column types (innermost wins),
+                   enabling integer bound tightening. Only [Proved] /
+                   theorem-direction verdicts report; [Unknown] stays
+                   silent (see DESIGN.md §12 on the asymmetry). *)
+                let types n =
+                  List.find_map
+                    (fun sc ->
+                      if Schema.mem sc n then Some (Schema.type_of_exn sc n)
+                      else None)
+                    env
+                in
+                let sctx = Symbolic.ctx ~types () in
+                let consequence =
+                  if label = "the outer-join condition" then
+                    "every left row is null-extended"
+                  else "the operator keeps no rows"
+                in
+                if Symbolic.satisfiable sctx folded = Symbolic.Refuted then
+                  if Symbolic.falsifiable sctx folded = Symbolic.Refuted then
+                    [
+                      diag Warning ~rule:"condition-always-null" ~path:s.s_path
+                        (Printf.sprintf
+                           "%s evaluates to NULL on every row — %s" label
+                           consequence);
+                    ]
+                  else
+                    [
+                      diag Warning ~rule:"contradictory-condition"
+                        ~path:s.s_path
+                        (Printf.sprintf
+                           "%s can never be TRUE (proved contradictory) — %s"
+                           label consequence);
+                    ]
+                else if Symbolic.always_true sctx folded = Symbolic.Proved then
+                  [
+                    diag Info ~rule:"tautological-condition" ~path:s.s_path
+                      (Printf.sprintf
+                         "%s is TRUE on every row — the filter is redundant"
+                         label);
+                  ]
+                else []
           else []
         in
         let catch_all =

@@ -57,6 +57,243 @@ let rec rename_attrs map (e : expr) : expr =
   | FunCall (f, es) -> FunCall (f, List.map (rename_attrs map) es)
   | Sublink _ -> invalid_arg "rename_attrs: sublink"
 
+(* ------------------------------------------------------------------ *)
+(* Solver-driven predicate passes                                      *)
+(* ------------------------------------------------------------------ *)
+
+let static_schema db q =
+  match Typecheck.infer_query_env db [] q with
+  | s -> Some s
+  | exception _ -> None
+
+(* Solver context for predicates over [q]'s output columns: static
+   column types only (they enable integer bound tightening), never
+   witness-data facts like observed nullability — the passes' claims
+   must hold on every database, or {!Certify} would refute them on its
+   NULL-rich witness variants. *)
+let pred_ctx db q =
+  match static_schema db q with
+  | Some s ->
+      let assoc =
+        List.map2 (fun n t -> (n, t)) (Schema.names s) (Schema.types s)
+      in
+      Symbolic.ctx ~types:(fun n -> List.assoc_opt n assoc) ()
+  | None -> Symbolic.ctx ()
+
+(* Conjuncts of every Select/Join condition in a Select/Cross/Join
+   tree, plus the leaf subplans below them (mirrors the flattening the
+   Certify discharge uses). *)
+let rec flat_conjuncts (q : query) : expr list * query list =
+  match q with
+  | Select (c, q1) ->
+      let cs, ls = flat_conjuncts q1 in
+      (conjuncts c @ cs, ls)
+  | Cross (a, b) ->
+      let ca, la = flat_conjuncts a and cb, lb = flat_conjuncts b in
+      (ca @ cb, la @ lb)
+  | Join (c, a, b) ->
+      let ca, la = flat_conjuncts a and cb, lb = flat_conjuncts b in
+      (conjuncts c @ ca @ cb, la @ lb)
+  | _ -> ([], [ q ])
+
+(* Mixing conjuncts from different tree levels into one solver query is
+   only sound when every name binds to the same column at every level:
+   leaf output names pairwise distinct and disjoint from the plan's
+   correlated (free) references. *)
+let flat_namespace db before leaves =
+  match
+    ( List.concat_map (fun l -> Scope.out_names db l) leaves,
+      Scope.free_of_query db before )
+  with
+  | names, frees ->
+      List.length (List.sort_uniq String.compare names) = List.length names
+      && List.for_all (fun f -> not (List.mem f names)) frees
+  | exception _ -> false
+
+(* [symbolic_conds db prefix conds q] runs the solver-driven passes on
+   the conjuncts accumulated at a selection site over [q]:
+   - {b unsat-fold}: the conjunction (together with the conditions
+     already inside [q], when the namespace is flat) provably never
+     holds — fold the whole subplan to the empty relation;
+   - {b taut-fold}: the conjunction provably holds on every row — drop
+     the selection;
+   - {b drop-implied}: a conjunct implied by the remaining ones is
+     redundant — drop it.
+   Each change is emitted as its own obligation whose before/after
+   differ only in the predicate, so Certify can usually re-prove it
+   symbolically. Returns [Error folded] when the site folded to an
+   empty relation, [Ok conds'] otherwise. *)
+let symbolic_conds db (prefix : string list) (conds : expr list) (q : query) :
+    (expr list, query) result =
+  if conds = [] then Ok conds
+  else begin
+    let ctx = pred_ctx db q in
+    let sel cs = Select (conj cs, q) in
+    let emit rule before after =
+      Rewrite_trace.emit ~rule ~path:(prefix @ [ Guard.op_label before ])
+        ~before ~after
+    in
+    (* --- unsatisfiable selection: fold to the empty relation -------- *)
+    let unsat =
+      if Rewrite_trace.mutant "sym-unsat-null-ok" then
+        (* mutant: wrong polarity — "never FALSE" also holds for
+           tautologies and always-NULL predicates *)
+        Symbolic.falsifiable ctx (conj conds) = Symbolic.Refuted
+      else
+        let ctx =
+          (* mutant: assumes base columns are never NULL, a witness-data
+             fact the NULL-rich databases refute *)
+          if Rewrite_trace.mutant "sym-unsat-notnull-db" then
+            Symbolic.ctx ~notnull:(Scope.refs_of_expr db (conj conds)) ()
+          else ctx
+        in
+        let deep_cs, leaves = flat_conjuncts q in
+        let full =
+          if deep_cs <> [] && flat_namespace db (sel conds) leaves then
+            conds @ deep_cs
+          else conds
+        in
+        Symbolic.never_true ctx (conj full) = Symbolic.Proved
+    in
+    match (if unsat then static_schema db (sel conds) else None) with
+    | Some schema ->
+        let after = TableExpr (Relation.empty schema) in
+        emit "unsat-fold" (sel conds) after;
+        Error after
+    | None ->
+        (* --- tautological selection: drop it ------------------------ *)
+        let taut =
+          if Rewrite_trace.mutant "sym-taut-not-false" then
+            (* mutant: "never FALSE" is not "always TRUE" — the classic
+               3VL bug, [p OR NOT p] is NULL on NULL rows *)
+            Symbolic.falsifiable ctx (conj conds) = Symbolic.Refuted
+          else Symbolic.always_true ctx (conj conds) = Symbolic.Proved
+        in
+        if taut then begin
+          emit "taut-fold" (sel conds) q;
+          Ok []
+        end
+        else begin
+          (* --- redundant conjuncts: drop what the rest implies ------ *)
+          let implied others x =
+            if Rewrite_trace.mutant "sym-drop-implicant" then
+              (* mutant: implication tested backwards — drops the
+                 stronger conjunct and keeps the weaker one *)
+              Symbolic.implies ctx x (conj others) = Symbolic.Proved
+            else Symbolic.implies ctx (conj others) x = Symbolic.Proved
+          in
+          let rec drop kept = function
+            | [] -> List.rev kept
+            | x :: rest ->
+                let others = List.rev_append kept rest in
+                if others <> [] && implied others x then drop kept rest
+                else drop (x :: kept) rest
+          in
+          let conds' = drop [] conds in
+          if List.length conds' <> List.length conds then
+            emit "drop-implied" (sel conds) (sel conds');
+          Ok conds'
+        end
+  end
+
+(* [derive_implied db path before ~wrap all]: transitive implied-
+   predicate propagation. Columns equated by [=]/[=n] conjuncts form
+   congruence classes; a constant comparison on one member is implied
+   for every other member, and the derived copy — unlike the original —
+   is movable into that member's side of the join, where it prunes
+   rows early (the range predicates the provenance rewrite's added
+   joins otherwise evaluate late). Every candidate is re-checked with
+   {!Symbolic.implies} before it is added; [wrap derived] rebuilds the
+   after plan for the trace entry. *)
+let derive_implied path before ~wrap (all : expr list) : expr list =
+  let through_neq = Rewrite_trace.mutant "sym-implied-through-neq" in
+  let flip_op = Rewrite_trace.mutant "sym-implied-op-flip" in
+  let edges =
+    List.filter_map
+      (fun e ->
+        match e with
+        | Cmp ((Eq | EqNull), Attr x, Attr y) -> Some (x, y)
+        (* mutant: treats a disequality as an equality edge *)
+        | Cmp (Neq, Attr x, Attr y) when through_neq -> Some (x, y)
+        | _ -> None)
+      all
+  in
+  if edges = [] then all
+  else begin
+    let parent = Hashtbl.create 8 in
+    let rec find n =
+      match Hashtbl.find_opt parent n with Some p -> find p | None -> n
+    in
+    List.iter
+      (fun (x, y) ->
+        let rx = find x and ry = find y in
+        if rx <> ry then Hashtbl.replace parent rx ry)
+      edges;
+    let cols =
+      List.sort_uniq String.compare
+        (List.concat_map (fun (x, y) -> [ x; y ]) edges)
+    in
+    (* mutant: derives the comparison with its operator flipped *)
+    let flip = function
+      | Lt -> Gt
+      | Leq -> Geq
+      | Gt -> Lt
+      | Geq -> Leq
+      | op -> op
+    in
+    let ctx = Symbolic.ctx () in
+    let validate d =
+      (* the broken variants skip validation — the point of the mutants
+         is an unsound derivation reaching the plan *)
+      flip_op || through_neq
+      || Symbolic.implies ctx (conj all) d = Symbolic.Proved
+    in
+    let candidate op x k y =
+      if String.equal y x || find y <> find x then None
+      else
+        let op = if flip_op then flip op else op in
+        let d = Cmp (op, Attr y, k) in
+        if List.exists (fun e -> e = d) all then None
+        else if validate d then Some d
+        else None
+    in
+    let derived =
+      List.concat_map
+        (fun e ->
+          match e with
+          | Cmp (op, Attr x, (Const _ as k)) when op <> EqNull ->
+              List.filter_map (fun y -> candidate op x k y) cols
+          | Cmp (op, (Const _ as k), Attr x) when op <> EqNull ->
+              (* normalize [k op x] to [x op' k] before deriving *)
+              let op' =
+                match op with
+                | Lt -> Gt
+                | Leq -> Geq
+                | Gt -> Lt
+                | Geq -> Leq
+                | op -> op
+              in
+              List.filter_map (fun y -> candidate op' x k y) cols
+          | _ -> [])
+        all
+    in
+    let derived =
+      let rec dedup acc = function
+        | [] -> List.rev acc
+        | d :: rest ->
+            if List.exists (fun e -> e = d) acc then dedup acc rest
+            else dedup (d :: acc) rest
+      in
+      List.filteri (fun i _ -> i < 8) (dedup [] derived)
+    in
+    if derived = [] then all
+    else begin
+      Rewrite_trace.emit ~rule:"implied-predicate" ~path ~before
+        ~after:(wrap derived);
+      all @ derived
+    end
+  end
+
 (* [push_select db prefix conds q] pushes the accumulated conjuncts
    [conds] into [q]. The subplan being rewritten — the proof
    obligation's before side — is [Select (conj conds, q)] (or [q] when
@@ -66,7 +303,13 @@ let rec push_select db (prefix : string list) (conds : expr list) (q : query) :
     query =
   match q with
   | Select (c, input) -> push_select db prefix (conds @ conjuncts c) input
-  | _ ->
+  | _ -> (
+      match symbolic_conds db prefix conds q with
+      | Error folded -> folded
+      | Ok conds -> push_conds db prefix conds q)
+
+and push_conds db (prefix : string list) (conds : expr list) (q : query) :
+    query =
       let before = if conds = [] then q else Select (conj conds, q) in
       let here = prefix @ [ Guard.op_label before ] in
       (* prefix of [q] itself: below the accumulated selection, if any *)
@@ -78,17 +321,46 @@ let rec push_select db (prefix : string list) (conds : expr list) (q : query) :
       in
       (match q with
       | Cross (a, b) | Join (Const (Value.Bool true), a, b) ->
-          emit "pushdown-into-cross"
-            (distribute db ~left:(qchild "[left]") ~right:(qchild "[right]")
-               conds a b ~mk:(fun residual a b ->
-                 match residual with
-                 | [] -> Cross (a, b)
-                 | cs -> Join (conj cs, a, b)))
+          let conds =
+            derive_implied here before
+              ~wrap:(fun ds -> Select (conj (conds @ ds), q))
+              conds
+          in
+          (* The motion obligation's before side includes any derived
+             conjuncts: the [implied-predicate] entry already justified
+             adding them, so this entry stays a pure conjunct motion. *)
+          let before_m = if conds = [] then q else Select (conj conds, q) in
+          distribute db ~left:(qchild "[left]") ~right:(qchild "[right]")
+            ~motion:(fun after ->
+              Rewrite_trace.emit ~rule:"pushdown-into-cross" ~path:here
+                ~before:before_m ~after)
+            conds a b
+            ~mk:(fun residual a b ->
+              match residual with
+              | [] -> Cross (a, b)
+              | cs -> Join (conj cs, a, b))
       | Join (c, a, b) ->
-          emit "pushdown-into-join"
-            (distribute db ~left:(qchild "[left]") ~right:(qchild "[right]")
-               (conds @ conjuncts c) a b ~mk:(fun residual a b ->
-                 Join (conj residual, a, b)))
+          let all0 = conds @ conjuncts c in
+          let all =
+            derive_implied here before
+              ~wrap:(fun ds ->
+                let j = Join (And (c, conj ds), a, b) in
+                if conds = [] then j else Select (conj conds, j))
+              all0
+          in
+          let before_m =
+            if List.length all = List.length all0 then before
+            else
+              let ds = List.filteri (fun i _ -> i >= List.length all0) all in
+              let j = Join (And (c, conj ds), a, b) in
+              if conds = [] then j else Select (conj conds, j)
+          in
+          distribute db ~left:(qchild "[left]") ~right:(qchild "[right]")
+            ~motion:(fun after ->
+              Rewrite_trace.emit ~rule:"pushdown-into-join" ~path:here
+                ~before:before_m ~after)
+            all a b
+            ~mk:(fun residual a b -> Join (conj residual, a, b))
       | LeftJoin (c, a, b) ->
           (* Only push into the left (preserved) side: conditions on the
              nullable side would change outer-join semantics. The join
@@ -106,6 +378,11 @@ let rec push_select db (prefix : string list) (conds : expr list) (q : query) :
               List.partition (fun e -> movable_to db a_names e) residual
             else ([], residual)
           in
+          (* Emit the pure motion step (sides untouched) before
+             recursing — the sides' rewrites are their own entries. *)
+          let wrap cs p = if cs = [] then p else Select (conj cs, p) in
+          Rewrite_trace.emit ~rule:"pushdown-into-leftjoin" ~path:here ~before
+            ~after:(wrap residual (LeftJoin (c, wrap to_left a, wrap to_right b)));
           let left = qchild "[left]" and right = qchild "[right]" in
           let a' = push_select db left to_left (optimize db left a) in
           let b' = optimize db right b in
@@ -113,8 +390,7 @@ let rec push_select db (prefix : string list) (conds : expr list) (q : query) :
             if to_right = [] then b' else push_select db right to_right b'
           in
           let inner = LeftJoin (c, a', b') in
-          emit "pushdown-into-leftjoin"
-            (if residual = [] then inner else Select (conj residual, inner))
+          if residual = [] then inner else Select (conj residual, inner)
       | Project p ->
           (* Push conjuncts whose references all map to rename-only columns
              through the projection (filtering before or after a pure
@@ -160,7 +436,7 @@ let rec push_select db (prefix : string list) (conds : expr list) (q : query) :
           if conds = [] then q'
           else emit "pushdown-residual" (Select (conj conds, q')))
 
-and distribute db ~left ~right conds a b ~mk =
+and distribute db ~left ~right ~motion conds a b ~mk =
   let a_names = Scope.out_names db a and b_names = Scope.out_names db b in
   let to_a, rest = List.partition (fun e -> movable_to db b_names e) conds in
   (* mutant: loses the first conjunct headed for the left side *)
@@ -174,6 +450,12 @@ and distribute db ~left ~right conds a b ~mk =
   let residual =
     if Rewrite_trace.mutant "opt-residual-drop" then [] else residual
   in
+  (* Announce the pure predicate-motion step with the sides untouched:
+     the obligation differs from its before plan only in where the
+     conjuncts sit, so Certify can discharge it symbolically. The
+     sides' own rewrites below are emitted as their own entries. *)
+  let wrap cs q = if cs = [] then q else Select (conj cs, q) in
+  motion (mk residual (wrap to_a a) (wrap to_b b));
   let a' = push_select db left to_a (optimize db left a) in
   let b' = push_select db right to_b (optimize db right b) in
   mk residual a' b'
@@ -492,7 +774,11 @@ let prune db q = prune_query db [] (all_out db q) q
 
 (* Entry point: simplify first (constant folding may expose TRUE/FALSE
    selections and negation-free comparisons), push selections, then
-   drop the columns nothing above reads. *)
+   simplify again — the pushdown phase's unsat-fold can leave sublink
+   atoms over empty literal relations, which the second pass folds to
+   constants (emitting its usual traced, certified rule applications) —
+   and finally drop the columns nothing above reads. *)
 let optimize ?(prune = true) db q =
   let q' = optimize db [] (Simplify.query q) in
+  let q' = Simplify.query q' in
   if prune then prune_query db [] (all_out db q') q' else q'

@@ -25,6 +25,36 @@ type entry = {
   e_after : Algebra.query;  (** the replacement subplan *)
 }
 
+(* The closed registry of rule identifiers the passes may emit. These
+   are stable, machine-readable names: certificates, traces, JSON lint
+   output and the mutation harness all key on them, so renaming one is
+   a breaking change. [emit] enforces membership in test/tracer builds
+   (a typo'd rule name would silently dodge its certificate). *)
+let rules =
+  [
+    (* Simplify *)
+    ("fold-exprs", "constant-fold every expression of one operator");
+    ("select-true", "drop a selection whose condition folded to TRUE");
+    ("join-true-to-cross", "turn a join on TRUE into a cross product");
+    (* Optimizer: symbolic passes *)
+    ("unsat-fold", "fold a provably never-TRUE selection to the empty relation");
+    ("taut-fold", "drop a selection whose condition is provably always TRUE");
+    ("drop-implied", "drop conjuncts implied by the remaining conjuncts");
+    ( "implied-predicate",
+      "derive a comparison for a column through join equalities" );
+    (* Optimizer: selection pushdown *)
+    ("pushdown-into-cross", "distribute conjuncts over a cross product");
+    ("pushdown-into-join", "merge conjuncts into / distribute over a join");
+    ("pushdown-into-leftjoin", "push left-side-only conjuncts below a left join");
+    ("pushdown-through-project", "push substituted conjuncts below a projection");
+    ("pushdown-residual", "re-emit conjuncts that could not be pushed");
+    (* Optimizer: projections and pruning *)
+    ("merge-projects", "fuse adjacent projections by substitution");
+    ("prune", "project dead columns out below an operator");
+  ]
+
+let known_rule name = List.mem_assoc name rules
+
 let hook : (entry -> unit) option ref = ref None
 let active () = Option.is_some !hook
 
@@ -36,6 +66,9 @@ let emit ~rule ~path ~before ~after =
   match !hook with
   | None -> ()
   | Some f ->
+      if not (known_rule rule) then
+        invalid_arg
+          (Printf.sprintf "Rewrite_trace.emit: unregistered rule %S" rule);
       if not (before == after || before = after) then
         f { e_rule = rule; e_path = path; e_before = before; e_after = after }
 

@@ -15,12 +15,23 @@ type entry = {
   e_after : Algebra.query;  (** the replacement subplan *)
 }
 
+(** The closed registry of rule identifiers the passes may emit, with
+    one-line documentation. The names are stable machine-readable keys:
+    certificates, traces, [permcli --lint-json] output and the mutation
+    harness all reference them. *)
+val rules : (string * string) list
+
+(** [known_rule name]: membership in {!rules}. *)
+val known_rule : string -> bool
+
 (** Whether a tracer is installed. *)
 val active : unit -> bool
 
 (** [emit ~rule ~path ~before ~after] reports one rule application to
     the installed tracer, if any; no-op applications (before equals
-    after) are filtered out. *)
+    after) are filtered out. With a tracer installed, an unregistered
+    rule name raises [Invalid_argument] — a typo'd name would otherwise
+    silently dodge its certificate. *)
 val emit :
   rule:string ->
   path:string list ->

@@ -136,7 +136,40 @@ let rec expr (e : Algebra.expr) : Algebra.expr =
                  Value.vfalse es))
       else folded)
   | FunCall (name, args) -> FunCall (name, List.map expr args)
+  | Sublink ({ query; _ } as s) when produces_no_rows query -> (
+      (* A sublink whose body provably produces no rows is a constant
+         under 3VL, even for a NULL left-hand side: EXISTS is FALSE,
+         [op ANY] is FALSE, [op ALL] is TRUE, and a scalar sublink is
+         NULL typed by its single output column. The optimizer's
+         unsat-fold exposes such bodies (e.g. when a correlated body's
+         condition is proved never TRUE, possibly under rename
+         projections), and folding the atom keeps the plan free of
+         vestigial correlation. *)
+      match s.kind with
+      | Exists -> vfalse
+      | AnyOp _ -> vfalse
+      | AllOp _ -> vtrue
+      | Scalar -> (
+          match query with
+          | TableExpr rel -> (
+              match Schema.types (Relation.schema rel) with
+              | [ ty ] -> TypedNull ty
+              | _ -> Sublink s)
+          | _ -> Sublink s))
   | Sublink s -> Sublink { s with kind = sublink_kind s.kind }
+
+(* Emptiness evident from the plan shape alone: an empty literal
+   relation, possibly under projections or selections (which cannot add
+   rows). Grouping aggregation is deliberately absent: an [Agg] without
+   group keys emits one row even over empty input. *)
+and produces_no_rows = function
+  | TableExpr rel -> Relation.cardinality rel = 0
+  | Project { proj_input; _ } -> produces_no_rows proj_input
+  | Select ((Const (Value.Bool false) | Const Value.Null | TypedNull _), _) ->
+      (* a selection keeps a row only when its condition is TRUE *)
+      true
+  | Select (_, input) -> produces_no_rows input
+  | _ -> false
 
 and sublink_kind = function
   | (Exists | Scalar) as k -> k

@@ -85,6 +85,57 @@ let test_choose_falls_back_to_gen () =
     "gen" "gen"
     (Strategy.to_string (Advisor.choose db q))
 
+let test_unn_symbolic_safety () =
+  (* S.c contains a NULL, so the dataflow lattice reports the sublink
+     column maybe-NULL; a selection inside the sublink that filters
+     NULLs must flip the verdict via the symbolic implication proof *)
+  let s_schema =
+    Schema.of_list [ Schema.attr "c" Vtype.TInt; Schema.attr "d" Vtype.TInt ]
+  in
+  let r_schema =
+    Schema.of_list [ Schema.attr "a" Vtype.TInt; Schema.attr "b" Vtype.TInt ]
+  in
+  let db =
+    Database.of_list
+      [
+        ("R", Relation.of_values r_schema [ [ i 1; i 1 ]; [ i 2; i 1 ] ]);
+        ( "S",
+          Relation.of_values s_schema
+            [ [ i 1; i 3 ]; [ Value.Null; i 4 ]; [ i 4; i 5 ] ] );
+      ]
+  in
+  let q sub =
+    Algebra.(Select (any_op Eq (attr "a") sub, Base "R"))
+  in
+  let unfiltered = Algebra.(project [ (attr "c", "c") ] (Base "S")) in
+  Alcotest.(check bool)
+    "nullable column unsafe" false
+    (Advisor.unn_equi_safe db (q unfiltered));
+  let is_not_null =
+    Algebra.(
+      project
+        [ (attr "c", "c") ]
+        (Select (Not (IsNull (attr "c")), Base "S")))
+  in
+  Alcotest.(check bool)
+    "IS NOT NULL filter proves safe" true
+    (Advisor.unn_equi_safe db (q is_not_null));
+  let positive =
+    Algebra.(
+      project [ (attr "c", "c") ] (Select (gt (attr "c") (int 0), Base "S")))
+  in
+  Alcotest.(check bool)
+    "comparison filter proves safe" true
+    (Advisor.unn_equi_safe db (q positive));
+  (* a filter on the *other* column proves nothing about c *)
+  let unrelated =
+    Algebra.(
+      project [ (attr "c", "c") ] (Select (gt (attr "d") (int 0), Base "S")))
+  in
+  Alcotest.(check bool)
+    "unrelated filter stays unsafe" false
+    (Advisor.unn_equi_safe db (q unrelated))
+
 let test_advisor_run () =
   let db = db () in
   Database.add db "r" (Database.find db "R");
@@ -271,6 +322,7 @@ let () =
           tc "gen ranked most expensive" `Quick test_gen_costed_highest;
           tc "avoids gen when possible" `Quick test_choose_avoids_gen_when_possible;
           tc "falls back to gen" `Quick test_choose_falls_back_to_gen;
+          tc "Unn symbolic NULL-safety" `Quick test_unn_symbolic_safety;
           tc "advisor run" `Quick test_advisor_run;
         ] );
       ( "exec-stats",

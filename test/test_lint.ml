@@ -133,6 +133,52 @@ let test_constant_condition () =
   flagged "always false" ~rule:"constant-condition" ~path:[ "Select" ]
     (Lint.lint (db ()) q)
 
+let test_contradictory_condition () =
+  (* beyond constant folding: needs the solver's interval domain *)
+  let q =
+    Select
+      ( And
+          (Cmp (Lt, attr "a", Algebra.int 1), Cmp (Gt, attr "a", Algebra.int 5)),
+        Base "r" )
+  in
+  flagged "interval contradiction" ~rule:"contradictory-condition"
+    ~path:[ "Select" ]
+    (Lint.lint (db ()) q);
+  (* integer bound tightening via the scope's column type: no integer
+     lies strictly between 1 and 2 *)
+  let q2 =
+    Select
+      ( And
+          (Cmp (Gt, attr "a", Algebra.int 1), Cmp (Lt, attr "a", Algebra.int 2)),
+        Base "r" )
+  in
+  flagged "integer gap" ~rule:"contradictory-condition" ~path:[ "Select" ]
+    (Lint.lint (db ()) q2)
+
+let test_tautological_condition () =
+  (* =n is two-valued, so excluded middle over it really is a tautology *)
+  let p = Cmp (EqNull, attr "a", Algebra.int 1) in
+  let q = Select (Or (p, Not p), Base "r") in
+  flagged "two-valued excluded middle" ~rule:"tautological-condition"
+    ~path:[ "Select" ]
+    (Lint.lint (db ()) q);
+  (* ... but over a three-valued comparison it is NULL on NULL rows,
+     hence NOT tautological — the solver must not over-claim *)
+  let p3 = Cmp (Gt, attr "a", Algebra.int 1) in
+  let q3 = Select (Or (p3, Not p3), Base "r") in
+  Alcotest.(check bool)
+    "3VL excluded middle not flagged" false
+    (List.exists
+       (fun d -> d.Lint.rule = "tautological-condition")
+       (Lint.lint (db ()) q3))
+
+let test_condition_always_null () =
+  (* a = NULL is UNKNOWN on every row; not constant-foldable because
+     the left side is a column *)
+  let q = Select (Cmp (Eq, attr "a", Const Value.Null), Base "r") in
+  flagged "always null" ~rule:"condition-always-null" ~path:[ "Select" ]
+    (Lint.lint (db ()) q)
+
 let test_unknown_relation () =
   flagged "unknown relation" ~rule:"unknown-relation" ~path:[ "Base(nosuch)" ]
     (Lint.lint (db ()) (Base "nosuch"))
@@ -417,6 +463,12 @@ let () =
           Alcotest.test_case "division by constant zero" `Quick test_div_by_zero;
           Alcotest.test_case "null comparison" `Quick test_null_comparison;
           Alcotest.test_case "constant condition" `Quick test_constant_condition;
+          Alcotest.test_case "contradictory condition" `Quick
+            test_contradictory_condition;
+          Alcotest.test_case "tautological condition" `Quick
+            test_tautological_condition;
+          Alcotest.test_case "condition always NULL" `Quick
+            test_condition_always_null;
           Alcotest.test_case "unknown relation" `Quick test_unknown_relation;
           Alcotest.test_case "set-op schema mismatch" `Quick test_set_op_schema;
           Alcotest.test_case "LIMIT unsupported" `Quick test_limit_unsupported;

@@ -1,0 +1,375 @@
+(* Symbolic 3VL solver tests.
+
+   Units: truth tables over constant operands (the solver's compiled
+   pos/neg/unk propositions must agree with [Value.and3]/[or3]/[not3]
+   and [Eval.cmp3]), interval and congruence reasoning (integer bound
+   tightening, transitive equalities, null facts, =n two-valuedness,
+   opaque-atom propositional reasoning), fuel exhaustion, and the
+   filter-simplifier.
+
+   Properties: random predicates over three int columns are
+   brute-force enumerated on tiny domains ({NULL, 0, 1, 2} per
+   column) and every theorem-side verdict is checked against the
+   enumeration — [satisfiable]/[falsifiable] Refuted means no
+   assignment produces TRUE/FALSE, [implies]/[always_true] Proved
+   holds on every assignment, and [simplify] preserves the TRUE-set
+   exactly. *)
+
+open Relalg
+open Algebra
+
+let check_bool = Alcotest.(check bool)
+
+let verdict =
+  Alcotest.testable
+    (fun fmt v -> Format.pp_print_string fmt (Symbolic.verdict_to_string v))
+    ( = )
+
+let cols = [ "a"; "b"; "c" ]
+
+let int_types n = if List.mem n cols then Some Vtype.TInt else None
+
+let ctx ?notnull ?fuel () = Symbolic.ctx ?fuel ~types:int_types ?notnull ()
+
+(* ------------------------------------------------------------------ *)
+(* A direct 3VL evaluator over assignments (the brute-force oracle)    *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval3 (env : (string * Value.t) list) (e : expr) : Value.t =
+  match e with
+  | Const v -> v
+  | TypedNull _ -> Value.Null
+  | Attr n -> List.assoc n env
+  | Binop (op, a, b) -> (
+      let va = eval3 env a and vb = eval3 env b in
+      match op with
+      | Add -> Value.add va vb
+      | Sub -> Value.sub va vb
+      | Mul -> Value.mul va vb
+      | _ -> invalid_arg "eval3: binop")
+  | Cmp (op, a, b) -> Eval.cmp3 op (eval3 env a) (eval3 env b)
+  | And (a, b) -> Value.and3 (eval3 env a) (eval3 env b)
+  | Or (a, b) -> Value.or3 (eval3 env a) (eval3 env b)
+  | Not a -> Value.not3 (eval3 env a)
+  | IsNull a -> Value.Bool (Value.is_null (eval3 env a))
+  | InList (a, es) ->
+      let va = eval3 env a in
+      List.fold_left
+        (fun acc el -> Value.or3 acc (Eval.cmp3 Eq va (eval3 env el)))
+        Value.vfalse es
+  | _ -> invalid_arg "eval3: unsupported"
+
+let domain = [ Value.Null; Value.Int 0; Value.Int 1; Value.Int 2 ]
+
+let assignments =
+  List.concat_map
+    (fun va ->
+      List.concat_map
+        (fun vb ->
+          List.map (fun vc -> [ ("a", va); ("b", vb); ("c", vc) ]) domain)
+        domain)
+    domain
+
+let true_on env e = Value.is_true (eval3 env e)
+let false_on env e = Value.is_false (eval3 env e)
+
+(* ------------------------------------------------------------------ *)
+(* Truth tables                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let truths = [ Value.vtrue; Value.vfalse; Value.Null ]
+
+let expect_of v =
+  if Value.is_true v then Symbolic.Proved (* satisfiable: abstractly yes *)
+  else Symbolic.Refuted
+
+let test_truth_tables () =
+  let c = ctx () in
+  List.iter
+    (fun v1 ->
+      List.iter
+        (fun v2 ->
+          let check name e expected =
+            Alcotest.check verdict name expected (Symbolic.satisfiable c e)
+          in
+          check
+            (Printf.sprintf "and3 %s %s" (Value.to_string v1) (Value.to_string v2))
+            (And (Const v1, Const v2))
+            (expect_of (Value.and3 v1 v2));
+          check
+            (Printf.sprintf "or3 %s %s" (Value.to_string v1) (Value.to_string v2))
+            (Or (Const v1, Const v2))
+            (expect_of (Value.or3 v1 v2)))
+        truths;
+      Alcotest.check verdict
+        (Printf.sprintf "not3 %s" (Value.to_string v1))
+        (expect_of (Value.not3 v1))
+        (Symbolic.satisfiable c (Not (Const v1))))
+    truths
+
+let test_cmp_constants () =
+  let c = ctx () in
+  let vals = [ Value.Null; Value.Int 0; Value.Int 1 ] in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun v1 ->
+          List.iter
+            (fun v2 ->
+              let e = Cmp (op, Const v1, Const v2) in
+              let v = Eval.cmp3 op v1 v2 in
+              Alcotest.check verdict "cmp3 satisfiable" (expect_of v)
+                (Symbolic.satisfiable c e);
+              Alcotest.check verdict "cmp3 falsifiable"
+                (if Value.is_false v then Symbolic.Proved else Symbolic.Refuted)
+                (Symbolic.falsifiable c e))
+            vals)
+        vals)
+    [ Eq; Neq; Lt; Leq; Gt; Geq; EqNull ]
+
+(* ------------------------------------------------------------------ *)
+(* Theory units                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let a = attr "a"
+let b = attr "b"
+let c_ = attr "c"
+let ci n = Const (Value.Int n)
+
+let test_intervals () =
+  let c = ctx () in
+  Alcotest.check verdict "a<1 & a>3 unsat" Symbolic.Refuted
+    (Symbolic.satisfiable c (And (lt a (ci 1), gt a (ci 3))));
+  (* integer tightening: no int fits strictly between 1 and 2 *)
+  Alcotest.check verdict "int a>1 & a<2 unsat" Symbolic.Refuted
+    (Symbolic.satisfiable c (And (gt a (ci 1), lt a (ci 2))));
+  (* without type info the strict gap must stay satisfiable *)
+  let untyped = Symbolic.ctx () in
+  Alcotest.check verdict "untyped a>1 & a<2 sat" Symbolic.Proved
+    (Symbolic.satisfiable untyped (And (gt a (ci 1), lt a (ci 2))));
+  Alcotest.check verdict "a=1 & a<>1 unsat" Symbolic.Refuted
+    (Symbolic.satisfiable c (And (eq a (ci 1), Cmp (Neq, a, ci 1))));
+  Alcotest.check verdict "a=1 & a<=1 sat" Symbolic.Proved
+    (Symbolic.satisfiable c (And (eq a (ci 1), Cmp (Leq, a, ci 1))))
+
+let test_congruence () =
+  let c = ctx () in
+  Alcotest.check verdict "a=b & b=c & a<5 => c<5" Symbolic.Proved
+    (Symbolic.implies c
+       (And (eq a b, And (eq b c_, lt a (ci 5))))
+       (lt c_ (ci 5)));
+  Alcotest.check verdict "a=b & a<1 & b>3 unsat" Symbolic.Refuted
+    (Symbolic.satisfiable c (And (eq a b, And (lt a (ci 1), gt b (ci 3)))));
+  Alcotest.check verdict "a=b & a<>b unsat" Symbolic.Refuted
+    (Symbolic.satisfiable c (And (eq a b, Cmp (Neq, a, b))));
+  Alcotest.check verdict "a<a unsat" Symbolic.Refuted
+    (Symbolic.satisfiable c (lt a a));
+  (* equality asserted TRUE forces both operands non-null *)
+  Alcotest.check verdict "a=b => a not null" Symbolic.Proved
+    (Symbolic.implies c (eq a b) (Not (IsNull a)))
+
+let test_null_facts () =
+  let c = ctx () in
+  Alcotest.check verdict "IS NULL a & a=1 unsat" Symbolic.Refuted
+    (Symbolic.satisfiable c (And (IsNull a, eq a (ci 1))));
+  (* comparison with a literal NULL is never TRUE and never FALSE *)
+  let e = eq a (Const Value.Null) in
+  Alcotest.check verdict "a=NULL never true" Symbolic.Refuted
+    (Symbolic.satisfiable c e);
+  Alcotest.check verdict "a=NULL never false" Symbolic.Refuted
+    (Symbolic.falsifiable c e);
+  (* external not-null facts *)
+  let nn = ctx ~notnull:[ "a" ] () in
+  Alcotest.check verdict "notnull fact refutes IS NULL" Symbolic.Refuted
+    (Symbolic.satisfiable nn (IsNull a));
+  Alcotest.check verdict "notnull fact proves IS NOT NULL" Symbolic.Proved
+    (Symbolic.always_true nn (Not (IsNull a)))
+
+let test_eqnull () =
+  let c = ctx () in
+  let e = Cmp (EqNull, a, a) in
+  (* =n is two-valued and reflexive *)
+  Alcotest.check verdict "a =n a never false" Symbolic.Refuted
+    (Symbolic.falsifiable c e);
+  Alcotest.check verdict "a =n a tautological" Symbolic.Proved
+    (Symbolic.always_true c e);
+  Alcotest.check verdict "x =n y OR NOT (x =n y) tautological" Symbolic.Proved
+    (Symbolic.always_true c
+       (Or (Cmp (EqNull, a, b), Not (Cmp (EqNull, a, b)))))
+
+let test_opaque_atoms () =
+  let c = ctx () in
+  let p = Like (a, "x%") in
+  Alcotest.check verdict "P & Q => P (opaque)" Symbolic.Proved
+    (Symbolic.implies c (And (p, gt b (ci 0))) p);
+  Alcotest.check verdict "P & NOT P never true (opaque)" Symbolic.Refuted
+    (Symbolic.satisfiable c (And (p, Not p)));
+  (* distinct opaque atoms stay free *)
+  Alcotest.check verdict "P & NOT Q sat (opaque)" Symbolic.Proved
+    (Symbolic.satisfiable c (And (p, Not (Like (b, "y%")))))
+
+let test_fuel () =
+  let tiny = Symbolic.ctx ~fuel:5 () in
+  let big =
+    List.fold_left
+      (fun acc i -> Or (acc, eq a (ci i)))
+      (eq a (ci 0))
+      [ 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  Alcotest.check verdict "fuel exhaustion is Unknown" Symbolic.Unknown
+    (Symbolic.satisfiable tiny (And (big, Not big)))
+
+let test_simplify () =
+  let c = ctx () in
+  (* implied conjunct dropped *)
+  check_bool "a=1 & a>0 simplifies" true
+    (Symbolic.simplify c (And (eq a (ci 1), gt a (ci 0))) = eq a (ci 1));
+  (* unsatisfiable conjunction folds to FALSE *)
+  check_bool "contradiction folds to false" true
+    (Symbolic.simplify c (And (lt a (ci 1), gt a (ci 3))) = Const Value.vfalse);
+  (* tautology folds to TRUE *)
+  check_bool "tautology folds to true" true
+    (Symbolic.simplify c (Cmp (EqNull, a, a)) = Const Value.vtrue);
+  (* nothing provable: expression returned unchanged *)
+  let e = And (lt a (ci 5), gt b (ci 0)) in
+  check_bool "independent conjuncts unchanged" true (Symbolic.simplify c e == e)
+
+(* ------------------------------------------------------------------ *)
+(* Properties: verdicts vs brute-force enumeration                     *)
+(* ------------------------------------------------------------------ *)
+
+let gen_pred : expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let col = oneofl cols >|= attr in
+  let const =
+    frequency
+      [ (5, int_range (-1) 3 >|= Algebra.int); (1, return (Const Value.Null)) ]
+  in
+  let operand = frequency [ (3, col); (2, const) ] in
+  let op = oneofl [ Eq; Neq; Lt; Leq; Gt; Geq; EqNull ] in
+  let atom =
+    frequency
+      [
+        (5, map3 (fun op a b -> Cmp (op, a, b)) op operand operand);
+        (1, col >|= fun c -> IsNull c);
+        ( 1,
+          map2
+            (fun c vs -> InList (c, vs))
+            col
+            (list_size (int_range 1 3) const) );
+        (* out-of-theory atom: arithmetic under a comparison *)
+        ( 1,
+          map3
+            (fun op c k -> Cmp (op, Binop (Add, c, Algebra.int 1), k))
+            op col const );
+      ]
+  in
+  let rec pred n =
+    if n <= 0 then atom
+    else
+      frequency
+        [
+          (2, atom);
+          (2, map2 (fun a b -> And (a, b)) (pred (n - 1)) (pred (n - 1)));
+          (2, map2 (fun a b -> Or (a, b)) (pred (n - 1)) (pred (n - 1)));
+          (1, pred (n - 1) >|= fun e -> Not e);
+        ]
+  in
+  int_range 0 3 >>= pred
+
+let arb_pred = QCheck.make ~print:(fun _ -> "<pred>") gen_pred
+
+let prop_verdicts_sound =
+  QCheck.Test.make ~name:"theorem verdicts agree with brute force" ~count:400
+    arb_pred (fun e ->
+      let c = ctx () in
+      let can_true = List.exists (fun env -> true_on env e) assignments in
+      let can_false = List.exists (fun env -> false_on env e) assignments in
+      (match Symbolic.satisfiable c e with
+      | Symbolic.Refuted ->
+          if can_true then QCheck.Test.fail_report "refuted but satisfiable"
+      | _ -> ());
+      (match Symbolic.falsifiable c e with
+      | Symbolic.Refuted ->
+          if can_false then QCheck.Test.fail_report "never-false refuted wrongly"
+      | _ -> ());
+      (match Symbolic.always_true c e with
+      | Symbolic.Proved ->
+          if not (List.for_all (fun env -> true_on env e) assignments) then
+            QCheck.Test.fail_report "always_true proved wrongly"
+      | _ -> ());
+      true)
+
+let prop_implies_sound =
+  QCheck.Test.make ~name:"implies/equiv Proved holds on every assignment"
+    ~count:400
+    (QCheck.pair arb_pred arb_pred)
+    (fun (p, q) ->
+      let c = ctx () in
+      (match Symbolic.implies c p q with
+      | Symbolic.Proved ->
+          List.iter
+            (fun env ->
+              if true_on env p && not (true_on env q) then
+                QCheck.Test.fail_report "implies proved but countermodel exists")
+            assignments
+      | _ -> ());
+      (match Symbolic.equiv c p q with
+      | Symbolic.Proved ->
+          List.iter
+            (fun env ->
+              if true_on env p <> true_on env q then
+                QCheck.Test.fail_report "equiv proved but TRUE-sets differ")
+            assignments
+      | _ -> ());
+      true)
+
+let prop_simplify_filter_equiv =
+  QCheck.Test.make ~name:"simplify preserves the TRUE-set" ~count:400 arb_pred
+    (fun e ->
+      let c = ctx () in
+      let e' = Symbolic.simplify c e in
+      List.for_all (fun env -> true_on env e = true_on env e') assignments)
+
+(* The solver must stay exact on the decidable fragment often enough to
+   be useful: interval+congruence conjunctions it refutes are truly
+   unsat, and (spot completeness) it refutes a known family. *)
+let prop_range_contradictions_found =
+  QCheck.Test.make ~name:"contradictory ranges are refuted" ~count:100
+    (QCheck.pair (QCheck.int_range (-1) 3) (QCheck.int_range (-1) 3))
+    (fun (lo, hi) ->
+      let c = ctx () in
+      let e = And (lt a (ci lo), gt a (ci hi)) in
+      let verdict_ = Symbolic.satisfiable c e in
+      if lo <= hi + 1 then verdict_ = Symbolic.Refuted
+      else verdict_ = Symbolic.Proved)
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "symbolic"
+    [
+      ( "truth tables",
+        [
+          Alcotest.test_case "and3/or3/not3" `Quick test_truth_tables;
+          Alcotest.test_case "cmp3 constants" `Quick test_cmp_constants;
+        ] );
+      ( "theory",
+        [
+          Alcotest.test_case "intervals" `Quick test_intervals;
+          Alcotest.test_case "congruence" `Quick test_congruence;
+          Alcotest.test_case "null facts" `Quick test_null_facts;
+          Alcotest.test_case "=n two-valued" `Quick test_eqnull;
+          Alcotest.test_case "opaque atoms" `Quick test_opaque_atoms;
+          Alcotest.test_case "fuel" `Quick test_fuel;
+          Alcotest.test_case "simplify" `Quick test_simplify;
+        ] );
+      qsuite "brute force"
+        [
+          prop_verdicts_sound;
+          prop_implies_sound;
+          prop_simplify_filter_equiv;
+          prop_range_contradictions_found;
+        ];
+    ]
