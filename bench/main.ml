@@ -1256,6 +1256,115 @@ let fuzz_cmd =
           sublink queries, with counterexample shrinking")
     Term.(const run $ seed_arg $ count_arg $ artifacts_arg)
 
+(* [bench racefuzz]: schedule fuzzing for the parallel engine — every
+   generated query runs compiled (baseline) and vectorized on a
+   genuinely multi-domain pool under the chaos scheduler with the
+   vector-clock race detector armed; detector reports or parity
+   divergence fail the case, which is shrunk under its exact schedule
+   seed. Exit 1 on any failure, so CI can gate on it. *)
+let racefuzz_campaign ~seed ~count ~domains ~json () =
+  let t0 = Unix.gettimeofday () in
+  Printf.printf "racefuzz: seed %d, %d cases, up to %d domains\n%!" seed count
+    domains;
+  let progress i =
+    if i > 0 && i mod 50 = 0 then Printf.printf "  ... %d/%d\n%!" i count
+  in
+  let stats = Fuzz.Racefuzz.campaign ~seed ~count ~domains ~progress () in
+  print_string (Fuzz.Racefuzz.stats_to_string stats);
+  Printf.printf "wall clock: %.1f s\n" (Unix.gettimeofday () -. t0);
+  if json then
+    print_endline
+      (Share_lint.diagnostics_json (Fuzz.Racefuzz.failure_diagnostics stats));
+  if stats.Fuzz.Racefuzz.rs_failures <> [] then Stdlib.exit 1
+
+let racefuzz_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ]
+          ~doc:
+            "Campaign seed; case $(i,i) runs under schedule seed \
+             seed*1000003+i.")
+  in
+  let count_arg =
+    Arg.(value & opt int 200 & info [ "count" ] ~doc:"Number of queries.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "domains" ]
+          ~doc:"Largest pool size; cases cycle over 2..$(docv).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "lint-json" ]
+          ~doc:"Also print failures as machine-readable diagnostics.")
+  in
+  let run seed count domains json =
+    racefuzz_campaign ~seed ~count ~domains ~json ()
+  in
+  Cmd.v
+    (Cmd.info "racefuzz"
+       ~doc:
+         "Schedule fuzzing: generated queries under chaos schedules on \
+          multi-domain pools with the race detector armed, vs the compiled \
+          engine")
+    Term.(const run $ seed_arg $ count_arg $ domains_arg $ json_arg)
+
+(* [bench share-lint]: the static sharing lint over the engine sources
+   — inventory self-consistency plus the toplevel-mutable scan. Exit 1
+   on errors, and with --werror on warnings too. *)
+let share_lint_run ~root ~werror ~json () =
+  let root =
+    match root with
+    | Some r -> r
+    | None -> (
+        match Share_lint.default_root () with
+        | Some r -> r
+        | None ->
+            prerr_endline
+              "share-lint: cannot find lib/relalg sources (use --root)";
+            Stdlib.exit 2)
+  in
+  let diags = Share_lint.check_sources ~root in
+  if json then print_endline (Share_lint.diagnostics_json diags)
+  else begin
+    if diags <> [] then print_string (Lint.report diags);
+    Printf.printf "share-lint: %d modules, %d diagnostics (%d errors)\n"
+      (List.length Share_lint.modules)
+      (List.length diags)
+      (List.length (Lint.errors diags))
+  end;
+  let failing = if werror then diags else Lint.errors diags in
+  if failing <> [] then Stdlib.exit 1
+
+let share_lint_cmd =
+  let root_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:"Directory holding the engine sources (default: auto-detect).")
+  in
+  let werror_arg =
+    Arg.(
+      value & flag
+      & info [ "werror" ] ~doc:"Fail on warnings (stale inventory entries).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "lint-json" ] ~doc:"Machine-readable diagnostics on stdout.")
+  in
+  let run root werror json = share_lint_run ~root ~werror ~json () in
+  Cmd.v
+    (Cmd.info "share-lint"
+       ~doc:
+         "Static sharing lint: the declared shared-state inventory \
+          cross-checked against the engine sources")
+    Term.(const run $ root_arg $ werror_arg $ json_arg)
+
 (* [bench certify]: translation-validate the optimizer over the real
    workloads — every synthetic q1/q2 instance and every TPC-H sublink
    query, under every applicable strategy. Exit 1 on any failed
@@ -1383,6 +1492,8 @@ let () =
             governor_cmd;
             advisor_cmd;
             fuzz_cmd;
+            racefuzz_cmd;
+            share_lint_cmd;
             certify_cmd;
             bechamel_cmd;
             all_cmd;

@@ -19,6 +19,8 @@
                    \analyze SQL  per-operator dataflow facts (nullability,
                                  lineage, cardinality) for one statement
                    \werror       toggle treating lint warnings as errors
+                   \race         toggle the vector-clock race detector
+                                 around every statement (see --race-check)
                    \budget ...   show / set the execution budget, e.g.
                                  \budget timeout=2 rows=1e6; \budget off
                    \fallback     toggle strategy fallback on budget trips
@@ -46,6 +48,7 @@ type session = {
   mutable werror : bool;  (* escalate lint warnings to errors *)
   mutable budget : Guard.budget option;  (* execution governor budget *)
   mutable fallback : bool;  (* degrade strategy on Unsupported / budget trip *)
+  mutable race_check : bool;  (* arm the Race detector around statements *)
   mutable last_provenance : (Relation.t * Pschema.prov_rel list) option;
       (* most recent provenance result, for \influence and \graph *)
 }
@@ -101,7 +104,7 @@ let run_statement session sql =
       | _ ->
           Perm.exec session.db ~certify ~lint ~werror ?budget ~fallback sql)
 
-let execute session sql =
+let execute_statement session sql =
   let t0 = Unix.gettimeofday () in
   match run_statement session sql with
   | Perm.Rows result ->
@@ -151,6 +154,27 @@ let execute session sql =
       | exception Not_found ->
           Printf.printf "error: [eval] %s\n" (Printexc.to_string exn));
       false)
+
+(* With \race / --race-check on, each statement runs with the
+   vector-clock detector armed; unordered access pairs are reported as
+   diagnostics (rule race-unordered-access) after the rows. Mostly
+   interesting with the vectorized engine and --domains > 1 — a
+   sequential statement trivially has no cross-domain accesses. *)
+let execute session sql =
+  if not session.race_check then execute_statement session sql
+  else begin
+    Race.arm ~seed:0 ();
+    (* statement errors are caught inside execute_statement, so the
+       harvest below runs whatever the statement did *)
+    let ok = execute_statement session sql in
+    let reports = Race.reports () in
+    Race.disarm ();
+    if reports = [] then print_endline "race check: no unordered accesses"
+    else
+      print_string
+        (Lint.report (List.map Share_lint.diagnostic_of_race reports));
+    ok
+  end
 
 let describe session = function
   | None ->
@@ -221,7 +245,8 @@ let lint_statement session sql =
   | Error msg -> print_endline msg
 
 (* --lint-json SQL: the same diagnostics as one machine-readable JSON
-   object keyed on the stable rule identifiers of the Lint registry. *)
+   object keyed on the stable rule identifiers of the Lint registry
+   (rendering shared with [bench share-lint] via Share_lint). *)
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter
@@ -237,24 +262,26 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let diag_to_json d =
-  Printf.sprintf
-    "{\"severity\":\"%s\",\"rule\":\"%s\",\"path\":\"%s\",\"message\":\"%s\"}"
-    (Lint.severity_to_string d.Lint.severity)
-    (json_escape d.Lint.rule)
-    (json_escape (Lint.path_to_string d.Lint.path))
-    (json_escape d.Lint.message)
-
 let lint_json_statement session sql : int =
   match statement_diagnostics session sql with
   | Ok ds ->
-      Printf.printf "{\"diagnostics\":[%s],\"errors\":%d}\n"
-        (String.concat "," (List.map diag_to_json ds))
-        (List.length (Lint.errors ds));
+      print_endline (Share_lint.diagnostics_json ds);
       if Lint.errors ds = [] then 0 else 1
   | Error msg ->
       Printf.printf "{\"error\":\"%s\"}\n" (json_escape msg);
       2
+
+(* --share-lint: the engine's shared-state inventory cross-checked
+   against its sources, as the same JSON shape as --lint-json. *)
+let share_lint_json () : int =
+  match Share_lint.default_root () with
+  | None ->
+      print_endline "{\"error\":\"cannot find lib/relalg sources\"}";
+      2
+  | Some root ->
+      let ds = Share_lint.check_sources ~root in
+      print_endline (Share_lint.diagnostics_json ds);
+      if Lint.errors ds = [] then 0 else 1
 
 (* \analyze SQL: per-operator dataflow fact dump (cardinality interval,
    maybe-null flags, base-column lineage) for one statement, without
@@ -445,6 +472,17 @@ let handle_command session line =
       Printf.printf "lint warnings are %s\n"
         (if session.werror then "errors" else "warnings");
       `Continue
+  | [ "\\race" ] ->
+      session.race_check <- not session.race_check;
+      Printf.printf "race detector %s%s\n"
+        (if session.race_check then "armed around statements" else "off")
+        (if
+           session.race_check
+           && (!Eval.default_engine <> Eval.Vectorized || !Vexec.domains <= 1)
+         then " (note: only the vectorized engine with --domains > 1 runs in \
+               parallel)"
+         else "");
+      `Continue
   | _ ->
       Printf.printf "unknown command: %s\n" line;
       `Continue
@@ -596,6 +634,28 @@ let werror_arg =
     & info [ "Werror" ]
         ~doc:"With $(b,--lint), treat warning diagnostics as errors too.")
 
+let race_check_arg =
+  Arg.(
+    value & flag
+    & info [ "race-check" ]
+        ~doc:
+          "Arm the vector-clock race detector around every statement and \
+           report unordered cross-domain access pairs as diagnostics (rule \
+           $(b,race-unordered-access), both access paths included). Mostly \
+           interesting with $(b,--engine vectorized --domains N>1); \
+           toggleable at the prompt with \\\\race.")
+
+let share_lint_arg =
+  Arg.(
+    value & flag
+    & info [ "share-lint" ]
+        ~doc:
+          "Cross-check the engine's declared shared-state inventory against \
+           its sources and exit, printing the diagnostics as the same JSON \
+           object $(b,--lint-json) emits (stable rule identifiers such as \
+           $(b,share-undeclared-mutable)). Exits 0 when clean, 1 on errors, \
+           2 when the sources cannot be found.")
+
 let timeout_arg =
   Arg.(
     value
@@ -644,7 +704,9 @@ let replay_bundle dir =
       Stdlib.exit 2
 
 let main tpch demo loads exec file strategy plan engine domains batch_rows lint
-    certify replay lint_json werror timeout max_rows fallback =
+    certify replay lint_json werror race_check share_lint timeout max_rows
+    fallback =
+  if share_lint then Stdlib.exit (share_lint_json ());
   (match replay with Some dir -> replay_bundle dir | None -> ());
   (match Eval.engine_of_string engine with
   | e -> Eval.default_engine := e
@@ -698,6 +760,7 @@ let main tpch demo loads exec file strategy plan engine domains batch_rows lint
       werror;
       budget;
       fallback;
+      race_check;
       last_provenance = None;
     }
   in
@@ -740,6 +803,7 @@ let cmd =
       const main $ tpch_arg $ demo_arg $ load_arg $ exec_arg $ file_arg
       $ strategy_arg $ plan_arg $ engine_arg $ domains_arg $ batch_rows_arg
       $ lint_arg $ certify_arg $ replay_arg $ lint_json_arg $ werror_arg
-      $ timeout_arg $ max_rows_arg $ fallback_arg)
+      $ race_check_arg $ share_lint_arg $ timeout_arg $ max_rows_arg
+      $ fallback_arg)
 
 let () = Stdlib.exit (Cmd.eval cmd)

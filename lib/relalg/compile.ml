@@ -60,19 +60,33 @@ open Algebra
 (** Per-execution context: sublink memo tables and counters, exactly
     mirroring the reference evaluator's. *)
 type ctx = {
+  ctx_tag : int;
+      (* process-unique, for per-execution race-detector locations *)
   db : Database.t;
   sub_results : (int * Value.t list, Relation.t) Hashtbl.t;
   sub_summaries : (int * Value.t list, Sem.summary) Hashtbl.t;
   stats : Sem.stats;
 }
 
+let ctx_counter = Atomic.make 0
+
 let mk_ctx db =
   {
+    ctx_tag = Atomic.fetch_and_add ctx_counter 1;
     db;
     sub_results = Hashtbl.create 64;
     sub_summaries = Hashtbl.create 64;
     stats = Sem.fresh_stats ();
   }
+
+(* The sublink memo tables are per-execution and coordinator-confined:
+   the vectorized engine preps every probe before fanning out, so a
+   worker-domain access here is a bug the armed race detector reports.
+   The location is per-ctx — two concurrent executions own disjoint
+   tables and must not alias. *)
+let memo_loc ctx = "compile.ctx[" ^ string_of_int ctx.ctx_tag ^ "].memo"
+let memo_read ctx = if Race.is_armed () then Race.read (memo_loc ctx)
+let memo_write ctx = if Race.is_armed () then Race.write (memo_loc ctx)
 
 (** Runtime environment: tuple frames, innermost first. *)
 type renv = Tuple.t list
@@ -439,6 +453,7 @@ and compile_sublink db (cenv : Schema.t list) (s : sublink) : cexpr =
     (s.id, Array.to_list (Array.map (fun g -> g ctx env) free_getters))
   in
   let materialize ctx env k =
+    memo_read ctx;
     match Hashtbl.find_opt ctx.sub_results k with
     | Some rel ->
         ctx.stats.Sem.st_sublink_hits <- ctx.stats.Sem.st_sublink_hits + 1;
@@ -447,10 +462,12 @@ and compile_sublink db (cenv : Schema.t list) (s : sublink) : cexpr =
         ctx.stats.Sem.st_sublink_evals <- ctx.stats.Sem.st_sublink_evals + 1;
         Guard.Faults.fire_point Guard.Faults.Sublink spath;
         let rel = csub.c_run ctx env in
+        memo_write ctx;
         Hashtbl.add ctx.sub_results k rel;
         rel
   in
   let summary ctx env k =
+    memo_read ctx;
     match Hashtbl.find_opt ctx.sub_summaries k with
     | Some sm -> sm
     | None ->
@@ -458,6 +475,7 @@ and compile_sublink db (cenv : Schema.t list) (s : sublink) : cexpr =
         let sm =
           Sem.summarize (List.map (fun t -> Tuple.get t 0) (Relation.tuples rel))
         in
+        memo_write ctx;
         Hashtbl.add ctx.sub_summaries k sm;
         sm
   in
@@ -1067,6 +1085,7 @@ let sublink_summary ?(path = []) db cenv (s : sublink) :
     let k0 = (s.id, []) in
     Some
       (fun ctx env ->
+        memo_read ctx;
         match Hashtbl.find_opt ctx.sub_summaries k0 with
         | Some sm -> sm
         | None ->
@@ -1081,6 +1100,7 @@ let sublink_summary ?(path = []) db cenv (s : sublink) :
                     ctx.stats.Sem.st_sublink_evals + 1;
                   Guard.Faults.fire_point Guard.Faults.Sublink spath;
                   let rel = csub.c_run ctx env in
+                  memo_write ctx;
                   Hashtbl.add ctx.sub_results k0 rel;
                   rel
             in
@@ -1088,6 +1108,7 @@ let sublink_summary ?(path = []) db cenv (s : sublink) :
               Sem.summarize
                 (List.map (fun t -> Tuple.get t 0) (Relation.tuples rel))
             in
+            memo_write ctx;
             Hashtbl.add ctx.sub_summaries k0 sm;
             sm)
   end

@@ -4,7 +4,7 @@
     The engines call {!count_row} / {!count_rows} / {!count_pairs} /
     {!tick} at operator boundaries and {!Faults.fire_point} at scan,
     join and sublink boundaries. Both are designed for a near-free
-    disabled path: a single [bool ref] load guards each, so unguarded
+    disabled path: a single domain-local load guards each, so unguarded
     execution pays one load-and-branch per checkpoint.
 
     A budget is installed dynamically with {!with_budget} rather than
@@ -18,7 +18,19 @@
     builds its per-attempt sub-budgets on this — it re-splits the
     remaining {e wall-clock} allowance across attempts itself, while
     each attempt's row/pair/allocation ceilings are per-attempt, fresh
-    allowances. *)
+    allowances.
+
+    Domain safety: the governor used to keep the innermost scope in
+    plain global [ref]s, which worker domains could not safely tick.
+    The scope registry is now [Domain.DLS]-backed: each domain holds a
+    private {e view} of a scope — local row/pair counters, fuel, and a
+    per-domain [Gc.allocated_bytes] baseline — over a shared [state]
+    whose totals are [Atomic] and flushed on each slow checkpoint and
+    at view exit. Worker domains adopt the coordinator's scope with
+    {!with_scope} (the vectorized engine does this per morsel task), so
+    ceilings trip with correct aggregated totals no matter which domain
+    crosses the line. The cheap per-row path stays non-atomic: a local
+    increment plus one plain atomic load for the ceiling compare. *)
 
 (* ------------------------------------------------------------------ *)
 (* Paths (same rendering as Lint's diagnostics)                        *)
@@ -116,141 +128,184 @@ let trip_to_string t =
 (* How many cheap checkpoints between time/allocation re-checks. *)
 let fuel_interval = 512
 
+(* The scope proper, shared by every domain that adopted it. Totals are
+   [Atomic] so views flush without a lock; ceilings/deadline/baselines
+   are immutable. *)
 type state = {
   st_budget : budget;
   st_deadline : float option;
   st_t0 : float;
-  st_alloc0 : float;
   (* ceilings flattened to ints ([max_int] = none) so the per-push
      checkpoint compares without an option match *)
   st_row_limit : int;
   st_pair_limit : int;
-  mutable st_rows : int;
-  mutable st_pairs : int;
-  mutable st_fuel : int;
-  mutable st_alloc_extra : float;
-      (* bytes allocated on worker domains, reported by the coordinator
-         at merge points; [Gc.allocated_bytes] is per-domain, so this is
-         how parallel sections fold into the shared allocation budget *)
+  st_rows : int Atomic.t;  (* rows flushed by all views *)
+  st_pairs : int Atomic.t;  (* pairs flushed by all views *)
+  st_alloc : int Atomic.t;
+      (* bytes flushed by all views; [Gc.allocated_bytes] is per-domain,
+         so each view folds its own delta in at slow checkpoints and at
+         view exit — this is how parallel sections share one budget *)
 }
 
-(* The innermost active scope. [active] mirrors [current <> None] so the
-   disabled checkpoint path is a single load-and-branch. *)
-let current : state option ref = ref None
-let active = ref false
+(* A domain's private view of a scope: unflushed counter deltas, fuel,
+   and the domain's own allocation baseline. Single-writer (the owning
+   domain), so the cheap checkpoints stay plain loads and stores. *)
+type dview = {
+  dv_state : state;
+  mutable dv_rows : int;
+  mutable dv_pairs : int;
+  mutable dv_fuel : int;
+  mutable dv_alloc0 : float;
+}
 
-let scope_alloc_bytes st =
-  Gc.allocated_bytes () -. st.st_alloc0 +. st.st_alloc_extra
+(* The innermost active view of the calling domain. DLS-backed: worker
+   domains adopt a scope with [with_scope] without racing the
+   coordinator's own bookkeeping. *)
+let tls : dview option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 
-let snapshot st =
+let cur () = !(Domain.DLS.get tls)
+
+(* Fold this view's unflushed deltas into the shared totals and reset
+   the local allocation baseline. *)
+let flush dv =
+  let st = dv.dv_state in
+  if dv.dv_rows <> 0 then begin
+    ignore (Atomic.fetch_and_add st.st_rows dv.dv_rows);
+    dv.dv_rows <- 0
+  end;
+  if dv.dv_pairs <> 0 then begin
+    ignore (Atomic.fetch_and_add st.st_pairs dv.dv_pairs);
+    dv.dv_pairs <- 0
+  end;
+  let now = Gc.allocated_bytes () in
+  let delta = now -. dv.dv_alloc0 in
+  if delta <> 0.0 then begin
+    ignore (Atomic.fetch_and_add st.st_alloc (int_of_float delta));
+    dv.dv_alloc0 <- now
+  end
+
+let snapshot dv =
+  flush dv;
+  let st = dv.dv_state in
   {
-    c_rows = st.st_rows;
-    c_pairs = st.st_pairs;
+    c_rows = Atomic.get st.st_rows;
+    c_pairs = Atomic.get st.st_pairs;
     c_elapsed = Unix.gettimeofday () -. st.st_t0;
-    c_alloc_mb = scope_alloc_bytes st /. 1_048_576.0;
+    c_alloc_mb = float_of_int (Atomic.get st.st_alloc) /. 1_048_576.0;
   }
 
-let trip st path reason =
-  raise (Budget_exceeded { t_path = path; t_reason = reason; t_counters = snapshot st })
+let trip dv path reason =
+  raise (Budget_exceeded { t_path = path; t_reason = reason; t_counters = snapshot dv })
 
-let is_active () = !active
+let is_active () = cur () <> None
 
 (* Bulk row counting walks an O(n) [Relation.cardinality] at every
    operator exit, so call sites skip it unless a row ceiling is armed;
    per-push counting (streaming operators) stays on under any budget. *)
 let counts_rows () =
-  !active
-  &&
-  match !current with
-  | Some st -> st.st_budget.g_max_rows <> None
+  match cur () with
+  | Some dv -> dv.dv_state.st_budget.g_max_rows <> None
   | None -> false
 
 let observed () =
-  match !current with
+  match cur () with
   | None -> { c_rows = 0; c_pairs = 0; c_elapsed = 0.0; c_alloc_mb = 0.0 }
-  | Some st -> snapshot st
+  | Some dv -> snapshot dv
 
 (* Re-check the clock and the allocation counter; called once every
-   [fuel_interval] cheap checkpoints, and on every bulk checkpoint. *)
-let slow_check st path =
-  st.st_fuel <- fuel_interval;
+   [fuel_interval] cheap checkpoints, and on every bulk checkpoint.
+   Flushing here is also what keeps the shared totals fresh enough for
+   the other domains' ceiling compares. *)
+let slow_check dv path =
+  dv.dv_fuel <- fuel_interval;
+  flush dv;
+  let st = dv.dv_state in
   (match st.st_deadline with
   | Some d when Unix.gettimeofday () > d ->
-      trip st path (Timed_out (Option.get st.st_budget.g_timeout))
+      trip dv path (Timed_out (Option.get st.st_budget.g_timeout))
   | _ -> ());
   match st.st_budget.g_max_alloc_mb with
-  | Some mb when scope_alloc_bytes st /. 1_048_576.0 > mb ->
-      trip st path (Alloc_exceeded mb)
+  | Some mb when float_of_int (Atomic.get st.st_alloc) /. 1_048_576.0 > mb ->
+      trip dv path (Alloc_exceeded mb)
   | _ -> ()
 
-let count_row_slow path =
-  match !current with
-  | None -> ()
-  | Some st ->
-      let r = st.st_rows + 1 in
-      st.st_rows <- r;
-      if r > st.st_row_limit then trip st path (Rows_exceeded st.st_row_limit);
-      let f = st.st_fuel - 1 in
-      st.st_fuel <- f;
-      if f <= 0 then slow_check st path
+(* Ceiling compares read the shared total (a plain load on the cheap
+   path — no fetch-and-add) plus the local unflushed delta: exact when
+   one domain runs (the common case), at worst [fuel_interval] late per
+   extra domain otherwise. *)
+let count_row_slow dv path =
+  let st = dv.dv_state in
+  dv.dv_rows <- dv.dv_rows + 1;
+  if Atomic.get st.st_rows + dv.dv_rows > st.st_row_limit then
+    trip dv path (Rows_exceeded st.st_row_limit);
+  let f = dv.dv_fuel - 1 in
+  dv.dv_fuel <- f;
+  if f <= 0 then slow_check dv path
 
-let count_row path = if !active then count_row_slow path
+let count_row path =
+  match cur () with None -> () | Some dv -> count_row_slow dv path
 
 let count_rows path n =
-  if !active then
-    match !current with
-    | None -> ()
-    | Some st ->
-        let r = st.st_rows + n in
-        st.st_rows <- r;
-        if r > st.st_row_limit then
-          trip st path (Rows_exceeded st.st_row_limit);
-        slow_check st path
+  match cur () with
+  | None -> ()
+  | Some dv ->
+      let st = dv.dv_state in
+      dv.dv_rows <- dv.dv_rows + n;
+      if Atomic.get st.st_rows + dv.dv_rows > st.st_row_limit then
+        trip dv path (Rows_exceeded st.st_row_limit);
+      slow_check dv path
 
 let count_pairs path n =
-  if !active then
-    match !current with
-    | None -> ()
-    | Some st ->
-        let p = st.st_pairs + n in
-        st.st_pairs <- p;
-        if p > st.st_pair_limit then
-          trip st path (Pairs_exceeded st.st_pair_limit);
-        let f = st.st_fuel - 1 in
-        st.st_fuel <- f;
-        if f <= 0 then slow_check st path
+  match cur () with
+  | None -> ()
+  | Some dv ->
+      let st = dv.dv_state in
+      dv.dv_pairs <- dv.dv_pairs + n;
+      if Atomic.get st.st_pairs + dv.dv_pairs > st.st_pair_limit then
+        trip dv path (Pairs_exceeded st.st_pair_limit);
+      let f = dv.dv_fuel - 1 in
+      dv.dv_fuel <- f;
+      if f <= 0 then slow_check dv path
 
 let cross_guard path ~left ~right =
-  if !active then
-    match !current with
-    | None -> ()
-    | Some st -> (
-        match st.st_budget.g_max_pairs with
-        | Some m
-          when float_of_int left *. float_of_int right
-               > float_of_int (max 0 (m - st.st_pairs)) ->
-            trip st path (Pairs_exceeded m)
-        | _ -> ())
+  match cur () with
+  | None -> ()
+  | Some dv -> (
+      let st = dv.dv_state in
+      match st.st_budget.g_max_pairs with
+      | Some m
+        when float_of_int left *. float_of_int right
+             > float_of_int
+                 (max 0 (m - (Atomic.get st.st_pairs + dv.dv_pairs))) ->
+          trip dv path (Pairs_exceeded m)
+      | _ -> ())
 
 let tick path =
-  if !active then
-    match !current with
-    | None -> ()
-    | Some st ->
-        st.st_fuel <- st.st_fuel - 1;
-        if st.st_fuel <= 0 then slow_check st path
+  match cur () with
+  | None -> ()
+  | Some dv ->
+      dv.dv_fuel <- dv.dv_fuel - 1;
+      if dv.dv_fuel <= 0 then slow_check dv path
 
-(* [note_alloc path bytes] folds bytes allocated on {e worker} domains
-   into the active scope's allocation accounting. Called only by the
-   parallel coordinator at morsel merge points — the governor's state
-   is coordinator-private, so workers never touch it directly. *)
+(* [note_alloc path bytes] folds externally measured worker-domain
+   bytes into the active scope. Kept for callers that measure worker
+   allocation themselves instead of adopting the scope ({!with_scope}
+   now subsumes it for the vectorized engine). *)
 let note_alloc path bytes =
-  if !active then
-    match !current with
-    | None -> ()
-    | Some st ->
-        st.st_alloc_extra <- st.st_alloc_extra +. bytes;
-        if st.st_budget.g_max_alloc_mb <> None then slow_check st path
+  match cur () with
+  | None -> ()
+  | Some dv ->
+      ignore (Atomic.fetch_and_add dv.dv_state.st_alloc (int_of_float bytes));
+      if dv.dv_state.st_budget.g_max_alloc_mb <> None then slow_check dv path
+
+let mk_view st =
+  {
+    dv_state = st;
+    dv_rows = 0;
+    dv_pairs = 0;
+    dv_fuel = fuel_interval;
+    dv_alloc0 = Gc.allocated_bytes ();
+  }
 
 (** [with_budget b f] runs [f] governed by [b] ([None] = unchanged).
     Installing a scope inside another {e suspends} the outer scope: its
@@ -268,23 +323,48 @@ let with_budget b f =
           st_budget = b;
           st_deadline = Option.map (fun s -> now +. s) b.g_timeout;
           st_t0 = now;
-          st_alloc0 = Gc.allocated_bytes ();
           st_row_limit = Option.value ~default:max_int b.g_max_rows;
           st_pair_limit = Option.value ~default:max_int b.g_max_pairs;
-          st_rows = 0;
-          st_pairs = 0;
-          st_fuel = fuel_interval;
-          st_alloc_extra = 0.0;
+          st_rows = Atomic.make 0;
+          st_pairs = Atomic.make 0;
+          st_alloc = Atomic.make 0;
         }
       in
-      let saved = !current in
-      current := Some st;
-      active := true;
-      Fun.protect
-        ~finally:(fun () ->
-          current := saved;
-          active := saved <> None)
-        f
+      let r = Domain.DLS.get tls in
+      let saved = !r in
+      r := Some (mk_view st);
+      Fun.protect ~finally:(fun () -> r := saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Scope adoption across domains                                       *)
+(* ------------------------------------------------------------------ *)
+
+type scope = state option
+
+let no_scope : scope = None
+let current_scope () : scope = Option.map (fun dv -> dv.dv_state) (cur ())
+
+(* [with_scope sc f] runs [f] ticking against [sc] from the calling
+   domain: a fresh view (own fuel, own allocation baseline) over the
+   shared totals, flushed at exit so the coordinator's barrier-time
+   counters include this domain's contribution. Re-adopting the scope a
+   domain is already viewing is a no-op wrapper — the existing view
+   keeps the allocation baseline chain intact. *)
+let with_scope (sc : scope) f =
+  match sc with
+  | None -> f ()
+  | Some st -> (
+      let r = Domain.DLS.get tls in
+      match !r with
+      | Some dv when dv.dv_state == st -> f ()
+      | saved ->
+          let dv = mk_view st in
+          r := Some dv;
+          Fun.protect
+            ~finally:(fun () ->
+              flush dv;
+              r := saved)
+            f)
 
 (* ------------------------------------------------------------------ *)
 (* Fault injection                                                     *)

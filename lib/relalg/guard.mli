@@ -20,7 +20,13 @@
     The fallback ladder in [Core] runs each strategy attempt under its
     own sub-budget on this contract, re-splitting the remaining
     wall-clock allowance itself; row/pair/allocation ceilings are fresh
-    per attempt. *)
+    per attempt.
+
+    The scope registry is [Domain.DLS]-backed with [Atomic] shared
+    totals (see guard.ml), so worker domains may adopt the
+    coordinator's scope with {!with_scope} and tick checkpoints
+    concurrently: budgets trip with correctly aggregated totals no
+    matter which domain crosses a ceiling. *)
 
 (** {1 Budgets} *)
 
@@ -86,8 +92,32 @@ val trip_to_string : trip -> string
     and allocation baselines start at entry. *)
 val with_budget : budget option -> (unit -> 'a) -> 'a
 
-(** Counters of the innermost active scope (all zero when none). *)
+(** Counters of the innermost active scope (all zero when none). Totals
+    are aggregated across every domain that adopted the scope, up to
+    each remote domain's last flush (slow checkpoint or view exit). *)
 val observed : unit -> counters
+
+(** {1 Cross-domain scope adoption} *)
+
+(** A handle on the innermost active scope, shareable across domains. *)
+type scope
+
+(** The scope that adopts nothing: {!with_scope}[ no_scope f = f ()]. *)
+val no_scope : scope
+
+(** The calling domain's innermost active scope ({!no_scope} when no
+    budget is installed). The coordinator captures this before fanning
+    tasks out to worker domains. *)
+val current_scope : unit -> scope
+
+(** [with_scope sc f] runs [f] with [sc] adopted on the calling domain:
+    checkpoints inside [f] tick against the shared scope through a
+    fresh domain-private view whose counters are flushed into the
+    shared totals at exit. A ceiling crossed on this domain raises
+    {!Budget_exceeded} here — the morsel scheduler propagates it to the
+    coordinator's barrier. Adopting a scope the domain is already
+    viewing is a no-op wrapper. *)
+val with_scope : scope -> (unit -> 'a) -> 'a
 
 (** Whether a budget scope is active — callers use this to skip
     checkpoint-argument computation (e.g. a cardinality walk) on the
@@ -125,10 +155,12 @@ val cross_guard : string list -> left:int -> right:int -> unit
     timeout/allocation budgets trip even on plans with few operators. *)
 val tick : string list -> unit
 
-(** [note_alloc path bytes] folds bytes allocated on {e worker} domains
-    into the active scope's allocation budget ([Gc.allocated_bytes] is
-    per-domain). Called by the vectorized engine's coordinator at
-    morsel merge points; checks the allocation ceiling immediately. *)
+(** [note_alloc path bytes] folds externally measured worker-domain
+    bytes into the active scope's allocation budget
+    ([Gc.allocated_bytes] is per-domain). Checks the allocation ceiling
+    immediately. Superseded for the vectorized engine by worker-side
+    {!with_scope} adoption, which accounts allocation automatically;
+    kept for callers that measure worker allocation themselves. *)
 val note_alloc : string list -> float -> unit
 
 (** {1 Paths} *)

@@ -17,11 +17,27 @@
 
     The pool is coordinator-driven: {!run} publishes a job, wakes the
     workers, participates itself, and returns only when every task has
-    finished (a barrier). Worker domains never touch the {!Guard}
-    governor or any other global engine state — the coordinator does
-    all accounting at merge points. Task bodies are expected not to
-    raise; if one does, the first exception is re-raised from {!run}
-    after the barrier.
+    finished (a barrier). Worker domains touch global engine state only
+    through explicitly synchronized paths (a {!Guard} scope adopted
+    with [Guard.with_scope], {!Relation}'s memo caches); the
+    coordinator merges result slots after the barrier. Task bodies may
+    raise; the first exception is re-raised from {!run} after the
+    barrier.
+
+    When the {!Race} detector is armed, the scheduler publishes its
+    real synchronization as happens-before edges: the pool lock
+    (job publish → pickup), each deque's lock (push → pop/steal), and
+    the job-join edge (task completion → the coordinator's barrier
+    exit). Accesses two domains make without one of those edges (or an
+    engine-level one) between them are exactly the ones the detector
+    reports.
+
+    {!set_chaos} arms a PCT-style test-mode scheduler: seeded random
+    steal priorities and forced preemption points (spin bursts at
+    pop/steal boundaries) perturb the schedule deterministically per
+    (seed, worker, job), so a racy interleaving found by the fuzzer is
+    replayable from its seed alone — modulo the OS scheduler, which the
+    spin windows merely bias.
 
     Re-entrant {!run} calls (a task body calling {!run} on the same
     pool) and single-worker pools degrade to sequential in-caller
@@ -29,6 +45,34 @@
     inherited through [fork] is invalid (only the forking thread
     survives in the child), so the cache is keyed on the pid and the
     child transparently builds fresh domains. *)
+
+(* ---- chaos mode (schedule fuzzing) --------------------------------- *)
+
+(* 0 = off; otherwise the seed shifted left with a set low bit, so the
+   armed check is one atomic load. Armed only by tests and the racefuzz
+   campaign. *)
+let chaos = Atomic.make 0
+
+let set_chaos = function
+  | None -> Atomic.set chaos 0
+  | Some s -> Atomic.set chaos ((s lsl 1) lor 1)
+
+let chaos_seed () =
+  let c = Atomic.get chaos in
+  if c land 1 = 1 then Some (c lsr 1) else None
+
+(* xorshift; never 0, positive. *)
+let chaos_next r =
+  let x = !r in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  let x = if x = 0 then 0x2545F491 else x in
+  r := x;
+  x
+
+(* ---- deques --------------------------------------------------------- *)
 
 (* A mutex-guarded deque of task ids. Morsels are coarse (hundreds of
    rows each), so a lock per pop/steal is noise; the deque discipline
@@ -38,39 +82,44 @@ type deque = {
   mutable top : int;  (* next index to steal *)
   mutable bot : int;  (* one past the owner's end *)
   dq_lock : Mutex.t;
+  dq_edge : string;  (* per-deque happens-before edge name *)
 }
 
 let deque_pop dq =
-  Mutex.lock dq.dq_lock;
-  let r =
-    if dq.bot > dq.top then begin
-      dq.bot <- dq.bot - 1;
-      Some dq.items.(dq.bot)
-    end
-    else None
-  in
-  Mutex.unlock dq.dq_lock;
-  r
+  Race.with_lock dq.dq_lock dq.dq_edge (fun () ->
+      if dq.bot > dq.top then begin
+        dq.bot <- dq.bot - 1;
+        if Race.is_armed () then begin
+          Race.write (dq.dq_edge ^ ".bot");
+          Race.read (dq.dq_edge ^ ".top")
+        end;
+        Some dq.items.(dq.bot)
+      end
+      else None)
 
 let deque_steal dq =
-  Mutex.lock dq.dq_lock;
-  let r =
-    if dq.bot > dq.top then begin
-      let t = dq.items.(dq.top) in
-      dq.top <- dq.top + 1;
-      Some t
-    end
-    else None
-  in
-  Mutex.unlock dq.dq_lock;
-  r
+  Race.with_lock dq.dq_lock dq.dq_edge (fun () ->
+      if dq.bot > dq.top then begin
+        let t = dq.items.(dq.top) in
+        dq.top <- dq.top + 1;
+        if Race.is_armed () then begin
+          Race.write (dq.dq_edge ^ ".top");
+          Race.read (dq.dq_edge ^ ".bot")
+        end;
+        Some t
+      end
+      else None)
 
 type job = {
+  j_id : int;
   j_f : int -> int -> unit;  (* worker id, task id *)
   j_deques : deque array;
   j_remaining : int Atomic.t;
+  j_done_edge : string;  (* task completion → coordinator barrier *)
   mutable j_exn : exn option;
 }
+
+let job_counter = Atomic.make 0
 
 type pool = {
   p_size : int;
@@ -86,51 +135,108 @@ type pool = {
 
 let size p = p.p_size
 
-let record_exn pool job e =
+(* The pool lock as a happens-before edge: job publish → pickup, and
+   exception recording → the coordinator's post-barrier read. The
+   acquire/release pairs bracket every lock/unlock {e and} every
+   [Condition.wait] (which unlocks and relocks internally). *)
+let pool_edge = "morsel.pool"
+
+let lock_pool pool =
   Mutex.lock pool.p_lock;
-  if job.j_exn = None then job.j_exn <- Some e;
+  Race.acquire pool_edge
+
+let unlock_pool pool =
+  Race.release pool_edge;
   Mutex.unlock pool.p_lock
 
+let wait_pool cond pool =
+  Race.release pool_edge;
+  Condition.wait cond pool.p_lock;
+  Race.acquire pool_edge
+
+let record_exn pool job e =
+  lock_pool pool;
+  if job.j_exn = None then job.j_exn <- Some e;
+  unlock_pool pool
+
 (* Drain the job: own deque first, then steal sweeps; exit when every
-   deque is empty (in-flight tasks on other workers finish there). *)
+   deque is empty (in-flight tasks on other workers finish there).
+   Under chaos mode, a per-(seed, worker, job) PRNG injects forced
+   preemption windows (spin bursts) at pop/steal boundaries and
+   occasionally inverts the pop-own-first priority into a steal from a
+   random victim — PCT-style schedule perturbation. *)
 let participate pool job w =
   let nd = Array.length job.j_deques in
+  let rng =
+    match chaos_seed () with
+    | None -> None
+    | Some s ->
+        let z =
+          (s * 0x9E3779B1)
+          lxor ((w + 1) * 0x85EBCA77)
+          lxor ((job.j_id + 1) * 0xC2B2AE3D)
+        in
+        Some (ref ((z land max_int) lor 1))
+  in
+  let preempt () =
+    match rng with
+    | None -> ()
+    | Some r ->
+        if chaos_next r land 3 = 0 then
+          for _ = 1 to chaos_next r land 255 do
+            Domain.cpu_relax ()
+          done
+  in
   let run_task t =
     (try job.j_f w t with e -> record_exn pool job e);
+    (* Publish this task's effects before the decrement the coordinator
+       waits on; the barrier acquires the edge after seeing zero. *)
+    Race.release job.j_done_edge;
     if Atomic.fetch_and_add job.j_remaining (-1) = 1 then begin
-      Mutex.lock pool.p_lock;
+      lock_pool pool;
       Condition.broadcast pool.p_done;
-      Mutex.unlock pool.p_lock
+      unlock_pool pool
     end
   in
   let rec own () =
+    preempt ();
+    (match rng with
+    | Some r when nd > 1 && chaos_next r land 7 = 0 -> (
+        (* forced steal point: serve a random victim before ourselves *)
+        let v = (w + 1 + (chaos_next r mod (nd - 1))) mod nd in
+        match deque_steal job.j_deques.(v) with
+        | Some t -> run_task t
+        | None -> ())
+    | _ -> ());
     match deque_pop job.j_deques.(w) with
     | Some t ->
         run_task t;
         own ()
     | None -> steal 1
   and steal k =
-    if k < nd then
+    if k < nd then begin
+      preempt ();
       match deque_steal job.j_deques.((w + k) mod nd) with
       | Some t ->
           run_task t;
           own ()
       | None -> steal (k + 1)
+    end
   in
   own ()
 
 let worker_loop pool w =
   let my_epoch = ref 0 in
   let rec loop () =
-    Mutex.lock pool.p_lock;
+    lock_pool pool;
     while (not pool.p_shutdown) && pool.p_epoch = !my_epoch do
-      Condition.wait pool.p_work pool.p_lock
+      wait_pool pool.p_work pool
     done;
-    if pool.p_shutdown then Mutex.unlock pool.p_lock
+    if pool.p_shutdown then unlock_pool pool
     else begin
       my_epoch := pool.p_epoch;
       let job = pool.p_job in
-      Mutex.unlock pool.p_lock;
+      unlock_pool pool;
       (match job with Some j -> participate pool j w | None -> ());
       loop ()
     end
@@ -157,16 +263,16 @@ let create n =
   pool
 
 let shutdown pool =
-  Mutex.lock pool.p_lock;
+  lock_pool pool;
   pool.p_shutdown <- true;
   Condition.broadcast pool.p_work;
-  Mutex.unlock pool.p_lock;
+  unlock_pool pool;
   List.iter Domain.join pool.p_domains;
   pool.p_domains <- []
 
 (* Contiguous chunk per worker: worker [w] owns tasks
    [w*q + min w r .. ) — balanced to within one task. *)
-let partition ~tasks ~workers =
+let partition ~job_id ~tasks ~workers =
   let q = tasks / workers and r = tasks mod workers in
   Array.init workers (fun w ->
       let lo = (w * q) + min w r in
@@ -176,6 +282,7 @@ let partition ~tasks ~workers =
         top = 0;
         bot = len;
         dq_lock = Mutex.create ();
+        dq_edge = Printf.sprintf "morsel.job%d.dq%d" job_id w;
       })
 
 let run pool ~tasks (f : int -> int -> unit) =
@@ -185,27 +292,33 @@ let run pool ~tasks (f : int -> int -> unit) =
         f 0 t
       done
     else begin
+      let job_id = Atomic.fetch_and_add job_counter 1 in
       let job =
         {
+          j_id = job_id;
           j_f = f;
-          j_deques = partition ~tasks ~workers:pool.p_size;
+          j_deques = partition ~job_id ~tasks ~workers:pool.p_size;
           j_remaining = Atomic.make tasks;
+          j_done_edge = Printf.sprintf "morsel.job%d.done" job_id;
           j_exn = None;
         }
       in
-      Mutex.lock pool.p_lock;
+      lock_pool pool;
       pool.p_job <- Some job;
       pool.p_epoch <- pool.p_epoch + 1;
       pool.p_busy <- true;
       Condition.broadcast pool.p_work;
-      Mutex.unlock pool.p_lock;
+      unlock_pool pool;
       participate pool job 0;
-      Mutex.lock pool.p_lock;
+      lock_pool pool;
       while Atomic.get job.j_remaining > 0 do
-        Condition.wait pool.p_done pool.p_lock
+        wait_pool pool.p_done pool
       done;
       pool.p_busy <- false;
-      Mutex.unlock pool.p_lock;
+      unlock_pool pool;
+      (* every task released the edge before its decrement; joining it
+         here orders all task effects before the merge that follows *)
+      Race.acquire job.j_done_edge;
       match job.j_exn with Some e -> raise e | None -> ()
     end
 
@@ -231,7 +344,7 @@ let default_domains () = Domain.recommended_domain_count ()
    exercise cross-domain scheduling regardless of core count. *)
 let get n =
   let n = max 1 (min 128 (min n (default_domains ()))) in
-  Mutex.protect cache_lock (fun () ->
+  Race.with_lock cache_lock "morsel.cache_lock" (fun () ->
       let pid = Unix.getpid () in
       match Hashtbl.find_opt cache n with
       | Some (p, pool) when p = pid -> pool

@@ -7,9 +7,16 @@
     by task id) and merge in task order after {!run} returns, so
     results are identical across runs and worker counts.
 
-    Worker domains must not touch global engine state ({!Guard},
-    compile caches, statistics) — the coordinator does all accounting
-    at merge points. *)
+    Worker domains touch global engine state only through explicitly
+    synchronized paths: a {!Guard} scope adopted with
+    [Guard.with_scope], and the lock-protected / atomically published
+    caches registered in [Share_lint]'s inventory. The coordinator
+    merges result slots after the barrier.
+
+    When the {!Race} detector is armed the scheduler publishes its real
+    synchronization as happens-before edges (pool lock, per-deque
+    locks, job-join), so an engine access two domains make without an
+    ordering edge between them is reported as a race. *)
 
 type pool
 
@@ -22,10 +29,21 @@ val size : pool -> int
 val run : pool -> tasks:int -> (int -> int -> unit) -> unit
 (** [run pool ~tasks f] executes [f worker_id task_id] for every
     [task_id] in [0..tasks-1] and returns when all have finished (a
-    barrier). [worker_id 0] is the caller. Tasks are expected not to
-    raise; the first exception raised by a task is re-raised here after
-    the barrier. Re-entrant calls and single-worker pools execute
-    sequentially in the caller (with [worker_id = 0]). *)
+    barrier). [worker_id 0] is the caller. The first exception raised
+    by a task (e.g. a [Guard.Budget_exceeded] tripped on a worker
+    domain) is re-raised here after the barrier. Re-entrant calls and
+    single-worker pools execute sequentially in the caller (with
+    [worker_id = 0]). *)
+
+val set_chaos : int option -> unit
+(** [set_chaos (Some seed)] arms the test-mode chaos scheduler: every
+    subsequent job perturbs its schedule with seeded random steal
+    priorities and forced preemption points (spin bursts at pop/steal
+    boundaries), deterministically derived from
+    [(seed, worker, job)] — PCT-style schedule fuzzing. The actual
+    interleaving still depends on the OS scheduler; the seed makes the
+    {e bias} replayable. [set_chaos None] disarms (the default); the
+    armed check on the scheduler hot path is one atomic load. *)
 
 val shutdown : pool -> unit
 (** Stop and join the pool's domains. Cached pools normally live for

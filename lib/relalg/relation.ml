@@ -18,6 +18,8 @@
     probe workers read these caches concurrently. *)
 
 type t = {
+  rel_id : int;
+      (* process-unique, for stable race-detector location names *)
   schema : Schema.t;
   rows_memo : Tuple.t list option Atomic.t;
       (* the tuple list; [None] until the producer has run *)
@@ -38,6 +40,10 @@ type t = {
    per-relation footprint stays two words. *)
 let memo_lock = Mutex.create ()
 
+(* Relation ids only feed [Race] location names, so a contended
+   fetch-and-add per construction is acceptable. *)
+let next_id = Atomic.make 0
+
 exception Relation_error of string
 
 let relation_error fmt = Format.kasprintf (fun s -> raise (Relation_error s)) fmt
@@ -47,6 +53,7 @@ let relation_error fmt = Format.kasprintf (fun s -> raise (Relation_error s)) fm
     whose output arity is known correct by construction. *)
 let make_unchecked schema tuples =
   {
+    rel_id = Atomic.fetch_and_add next_id 1;
     schema;
     rows_memo = Atomic.make (Some tuples);
     producer = None;
@@ -73,6 +80,7 @@ let make schema tuples =
     domain, and the result is cached. *)
 let make_lazy ~cardinality schema produce =
   {
+    rel_id = Atomic.fetch_and_add next_id 1;
     schema;
     rows_memo = Atomic.make None;
     producer = Some produce;
@@ -92,21 +100,46 @@ let of_values schema rows = make schema (List.map Tuple.of_list rows)
 (* Double-checked lazy initialization: the common path is one atomic
    load; a miss takes the lock, re-checks, builds privately and only
    then publishes — so concurrent readers either see [None] or a
-   completely built value, never a table under construction. *)
-let memo_init (cell : 'a option Atomic.t) (build : unit -> 'a) : 'a =
+   completely built value, never a table under construction.
+
+   Race instrumentation (armed runs only): the built table is a plain
+   mutable structure published through the [Atomic] cell, so the writer
+   releases the cell's edge before [Atomic.set] and readers acquire it
+   on a hit — the detector then proves every reader ordered after the
+   build, and a memo published without that fence shows up as a race. *)
+let memo_loc r name = "relation[" ^ string_of_int r.rel_id ^ "]." ^ name
+
+let memo_init r name (cell : 'a option Atomic.t) (build : unit -> 'a) : 'a =
   match Atomic.get cell with
-  | Some v -> v
+  | Some v ->
+      if Race.is_armed () then begin
+        let loc = memo_loc r name in
+        Race.acquire loc;
+        Race.read loc
+      end;
+      v
   | None ->
-      Mutex.protect memo_lock (fun () ->
+      Race.with_lock memo_lock "relation.memo_lock" (fun () ->
           match Atomic.get cell with
-          | Some v -> v
+          | Some v ->
+              if Race.is_armed () then begin
+                let loc = memo_loc r name in
+                Race.acquire loc;
+                Race.read loc
+              end;
+              v
           | None ->
               let v = build () in
+              if Race.is_armed () then begin
+                let loc = memo_loc r name in
+                Race.write loc;
+                Race.release loc
+              end;
               Atomic.set cell (Some v);
               v)
 
 let tuples r =
-  memo_init r.rows_memo (fun () ->
+  memo_init r "rows_memo" r.rows_memo (fun () ->
       match r.producer with
       | Some produce -> produce ()
       | None -> assert false (* eager relations seed [rows_memo] *))
@@ -124,7 +157,7 @@ let counts r =
   (* Force the rows before taking the memo lock — [tuples] uses the
      same lock, and it is not recursive. *)
   let rows = tuples r in
-  memo_init r.counts_memo (fun () ->
+  memo_init r "counts_memo" r.counts_memo (fun () ->
       let tbl = Tuple.Tbl.create (max 16 (cardinality r)) in
       List.iter
         (fun t ->
@@ -143,7 +176,7 @@ let multiplicity r t =
 let nullable_columns r =
   (* Force the rows before taking the memo lock (see [counts]). *)
   let rows = tuples r in
-  memo_init r.nullable_memo (fun () ->
+  memo_init r "nullable_memo" r.nullable_memo (fun () ->
       let flags = Array.make (Schema.arity r.schema) false in
       List.iter
         (fun t ->

@@ -1,0 +1,100 @@
+(** Static sharing lint for the parallel engine: a declared inventory
+    of every toplevel mutable the worker domains can reach, each with
+    the synchronization discipline its accesses follow, plus a source
+    scan that cross-checks the inventory against the code.
+
+    The scan finds toplevel [ref]/[Hashtbl]/[Atomic]/[Mutex]/DLS/array
+    declarations in the engine modules (comments and string literals
+    stripped, submodules tracked); a mutable the inventory does not
+    register is an error with a stable rule id, so adding shared state
+    without deciding how it is synchronized fails CI rather than
+    waiting for the race detector — or production — to notice. The
+    inventory is also checked for self-consistency (a lock named by
+    [LockProtected] must itself be a registered mutex; an [Atomic.t]
+    cell must be [AtomicOnly]; lock objects are [Immutable]).
+
+    Diagnostics reuse {!Lint.diagnostic}; {!diagnostics_json} renders
+    them in the same machine-readable shape permcli's [--lint-json]
+    emits. Rule ids: [share-undeclared-mutable], [share-stale-inventory],
+    [share-kind-mismatch], [share-unknown-lock],
+    [share-discipline-mismatch], [share-missing-source] — and
+    {!diagnostic_of_race} reports dynamic findings as
+    [race-unordered-access] through the same channel. *)
+
+(** How accesses to one shared cell are ordered. *)
+type discipline =
+  | DomainLocal
+      (** reached from one domain only (DLS-backed, or armed/read on
+          the coordinator while workers are quiescent) *)
+  | LockProtected of string
+      (** every access holds the named mutex (["module.name"] of an
+          [Immutable] inventory entry) *)
+  | AtomicOnly  (** an [Atomic.t] cell; no compound read-modify-write *)
+  | Immutable
+      (** never mutated after creation — lock/condition objects, whose
+          identity is the synchronization *)
+  | InitOnce
+      (** written during single-domain setup (CLI flags, test hooks),
+          quiescent while queries execute *)
+
+val discipline_to_string : discipline -> string
+
+type entry = {
+  e_module : string;  (** file base name, e.g. ["morsel"] *)
+  e_name : string;  (** possibly dotted: ["Faults.state"] *)
+  e_kind : string;
+      (** declaration kind the scanner must agree on: ["ref"],
+          ["hashtbl"], ["atomic"], ["mutex"], ["condition"], ["dls"],
+          ["array"] or ["buffer"] *)
+  e_discipline : discipline;
+  e_note : string;  (** why the discipline is sufficient *)
+}
+
+(** The declared shared-state inventory, the single registry CI checks
+    code against. *)
+val inventory : entry list
+
+val find : module_:string -> string -> entry option
+
+(** {1 Scanning} *)
+
+(** A toplevel mutable declaration found in source. *)
+type decl = { d_name : string; d_line : int; d_kind : string }
+
+(** [scan src] — the toplevel mutable declarations of one module's
+    source text. *)
+val scan : string -> decl list
+
+(** Inventory self-consistency alone (no sources needed). *)
+val check_inventory : unit -> Lint.diagnostic list
+
+(** [check_module ~module_ src] — scanned declarations vs. the
+    inventory entries of [module_]: undeclared mutables (error), kind
+    mismatches (error), stale entries (warning). *)
+val check_module : module_:string -> string -> Lint.diagnostic list
+
+(** Module base names the inventory covers, ["share_lint"] included. *)
+val modules : string list
+
+(** [check_sources ~root] — {!check_inventory} plus {!check_module}
+    over [root/<m>.ml] for every covered module; an unreadable source
+    is itself an error. *)
+val check_sources : root:string -> Lint.diagnostic list
+
+(** First of [lib/relalg], [../lib/relalg], … that holds the sources —
+    lets tests and CI invoke the lint from any build directory. *)
+val default_root : unit -> string option
+
+(** {1 Diagnostics plumbing} *)
+
+(** A dynamic race report on the static channel
+    (rule [race-unordered-access], severity error, path = location). *)
+val diagnostic_of_race : Race.report -> Lint.diagnostic
+
+(** One diagnostic as a JSON object
+    [{"severity":…,"rule":…,"path":…,"message":…}] — the shape
+    permcli's [--lint-json] emits. *)
+val diagnostic_json : Lint.diagnostic -> string
+
+(** [{"diagnostics":[…],"errors":n}] with [n] the error count. *)
+val diagnostics_json : Lint.diagnostic list -> string

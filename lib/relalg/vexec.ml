@@ -21,9 +21,14 @@
 
     Determinism and domain safety: worker domains only read frozen
     structures (columnar batches, prepped probe sets, a built hash
-    table) and write to per-task result slots; the coordinator does all
-    {!Guard} accounting, folding worker-domain allocation into the
-    budget at merge points ({!Guard.note_alloc}). *)
+    table) and write to per-task result slots. Workers adopt the
+    coordinator's {!Guard} scope per task ({!Guard.with_scope}), so
+    row/pair/time/allocation budgets aggregate across domains and trip
+    on whichever domain crosses a ceiling. Shared mutable cells are
+    registered in {!Share_lint}'s inventory and instrumented for the
+    {!Race} detector: the columnar cache under its lock, probe prep and
+    the compiled context's memo tables as coordinator-prepped state
+    that workers may only read after the scheduler's publish edge. *)
 
 open Algebra
 
@@ -32,6 +37,12 @@ let domains = ref 1
 
 (** Rows per columnar batch. Set via [--batch-rows]. *)
 let batch_rows = ref 2048
+
+(** Test-only: run on this pool regardless of [domains] and of the
+    core-count clamp in {!Morsel.get}. The race-fuzz campaign and the
+    multi-domain tests need genuinely parallel schedules even on hosts
+    where [Domain.recommended_domain_count () = 1]. *)
+let pool_override : Morsel.pool option ref = ref None
 
 (* ---- columnar base-relation cache --------------------------------- *)
 
@@ -45,7 +56,10 @@ let cache_lock = Mutex.create ()
 let cache : (Relation.t * int * Vector.t array) list ref = ref []
 let cache_cap = 32
 
-let clear_cache () = Mutex.protect cache_lock (fun () -> cache := [])
+let clear_cache () =
+  Race.with_lock cache_lock "vexec.cache_lock" (fun () ->
+      Race.write "vexec.cache";
+      cache := [])
 
 let rec take_n n = function
   | [] -> []
@@ -54,14 +68,16 @@ let rec take_n n = function
 let columnar_batches rel : Vector.t array =
   let br = max 1 !batch_rows in
   let hit =
-    Mutex.protect cache_lock (fun () ->
+    Race.with_lock cache_lock "vexec.cache_lock" (fun () ->
+        Race.read "vexec.cache";
         List.find_opt (fun (r, b, _) -> r == rel && b = br) !cache)
   in
   match hit with
   | Some (_, _, bats) -> bats
   | None ->
       let bats = Vector.of_relation ~batch_rows:br rel in
-      Mutex.protect cache_lock (fun () ->
+      Race.with_lock cache_lock "vexec.cache_lock" (fun () ->
+          Race.write "vexec.cache";
           cache :=
             take_n cache_cap
               ((rel, br, bats)
@@ -97,26 +113,26 @@ let guarded here (v : vop) : vop =
         bats);
   }
 
-(* [par_run here pool ~tasks f] — run [f 0..tasks-1] on the pool. The
-   coordinator (worker 0) keeps ticking the governor; worker domains
-   must not touch {!Guard} (its scope state is domain-local), so their
-   allocation is measured per task ([Gc.allocated_bytes] is per-domain)
-   and folded into the budget at the barrier. *)
+(* [par_run here pool ~tasks f] — run [f 0..tasks-1] on the pool.
+   Every worker adopts the coordinator's governor scope for its tasks
+   ({!Guard.with_scope}): ticks and allocation account into the shared
+   scope totals from whichever domain runs the morsel, and a ceiling
+   crossed on a worker raises [Budget_exceeded] there — the scheduler
+   re-raises it from the coordinator's barrier. The coordinator
+   (worker 0) already holds its own view of the scope, so it ticks
+   directly. *)
 let par_run here pool ~tasks (f : int -> unit) =
   if tasks > 0 then begin
-    let allocs = Array.make (Morsel.size pool) 0.0 in
+    let scope = Guard.current_scope () in
     Morsel.run pool ~tasks (fun w t ->
         if w = 0 then begin
           Guard.tick here;
           f t
         end
-        else begin
-          let a0 = Gc.allocated_bytes () in
-          f t;
-          allocs.(w) <- allocs.(w) +. (Gc.allocated_bytes () -. a0)
-        end);
-    let worker_bytes = Array.fold_left ( +. ) 0.0 allocs in
-    if worker_bytes > 0.0 then Guard.note_alloc here worker_bytes
+        else
+          Guard.with_scope scope (fun () ->
+              Guard.tick here;
+              f t))
   end
 
 (* ---- batch utilities ----------------------------------------------- *)
@@ -231,6 +247,7 @@ type prep = {
 }
 
 type probe = {
+  pr_id : int;  (** process-unique, for race-detector locations *)
   pr_get : Compile.ctx -> Tuple.t list -> Sem.summary;
   pr_any : bool;
   pr_op : cmpop;
@@ -238,6 +255,16 @@ type probe = {
   pr_env0 : Tuple.t;  (** NULL frame standing in for the input row *)
   mutable pr_prep : (Compile.ctx * prep) option;
 }
+
+let probe_counter = Atomic.make 0
+
+(* [pr_prep] is coordinator-prepped, worker-read: the scheduler's
+   publish edge orders the write before the reads; an armed detector
+   reports a worker that writes it. Per-probe location — probes are
+   execution-private, and distinct probes must not alias. *)
+let probe_loc pr = "vexec.probe[" ^ string_of_int pr.pr_id ^ "].prep"
+let probe_mark_read pr = if Race.is_armed () then Race.read (probe_loc pr)
+let probe_mark_write pr = if Race.is_armed () then Race.write (probe_loc pr)
 
 type leaf =
   | LAttr of int  (** boolean-position column read *)
@@ -269,9 +296,11 @@ let rec mask_probes acc = function
   | MLeaf (LProbe p) -> p :: acc
 
 let prepped rt pr =
+  probe_mark_read pr;
   match pr.pr_prep with Some (c, _) -> c == rt.cctx | None -> false
 
 let prep_probe rt pr : prep =
+  probe_mark_read pr;
   match pr.pr_prep with
   | Some (c, p) when c == rt.cctx -> p
   | _ ->
@@ -302,6 +331,7 @@ let prep_probe rt pr : prep =
           p_iset = iset;
         }
       in
+      probe_mark_write pr;
       pr.pr_prep <- Some (rt.cctx, p);
       p
 
@@ -724,6 +754,7 @@ and probe_of db here schema cenv ~any op n s : mask option =
             (MLeaf
                (LProbe
                   {
+                    pr_id = Atomic.fetch_and_add probe_counter 1;
                     pr_get = get;
                     pr_any = any;
                     pr_op = op;
@@ -1402,7 +1433,11 @@ and lower_join db here cenv ~outer cond a b : vop =
 let query_stats ?(env = []) db q : Relation.t * Sem.stats =
   let cenv = List.map fst env and renv = List.map snd env in
   let v = lower db [] cenv q in
-  let pool = if !domains > 1 then Some (Morsel.get !domains) else None in
+  let pool =
+    match !pool_override with
+    | Some _ as p -> p
+    | None -> if !domains > 1 then Some (Morsel.get !domains) else None
+  in
   let rt = { cctx = Compile.mk_ctx db; renv; pool } in
   let bats = v.v_run rt in
   (Vector.relation_of v.v_schema bats, Compile.ctx_stats rt.cctx)

@@ -19,6 +19,13 @@ val domains : int ref
     kernel unit, and the governor's row-accounting granularity). *)
 val batch_rows : int ref
 
+(** Test-only override: run on this pool regardless of {!domains} and
+    of the core-count clamp in [Morsel.get] — multi-domain schedule
+    tests and the race-fuzz campaign need real parallelism even on
+    single-core hosts. [None] (the default) selects the cached pool
+    from {!domains}. *)
+val pool_override : Morsel.pool option ref
+
 (** Drop the columnar base-relation cache (identity-keyed; tests use
     this to measure cold conversions). *)
 val clear_cache : unit -> unit
