@@ -1312,6 +1312,406 @@ let racefuzz_cmd =
           engine")
     Term.(const run $ seed_arg $ count_arg $ domains_arg $ json_arg)
 
+(* ------------------------------------------------------------------ *)
+(* [bench serve]: closed-loop load driver for the provenance server    *)
+(* ------------------------------------------------------------------ *)
+
+(* Same LCG family as the rest of the deterministic harnesses. *)
+let serve_rng seed =
+  let state = ref (((seed * 0x9E3779B1) lor 1) land 0x3FFFFFFF) in
+  fun bound ->
+    state := (!state * 1103515245 + 12345) land 0x3FFFFFFF;
+    !state mod bound
+
+(* One snapshot holding all three workload families: Qgen's r/s/u
+   integer tables plus a small TPC-H instance. Names do not clash. *)
+let serve_db ~sf ~seed =
+  let db = Database.create () in
+  let qdb = Fuzz.Qgen.database (Fuzz.Qgen.case_of_seed seed) in
+  List.iter (fun n -> Database.add db n (Database.find qdb n)) (Database.names qdb);
+  let tdb = Tpch.Tpch_gen.generate ~sf () in
+  List.iter (fun n -> Database.add db n (Database.find tdb n)) (Database.names tdb);
+  db
+
+(* The query mix: hand-written provenance sublinks, generated Qgen
+   nestings, and TPC-H (one standard scan, one aggregation, one
+   uncorrelated sublink). All SELECTs — idempotent under client retry. *)
+let serve_mix ~seed =
+  let qgen i = Fuzz.Qgen.sql (Fuzz.Qgen.case_of_seed (seed + i)) in
+  let tq n =
+    (Tpch.Tpch_queries.instantiate_standard ~seed n).Tpch.Tpch_queries.sql
+  in
+  let uq n = (Tpch.Tpch_queries.instantiate ~seed n).Tpch.Tpch_queries.sql in
+  [|
+    "SELECT PROVENANCE * FROM r WHERE a = ANY (SELECT c FROM s)";
+    "SELECT PROVENANCE a, b FROM r WHERE EXISTS (SELECT * FROM s WHERE c = a)";
+    "SELECT e, f FROM u WHERE e > 0";
+    qgen 1;
+    qgen 2;
+    qgen 3;
+    qgen 4;
+    tq 6;
+    tq 1;
+    uq 11;
+  |]
+
+type serve_tally = {
+  mutable sv_ok : int;
+  mutable sv_err : int;
+  mutable sv_shed : int;
+  mutable sv_retries : int;
+  mutable sv_lat : float list;  (** seconds, successful requests only *)
+}
+
+(* One closed-loop client: pick a query, wait for the answer, repeat
+   until the deadline. Overloaded answers honor the retry-after hint
+   (capped — this is a load driver, not a polite citizen). *)
+let serve_client ~port ~mix ~deadline ~seed idx =
+  let tally = { sv_ok = 0; sv_err = 0; sv_shed = 0; sv_retries = 0; sv_lat = [] } in
+  let rng = serve_rng (seed + (7919 * idx)) in
+  let cl =
+    Provserver.Client.create ~host:"127.0.0.1" ~port ~timeout:30.0
+      ~seed:(seed + (997 * idx)) ()
+  in
+  (try
+     while Unix.gettimeofday () < deadline do
+       let sql = mix.(rng (Array.length mix)) in
+       let t0 = Unix.gettimeofday () in
+       match Provserver.Client.request cl (Provserver.Protocol.Query sql) with
+       | resp, retries -> (
+           tally.sv_retries <- tally.sv_retries + retries;
+           match resp with
+           | Provserver.Protocol.Result _ | Provserver.Protocol.Ok_msg _ ->
+               tally.sv_ok <- tally.sv_ok + 1;
+               tally.sv_lat <- (Unix.gettimeofday () -. t0) :: tally.sv_lat
+           | Provserver.Protocol.Overloaded { retry_after } ->
+               tally.sv_shed <- tally.sv_shed + 1;
+               Unix.sleepf (Float.min retry_after 0.05)
+           | _ -> tally.sv_err <- tally.sv_err + 1)
+       | exception Provserver.Client.Client_error _ ->
+           tally.sv_err <- tally.sv_err + 1
+     done
+   with _ -> ());
+  Provserver.Client.close cl;
+  tally
+
+(* Nearest-rank percentile over an ascending array. *)
+let serve_percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n ->
+      let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) in
+      sorted.(max 0 (min (n - 1) (rank - 1)))
+
+(* Answer-correctness oracle for --faults: the server's rendered rows
+   for a sampled query must equal a trusted local evaluation on the
+   same snapshot (order-insensitive — strategies are free to permute). *)
+let serve_verify ~db ~mix ~port ~seed =
+  let cl =
+    Provserver.Client.create ~host:"127.0.0.1" ~port ~timeout:60.0 ~seed ()
+  in
+  let bad = ref 0 in
+  Array.iter
+    (fun sql ->
+      match Provserver.Client.request cl (Provserver.Protocol.Query sql) with
+      | Provserver.Protocol.Result { r_rows; _ }, _ -> (
+          match Perm.exec db ~strategy:Strategy.Gen ~fallback:true sql with
+          | Perm.Rows r ->
+              let local =
+                List.map
+                  (fun t ->
+                    List.map Value.to_string
+                      (Array.to_list (t : Tuple.t :> Value.t array)))
+                  (Relation.tuples r.Perm.relation)
+              in
+              let norm rows = List.sort compare rows in
+              if norm local <> norm r_rows then begin
+                incr bad;
+                Printf.printf "  WRONG ANSWER: %s\n    server %d rows, local %d rows\n"
+                  sql (List.length r_rows) (List.length local)
+              end
+          | _ -> ())
+      | resp, _ ->
+          incr bad;
+          Printf.printf "  VERIFY FAILED: %s\n    unexpected response %s\n" sql
+            (match resp with
+            | Provserver.Protocol.Error_msg { e_msg; _ } -> e_msg
+            | Provserver.Protocol.Overloaded _ -> "Overloaded"
+            | _ -> "?")
+      | exception Provserver.Client.Client_error msg ->
+          incr bad;
+          Printf.printf "  VERIFY FAILED: %s\n    %s\n" sql msg)
+    mix;
+  Provserver.Client.close cl;
+  !bad
+
+(* One measured point: a fresh server, [clients] closed-loop threads
+   for [duration] seconds, then percentile aggregation and (with
+   --faults) the no-wedge / no-leak / no-wrong-answer assertions.
+   Returns the number of fault-matrix violations (0 without --faults). *)
+let serve_run ~db ~mix ~clients ~duration ~slots ~queue_limit ~timeout ~seed
+    ~faults () =
+  let fault_plan =
+    if faults then Some (Provserver.Server.fault_plan ~rate:0.05 seed) else None
+  in
+  let budget = Guard.budget ~timeout () in
+  let cfg =
+    Provserver.Server.config ~host:"127.0.0.1" ~port:0 ~max_sessions:(clients + 8)
+      ~eval_slots:slots ~queue_limit ~budget
+      ~backoff:(Resilience.backoff ~seed ())
+      ~max_result_rows:100_000 ?faults:fault_plan db
+  in
+  let sv = Provserver.Server.start cfg in
+  let port = Provserver.Server.port sv in
+  let deadline = Unix.gettimeofday () +. duration in
+  let t0 = Unix.gettimeofday () in
+  let results = Array.make clients None in
+  let threads =
+    List.init clients (fun i ->
+        Thread.create
+          (fun () -> results.(i) <- Some (serve_client ~port ~mix ~deadline ~seed i))
+          ())
+  in
+  List.iter Thread.join threads;
+  let tallies = List.filter_map Fun.id (Array.to_list results) in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let ok = List.fold_left (fun a t -> a + t.sv_ok) 0 tallies in
+  let err = List.fold_left (fun a t -> a + t.sv_err) 0 tallies in
+  let shed = List.fold_left (fun a t -> a + t.sv_shed) 0 tallies in
+  let retries = List.fold_left (fun a t -> a + t.sv_retries) 0 tallies in
+  let lat =
+    let a = Array.of_list (List.concat_map (fun t -> t.sv_lat) tallies) in
+    Array.sort compare a;
+    a
+  in
+  let ms p = serve_percentile lat p *. 1000. in
+  let thr = float_of_int ok /. elapsed in
+  Printf.printf
+    "%3d clients: %7.1f q/s  p50 %7.2f ms  p95 %7.2f ms  p99 %7.2f ms  (ok %d, err %d, shed %d, retries %d%s)\n%!"
+    clients thr (ms 50.) (ms 95.) (ms 99.) ok err shed retries
+    (if faults then
+       Printf.sprintf ", faults %d" (Provserver.Server.faults_injected sv)
+     else "");
+  let violations = ref 0 in
+  if faults then begin
+    (* no wedge: a fresh client still gets answers through the faults *)
+    (match
+       let cl =
+         Provserver.Client.create ~host:"127.0.0.1" ~port ~timeout:30.0
+           ~seed:(seed + 1) ()
+       in
+       let r = Provserver.Client.request cl Provserver.Protocol.Ping in
+       Provserver.Client.close cl;
+       fst r
+     with
+    | Provserver.Protocol.Pong -> ()
+    | _ | (exception Provserver.Client.Client_error _) ->
+        incr violations;
+        print_endline "  WEDGED: post-run ping failed");
+    (* no wrong answers: every mix query checked against local eval *)
+    violations := !violations + serve_verify ~db ~mix ~port ~seed
+  end;
+  let clean = Provserver.Server.drain sv in
+  let leaked =
+    match List.assoc_opt "sessions_active" (Provserver.Server.stats sv) with
+    | Some n -> int_of_float n
+    | None -> 0
+  in
+  if faults && not clean then begin
+    incr violations;
+    print_endline "  DRAIN: deadline hit with sessions still live"
+  end;
+  if faults && leaked <> 0 then begin
+    incr violations;
+    Printf.printf "  LEAK: %d sessions still active after drain\n" leaked
+  end;
+  ignore
+    (record ~figure:"serve" ~query:"mixed"
+       ~series:(Printf.sprintf "%d clients%s" clients (if faults then " +faults" else ""))
+       ~params:
+         [
+           ("clients", float_of_int clients);
+           ("duration_s", duration);
+           ("throughput_qps", thr);
+           ("p50_ms", ms 50.);
+           ("p95_ms", ms 95.);
+           ("p99_ms", ms 99.);
+           ("ok", float_of_int ok);
+           ("errors", float_of_int err);
+           ("shed", float_of_int shed);
+           ("retries", float_of_int retries);
+         ]
+       (Time elapsed, None));
+  !violations
+
+(* --fuzz-proto N: replay N seeded malformed frames against a live
+   server. Conn_alive cases must get a typed answer and keep the
+   connection usable; Conn_forfeit cases may cost the connection; after
+   every case a fresh well-formed request must be answered. *)
+let serve_fuzz_proto ~db ~seed ~count () =
+  let cfg = Provserver.Server.config ~host:"127.0.0.1" ~port:0 db in
+  let sv = Provserver.Server.start cfg in
+  let port = Provserver.Server.port sv in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  let open_conn () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd addr;
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
+    fd
+  in
+  let write_all fd b =
+    let n = Bytes.length b in
+    let k = ref 0 in
+    while !k < n do
+      k := !k + Unix.write fd b !k (n - !k)
+    done
+  in
+  let ping_on fd =
+    Provserver.Protocol.send_request fd Provserver.Protocol.Ping;
+    match Provserver.Protocol.recv_response fd with
+    | Provserver.Protocol.Got Provserver.Protocol.Pong -> true
+    | _ -> false
+  in
+  let failures = ref 0 in
+  let fail i case what =
+    incr failures;
+    Printf.printf "  case %d (%s): %s\n" i
+      (Fuzz.Protofuzz.kind_to_string case.Fuzz.Protofuzz.fz_kind)
+      what
+  in
+  for i = 0 to count - 1 do
+    let case = Fuzz.Protofuzz.case_of_seed ((seed * 1000003) + i) in
+    (match open_conn () with
+    | fd -> (
+        (try
+           write_all fd case.Fuzz.Protofuzz.fz_bytes;
+           match case.Fuzz.Protofuzz.fz_expect with
+           | Fuzz.Protofuzz.Conn_alive -> (
+               (* first the typed answer to the bad frame ... *)
+               match Provserver.Protocol.recv_response fd with
+               | Provserver.Protocol.Got _ ->
+                   (* ... then the connection must still do real work *)
+                   if not (ping_on fd) then
+                     fail i case "connection dead after recoverable violation"
+               | _ -> fail i case "no typed answer to recoverable violation")
+           | Fuzz.Protofuzz.Conn_forfeit -> ()
+         with _ ->
+           if case.Fuzz.Protofuzz.fz_expect = Fuzz.Protofuzz.Conn_alive then
+             fail i case "I/O error on supposedly recoverable case");
+        try Unix.close fd with _ -> ())
+    | exception _ -> fail i case "connect refused");
+    (* the server itself must keep answering fresh connections *)
+    match open_conn () with
+    | fd ->
+        if not (ping_on fd) then fail i case "server unresponsive after case";
+        (try Unix.close fd with _ -> ())
+    | exception _ -> fail i case "server stopped accepting"
+  done;
+  ignore (Provserver.Server.drain sv);
+  Printf.printf "proto-fuzz: %d cases, %d failures\n" count !failures;
+  !failures
+
+let serve_bench ~clients_list ~duration ~slots ~queue_limit ~timeout ~sf ~seed
+    ~faults ~fuzz_proto ~json () =
+  json_path := json;
+  Printf.printf "serve: building snapshot (tpch sf=%.3f + qgen + demo) ...\n%!" sf;
+  let db = serve_db ~sf ~seed in
+  let violations =
+    match fuzz_proto with
+    | Some count -> serve_fuzz_proto ~db ~seed ~count ()
+    | None ->
+        let mix = serve_mix ~seed in
+        Printf.printf "serve: %d-query mix, %.1f s per point, %d eval slots\n%!"
+          (Array.length mix) duration slots;
+        List.fold_left
+          (fun acc clients ->
+            acc
+            + serve_run ~db ~mix ~clients ~duration ~slots ~queue_limit ~timeout
+                ~seed ~faults ())
+          0 clients_list
+  in
+  write_json ();
+  if violations <> 0 then begin
+    Printf.printf "serve: %d fault-matrix violations\n" violations;
+    Stdlib.exit 1
+  end
+
+let serve_cmd =
+  let clients_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 8; 32 ]
+      & info [ "clients" ] ~docv:"N,.."
+          ~doc:"Closed-loop client counts, one measured point each.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Wall clock per point.")
+  in
+  let slots_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "slots" ] ~doc:"Concurrent evaluation slots on the server.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-limit" ]
+          ~doc:"Wait-queue depth before the server sheds with Overloaded.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "budget-timeout" ]
+          ~doc:"Per-request evaluation budget (seconds), pool-leased.")
+  in
+  let sf_arg =
+    Arg.(
+      value & opt float 0.01
+      & info [ "sf" ] ~doc:"TPC-H scale factor of the served snapshot.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ]
+          ~doc:"Seed for the mix, client jitter and fault injection.")
+  in
+  let faults_arg =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Arm deterministic wire/eval fault injection and assert the \
+             fault matrix: no wedge, no leaked sessions, no wrong answers. \
+             Exit 1 on any violation.")
+  in
+  let fuzz_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuzz-proto" ] ~docv:"N"
+          ~doc:
+            "Instead of the load run, replay $(docv) seeded malformed \
+             frames and assert the server answers every subsequent \
+             well-formed request. Exit 1 on any violation.")
+  in
+  let run clients duration slots queue_limit timeout sf seed faults fuzz_proto
+      json =
+    serve_bench ~clients_list:clients ~duration ~slots ~queue_limit ~timeout
+      ~sf ~seed ~faults ~fuzz_proto ~json ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Closed-loop load driver for the provenance server: throughput and \
+          latency percentiles per client count, with optional fault \
+          injection and wire-protocol fuzzing")
+    Term.(
+      const run $ clients_arg $ duration_arg $ slots_arg $ queue_arg
+      $ timeout_arg $ sf_arg $ seed_arg $ faults_arg $ fuzz_arg $ json_arg)
+
 (* [bench share-lint]: the static sharing lint over the engine sources
    — inventory self-consistency plus the toplevel-mutable scan. Exit 1
    on errors, and with --werror on warnings too. *)
@@ -1493,6 +1893,7 @@ let () =
             advisor_cmd;
             fuzz_cmd;
             racefuzz_cmd;
+            serve_cmd;
             share_lint_cmd;
             certify_cmd;
             bechamel_cmd;

@@ -104,6 +104,13 @@ let run_statement session sql =
       | _ ->
           Perm.exec session.db ~certify ~lint ~werror ?budget ~fallback sql)
 
+(* Statement outcomes drive the exit code in one-shot mode: typed
+   failures ([Perm_error] and classifiable library errors) are ordinary
+   query failures (exit 1), anything unclassifiable is an internal
+   crash (exit 70, EX_SOFTWARE). Usage errors exit 2 before any
+   statement runs. *)
+type outcome = O_ok | O_error | O_crash
+
 let execute_statement session sql =
   let t0 = Unix.gettimeofday () in
   match run_statement session sql with
@@ -133,27 +140,29 @@ let execute_statement session sql =
         let _, st = Eval.query_stats session.db result.Perm.plan in
         Printf.printf "exec: %s\n" (Eval.stats_to_string st)
       end;
-      true
+      O_ok
   | Perm.Created_view name ->
       Printf.printf "created view %s\n" name;
-      true
+      O_ok
   | Perm.Created_table (name, n) ->
       Printf.printf "created table %s (%d rows)\n" name n;
-      true
+      O_ok
   | Perm.Dropped name ->
       Printf.printf "dropped %s\n" name;
-      true
+      O_ok
   | exception Resilience.Perm_error e ->
       Printf.printf "error: %s\n" (Resilience.error_to_string e);
-      false
+      O_error
   | exception exn -> (
       (* last-ditch: classify stray library exceptions so a statement
          can never kill the session *)
-      (match Resilience.classify ~default:Resilience.Eval exn with
-      | e -> Printf.printf "error: %s\n" (Resilience.error_to_string e)
+      match Resilience.classify ~default:Resilience.Eval exn with
+      | e ->
+          Printf.printf "error: %s\n" (Resilience.error_to_string e);
+          O_error
       | exception Not_found ->
-          Printf.printf "error: [eval] %s\n" (Printexc.to_string exn));
-      false)
+          Printf.printf "error: [eval] %s\n" (Printexc.to_string exn);
+          O_crash)
 
 (* With \race / --race-check on, each statement runs with the
    vector-clock detector armed; unordered access pairs are reported as
@@ -166,14 +175,14 @@ let execute session sql =
     Race.arm ~seed:0 ();
     (* statement errors are caught inside execute_statement, so the
        harvest below runs whatever the statement did *)
-    let ok = execute_statement session sql in
+    let outcome = execute_statement session sql in
     let reports = Race.reports () in
     Race.disarm ();
     if reports = [] then print_endline "race check: no unordered accesses"
     else
       print_string
         (Lint.report (List.map Share_lint.diagnostic_of_race reports));
-    ok
+    outcome
   end
 
 let describe session = function
@@ -520,6 +529,221 @@ let repl session =
   loop ()
 
 (* ------------------------------------------------------------------ *)
+(* Remote mode: --connect HOST:PORT                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The shell as a network client of permserver: statements travel as
+   [Query] frames, the session commands that have a wire counterpart
+   (\strategy, \engine, \budget) become typed requests, and connection
+   failures reconnect with jittered exponential backoff (seeded from
+   the pid so parallel shells desynchronize). *)
+
+let print_remote_table cols rows =
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length c) rows)
+      cols
+  in
+  let line cells =
+    print_endline
+      (String.concat " | "
+         (List.map2 (fun w c -> Printf.sprintf "%-*s" w c) widths cells))
+  in
+  line cols;
+  print_endline
+    (String.concat "-+-" (List.map (fun w -> String.make w '-') widths));
+  List.iter line rows;
+  Printf.printf "(%d rows)\n" (List.length rows)
+
+let remote_response (resp : Provserver.Protocol.response) : outcome =
+  match resp with
+  | Provserver.Protocol.Pong ->
+      print_endline "pong";
+      O_ok
+  | Provserver.Protocol.Ok_msg m ->
+      print_endline m;
+      O_ok
+  | Provserver.Protocol.Result { r_cols; r_rows; r_ladder } ->
+      print_remote_table r_cols r_rows;
+      (match r_ladder with
+      | Some l -> Printf.printf "fallback: %s\n" l
+      | None -> ());
+      O_ok
+  | Provserver.Protocol.Error_msg { e_kind = "internal"; e_msg; _ } ->
+      Printf.printf "server internal error: %s\n" e_msg;
+      O_crash
+  | Provserver.Protocol.Error_msg { e_msg; _ } ->
+      Printf.printf "error: %s\n" e_msg;
+      O_error
+  | Provserver.Protocol.Overloaded { retry_after } ->
+      Printf.printf "server overloaded, retry after %.3fs\n" retry_after;
+      O_error
+  | Provserver.Protocol.Stats_msg kvs ->
+      List.iter (fun (k, v) -> Printf.printf "  %-18s %.0f\n" k v) kvs;
+      O_ok
+
+let remote_request cl req : outcome =
+  match Provserver.Client.request cl req with
+  | resp, _retries -> remote_response resp
+  | exception Provserver.Client.Client_error m ->
+      Printf.printf "connection error: %s\n" m;
+      O_error
+
+let remote_command cl line : [ `Quit | `Continue ] =
+  let module P = Provserver.Protocol in
+  (match String.split_on_char ' ' (String.trim line) with
+  | [ "\\q" ] -> raise Exit
+  | [ "\\ping" ] -> ignore (remote_request cl P.Ping)
+  | [ "\\stats" ] -> ignore (remote_request cl P.Stats)
+  | [ "\\strategy"; s ] -> ignore (remote_request cl (P.Set_strategy s))
+  | [ "\\engine"; e ] -> ignore (remote_request cl (P.Set_engine e))
+  | [ "\\snapshot"; n ] -> ignore (remote_request cl (P.Load_snapshot n))
+  | "\\budget" :: [ "off" ] ->
+      ignore (remote_request cl (P.Set_budget Guard.unlimited))
+  | "\\budget" :: parts when parts <> [] -> (
+      let timeout = ref None and rows = ref None and pairs = ref None in
+      let ok =
+        List.for_all
+          (fun part ->
+            match String.index_opt part '=' with
+            | None -> false
+            | Some k -> (
+                let key = String.sub part 0 k in
+                let v = String.sub part (k + 1) (String.length part - k - 1) in
+                match (key, float_of_string_opt v) with
+                | "timeout", Some f -> timeout := Some f; true
+                | "rows", Some f -> rows := Some (int_of_float f); true
+                | "pairs", Some f -> pairs := Some (int_of_float f); true
+                | _ -> false))
+          parts
+      in
+      if not ok then print_endline "usage: \\budget [off] [timeout=SECS] [rows=N] [pairs=N]"
+      else
+        ignore
+          (remote_request cl
+             (P.Set_budget
+                (Guard.budget ?timeout:!timeout ?max_rows:!rows
+                   ?max_pairs:!pairs ()))))
+  | _ ->
+      print_endline
+        "remote commands: \\ping \\stats \\strategy S \\engine E \\budget ... \
+         \\snapshot NAME \\q");
+  `Continue
+
+let remote_repl cl =
+  print_endline
+    "permcli (connected) — statements end with ';', \\q quits, \\stats shows \
+     server counters.";
+  let buffer = Buffer.create 256 in
+  let rec loop () =
+    if Buffer.length buffer = 0 then print_string "perm> "
+    else print_string "  ... ";
+    flush stdout;
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line
+      when Buffer.length buffer = 0
+           && String.length (String.trim line) > 0
+           && (String.trim line).[0] = '\\' -> (
+        match remote_command cl line with
+        | `Quit -> ()
+        | `Continue -> loop ()
+        | exception Exit -> ())
+    | line ->
+        Buffer.add_string buffer line;
+        Buffer.add_char buffer '\n';
+        let text = Buffer.contents buffer in
+        if String.contains line ';' then begin
+          Buffer.clear buffer;
+          let stmt = strip_semi (String.trim text) in
+          if stmt <> "" then
+            ignore (remote_request cl (Provserver.Protocol.Query stmt));
+          loop ()
+        end
+        else loop ()
+  in
+  loop ()
+
+(* [remote_main] mirrors the local one-shot/script/REPL switch over the
+   wire. Returns the exit code. *)
+let remote_main ~hostport ~exec ~file ~strategy ~engine ~timeout ~max_rows =
+  match String.rindex_opt hostport ':' with
+  | None ->
+      prerr_endline "usage: --connect HOST:PORT";
+      2
+  | Some i -> (
+      let host = String.sub hostport 0 i in
+      let port_s = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+      match int_of_string_opt port_s with
+      | None ->
+          prerr_endline "usage: --connect HOST:PORT";
+          2
+      | Some port -> (
+          try
+          let cl =
+            Provserver.Client.create ~host ~port ~seed:(Unix.getpid ()) ()
+          in
+          let setup () =
+            if strategy <> "gen" && strategy <> "auto" then
+              ignore (remote_request cl (Provserver.Protocol.Set_strategy strategy));
+            if engine <> "compiled" then
+              ignore (remote_request cl (Provserver.Protocol.Set_engine engine));
+            let b = Guard.budget ?timeout ?max_rows () in
+            if not (Guard.is_unlimited b) then
+              ignore (remote_request cl (Provserver.Protocol.Set_budget b))
+          in
+          let code =
+            match (exec, file) with
+            | Some sql, _ -> (
+                setup ();
+                match
+                  remote_request cl
+                    (Provserver.Protocol.Query (strip_semi (String.trim sql)))
+                with
+                | O_ok -> 0
+                | O_error -> 1
+                | O_crash -> 70)
+            | None, Some path ->
+                setup ();
+                let ic = open_in path in
+                let len = in_channel_length ic in
+                let script = really_input_string ic len in
+                close_in ic;
+                let stmts =
+                  List.filter_map
+                    (fun s ->
+                      let s = String.trim s in
+                      if s = "" then None else Some s)
+                    (String.split_on_char ';' script)
+                in
+                List.fold_left
+                  (fun code stmt ->
+                    if code <> 0 then code
+                    else
+                      match
+                        remote_request cl (Provserver.Protocol.Query stmt)
+                      with
+                      | O_ok -> 0
+                      | O_error -> 1
+                      | O_crash -> 70)
+                  0 stmts
+            | None, None ->
+                setup ();
+                remote_repl cl;
+                0
+          in
+          Provserver.Client.close cl;
+          code
+          with Provserver.Client.Client_error msg ->
+            (* unreachable / unresolvable server after all retries:
+               an ordinary failure, not a crash *)
+            Printf.eprintf "error: %s\n" msg;
+            1))
+
+(* ------------------------------------------------------------------ *)
 (* Command line                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -676,6 +900,18 @@ let max_rows_arg =
            cumulative across all operators, intermediate rows included, \
            not per operator).")
 
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Run as a client of a running $(b,permserver) instead of \
+           evaluating locally: statements travel over the wire, \
+           $(b,--strategy)/$(b,--engine)/$(b,--timeout)/$(b,--max-rows) \
+           configure the remote session, and connection failures \
+           reconnect with jittered exponential backoff.")
+
 let fallback_arg =
   Arg.(
     value & flag
@@ -703,11 +939,16 @@ let replay_bundle dir =
       Printf.eprintf "error: cannot read bundle: %s\n" msg;
       Stdlib.exit 2
 
-let main tpch demo loads exec file strategy plan engine domains batch_rows lint
-    certify replay lint_json werror race_check share_lint timeout max_rows
-    fallback =
+let main_inner tpch demo loads exec file strategy plan engine domains
+    batch_rows lint certify replay lint_json werror race_check share_lint
+    timeout max_rows fallback connect =
   if share_lint then Stdlib.exit (share_lint_json ());
   (match replay with Some dir -> replay_bundle dir | None -> ());
+  (match connect with
+  | Some hostport ->
+      Stdlib.exit
+        (remote_main ~hostport ~exec ~file ~strategy ~engine ~timeout ~max_rows)
+  | None -> ());
   (match Eval.engine_of_string engine with
   | e -> Eval.default_engine := e
   | exception Invalid_argument msg ->
@@ -751,7 +992,13 @@ let main tpch demo loads exec file strategy plan engine domains batch_rows lint
     {
       db;
       strategy =
-        (if strategy = "auto" then Auto else Fixed (Strategy.of_string strategy));
+        (if strategy = "auto" then Auto
+         else
+           match Strategy.of_string strategy with
+           | s -> Fixed s
+           | exception Invalid_argument msg ->
+               prerr_endline msg;
+               Stdlib.exit 2);
       show_plan = plan;
       timing = false;
       show_stats = false;
@@ -768,7 +1015,11 @@ let main tpch demo loads exec file strategy plan engine domains batch_rows lint
   | Some sql -> Stdlib.exit (lint_json_statement session sql)
   | None -> ());
   match (exec, file) with
-  | Some sql, _ -> if not (execute session sql) then exit 2
+  | Some sql, _ -> (
+      match execute session sql with
+      | O_ok -> ()
+      | O_error -> Stdlib.exit 1
+      | O_crash -> Stdlib.exit 70)
   | None, Some path -> (
       let ic = open_in path in
       let len = in_channel_length ic in
@@ -796,6 +1047,28 @@ let main tpch demo loads exec file strategy plan engine domains batch_rows lint
           Stdlib.exit 1)
   | None, None -> repl session
 
+(* Exit-code discipline: 0 success, 1 typed query failure, 2 usage
+   error, 70 internal crash (EX_SOFTWARE). [Stdlib.exit] calls above
+   raise [Exit_with] through this wrapper untouched ([exit] never
+   returns); anything else escaping is by definition a crash. *)
+let main tpch demo loads exec file strategy plan engine domains batch_rows
+    lint certify replay lint_json werror race_check share_lint timeout
+    max_rows fallback connect =
+  try
+    main_inner tpch demo loads exec file strategy plan engine domains
+      batch_rows lint certify replay lint_json werror race_check share_lint
+      timeout max_rows fallback connect
+  with
+  | Resilience.Perm_error e ->
+      Printf.eprintf "error: %s\n" (Resilience.error_to_string e);
+      Stdlib.exit 1
+  | (Stack_overflow | Out_of_memory) as exn ->
+      Printf.eprintf "internal error: %s\n" (Printexc.to_string exn);
+      Stdlib.exit 70
+  | exn ->
+      Printf.eprintf "internal error: %s\n" (Printexc.to_string exn);
+      Stdlib.exit 70
+
 let cmd =
   Cmd.v
     (Cmd.info "permcli" ~doc:"SQL shell with Perm-style provenance")
@@ -804,6 +1077,8 @@ let cmd =
       $ strategy_arg $ plan_arg $ engine_arg $ domains_arg $ batch_rows_arg
       $ lint_arg $ certify_arg $ replay_arg $ lint_json_arg $ werror_arg
       $ race_check_arg $ share_lint_arg $ timeout_arg $ max_rows_arg
-      $ fallback_arg)
+      $ fallback_arg $ connect_arg)
 
-let () = Stdlib.exit (Cmd.eval cmd)
+(* cmdliner reports its own CLI parse failures as [term_err]; map them
+   to the conventional usage-error code 2 (the default is 124). *)
+let () = Stdlib.exit (Cmd.eval ~term_err:2 cmd)

@@ -66,7 +66,8 @@ let optimize_step db ~optimize ~certify q =
       end
       else (Optimizer.optimize db q, None))
 
-let prov_pipeline db ~strategy ~optimize ~certify ~lint ~werror q : result =
+let prov_pipeline db ~strategy ~engine ~optimize ~certify ~lint ~werror q :
+    result =
   ignore werror;
   let q_plus, provs =
     Resilience.enter Resilience.Rewrite (fun () ->
@@ -82,58 +83,64 @@ let prov_pipeline db ~strategy ~optimize ~certify ~lint ~werror q : result =
        enumeration oracle on the witness databases *)
     Resilience.enter Resilience.Rewrite (fun () ->
         Lint.fail_on (Provcheck.oracle_check db ~original:q plan));
-  let relation = Resilience.enter Resilience.Eval (fun () -> Eval.query db plan) in
+  let relation =
+    Resilience.enter Resilience.Eval (fun () -> Eval.query ?engine db plan)
+  in
   { relation; provenance = provs; plan; ladder = None; certificate }
 
-let plain_pipeline db ~optimize ~certify ~lint q : result =
+let plain_pipeline db ~engine ~optimize ~certify ~lint q : result =
   let plan, certificate = optimize_step db ~optimize ~certify q in
   Resilience.enter Resilience.Optimize (fun () ->
       gate_plain db ~lint ~original:q plan);
-  let relation = Resilience.enter Resilience.Eval (fun () -> Eval.query db plan) in
+  let relation =
+    Resilience.enter Resilience.Eval (fun () -> Eval.query ?engine db plan)
+  in
   { relation; provenance = []; plan; ladder = None; certificate }
 
 (* Evaluation of an analyzed query under the optional budget, with the
    strategy-fallback ladder when [fallback] is set on a provenance
    run. *)
-let run_analyzed db ~strategy ~optimize ~certify ~lint ~werror ~budget
-    ~fallback ~wants q : result =
+let run_analyzed db ~strategy ~engine ~optimize ~certify ~lint ~werror
+    ~budget ~backoff ~fallback ~wants q : result =
   if wants then
     if fallback then begin
       let r, lad =
-        Resilience.run_ladder db ~strategy ~budget q (fun s ->
-            prov_pipeline db ~strategy:s ~optimize ~certify ~lint ~werror q)
+        Resilience.run_ladder db ~strategy ~budget ?backoff q (fun s ->
+            prov_pipeline db ~strategy:s ~engine ~optimize ~certify ~lint
+              ~werror q)
       in
       { r with ladder = Some lad }
     end
     else
       Guard.with_budget budget (fun () ->
-          prov_pipeline db ~strategy ~optimize ~certify ~lint ~werror q)
+          prov_pipeline db ~strategy ~engine ~optimize ~certify ~lint ~werror
+            q)
   else
     Guard.with_budget budget (fun () ->
-        plain_pipeline db ~optimize ~certify ~lint q)
+        plain_pipeline db ~engine ~optimize ~certify ~lint q)
 
 (** [provenance db ?strategy ?optimize ?lint ?werror ?budget ?fallback q]
     evaluates the provenance of an algebra query directly. *)
-let provenance db ?(strategy = Strategy.Gen) ?(optimize = true)
-    ?(certify = false) ?(lint = false) ?(werror = false) ?budget
+let provenance db ?(strategy = Strategy.Gen) ?engine ?(optimize = true)
+    ?(certify = false) ?(lint = false) ?(werror = false) ?budget ?backoff
     ?(fallback = false) q =
   Resilience.enter Resilience.Analyze (fun () ->
       gate_source db ~lint ~werror q);
   let r =
-    run_analyzed db ~strategy ~optimize ~certify ~lint ~werror ~budget
-      ~fallback ~wants:true q
+    run_analyzed db ~strategy ~engine ~optimize ~certify ~lint ~werror
+      ~budget ~backoff ~fallback ~wants:true q
   in
   (r.relation, r.provenance)
 
 (** [run_query db ?strategy ?optimize ?lint ?werror ?budget ?fallback
     ~provenance q] is {!run} for an already-analyzed algebra query. *)
-let run_query db ?(strategy = Strategy.Gen) ?(optimize = true)
-    ?(certify = false) ?(lint = false) ?(werror = false) ?budget
+let run_query db ?(strategy = Strategy.Gen) ?engine ?(optimize = true)
+    ?(certify = false) ?(lint = false) ?(werror = false) ?budget ?backoff
     ?(fallback = false) ~provenance:wants q : result =
   Resilience.enter Resilience.Analyze (fun () ->
       gate_source db ~lint ~werror q);
-  run_analyzed db ~strategy ~optimize ~certify ~lint ~werror ~budget ~fallback
-    ~wants q
+  run_analyzed db ~strategy ~engine ~optimize ~certify ~lint ~werror ~budget
+    ~backoff ~fallback ~wants q
 
 (** [run db ?strategy ?optimize ?lint ?werror ?budget ?fallback sql]
     parses, analyzes and evaluates [sql]. If the statement carries the
@@ -141,14 +148,16 @@ let run_query db ?(strategy = Strategy.Gen) ?(optimize = true)
     applied first; with [~fallback:true] a strategy that is
     inapplicable or blows [budget] degrades to the next-ranked one.
     Failures raise {!Resilience.Perm_error}. *)
-let run db ?(strategy = Strategy.Gen) ?(optimize = true) ?(certify = false)
-    ?(lint = false) ?(werror = false) ?budget ?(fallback = false) sql : result =
+let run db ?(strategy = Strategy.Gen) ?engine ?(optimize = true)
+    ?(certify = false) ?(lint = false) ?(werror = false) ?budget ?backoff
+    ?(fallback = false) sql : result =
   let analyzed =
     Resilience.enter Resilience.Analyze (fun () ->
         Sql_frontend.Analyzer.analyze_string db sql)
   in
   let q = analyzed.Sql_frontend.Analyzer.query in
-  run_query db ~strategy ~optimize ~certify ~lint ~werror ?budget ~fallback
+  run_query db ~strategy ?engine ~optimize ~certify ~lint ~werror ?budget
+    ?backoff ~fallback
     ~provenance:analyzed.Sql_frontend.Analyzer.wants_provenance q
 
 (** {1 Statements} *)
@@ -160,8 +169,8 @@ type exec_result =
   | Dropped of string
 
 (* Execute one already-parsed statement. *)
-let exec_parsed db ~strategy ~optimize ~certify ~lint ~werror ~budget
-    ~fallback stmt : exec_result =
+let exec_parsed db ~strategy ~engine ~optimize ~certify ~lint ~werror ~budget
+    ~backoff ~fallback stmt : exec_result =
   let analyze sel =
     Resilience.enter Resilience.Analyze (fun () ->
         let analyzed = Sql_frontend.Analyzer.analyze db sel in
@@ -173,8 +182,8 @@ let exec_parsed db ~strategy ~optimize ~certify ~lint ~werror ~budget
   | Sql_frontend.Ast.Stmt_select sel ->
       let q, wants = analyze sel in
       Rows
-        (run_analyzed db ~strategy ~optimize ~certify ~lint ~werror ~budget
-           ~fallback ~wants q)
+        (run_analyzed db ~strategy ~engine ~optimize ~certify ~lint ~werror
+           ~budget ~backoff ~fallback ~wants q)
   | Sql_frontend.Ast.Stmt_create_view (name, sel) ->
       let q, wants = analyze sel in
       let stored =
@@ -198,8 +207,8 @@ let exec_parsed db ~strategy ~optimize ~certify ~lint ~werror ~budget
   | Sql_frontend.Ast.Stmt_create_table_as (name, sel) ->
       let q, wants = analyze sel in
       let r =
-        run_analyzed db ~strategy ~optimize ~certify ~lint ~werror ~budget
-          ~fallback ~wants q
+        run_analyzed db ~strategy ~engine ~optimize ~certify ~lint ~werror
+          ~budget ~backoff ~fallback ~wants q
       in
       Database.add db name r.relation;
       Created_table (name, Relation.cardinality r.relation)
@@ -218,10 +227,11 @@ let exec_parsed db ~strategy ~optimize ~certify ~lint ~werror ~budget
     AS SELECT PROVENANCE ...] stores the *rewritten* query, so querying
     [v] later sees the provenance columns — Perm's "provenance as a
     view". [CREATE TABLE t AS ...] materializes the result. *)
-let exec db ?(strategy = Strategy.Gen) ?(optimize = true) ?(certify = false)
-    ?(lint = false) ?(werror = false) ?budget ?(fallback = false) sql :
-    exec_result =
-  exec_parsed db ~strategy ~optimize ~certify ~lint ~werror ~budget ~fallback
+let exec db ?(strategy = Strategy.Gen) ?engine ?(optimize = true)
+    ?(certify = false) ?(lint = false) ?(werror = false) ?budget ?backoff
+    ?(fallback = false) sql : exec_result =
+  exec_parsed db ~strategy ~engine ~optimize ~certify ~lint ~werror ~budget
+    ~backoff ~fallback
     (Resilience.enter Resilience.Parse (fun () ->
          Sql_frontend.Parser.parse_statement sql))
 
@@ -229,12 +239,12 @@ let exec db ?(strategy = Strategy.Gen) ?(optimize = true) ?(certify = false)
     sql] runs a [;]-separated statement sequence, returning each
     statement's result in order. Execution stops at the first error
     (exception propagates). *)
-let exec_script db ?(strategy = Strategy.Gen) ?(optimize = true)
-    ?(certify = false) ?(lint = false) ?(werror = false) ?budget
+let exec_script db ?(strategy = Strategy.Gen) ?engine ?(optimize = true)
+    ?(certify = false) ?(lint = false) ?(werror = false) ?budget ?backoff
     ?(fallback = false) sql : exec_result list =
   List.map
-    (exec_parsed db ~strategy ~optimize ~certify ~lint ~werror ~budget
-       ~fallback)
+    (exec_parsed db ~strategy ~engine ~optimize ~certify ~lint ~werror
+       ~budget ~backoff ~fallback)
     (Resilience.enter Resilience.Parse (fun () ->
          Sql_frontend.Parser.parse_script sql))
 

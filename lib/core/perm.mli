@@ -35,15 +35,20 @@ val rewrite :
     {!Resilience.Perm_error}. With [?budget] the evaluation runs under
     the {!Relalg.Guard} execution governor; with [~fallback:true] a
     strategy that is inapplicable or blows its budget degrades to the
-    next strategy of {!Resilience.strategy_ranking}. *)
+    next strategy of {!Resilience.strategy_ranking}. [?engine] picks
+    the evaluation engine for this call without touching the shared
+    {!Eval.default_engine}; [?backoff] adds pauses between ladder
+    attempts (see {!Resilience.run_ladder}). *)
 val provenance :
   Database.t ->
   ?strategy:Strategy.t ->
+  ?engine:Eval.engine ->
   ?optimize:bool ->
   ?certify:bool ->
   ?lint:bool ->
   ?werror:bool ->
   ?budget:Guard.budget ->
+  ?backoff:Resilience.backoff ->
   ?fallback:bool ->
   Algebra.query ->
   Relation.t * Pschema.prov_rel list
@@ -56,11 +61,13 @@ val provenance :
 val run :
   Database.t ->
   ?strategy:Strategy.t ->
+  ?engine:Eval.engine ->
   ?optimize:bool ->
   ?certify:bool ->
   ?lint:bool ->
   ?werror:bool ->
   ?budget:Guard.budget ->
+  ?backoff:Resilience.backoff ->
   ?fallback:bool ->
   string ->
   result
@@ -70,11 +77,13 @@ val run :
 val run_query :
   Database.t ->
   ?strategy:Strategy.t ->
+  ?engine:Eval.engine ->
   ?optimize:bool ->
   ?certify:bool ->
   ?lint:bool ->
   ?werror:bool ->
   ?budget:Guard.budget ->
+  ?backoff:Resilience.backoff ->
   ?fallback:bool ->
   provenance:bool ->
   Algebra.query ->
@@ -95,11 +104,13 @@ type exec_result =
 val exec :
   Database.t ->
   ?strategy:Strategy.t ->
+  ?engine:Eval.engine ->
   ?optimize:bool ->
   ?certify:bool ->
   ?lint:bool ->
   ?werror:bool ->
   ?budget:Guard.budget ->
+  ?backoff:Resilience.backoff ->
   ?fallback:bool ->
   string ->
   exec_result
@@ -110,11 +121,13 @@ val exec :
 val exec_script :
   Database.t ->
   ?strategy:Strategy.t ->
+  ?engine:Eval.engine ->
   ?optimize:bool ->
   ?certify:bool ->
   ?lint:bool ->
   ?werror:bool ->
   ?budget:Guard.budget ->
+  ?backoff:Resilience.backoff ->
   ?fallback:bool ->
   string ->
   exec_result list

@@ -20,7 +20,15 @@
 
 open Relalg
 
-type phase = Parse | Analyze | Typecheck | Rewrite | Optimize | Eval | Load
+type phase =
+  | Parse
+  | Analyze
+  | Typecheck
+  | Rewrite
+  | Optimize
+  | Eval
+  | Load
+  | Protocol
 
 let phase_to_string = function
   | Parse -> "parse"
@@ -30,6 +38,7 @@ let phase_to_string = function
   | Optimize -> "optimize"
   | Eval -> "eval"
   | Load -> "load"
+  | Protocol -> "protocol"
 
 type detail =
   | Message of string
@@ -37,6 +46,8 @@ type detail =
   | Fault of { f_site : string; f_path : string list }
   | Lint of Lint.diagnostic list
   | Unsupported of string
+  | Overloaded of { retry_after : float }
+  | Violation of string
 
 type error = { e_phase : phase; e_detail : detail }
 
@@ -52,6 +63,9 @@ let error_to_string e =
           (Guard.path_to_string f_path)
     | Lint ds -> Lint.report ds
     | Unsupported m -> "strategy not applicable: " ^ m
+    | Overloaded { retry_after } ->
+        Printf.sprintf "server overloaded, retry after %.3fs" retry_after
+    | Violation m -> "protocol violation: " ^ m
   in
   Printf.sprintf "[%s] %s" (phase_to_string e.e_phase) detail
 
@@ -149,7 +163,29 @@ let ladder_to_string l =
 let retryable e =
   match e.e_detail with Unsupported _ | Budget _ -> true | _ -> false
 
-let run_ladder db ~strategy ~budget q f =
+let transient e = match e.e_detail with Fault _ -> true | _ -> false
+
+type backoff = {
+  bo_base : float;
+  bo_cap : float;
+  bo_retries : int;
+  bo_seed : int;
+}
+
+let backoff ?(base = 0.05) ?(cap = 1.0) ?(retries = 2) ?(seed = 0) () =
+  { bo_base = Float.max 0. base; bo_cap = Float.max 0. cap;
+    bo_retries = max 0 retries; bo_seed = seed }
+
+(* Deterministic jitter: an LCG stream seeded per ladder run. The k-th
+   pause is [min cap (base * 2^k)] scaled by a uniform factor in
+   [0.5, 1.0), so same seed → same pause sequence. *)
+let jitter_stream seed =
+  let state = ref (((seed * 0x9E3779B1) lor 1) land 0x3FFFFFFF) in
+  fun () ->
+    state := (!state * 1103515245 + 12345) land 0x3FFFFFFF;
+    0.5 +. (0.5 *. (float_of_int !state /. float_of_int 0x40000000))
+
+let run_ladder db ~strategy ~budget ?backoff q f =
   let ranking =
     match !strategy_ranking db q with
     | r -> r
@@ -176,12 +212,49 @@ let run_ladder db ~strategy ~budget q f =
         in
         Some { b with Guard.g_timeout }
   in
-  let rec go abandoned = function
+  (* Backoff pauses sleep real wall-clock, so they draw down the same
+     remaining allowance [sub_budget] re-splits before each attempt:
+     pausing never extends the overall deadline, it only shrinks what
+     later attempts receive (floored at 50 ms per attempt). A pause is
+     clamped so it cannot sleep past the deadline itself. *)
+  let uniform =
+    match backoff with
+    | Some b -> jitter_stream b.bo_seed
+    | None -> fun () -> 1.0
+  in
+  let pause k =
+    match backoff with
+    | None -> ()
+    | Some b ->
+        let d = Float.min b.bo_cap (b.bo_base *. (2. ** float_of_int k)) in
+        let d = d *. uniform () in
+        let d =
+          match deadline with
+          | None -> d
+          | Some dl -> Float.min d (Float.max 0. (dl -. Unix.gettimeofday ()))
+        in
+        if d > 0. then Unix.sleepf d
+  in
+  (* With backoff configured, a transient injected fault first retries
+     the {e same} strategy (up to [bo_retries] times) before escalating
+     to the next rung; without backoff it is not retried at all. *)
+  let max_retries = match backoff with Some b -> b.bo_retries | None -> 0 in
+  let rec go abandoned n_pauses retries = function
     | [] -> assert false (* [order] is never empty *)
-    | s :: rest -> (
+    | s :: rest as attempts -> (
         match Guard.with_budget (sub_budget (List.length rest + 1)) (fun () -> f s) with
         | r -> (r, { lad_strategy = s; lad_abandoned = List.rev abandoned })
-        | exception Perm_error e when retryable e && rest <> [] ->
-            go ({ att_strategy = s; att_error = e } :: abandoned) rest)
+        | exception Perm_error e when transient e && retries < max_retries ->
+            (* same-rung retry: the strategy is not abandoned — if it
+               delivers on a later try the ladder reports a clean run *)
+            pause n_pauses;
+            go abandoned (n_pauses + 1) (retries + 1) attempts
+        | exception Perm_error e
+          when (retryable e || (transient e && max_retries > 0)) && rest <> []
+          ->
+            pause n_pauses;
+            go
+              ({ att_strategy = s; att_error = e } :: abandoned)
+              (n_pauses + 1) 0 rest)
   in
-  go [] order
+  go [] 0 0 order

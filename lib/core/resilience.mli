@@ -18,8 +18,17 @@
 open Relalg
 
 (** Pipeline phase in which an error occurred. [Load] covers catalog
-    population (e.g. CSV import). *)
-type phase = Parse | Analyze | Typecheck | Rewrite | Optimize | Eval | Load
+    population (e.g. CSV import); [Protocol] covers the wire protocol
+    of the provenance server. *)
+type phase =
+  | Parse
+  | Analyze
+  | Typecheck
+  | Rewrite
+  | Optimize
+  | Eval
+  | Load
+  | Protocol
 
 val phase_to_string : phase -> string
 
@@ -30,6 +39,12 @@ type detail =
       (** injected fault (testing only) *)
   | Lint of Lint.diagnostic list  (** lint / provenance-contract gate *)
   | Unsupported of string  (** strategy applicability *)
+  | Overloaded of { retry_after : float }
+      (** server admission control shed the request; retry after the
+          hinted number of seconds *)
+  | Violation of string
+      (** wire-protocol violation (malformed, oversized or truncated
+          frame, unknown tag/version) *)
 
 type error = { e_phase : phase; e_detail : detail }
 
@@ -72,16 +87,45 @@ val ladder_to_string : ladder -> string
     different strategy would fail the same way or, worse, mask a bug. *)
 val retryable : error -> bool
 
-(** [run_ladder db ~strategy ~budget q f] runs [f strategy'] for
-    [strategy], then — on a retryable {!Perm_error} — for each untried
-    strategy of {!strategy_ranking} in order. Each attempt runs under a
-    sub-budget: the remaining wall-clock allowance is split evenly
-    across the remaining attempts (row/pair/allocation ceilings apply
-    per attempt unchanged). The last attempt's error propagates. *)
+(** [transient e] is true for errors worth retrying {e at the same
+    rung} when backoff is configured: currently injected faults, which
+    model transient external failures (a flaky read, a lost page) rather
+    than properties of the strategy. *)
+val transient : error -> bool
+
+(** Capped jittered backoff between ladder attempts. *)
+type backoff = {
+  bo_base : float;  (** first pause, seconds *)
+  bo_cap : float;  (** pause ceiling, seconds *)
+  bo_retries : int;  (** same-strategy retries for transient errors *)
+  bo_seed : int;  (** jitter PRNG seed — same seed, same pauses *)
+}
+
+(** [backoff ()] = 50 ms base, 1 s cap, 2 retries, seed 0. *)
+val backoff :
+  ?base:float -> ?cap:float -> ?retries:int -> ?seed:int -> unit -> backoff
+
+(** [run_ladder db ~strategy ~budget ?backoff q f] runs [f strategy']
+    for [strategy], then — on a retryable {!Perm_error} — for each
+    untried strategy of {!strategy_ranking} in order. Each attempt runs
+    under a sub-budget: the remaining wall-clock allowance is split
+    evenly across the remaining attempts (row/pair/allocation ceilings
+    apply per attempt unchanged). The last attempt's error propagates.
+
+    With [backoff], the ladder pauses between attempts — the k-th pause
+    is [min cap (base * 2^k)] scaled by a deterministic seeded jitter
+    factor in [0.5, 1.0) — and {!transient} errors additionally retry
+    the {e same} strategy up to [bo_retries] times before escalating.
+    Interaction with the wall-clock re-split: pauses sleep real time
+    inside the same overall deadline, so they draw down the remaining
+    allowance that the re-split divides among later attempts (each
+    still floored at 50 ms); a pause is clamped to the time left and
+    the deadline is never extended. *)
 val run_ladder :
   Database.t ->
   strategy:Strategy.t ->
   budget:Guard.budget option ->
+  ?backoff:backoff ->
   Algebra.query ->
   (Strategy.t -> 'a) ->
   'a * ladder

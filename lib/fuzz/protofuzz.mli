@@ -1,0 +1,34 @@
+(** Seeded malformed-frame generator for the server wire protocol:
+    truncation, bad length prefix, garbage tag, bad version, oversized
+    frame, corrupt body, mid-frame disconnect. Deterministic per seed. *)
+
+type expect =
+  | Conn_alive  (** same connection must answer the next request *)
+  | Conn_forfeit  (** connection may close; server must stay up *)
+
+type kind =
+  | K_garbage_tag
+  | K_bad_version
+  | K_empty
+  | K_corrupt_body
+  | K_oversized
+  | K_bad_length
+  | K_truncated
+  | K_midframe
+
+val kind_to_string : kind -> string
+val all_kinds : kind list
+
+type case = {
+  fz_kind : kind;
+  fz_bytes : bytes;
+  fz_close : bool;  (** disconnect right after writing *)
+  fz_expect : expect;
+}
+
+(** [case_of_seed seed] is deterministic in [seed]. *)
+val case_of_seed : int -> case
+
+(** [decoder_total payload] is false only if the request decoder raised
+    instead of returning a typed result. *)
+val decoder_total : bytes -> bool

@@ -530,10 +530,13 @@ let query_compiled ?(env = []) db q = Compile.query ~env:(compile_env env) db q
 let query_vectorized ?(env = []) db q = Vexec.query ~env:(compile_env env) db q
 
 (** [query db q] evaluates [q] against [db] with a fresh context, using
-    the engine selected by {!default_engine} (compiled by default);
-    [env] supplies outer frames for correlated evaluation. *)
-let query ?(env = []) db q =
-  match !default_engine with
+    [engine] when given, else the engine selected by {!default_engine}
+    (compiled by default); [env] supplies outer frames for correlated
+    evaluation. The explicit parameter lets concurrent callers (the
+    provenance server's sessions) pick an engine per request without
+    mutating the shared default. *)
+let query ?engine ?(env = []) db q =
+  match Option.value engine ~default:!default_engine with
   | Compiled -> query_compiled ~env db q
   | Reference -> query_reference ~env db q
   | Vectorized -> query_vectorized ~env db q
@@ -551,8 +554,8 @@ let query_stats_vectorized ?(env = []) db q =
 
 (** [query_stats db q] additionally reports the execution counters —
     an EXPLAIN-ANALYZE-style summary of how the plan ran. *)
-let query_stats ?(env = []) db q =
-  match !default_engine with
+let query_stats ?engine ?(env = []) db q =
+  match Option.value engine ~default:!default_engine with
   | Compiled -> query_stats_compiled ~env db q
   | Reference -> query_stats_reference ~env db q
   | Vectorized -> query_stats_vectorized ~env db q
@@ -565,7 +568,7 @@ let expr_compiled ?(env = []) db e = Compile.expr ~env:(compile_env env) db e
     provenance oracle), dispatching like {!query}. Scalar expressions
     have no batches to vectorize, so [Vectorized] uses the compiled
     closures (the semantics the vectorized engine shares). *)
-let expr ?(env = []) db e =
-  match !default_engine with
+let expr ?engine ?(env = []) db e =
+  match Option.value engine ~default:!default_engine with
   | Compiled | Vectorized -> expr_compiled ~env db e
   | Reference -> expr_reference ~env db e

@@ -69,9 +69,11 @@ val engine_of_string : string -> engine
 (** {1 Evaluation} *)
 
 (** [query db q] evaluates [q] with a fresh memoization context, using
-    {!default_engine}; [env] supplies outer frames for correlated
-    evaluation. *)
-val query : ?env:env -> Database.t -> Algebra.query -> Relation.t
+    [engine] when given, else {!default_engine}; [env] supplies outer
+    frames for correlated evaluation. Concurrent callers (the server's
+    sessions) pass [engine] explicitly instead of mutating the shared
+    default. *)
+val query : ?engine:engine -> ?env:env -> Database.t -> Algebra.query -> Relation.t
 
 (** [query_reference db q] always uses the reference tree walker. *)
 val query_reference : ?env:env -> Database.t -> Algebra.query -> Relation.t
@@ -99,7 +101,7 @@ val stats_to_string : stats -> string
 
 (** [query_stats db q] also reports how the plan actually executed. *)
 val query_stats :
-  ?env:env -> Database.t -> Algebra.query -> Relation.t * stats
+  ?engine:engine -> ?env:env -> Database.t -> Algebra.query -> Relation.t * stats
 
 val query_stats_reference :
   ?env:env -> Database.t -> Algebra.query -> Relation.t * stats
@@ -111,8 +113,8 @@ val query_stats_vectorized :
   ?env:env -> Database.t -> Algebra.query -> Relation.t * stats
 
 (** [expr db e] evaluates a scalar expression (sublinks allowed),
-    dispatching on {!default_engine}. *)
-val expr : ?env:env -> Database.t -> Algebra.expr -> Value.t
+    dispatching on [engine] when given, else {!default_engine}. *)
+val expr : ?engine:engine -> ?env:env -> Database.t -> Algebra.expr -> Value.t
 
 val expr_reference : ?env:env -> Database.t -> Algebra.expr -> Value.t
 val expr_compiled : ?env:env -> Database.t -> Algebra.expr -> Value.t

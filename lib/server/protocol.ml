@@ -1,0 +1,314 @@
+(** Length-prefixed request/response wire protocol for the provenance
+    server.
+
+    Frame layout: a 4-byte big-endian payload length, then the payload.
+    Payload layout: one version byte ({!version}), one tag byte, then
+    tag-specific fields (strings are 4-byte-length-prefixed, floats are
+    IEEE-754 bits big-endian, options are a presence byte). The frame
+    length is bounded by {!max_frame}; anything larger is rejected
+    before allocation.
+
+    The decoder is tolerant by construction: every way a peer can
+    deviate — truncated stream, oversized or absurd length prefix,
+    unknown version or tag, fields overrunning the payload — maps to a
+    typed {!violation} instead of an exception. Violations that leave
+    the framing intact (the frame was fully consumed) are {e
+    recoverable}: the server answers with a typed error and keeps the
+    connection. Violations that desynchronize the stream ([Oversized],
+    [Truncated]) are fatal to the connection, never to the server. *)
+
+open Relalg
+
+let version = 1
+let max_frame = 1 lsl 20 (* 1 MiB *)
+
+type request =
+  | Ping
+  | Query of string
+  | Set_strategy of string
+  | Set_engine of string
+  | Set_budget of Guard.budget
+  | Load_snapshot of string
+  | Stats
+
+type response =
+  | Pong
+  | Ok_msg of string
+  | Result of {
+      r_cols : string list;
+      r_rows : string list list;
+      r_ladder : string option;
+    }
+  | Error_msg of { e_phase : string; e_kind : string; e_msg : string }
+  | Overloaded of { retry_after : float }
+  | Stats_msg of (string * float) list
+
+type violation =
+  | Oversized of int  (** declared frame length beyond {!max_frame} *)
+  | Truncated  (** the peer vanished mid-frame *)
+  | Bad_version of int
+  | Bad_tag of int
+  | Malformed of string  (** fields inconsistent with the frame length *)
+
+(* A violation is fatal when the byte stream can no longer be framed:
+   an oversized declaration or a mid-frame disconnect leaves no safe
+   resynchronization point. Everything else consumed exactly one frame
+   and the next frame can be parsed normally. *)
+let fatal = function
+  | Oversized _ | Truncated -> true
+  | Bad_version _ | Bad_tag _ | Malformed _ -> false
+
+let violation_to_string = function
+  | Oversized n -> Printf.sprintf "frame of %d bytes exceeds %d" n max_frame
+  | Truncated -> "stream truncated mid-frame"
+  | Bad_version v -> Printf.sprintf "unknown protocol version %d" v
+  | Bad_tag t -> Printf.sprintf "unknown message tag 0x%02x" t
+  | Malformed m -> "malformed frame: " ^ m
+
+type 'a recv = Got of 'a | Violated of violation | Closed
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let add_u8 b n = Buffer.add_char b (Char.chr (n land 0xff))
+let add_u32 b n = Buffer.add_int32_be b (Int32.of_int n)
+let add_f64 b f = Buffer.add_int64_be b (Int64.bits_of_float f)
+
+let add_string b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+let add_opt b add = function
+  | None -> add_u8 b 0
+  | Some v ->
+      add_u8 b 1;
+      add v
+
+let add_list b add xs =
+  add_u32 b (List.length xs);
+  List.iter add xs
+
+let frame payload_of =
+  let b = Buffer.create 64 in
+  add_u8 b version;
+  payload_of b;
+  let payload = Buffer.contents b in
+  let out = Buffer.create (String.length payload + 4) in
+  add_u32 out (String.length payload);
+  Buffer.add_string out payload;
+  Buffer.to_bytes out
+
+let encode_request r =
+  frame (fun b ->
+      match r with
+      | Ping -> add_u8 b 0x01
+      | Query sql ->
+          add_u8 b 0x02;
+          add_string b sql
+      | Set_strategy s ->
+          add_u8 b 0x03;
+          add_string b s
+      | Set_engine e ->
+          add_u8 b 0x04;
+          add_string b e
+      | Set_budget g ->
+          add_u8 b 0x05;
+          add_opt b (add_f64 b) g.Guard.g_timeout;
+          add_opt b (fun n -> add_u32 b n) g.Guard.g_max_rows;
+          add_opt b (fun n -> add_u32 b n) g.Guard.g_max_pairs;
+          add_opt b (add_f64 b) g.Guard.g_max_alloc_mb
+      | Load_snapshot name ->
+          add_u8 b 0x06;
+          add_string b name
+      | Stats -> add_u8 b 0x07)
+
+let encode_response r =
+  frame (fun b ->
+      match r with
+      | Pong -> add_u8 b 0x81
+      | Ok_msg m ->
+          add_u8 b 0x82;
+          add_string b m
+      | Result { r_cols; r_rows; r_ladder } ->
+          add_u8 b 0x83;
+          add_list b (add_string b) r_cols;
+          add_list b (fun row -> add_list b (add_string b) row) r_rows;
+          add_opt b (add_string b) r_ladder
+      | Error_msg { e_phase; e_kind; e_msg } ->
+          add_u8 b 0x84;
+          add_string b e_phase;
+          add_string b e_kind;
+          add_string b e_msg
+      | Overloaded { retry_after } ->
+          add_u8 b 0x85;
+          add_f64 b retry_after
+      | Stats_msg kvs ->
+          add_u8 b 0x86;
+          add_list b
+            (fun (k, v) ->
+              add_string b k;
+              add_f64 b v)
+            kvs)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of violation
+
+type cursor = { c_buf : bytes; mutable c_pos : int }
+
+let need c n =
+  if c.c_pos + n > Bytes.length c.c_buf then
+    raise (Bad (Malformed "field overruns frame"))
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code (Bytes.get c.c_buf c.c_pos) in
+  c.c_pos <- c.c_pos + 1;
+  v
+
+let get_u32 c =
+  need c 4;
+  let v = Int32.to_int (Bytes.get_int32_be c.c_buf c.c_pos) land 0xffffffff in
+  c.c_pos <- c.c_pos + 4;
+  v
+
+let get_f64 c =
+  need c 8;
+  let v = Int64.float_of_bits (Bytes.get_int64_be c.c_buf c.c_pos) in
+  c.c_pos <- c.c_pos + 8;
+  v
+
+let get_string c =
+  let n = get_u32 c in
+  if n > max_frame then raise (Bad (Malformed "string length absurd"));
+  need c n;
+  let s = Bytes.sub_string c.c_buf c.c_pos n in
+  c.c_pos <- c.c_pos + n;
+  s
+
+let get_opt c get = if get_u8 c = 0 then None else Some (get c)
+
+let get_list c get =
+  let n = get_u32 c in
+  if n > max_frame then raise (Bad (Malformed "list length absurd"));
+  List.init n (fun _ -> get c)
+
+let finish c v =
+  if c.c_pos <> Bytes.length c.c_buf then
+    raise (Bad (Malformed "trailing bytes after message"));
+  v
+
+let with_cursor payload k =
+  let c = { c_buf = payload; c_pos = 0 } in
+  match
+    let v = get_u8 c in
+    if v <> version then Error (Bad_version v) else Result.Ok (k c)
+  with
+  | r -> r
+  | exception Bad viol -> Error viol
+
+let decode_request payload =
+  with_cursor payload (fun c ->
+      let tag = get_u8 c in
+      finish c
+        (match tag with
+        | 0x01 -> Ping
+        | 0x02 -> Query (get_string c)
+        | 0x03 -> Set_strategy (get_string c)
+        | 0x04 -> Set_engine (get_string c)
+        | 0x05 ->
+            let g_timeout = get_opt c get_f64 in
+            let g_max_rows = get_opt c get_u32 in
+            let g_max_pairs = get_opt c get_u32 in
+            let g_max_alloc_mb = get_opt c get_f64 in
+            Set_budget { Guard.g_timeout; g_max_rows; g_max_pairs; g_max_alloc_mb }
+        | 0x06 -> Load_snapshot (get_string c)
+        | 0x07 -> Stats
+        | t -> raise (Bad (Bad_tag t))))
+
+let decode_response payload =
+  with_cursor payload (fun c ->
+      let tag = get_u8 c in
+      finish c
+        (match tag with
+        | 0x81 -> Pong
+        | 0x82 -> Ok_msg (get_string c)
+        | 0x83 ->
+            let r_cols = get_list c get_string in
+            let r_rows = get_list c (fun c -> get_list c get_string) in
+            let r_ladder = get_opt c get_string in
+            Result { r_cols; r_rows; r_ladder }
+        | 0x84 ->
+            let e_phase = get_string c in
+            let e_kind = get_string c in
+            let e_msg = get_string c in
+            Error_msg { e_phase; e_kind; e_msg }
+        | 0x85 -> Overloaded { retry_after = get_f64 c }
+        | 0x86 ->
+            Stats_msg
+              (get_list c (fun c ->
+                   let k = get_string c in
+                   let v = get_f64 c in
+                   (k, v)))
+        | t -> raise (Bad (Bad_tag t))))
+
+(* ------------------------------------------------------------------ *)
+(* Socket I/O                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* [really_read fd buf] fills [buf] completely. [`Eof n] reports how
+   many bytes had arrived before the peer vanished. *)
+let really_read fd buf =
+  let len = Bytes.length buf in
+  let rec go off =
+    if off >= len then `Full
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> `Eof off
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let really_write fd buf =
+  let len = Bytes.length buf in
+  let rec go off =
+    if off < len then
+      match Unix.write fd buf off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let send_frame fd bytes = really_write fd bytes
+
+let recv_frame fd =
+  let header = Bytes.create 4 in
+  match really_read fd header with
+  | `Eof 0 -> Closed
+  | `Eof _ -> Violated Truncated
+  | `Full -> (
+      let len = Int32.to_int (Bytes.get_int32_be header 0) land 0xffffffff in
+      if len > max_frame then Violated (Oversized len)
+      else
+        let payload = Bytes.create len in
+        match really_read fd payload with
+        | `Eof _ -> Violated Truncated
+        | `Full -> Got payload)
+
+let recv_with decode fd =
+  match recv_frame fd with
+  | Closed -> Closed
+  | Violated v -> Violated v
+  | Got payload -> (
+      match decode payload with
+      | Result.Ok r -> Got r
+      | Result.Error v -> Violated v)
+
+let recv_request fd = recv_with decode_request fd
+let recv_response fd = recv_with decode_response fd
+let send_request fd r = send_frame fd (encode_request r)
+let send_response fd r = send_frame fd (encode_response r)
