@@ -969,6 +969,208 @@ let advisor_report () =
     (synth_rows @ tpch_rows)
 
 (* ------------------------------------------------------------------ *)
+(* Estimate: advisor regret, pre-execution blowup lint, reorder under   *)
+(* certification (figure "estimate")                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* (1) Advisor regret: for each workload, measure every applicable
+   strategy end to end and compare the cost-mode and heuristic-mode
+   choices against the best-of-four oracle. (2) The governor's
+   censored Gen cell (q1 at n1=30000, n2=2000) flagged by
+   estimate-cross-blowup before any execution. (3) The Estimate-driven
+   join reorder translation-validated over the certify workloads. *)
+let estimate_bench ~sf () =
+  Printf.printf
+    "\n=== Estimate: advisor regret, blowup lint, reorder certification ===\n";
+  (* --- advisor regret ------------------------------------------- *)
+  let best xs = List.fold_left Float.min infinity xs in
+  let time_strategy db q strategy =
+    match Rewrite.rewrite db ~strategy q with
+    | exception Strategy.Unsupported _ -> None
+    | q_plus, _ ->
+        let plan = Optimizer.optimize db q_plus in
+        ignore (Eval.query db plan) (* warm-up *);
+        (* floor at 1 ms: below timing resolution the strategies are
+           indistinguishable and a ratio of jitter is not regret *)
+        Some
+          (Float.max 1e-3
+             (best
+                (List.init 3 (fun _ ->
+                     let t0 = Unix.gettimeofday () in
+                     ignore (Eval.query db plan);
+                     Unix.gettimeofday () -. t0))))
+  in
+  let tpch_db = Tpch.Tpch_gen.generate ~sf () in
+  let workloads =
+    List.map
+      (fun (label, template) ->
+        let n1 = 2000 and n2 = 500 in
+        let db = Synthetic.Workload.make_db ~seed:9 ~n1 ~n2 () in
+        let inst =
+          match template with
+          | `Q1 -> Synthetic.Workload.q1 ~seed:9 ~n1 ~n2 ()
+          | `Q2 -> Synthetic.Workload.q2 ~seed:9 ~n1 ~n2 ()
+        in
+        (label, db, inst.Synthetic.Workload.query))
+      [ ("synthetic q1", `Q1); ("synthetic q2", `Q2) ]
+    @ List.map
+        (fun n ->
+          let q = Tpch.Tpch_queries.instantiate ~seed:100 n in
+          let analyzed =
+            Sql_frontend.Analyzer.analyze_string tpch_db
+              q.Tpch.Tpch_queries.sql
+          in
+          ( Printf.sprintf "tpch Q%d" n,
+            tpch_db,
+            analyzed.Sql_frontend.Analyzer.query ))
+        [ 4; 11; 16; 17 ]
+  in
+  let regret_rows =
+    List.map
+      (fun (label, db, q) ->
+        let measured =
+          List.filter_map
+            (fun s ->
+              Option.map (fun t -> (s, t)) (time_strategy db q s))
+            Strategy.all
+        in
+        let oracle = best (List.map snd measured) in
+        let mode_row mode =
+          match Advisor.choose ~mode db q with
+          | exception Strategy.Unsupported _ -> ("-", nan)
+          | chosen ->
+              let t = List.assoc chosen measured in
+              (Strategy.to_string chosen, t /. oracle)
+        in
+        let cost_choice, cost_regret = mode_row Advisor.Cost in
+        let heur_choice, heur_regret = mode_row Advisor.Heuristic in
+        List.iter
+          (fun (mode, choice, regret) ->
+            ignore
+              (record ~figure:"estimate"
+                 ~query:(Printf.sprintf "%s chose %s" label choice)
+                 ~series:mode
+                 ~params:[ ("regret", regret); ("oracle_seconds", oracle) ]
+                 (Time (regret *. oracle), None)))
+          [
+            ("cost", cost_choice, cost_regret);
+            ("heuristic", heur_choice, heur_regret);
+          ];
+        [
+          label;
+          Printf.sprintf "%.4f" oracle;
+          Printf.sprintf "%s (%.2fx)" cost_choice cost_regret;
+          Printf.sprintf "%s (%.2fx)" heur_choice heur_regret;
+        ])
+      workloads
+  in
+  print_table
+    ~title:
+      "advisor regret vs best-of-four oracle (best-of-3 evaluation seconds)"
+    ~header:[ "query"; "oracle [s]"; "cost mode"; "heuristic mode" ]
+    regret_rows;
+  let worst =
+    List.fold_left
+      (fun acc r -> if r.jr_series = "cost" then
+          max acc (try List.assoc "regret" r.jr_params with Not_found -> 0.0)
+        else acc)
+      0.0
+      (List.filter (fun r -> r.jr_figure = "estimate") !json_records)
+  in
+  Printf.printf "worst cost-mode regret: %.2fx (target <= 1.20x)\n" worst;
+  (* --- pre-execution blowup flag on the censored governor cell --- *)
+  let n1 = 30000 and n2 = 2000 in
+  let db = Synthetic.Workload.make_db ~seed:1 ~n1 ~n2 () in
+  let inst = Synthetic.Workload.q1 ~seed:1 ~n1 ~n2 () in
+  let q_plus, _ =
+    Rewrite.rewrite db ~strategy:Strategy.Gen inst.Synthetic.Workload.query
+  in
+  let plan = Optimizer.optimize db q_plus in
+  let flagged =
+    List.exists
+      (fun (d : Lint.diagnostic) -> d.Lint.rule = "estimate-cross-blowup")
+      (Lint.lint db plan)
+  in
+  ignore
+    (record ~figure:"estimate" ~query:"q1-censored" ~series:"gen"
+       ~params:
+         [
+           ("n1", float_of_int n1);
+           ("n2", float_of_int n2);
+           ("flagged", if flagged then 1.0 else 0.0);
+         ]
+       (Excluded, None));
+  Printf.printf
+    "censored Gen cell (q1, n1=%d, n2=%d): estimate-cross-blowup %s before \
+     execution\n"
+    n1 n2
+    (if flagged then "fires" else "DOES NOT FIRE");
+  (* --- join reorder under certification -------------------------- *)
+  let failures = ref 0 and reorders = ref 0 and aggregate = ref Certify.empty_report in
+  let certified name db q strategies =
+    List.iter
+      (fun strategy ->
+        match Rewrite.rewrite db ~strategy q with
+        | exception Strategy.Unsupported _ -> ()
+        | q_plus, _ ->
+            Rewrite_trace.with_tracer
+              (fun e ->
+                if e.Rewrite_trace.e_rule = "join-reorder" then incr reorders)
+              (fun () -> ignore (Optimizer.optimize db q_plus));
+            let _plan, report = Certify.optimize db q_plus in
+            aggregate := Certify.merge !aggregate report;
+            if not (Certify.ok report) then begin
+              incr failures;
+              Printf.printf "%-16s %-5s FAILED\n%s" name
+                (Strategy.to_string strategy)
+                (Certify.report_to_string ~verbose:true report)
+            end)
+      strategies
+  in
+  List.iter
+    (fun (label, template) ->
+      let n1 = 60 and n2 = 30 in
+      let seed = 11 in
+      let db = Synthetic.Workload.make_db ~seed ~n1 ~n2 () in
+      let inst =
+        match template with
+        | `Q1 -> Synthetic.Workload.q1 ~seed ~n1 ~n2 ()
+        | `Q2 -> Synthetic.Workload.q2 ~seed ~n1 ~n2 ()
+      in
+      certified ("synthetic " ^ label) db inst.Synthetic.Workload.query
+        (Synthetic.Workload.strategies_for template))
+    [ ("q1", `Q1); ("q2", `Q2) ];
+  let cdb = Tpch.Tpch_gen.generate ~seed:5 ~sf:0.02 () in
+  List.iter
+    (fun number ->
+      let inst = Tpch.Tpch_queries.instantiate ~seed:100 number in
+      let analyzed =
+        Sql_frontend.Analyzer.analyze_string cdb inst.Tpch.Tpch_queries.sql
+      in
+      certified
+        (Printf.sprintf "tpch Q%d" number)
+        cdb analyzed.Sql_frontend.Analyzer.query Strategy.all)
+    Tpch.Tpch_queries.numbers;
+  ignore
+    (record ~figure:"estimate" ~query:"reorder-certify" ~series:"all"
+       ~params:
+         [
+           ("reorder_sites", float_of_int !reorders);
+           ("obligations", float_of_int !aggregate.Certify.r_total);
+           ("failures", float_of_int !failures);
+         ]
+       ((if !failures = 0 then Time 0.0 else Failed "certification failures"),
+        None));
+  Printf.printf
+    "join reorder under certification: %d reorder sites, %d obligations, %d \
+     failure(s)\n"
+    !reorders !aggregate.Certify.r_total !failures;
+  if !failures > 0 then begin
+    write_json ();
+    Stdlib.exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one Test.make per figure)                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1840,6 +2042,24 @@ let certify_cmd =
           workloads under every applicable strategy")
     Term.(const run $ sf_arg)
 
+let estimate_cmd =
+  let sf_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "sf" ] ~doc:"TPC-H scale factor for the regret measurements.")
+  in
+  let run sf json =
+    with_report "compiled" json (fun _engines -> estimate_bench ~sf ())
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:
+         "Statistics-backed estimation: advisor regret vs the best-of-four \
+          oracle (cost and heuristic modes), the pre-execution \
+          estimate-cross-blowup flag on the governor's censored Gen cell, \
+          and the Estimate-driven join reorder under certification")
+    Term.(const run $ sf_arg $ json_arg)
+
 let bechamel_cmd =
   Cmd.v
     (Cmd.info "bechamel" ~doc:"Statistically sampled micro-benchmarks")
@@ -1896,6 +2116,7 @@ let () =
             serve_cmd;
             share_lint_cmd;
             certify_cmd;
+            estimate_cmd;
             bechamel_cmd;
             all_cmd;
           ]))

@@ -18,6 +18,9 @@
                                  optimizer rewrite (see --certify)
                    \analyze SQL  per-operator dataflow facts (nullability,
                                  lineage, cardinality) for one statement
+                   \explain SQL  the optimized plan with per-operator
+                                 estimated rows/cost next to actual rows
+                   \advisor M    advisor ranking mode (cost|heuristic)
                    \werror       toggle treating lint warnings as errors
                    \race         toggle the vector-clock race detector
                                  around every statement (see --race-check)
@@ -40,6 +43,7 @@ type strategy_choice = Fixed of Strategy.t | Auto
 type session = {
   db : Database.t;
   mutable strategy : strategy_choice;
+  mutable advisor_mode : Advisor.mode;  (* ranking mode under Auto *)
   mutable show_plan : bool;
   mutable timing : bool;
   mutable show_stats : bool;
@@ -96,7 +100,8 @@ let run_statement session sql =
       with
       | Sql_frontend.Ast.Stmt_select _ ->
           let strategy, result =
-            Advisor.run session.db ~certify ~lint ~werror ?budget ~fallback sql
+            Advisor.run session.db ~mode:session.advisor_mode ~certify ~lint
+              ~werror ?budget ~fallback sql
           in
           if result.Perm.provenance <> [] then
             Printf.printf "advisor chose: %s\n" (Strategy.to_string strategy);
@@ -222,7 +227,9 @@ let statement_diagnostics session sql :
           let strategy =
             match session.strategy with
             | Fixed s -> s
-            | Auto -> ( try Advisor.choose session.db q with Strategy.Unsupported _ -> Strategy.Gen)
+            | Auto -> (
+                try Advisor.choose ~mode:session.advisor_mode session.db q
+                with Strategy.Unsupported _ -> Strategy.Gen)
           in
           match Rewrite.rewrite session.db ~strategy q with
           | rewritten -> Provcheck.check session.db ~strategy ~original:q rewritten
@@ -313,7 +320,7 @@ let analyze_statement session sql =
           match session.strategy with
           | Fixed s -> s
           | Auto -> (
-              try Advisor.choose session.db q
+              try Advisor.choose ~mode:session.advisor_mode session.db q
               with Strategy.Unsupported _ -> Strategy.Gen)
         in
         match Rewrite.rewrite session.db ~strategy q with
@@ -334,6 +341,121 @@ let analyze_statement session sql =
       Printf.printf "analysis error: %s\n" msg
   | exception Typecheck.Type_error msg -> Printf.printf "type error: %s\n" msg
   | exception Value.Type_clash msg -> Printf.printf "value error: %s\n" msg
+
+(* \explain SQL / --explain-json SQL: the optimized plan of one
+   statement (its provenance rewrite when the PROVENANCE marker is
+   present), each operator annotated with the Estimate model's
+   predicted rows and cumulative cost next to the rows the subtree
+   actually produces. Correlated sublink subtrees cannot run
+   standalone; their actual column is "-" (JSON: null). *)
+let explain_plan session sql =
+  match Sql_frontend.Analyzer.analyze_string session.db (strip_semi sql) with
+  | analyzed -> (
+      let q = analyzed.Sql_frontend.Analyzer.query in
+      let planned =
+        if not analyzed.Sql_frontend.Analyzer.wants_provenance then
+          Ok (None, Optimizer.optimize session.db q)
+        else begin
+          let strategy =
+            match session.strategy with
+            | Fixed s -> s
+            | Auto -> (
+                try Advisor.choose ~mode:session.advisor_mode session.db q
+                with Strategy.Unsupported _ -> Strategy.Gen)
+          in
+          match Rewrite.rewrite session.db ~strategy q with
+          | rewritten, _ ->
+              Ok (Some strategy, Optimizer.optimize session.db rewritten)
+          | exception Strategy.Unsupported msg ->
+              Error
+                (Printf.sprintf "strategy %s not applicable: %s"
+                   (Strategy.to_string strategy) msg)
+        end
+      in
+      match planned with
+      | Error _ as e -> e
+      | Ok (strategy, plan) ->
+          let est = Estimate.create session.db in
+          let annots =
+            List.map
+              (fun a ->
+                let actual =
+                  match Eval.query session.db a.Estimate.a_query with
+                  | rel -> Some (Relation.cardinality rel)
+                  | exception _ -> None
+                in
+                (a, actual))
+              (Estimate.annotate est plan)
+          in
+          Ok (strategy, annots))
+  | exception Sql_frontend.Lexer.Lex_error (msg, line, col) ->
+      Error (Printf.sprintf "lex error at %d:%d: %s" line col msg)
+  | exception Sql_frontend.Parser.Parse_error (msg, line, col) ->
+      Error (Printf.sprintf "parse error at %d:%d: %s" line col msg)
+  | exception Sql_frontend.Analyzer.Analyze_error msg ->
+      Error (Printf.sprintf "analysis error: %s" msg)
+  | exception Typecheck.Type_error msg ->
+      Error (Printf.sprintf "type error: %s" msg)
+  | exception Value.Type_clash msg ->
+      Error (Printf.sprintf "value error: %s" msg)
+
+let explain_statement session sql =
+  match explain_plan session sql with
+  | Error msg -> print_endline msg
+  | Ok (strategy, annots) ->
+      (match strategy with
+      | Some s ->
+          Printf.printf "strategy: %s%s\n" (Strategy.to_string s)
+            (match session.strategy with
+            | Auto ->
+                Printf.sprintf " (advisor, %s mode)"
+                  (Advisor.mode_to_string session.advisor_mode)
+            | Fixed _ -> "")
+      | None -> ());
+      Printf.printf "%-52s %12s %14s %8s\n" "operator" "est rows" "est cost"
+        "actual";
+      List.iter
+        (fun (a, actual) ->
+          Printf.printf "%-52s %12.6g %14.6g %8s\n"
+            (Guard.path_to_string a.Estimate.a_path)
+            a.Estimate.a_rows a.Estimate.a_cost
+            (match actual with Some n -> string_of_int n | None -> "-"))
+        annots
+
+(* --explain-json SQL: the same annotations as one JSON object. *)
+let explain_json_statement session sql : int =
+  let json_num f =
+    if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+  in
+  match explain_plan session sql with
+  | Error msg ->
+      Printf.printf "{\"error\":\"%s\"}\n" (json_escape msg);
+      2
+  | Ok (strategy, annots) ->
+      let buf = Buffer.create 512 in
+      Buffer.add_char buf '{';
+      (match strategy with
+      | Some s ->
+          Buffer.add_string buf
+            (Printf.sprintf "\"strategy\":\"%s\",\"advisor\":\"%s\","
+               (Strategy.to_string s)
+               (Advisor.mode_to_string session.advisor_mode))
+      | None -> ());
+      Buffer.add_string buf "\"operators\":[";
+      List.iteri
+        (fun i (a, actual) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"path\":\"%s\",\"est_rows\":%s,\"est_cost\":%s,\"actual_rows\":%s}"
+               (json_escape (Guard.path_to_string a.Estimate.a_path))
+               (json_num a.Estimate.a_rows)
+               (json_num a.Estimate.a_cost)
+               (match actual with Some n -> string_of_int n | None -> "null")))
+        annots;
+      Buffer.add_string buf "]}";
+      print_endline (Buffer.contents buf);
+      0
 
 (* \budget — show, clear, or set the execution governor's budget from
    key=value parts (numbers accept scientific notation: rows=1e6). *)
@@ -400,7 +522,8 @@ let handle_command session line =
       `Continue
   | [ "\\strategy"; "auto" ] ->
       session.strategy <- Auto;
-      print_endline "strategy set to auto (cost-based advisor)";
+      Printf.printf "strategy set to auto (advisor, %s mode)\n"
+        (Advisor.mode_to_string session.advisor_mode);
       `Continue
   | [ "\\strategy"; s ] ->
       (match Strategy.of_string s with
@@ -468,6 +591,20 @@ let handle_command session line =
   | "\\analyze" :: rest when rest <> [] ->
       analyze_statement session (String.concat " " rest);
       `Continue
+  | "\\explain" :: rest when rest <> [] ->
+      explain_statement session (String.concat " " rest);
+      `Continue
+  | [ "\\advisor" ] ->
+      Printf.printf "advisor mode: %s\n"
+        (Advisor.mode_to_string session.advisor_mode);
+      `Continue
+  | [ "\\advisor"; m ] ->
+      (match Advisor.mode_of_string m with
+      | Some mode ->
+          session.advisor_mode <- mode;
+          Printf.printf "advisor mode set to %s\n" m
+      | None -> print_endline "usage: \\advisor [cost|heuristic]");
+      `Continue
   | "\\budget" :: rest ->
       budget_command session rest;
       `Continue
@@ -500,7 +637,8 @@ let repl session =
   Printf.printf
     "permcli — Perm provenance shell. \\d lists tables, \\q quits,\n\
      \\influence and \\graph analyze the last provenance result,\n\
-     \\lint checks a statement, \\analyze dumps per-operator dataflow facts.\n\
+     \\lint checks a statement, \\analyze dumps per-operator dataflow facts,\n\
+     \\explain shows estimated vs actual rows per operator.\n\
      Statements end with ';'. Use SELECT PROVENANCE ... for provenance.\n";
   let buffer = Buffer.create 256 in
   let rec loop () =
@@ -852,6 +990,31 @@ let lint_json_arg =
            present, 1 when some are, 2 when the statement cannot be \
            analyzed.")
 
+let advisor_arg =
+  Arg.(
+    value & opt string "cost"
+    & info [ "advisor" ] ~docv:"MODE"
+        ~doc:
+          "Advisor ranking mode under $(b,--strategy auto): $(b,cost) \
+           (statistics-backed cardinality/cost estimates with \
+           observed-outcome correction, the default) or $(b,heuristic) \
+           (the coarse tuples-touched model — the escape hatch when \
+           statistics mislead). Safety gates apply in both modes.")
+
+let explain_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "explain-json" ] ~docv:"SQL"
+        ~doc:
+          "Explain one statement without printing its rows and exit: the \
+           optimized plan (the provenance rewrite when the PROVENANCE \
+           marker is present) as one JSON object with each operator's \
+           estimated rows, cumulative estimated cost, and the rows the \
+           subtree actually produces (null for correlated subtrees that \
+           cannot run standalone). Exits 0 on success, 2 when the \
+           statement cannot be analyzed.")
+
 let werror_arg =
   Arg.(
     value & flag
@@ -939,9 +1102,9 @@ let replay_bundle dir =
       Printf.eprintf "error: cannot read bundle: %s\n" msg;
       Stdlib.exit 2
 
-let main_inner tpch demo loads exec file strategy plan engine domains
-    batch_rows lint certify replay lint_json werror race_check share_lint
-    timeout max_rows fallback connect =
+let main_inner tpch demo loads exec file strategy advisor plan engine domains
+    batch_rows lint certify replay lint_json explain_json werror race_check
+    share_lint timeout max_rows fallback connect =
   if share_lint then Stdlib.exit (share_lint_json ());
   (match replay with Some dir -> replay_bundle dir | None -> ());
   (match connect with
@@ -988,6 +1151,13 @@ let main_inner tpch demo loads exec file strategy plan engine domains
     let b = Guard.budget ?timeout ?max_rows () in
     if Guard.is_unlimited b then None else Some b
   in
+  let advisor_mode =
+    match Advisor.mode_of_string advisor with
+    | Some m -> m
+    | None ->
+        prerr_endline "advisor mode must be cost or heuristic";
+        Stdlib.exit 2
+  in
   let session =
     {
       db;
@@ -999,6 +1169,7 @@ let main_inner tpch demo loads exec file strategy plan engine domains
            | exception Invalid_argument msg ->
                prerr_endline msg;
                Stdlib.exit 2);
+      advisor_mode;
       show_plan = plan;
       timing = false;
       show_stats = false;
@@ -1013,6 +1184,9 @@ let main_inner tpch demo loads exec file strategy plan engine domains
   in
   (match lint_json with
   | Some sql -> Stdlib.exit (lint_json_statement session sql)
+  | None -> ());
+  (match explain_json with
+  | Some sql -> Stdlib.exit (explain_json_statement session sql)
   | None -> ());
   match (exec, file) with
   | Some sql, _ -> (
@@ -1051,13 +1225,13 @@ let main_inner tpch demo loads exec file strategy plan engine domains
    error, 70 internal crash (EX_SOFTWARE). [Stdlib.exit] calls above
    raise [Exit_with] through this wrapper untouched ([exit] never
    returns); anything else escaping is by definition a crash. *)
-let main tpch demo loads exec file strategy plan engine domains batch_rows
-    lint certify replay lint_json werror race_check share_lint timeout
-    max_rows fallback connect =
+let main tpch demo loads exec file strategy advisor plan engine domains
+    batch_rows lint certify replay lint_json explain_json werror race_check
+    share_lint timeout max_rows fallback connect =
   try
-    main_inner tpch demo loads exec file strategy plan engine domains
-      batch_rows lint certify replay lint_json werror race_check share_lint
-      timeout max_rows fallback connect
+    main_inner tpch demo loads exec file strategy advisor plan engine domains
+      batch_rows lint certify replay lint_json explain_json werror race_check
+      share_lint timeout max_rows fallback connect
   with
   | Resilience.Perm_error e ->
       Printf.eprintf "error: %s\n" (Resilience.error_to_string e);
@@ -1074,10 +1248,10 @@ let cmd =
     (Cmd.info "permcli" ~doc:"SQL shell with Perm-style provenance")
     Term.(
       const main $ tpch_arg $ demo_arg $ load_arg $ exec_arg $ file_arg
-      $ strategy_arg $ plan_arg $ engine_arg $ domains_arg $ batch_rows_arg
-      $ lint_arg $ certify_arg $ replay_arg $ lint_json_arg $ werror_arg
-      $ race_check_arg $ share_lint_arg $ timeout_arg $ max_rows_arg
-      $ fallback_arg $ connect_arg)
+      $ strategy_arg $ advisor_arg $ plan_arg $ engine_arg $ domains_arg
+      $ batch_rows_arg $ lint_arg $ certify_arg $ replay_arg $ lint_json_arg
+      $ explain_json_arg $ werror_arg $ race_check_arg $ share_lint_arg
+      $ timeout_arg $ max_rows_arg $ fallback_arg $ connect_arg)
 
 (* cmdliner reports its own CLI parse failures as [term_err]; map them
    to the conventional usage-error code 2 (the default is 124). *)

@@ -106,9 +106,19 @@ and cost db (q : query) : float =
 
 type estimate = {
   est_strategy : Strategy.t;
-  est_cost : float;  (** estimated tuples touched; infinite if huge *)
+  est_cost : float;  (** ranking cost (mode-dependent); infinite if huge *)
+  est_heur : float;  (** the heuristic tuples-touched cost, kept as tie-break *)
   est_safe : bool;  (** nullability proves the rewrite's fast paths safe *)
 }
+
+type mode = Cost | Heuristic
+
+let mode_to_string = function Cost -> "cost" | Heuristic -> "heuristic"
+
+let mode_of_string = function
+  | "cost" -> Some Cost
+  | "heuristic" -> Some Heuristic
+  | _ -> None
 
 (* The {!Dataflow} nullability lattice is per-column and flows through
    operators, but it cannot see that a selection *filters* NULLs out:
@@ -194,9 +204,18 @@ let unn_equi_safe db (q : query) : bool =
   in
   match walk ~env:[] q with () -> true | exception Unsafe -> false
 
-(** [estimates db q] costs every applicable strategy's optimized plan;
-    nullability-safe strategies first, cheapest within each group. *)
-let estimates db (q : query) : estimate list =
+(** [estimates ?mode db q] costs every applicable strategy's optimized
+    plan; nullability-safe strategies first (a hard gate, not a cost
+    term), cheapest within each group.
+
+    [Cost] (the default) ranks by the statistics-backed {!Estimate}
+    interpretation of each optimized plan, adjusted by the feedback
+    correction table ({!Estimate.corrected_cost}) so Guard-tripped
+    plans sink to the back on repeat queries; the heuristic cost stays
+    as tie-break. [Heuristic] is the escape hatch: the original coarse
+    tuples-touched model only. *)
+let estimates ?(mode = Cost) db (q : query) : estimate list =
+  let handle = lazy (Estimate.create db) in
   List.filter_map
     (fun strategy ->
       match Rewrite.rewrite db ~strategy q with
@@ -207,18 +226,30 @@ let estimates db (q : query) : estimate list =
             | Strategy.Unn -> unn_equi_safe db q
             | _ -> true
           in
-          Some { est_strategy = strategy; est_cost = cost db plan; est_safe }
+          let est_heur = cost db plan in
+          let est_cost =
+            match mode with
+            | Heuristic -> est_heur
+            | Cost ->
+                Estimate.corrected_cost
+                  ~fingerprint:(Estimate.fingerprint plan)
+                  (Estimate.cost (Lazy.force handle) plan)
+          in
+          Some { est_strategy = strategy; est_cost; est_heur; est_safe }
       | exception Strategy.Unsupported _ -> None)
     Strategy.all
   |> List.sort (fun a b ->
          match compare b.est_safe a.est_safe with
-         | 0 -> compare a.est_cost b.est_cost
+         | 0 -> (
+             match compare a.est_cost b.est_cost with
+             | 0 -> compare a.est_heur b.est_heur
+             | c -> c)
          | c -> c)
 
-(** [choose db q] is the estimated-cheapest applicable strategy.
+(** [choose ?mode db q] is the estimated-cheapest applicable strategy.
     Raises {!Strategy.Unsupported} when none applies (e.g. LIMIT). *)
-let choose db (q : query) : Strategy.t =
-  match estimates db q with
+let choose ?mode db (q : query) : Strategy.t =
+  match estimates ?mode db q with
   | { est_strategy; _ } :: _ -> est_strategy
   | [] -> Strategy.unsupported "no strategy can rewrite this query"
 
@@ -228,7 +259,20 @@ let choose db (q : query) : Strategy.t =
     plans exactly as in {!Perm.run}; [?budget] / [?fallback] govern the
     execution as in {!Perm.run} (with fallback, the degradation order is
     this module's ranking). *)
-let run db ?(optimize = true) ?(certify = false) ?(lint = false)
+(* Record an observed outcome for the chosen strategy's optimized plan
+   in the estimate-correction table — the re-ranking signal for repeat
+   queries (never a mid-query re-optimization). *)
+let note_outcome db q strategy ~obs_rows ~tripped =
+  match Rewrite.rewrite db ~strategy q with
+  | q_plus, _ ->
+      let plan = Optimizer.optimize db q_plus in
+      let est = Estimate.create db in
+      Estimate.note_feedback
+        ~fingerprint:(Estimate.fingerprint plan)
+        ~est_rows:(Estimate.rows est plan) ~obs_rows ~tripped
+  | exception Strategy.Unsupported _ -> ()
+
+let run db ?mode ?(optimize = true) ?(certify = false) ?(lint = false)
     ?(werror = false) ?budget ?(fallback = false) sql :
     Strategy.t * Perm.result =
   let analyzed =
@@ -237,16 +281,30 @@ let run db ?(optimize = true) ?(certify = false) ?(lint = false)
   in
   let q = analyzed.Sql_frontend.Analyzer.query in
   if analyzed.Sql_frontend.Analyzer.wants_provenance then begin
-    let strategy = Resilience.enter Resilience.Rewrite (fun () -> choose db q) in
+    let strategy =
+      Resilience.enter Resilience.Rewrite (fun () -> choose ?mode db q)
+    in
     let r =
-      Perm.run_query db ~strategy ~optimize ~certify ~lint ~werror ?budget
-        ~fallback ~provenance:true q
+      match
+        Perm.run_query db ~strategy ~optimize ~certify ~lint ~werror ?budget
+          ~fallback ~provenance:true q
+      with
+      | r -> r
+      | exception Guard.Budget_exceeded trip ->
+          (* feed the trip back so repeat rankings demote this plan *)
+          note_outcome db q strategy
+            ~obs_rows:(float_of_int trip.Guard.t_counters.Guard.c_rows)
+            ~tripped:true;
+          raise (Guard.Budget_exceeded trip)
     in
     let strategy =
       match r.Perm.ladder with
       | Some l -> l.Resilience.lad_strategy
       | None -> strategy
     in
+    note_outcome db q strategy
+      ~obs_rows:(float_of_int (Relation.cardinality r.Perm.relation))
+      ~tripped:false;
     (strategy, r)
   end
   else

@@ -14,13 +14,25 @@ val cost : Database.t -> Algebra.query -> float
 
 type estimate = {
   est_strategy : Strategy.t;
-  est_cost : float;
+  est_cost : float;  (** the ranking cost under the selected mode *)
+  est_heur : float;  (** the heuristic tuples-touched cost (tie-break) *)
   est_safe : bool;
       (** [false] only for Unn on a query where the {!Dataflow}
           nullability analysis cannot prove every [= ANY] equality
           NULL-free — its de-correlated equi-join is then ranked after
           the strategies that keep the original sublink semantics. *)
 }
+
+(** Ranking mode: [Cost] (default) ranks by the statistics-backed
+    {!Relalg.Estimate} interpretation of each strategy's optimized
+    plan, corrected by observed feedback ({!Relalg.Estimate.corrected_cost});
+    [Heuristic] is the escape hatch to the original coarse model.
+    Safety gates apply identically in both modes — they are hard
+    constraints, never cost terms. *)
+type mode = Cost | Heuristic
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode option
 
 (** [unn_equi_safe db q]: no NULL can reach any [= ANY] equality of
     [q]'s sublinks, so Unn's two-valued equi-join is exact — proved by
@@ -30,15 +42,16 @@ type estimate = {
     NULL]). Gates [est_safe] for Unn. *)
 val unn_equi_safe : Database.t -> Algebra.query -> bool
 
-(** [estimates db q]: every applicable strategy's optimized-plan cost;
-    nullability-safe strategies first, cheapest within each group. *)
-val estimates : Database.t -> Algebra.query -> estimate list
+(** [estimates ?mode db q]: every applicable strategy's optimized-plan
+    cost; nullability-safe strategies first, cheapest within each
+    group (heuristic cost breaks ties). *)
+val estimates : ?mode:mode -> Database.t -> Algebra.query -> estimate list
 
-(** [choose db q] is the estimated-cheapest applicable strategy whose
-    rewrite is nullability-safe (falling back to unsafe ones when
+(** [choose ?mode db q] is the estimated-cheapest applicable strategy
+    whose rewrite is nullability-safe (falling back to unsafe ones when
     nothing else applies); raises {!Strategy.Unsupported} when no
     strategy applies. *)
-val choose : Database.t -> Algebra.query -> Strategy.t
+val choose : ?mode:mode -> Database.t -> Algebra.query -> Strategy.t
 
 (** [run db ?optimize ?certify ?lint ?werror ?budget ?fallback sql] is
     {!Perm.run} with an advisor-chosen strategy; returns the strategy
@@ -48,11 +61,18 @@ val choose : Database.t -> Algebra.query -> Strategy.t
     validates the optimizer's rewrites as in {!Perm.run}; [?budget] /
     [?fallback] govern the execution as in {!Perm.run}.
 
+    Observed outcomes (result row counts, Guard budget trips) are
+    recorded in the {!Relalg.Estimate} feedback table keyed by the
+    chosen plan's fingerprint, so repeated queries re-rank with
+    corrected costs — re-ranking only, never mid-query
+    re-optimization.
+
     Linking this module also installs the cost-model ranking as
     {!Resilience.strategy_ranking}, so fallback everywhere degrades
     along estimated cost (safe strategies first). *)
 val run :
   Database.t ->
+  ?mode:mode ->
   ?optimize:bool ->
   ?certify:bool ->
   ?lint:bool ->

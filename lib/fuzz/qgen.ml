@@ -21,9 +21,30 @@ type config = {
   correlation : float;  (** probability a generated sublink correlates *)
   null_rate : float;  (** probability a generated cell is NULL *)
   max_rows : int;  (** rows per generated table: 0..max_rows *)
+  skew : float;
+      (** zipfian exponent of the value distribution; 0.0 draws
+          uniformly (the historical behavior, bit-identical per seed) *)
+  corr_cols : float;
+      (** probability a non-first column of a row copies the row's
+          first column (plus small noise) instead of drawing fresh —
+          0.0 keeps columns independent *)
 }
 
-let default = { depth = 2; correlation = 0.5; null_rate = 0.25; max_rows = 6 }
+let default =
+  {
+    depth = 2;
+    correlation = 0.5;
+    null_rate = 0.25;
+    max_rows = 6;
+    skew = 0.0;
+    corr_cols = 0.0;
+  }
+
+(* Skewed data stresses the estimator where uniform data cannot: heavy
+   hitters break NDV-based join estimates unless the histogram carries
+   them, and column correlation breaks independence-assumption
+   selectivity products. *)
+let default_skewed = { default with skew = 1.5; corr_cols = 0.5; max_rows = 12 }
 
 type case = {
   c_select : Ast.select;
@@ -44,16 +65,47 @@ let schema_of_spec cols =
 (* ------------------------------------------------------------------ *)
 
 (* Values stay in a narrow band so generated predicates actually both
-   hit and miss, and NULLs appear at [null_rate]. *)
+   hit and miss, and NULLs appear at [null_rate]. With [skew > 0] the
+   band is drawn zipfian — rank k (of 7) with weight 1/(k+1)^skew, the
+   low end of the band hottest — via CDF inversion, still fully
+   determined by [st]. *)
+let zipf_rank st ~n ~s =
+  let weights = Array.init n (fun k -> 1.0 /. (float_of_int (k + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let u = Random.State.float st total in
+  let rec go k acc =
+    let acc = acc +. weights.(k) in
+    if u < acc || k = n - 1 then k else go (k + 1) acc
+  in
+  go 0 0.0
+
 let gen_value st cfg =
   if Random.State.float st 1.0 < cfg.null_rate then Value.Null
+  else if cfg.skew > 0.0 then Value.Int (zipf_rank st ~n:7 ~s:cfg.skew - 2)
   else Value.Int (Random.State.int st 7 - 2)
+
+(* A row whose non-first columns each copy the first column's value
+   plus noise in {0,1} with probability [corr_cols] — correlated
+   columns defeat independence-assumption selectivity products. *)
+let gen_corr_row st cfg cols =
+  match cols with
+  | [] -> []
+  | _ :: rest ->
+      let v0 = gen_value st cfg in
+      let dependent _ =
+        match v0 with
+        | Value.Int base when Random.State.float st 1.0 < cfg.corr_cols ->
+            Value.Int (base + Random.State.int st 2)
+        | _ -> gen_value st cfg
+      in
+      v0 :: List.map dependent rest
 
 let gen_table st cfg cols =
   let n_rows = Random.State.int st (cfg.max_rows + 1) in
   let rows =
     List.init n_rows (fun _ ->
-        List.map (fun _ -> gen_value st cfg) cols)
+        if cfg.corr_cols > 0.0 then gen_corr_row st cfg cols
+        else List.map (fun _ -> gen_value st cfg) cols)
   in
   Relation.of_values (schema_of_spec cols) rows
 

@@ -12,10 +12,23 @@ type config = {
   correlation : float;  (** probability a generated sublink correlates *)
   null_rate : float;  (** probability a generated cell is NULL *)
   max_rows : int;  (** rows per generated table: 0..max_rows *)
+  skew : float;
+      (** zipfian exponent of the value distribution; 0.0 draws
+          uniformly (the historical behavior, bit-identical per seed) *)
+  corr_cols : float;
+      (** probability a non-first column of a row copies the row's
+          first column (plus noise in {0,1}) instead of drawing fresh;
+          0.0 keeps columns independent *)
 }
 
-(** depth 2, correlation 0.5, null_rate 0.25, max_rows 6 *)
+(** depth 2, correlation 0.5, null_rate 0.25, max_rows 6, no skew,
+    independent columns *)
 val default : config
+
+(** {!default} with [skew = 1.5], [corr_cols = 0.5], [max_rows = 12] —
+    heavy hitters and correlated columns, the distributions that break
+    uniform-independence cardinality estimates. *)
+val default_skewed : config
 
 type case = {
   c_select : Sql_frontend.Ast.select;

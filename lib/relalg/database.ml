@@ -5,14 +5,33 @@
 type t = {
   catalog : (string, Relation.t) Hashtbl.t;
   views : (string, Algebra.query) Hashtbl.t;
+  uid : int;  (** globally unique per [create]d database *)
+  mutable version : int;  (** bumped by every catalog mutation *)
 }
 
 exception Unknown_relation of string
 
-let create () = { catalog = Hashtbl.create 16; views = Hashtbl.create 4 }
+(* [uid]/[version] together identify a catalog state: statistics caches
+   (see Stats) key on the pair, so a mutated or freshly rebuilt catalog
+   never serves stale statistics. The counter is atomic because server
+   sessions build overlay databases from multiple domains. *)
+let next_uid = Atomic.make 0
+
+let create () =
+  {
+    catalog = Hashtbl.create 16;
+    views = Hashtbl.create 4;
+    uid = Atomic.fetch_and_add next_uid 1;
+    version = 0;
+  }
+
+let uid db = db.uid
+let version db = db.version
 
 (** [add db name rel] registers or replaces relation [name]. *)
-let add db name rel = Hashtbl.replace db.catalog name rel
+let add db name rel =
+  db.version <- db.version + 1;
+  Hashtbl.replace db.catalog name rel
 
 let of_list pairs =
   let db = create () in
@@ -34,7 +53,9 @@ let names db =
 (** {1 Views} *)
 
 (** [add_view db name q] registers or replaces view [name]. *)
-let add_view db name q = Hashtbl.replace db.views name q
+let add_view db name q =
+  db.version <- db.version + 1;
+  Hashtbl.replace db.views name q
 
 let find_view db name = Hashtbl.find_opt db.views name
 let mem_view db name = Hashtbl.mem db.views name
@@ -45,10 +66,12 @@ let view_names db =
 (** [drop db name] removes a table or view; [false] when neither exists. *)
 let drop db name =
   if Hashtbl.mem db.catalog name then begin
+    db.version <- db.version + 1;
     Hashtbl.remove db.catalog name;
     true
   end
   else if Hashtbl.mem db.views name then begin
+    db.version <- db.version + 1;
     Hashtbl.remove db.views name;
     true
   end

@@ -6,6 +6,15 @@ exception Unknown_relation of string
 
 val create : unit -> t
 
+(** [uid db] is a process-unique identity assigned at {!create};
+    [version db] counts catalog mutations (table/view add and drop).
+    Together they key the statistics cache ({!Stats}): any mutation or
+    rebuild of the catalog invalidates previously collected
+    statistics. *)
+val uid : t -> int
+
+val version : t -> int
+
 (** [add db name rel] registers or replaces relation [name]. *)
 val add : t -> string -> Relation.t -> unit
 

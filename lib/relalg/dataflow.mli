@@ -36,6 +36,50 @@ val pp_card : Format.formatter -> card -> unit
     [Lint] and [Core.Advisor]. *)
 val inputs : Algebra.query -> Algebra.query list
 
+(** {1 The generic engine}
+
+    New analyses (e.g. {!Estimate}'s cardinality/cost interpretation)
+    are written as domains and instantiated through {!Engine}, sharing
+    the framework's memoization and sublink-aware environment
+    propagation. *)
+
+(** A client analysis: one lattice of per-subplan facts plus a transfer
+    function. [transfer] receives the already-computed facts of the
+    operator's direct input queries and a [recurse] callback for
+    analysing sublink queries under an extended environment. *)
+module type DOMAIN = sig
+  type fact
+
+  (** Widen two facts for the same physical subplan reached under
+      different correlation environments. *)
+  val join : fact -> fact -> fact
+
+  val transfer :
+    Database.t ->
+    recurse:(env:fact list -> Algebra.query -> fact) ->
+    env:fact list ->
+    inputs:fact list ->
+    Algebra.query ->
+    fact
+end
+
+module Engine (D : DOMAIN) : sig
+  type t
+
+  val create : Database.t -> t
+  val query : t -> ?env:D.fact list -> Algebra.query -> D.fact
+end
+
+(** Operator label used by the fact dump ([Base(name)], [Select], ...). *)
+val op_name : Algebra.query -> string
+
+(** [index_of name names]: position of [name], if present. *)
+val index_of : string -> string list -> int option
+
+(** [map2_padded f top a b]: pointwise combination tolerating arity
+    mismatches of broken plans — missing positions default to [top]. *)
+val map2_padded : ('a -> 'a -> 'a) -> 'a -> 'a list -> 'a list -> 'a list
+
 (** {1 Analysis handle}
 
     One handle shares the three per-subplan memo tables, so repeated

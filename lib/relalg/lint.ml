@@ -233,6 +233,17 @@ let rules =
     ( "scalar-cardinality",
       "a scalar sublink whose query may return more than one row — evaluation \
        raises as soon as it does" );
+    ( "estimate-cross-blowup",
+      "a cross product or non-equi join whose estimated candidate pairs — or \
+       estimated enumeration work including per-pair sublink evaluation — \
+       exceed the blowup threshold; a Guard pair budget would trip at run \
+       time" );
+    ( "estimate-empty-result",
+      "the estimator predicts zero result rows over nonempty inputs — a \
+       predicate is unsatisfiable or outside the data's value range" );
+    ( "estimate-scalar-sublink-fanout",
+      "a scalar sublink the estimator expects to return more than one row — \
+       evaluation raises as soon as it does" );
   ]
 
 (* The semantic sublink rules target source queries: a rewritten plan
@@ -246,7 +257,8 @@ let plan_rules =
     (fun n ->
       n <> "rewrite-unsupported" && n <> "shadowed-attribute"
       && n <> "sublink-null-trap" && n <> "scalar-cardinality"
-      && n <> "tautological-condition")
+      && n <> "tautological-condition"
+      && n <> "estimate-scalar-sublink-fanout")
     (List.map fst rules)
 
 (* --- name resolution -------------------------------------------------- *)
@@ -753,6 +765,135 @@ let check_semantics db q : diagnostic list =
   walk [] ~env:[] q;
   List.rev !acc
 
+(* --- statistics-backed estimate rules ---------------------------------- *)
+
+(* These rules predict run-time blowups before execution from {!Stats}
+   statistics, so a plan the Guard would kill can be flagged (and a
+   cheaper strategy chosen) without paying for the failed run. One
+   {!Estimate} handle serves the whole walk; paths mirror
+   [check_semantics]'s construction. *)
+
+let blowup_pairs = 1.0e6
+
+let estimate_rules =
+  [
+    "estimate-cross-blowup"; "estimate-empty-result";
+    "estimate-scalar-sublink-fanout";
+  ]
+
+let check_estimates db q : diagnostic list =
+  let est = Estimate.create db in
+  let acc = ref [] in
+  let concat_fact a b =
+    {
+      Estimate.e_names = a.Estimate.e_names @ b.Estimate.e_names;
+      e_cols = a.Estimate.e_cols @ b.Estimate.e_cols;
+      e_rows = a.Estimate.e_rows;
+      e_cost = a.Estimate.e_cost;
+    }
+  in
+  let hashable c =
+    List.exists
+      (fun cj ->
+        match cj with
+        | Cmp ((Eq | EqNull), x, y) ->
+            (not (has_sublink x)) && not (has_sublink y)
+        | _ -> false)
+      (conjuncts c)
+  in
+  let rec walk prefix ~env q =
+    let here = prefix @ [ op_label q ] in
+    let inputs = Dataflow.inputs q in
+    let input_facts = List.map (fun i -> Estimate.query est ~env i) inputs in
+    (match (q, input_facts) with
+    | (Cross _ | Join _ | LeftJoin _), [ la; ra ] ->
+        let enumerated =
+          match q with
+          | Join (c, _, _) | LeftJoin (c, _, _) -> not (hashable c)
+          | _ -> true
+        in
+        let pairs = la.Estimate.e_rows *. ra.Estimate.e_rows in
+        (* the operator's own estimated work: its cumulative cost minus
+           its inputs' — candidate pairs plus per-pair sublink
+           evaluation, which dwarfs the raw pair count when the join
+           condition carries sublinks *)
+        let own_work =
+          (Estimate.query est ~env q).Estimate.e_cost
+          -. la.Estimate.e_cost -. ra.Estimate.e_cost
+        in
+        if enumerated && (pairs > blowup_pairs || own_work > blowup_pairs) then
+          acc :=
+            diag Warning ~rule:"estimate-cross-blowup" ~path:here
+              (Printf.sprintf
+                 "estimated %.3g candidate pairs (%.3g tuples of work) with \
+                  no hashable equality — this operator enumerates them all \
+                  and a Guard pair budget would trip; prefer a cheaper \
+                  strategy or add a join predicate"
+                 pairs (Float.max pairs own_work))
+            :: !acc
+    | _ -> ());
+    let input_fact =
+      match input_facts with
+      | [] -> { Estimate.e_names = []; e_cols = []; e_rows = 0.0; e_cost = 0.0 }
+      | [ x ] -> x
+      | x :: rest -> List.fold_left concat_fact x rest
+    in
+    let env' = input_fact :: env in
+    List.iter
+      (fun e ->
+        List.iter
+          (fun x ->
+            match x with
+            | Sublink { kind = Scalar; query = sq; _ } ->
+                let r = (Estimate.query est ~env:env' sq).Estimate.e_rows in
+                if r > 1.0 +. 1e-9 then
+                  acc :=
+                    diag Warning ~rule:"estimate-scalar-sublink-fanout"
+                      ~path:here
+                      (Printf.sprintf
+                         "scalar sublink estimated to return ~%.3g rows — \
+                          evaluation raises as soon as it returns more than \
+                          one (aggregate the sublink or make its filter a \
+                          key lookup)"
+                         r)
+                    :: !acc
+            | _ -> ())
+          (subexprs e))
+      (List.map snd (labelled_exprs q));
+    let child_prefix qualifier = prefix @ [ op_label q ^ qualifier ] in
+    (match inputs with
+    | [] -> ()
+    | [ i ] -> walk (child_prefix "") ~env i
+    | [ a; b ] ->
+        walk (child_prefix "[left]") ~env a;
+        walk (child_prefix "[right]") ~env b
+    | _ -> assert false);
+    List.iteri
+      (fun i s ->
+        walk (here @ [ Printf.sprintf "sublink[%d]" (i + 1) ]) ~env:env' s.query)
+      (List.concat_map (fun (_, e) -> sublinks_of_expr e) (labelled_exprs q))
+  in
+  walk [] ~env:[] q;
+  (* root emptiness: only meaningful over nonempty stored inputs —
+     otherwise an empty base table would warn on every plan over it *)
+  let bases = base_relations q in
+  let nonempty_inputs =
+    bases <> []
+    && List.for_all
+         (fun n ->
+           match Database.find_opt db n with
+           | Some r -> Relation.cardinality r > 0
+           | None -> false)
+         bases
+  in
+  if nonempty_inputs && (Estimate.query est q).Estimate.e_rows = 0.0 then
+    acc :=
+      diag Warning ~rule:"estimate-empty-result" ~path:[ op_label q ]
+        "the estimator predicts zero result rows: a predicate is \
+         unsatisfiable or outside the stored data's value range"
+      :: !acc;
+  List.rev !acc
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -775,8 +916,14 @@ let lint ?rules:(enabled = List.map fst rules) db q : diagnostic list =
     then check_semantics db q
     else []
   in
+  let estimated =
+    (* likewise, the statistics pass only when an estimate rule is on *)
+    if List.exists (fun r -> List.mem r enabled) estimate_rules then
+      check_estimates db q
+    else []
+  in
   List.concat_map (fun check -> List.concat_map (check db) ss) all_checks
-  @ semantic
+  @ semantic @ estimated
   |> List.filter (fun d -> List.mem d.rule enabled)
   |> List.sort_uniq compare_diag
 

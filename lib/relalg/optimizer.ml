@@ -772,13 +772,200 @@ and prune_query db prefix (needed : SS.t) (q : query) : query =
     root's own schema is preserved. *)
 let prune db q = prune_query db [] (all_out db q) q
 
+(** {1 Cost-based join reorder}
+
+    A pre-pass over maximal Select/Cross/Join clusters (the flattening
+    {!Certify}'s symbolic discharge uses): with at least three leaves
+    and a flat namespace, the leaves are re-joined greedily by
+    {!Estimate} cardinality — start from the smallest leaf, repeatedly
+    adjoin the leaf minimizing the estimated size of the joined prefix,
+    attaching each sublink-free conjunct at the lowest node where its
+    references are in scope. Sublink conjuncts stay in a residual
+    selection on top, and an identity projection restores the original
+    column order, so the rewrite preserves the cluster's exact output
+    schema — the shape {!Certify}'s schema stage demands. The reordered
+    plan is kept only when its estimated cost strictly improves; every
+    application is emitted as a [join-reorder] obligation, discharged
+    by Certify's witness comparison (the leaf order changes, so the
+    symbolic flattening argument does not apply). *)
+
+let reorder_min_leaves = 3
+
+let try_reorder db est (prefix : string list) (q : query) : query option =
+  let conds, leaves = flat_conjuncts q in
+  if List.length leaves < reorder_min_leaves then None
+  else if not (flat_namespace db q leaves) then None
+  else
+    match Scope.out_names db q with
+    | exception _ -> None
+    | out_before ->
+        let arr =
+          Array.of_list (List.map (fun l -> (l, Scope.out_names db l)) leaves)
+        in
+        let cluster_names = List.concat_map snd (Array.to_list arr) in
+        let plain, linked = List.partition (fun e -> not (has_sublink e)) conds in
+        (* mutant: the rebuilt cluster silently loses one conjunct *)
+        let plain =
+          if Rewrite_trace.mutant "reorder-drop-conjunct" then
+            match plain with _ :: t -> t | [] -> []
+          else plain
+        in
+        let refs = List.map (fun e -> (e, Scope.refs_of_expr db e)) plain in
+        (* a conjunct is placeable once every reference that the cluster
+           produces is available; references outside the cluster are
+           correlated and never block *)
+        let placeable avail (_, rs) =
+          List.for_all
+            (fun r -> List.mem r avail || not (List.mem r cluster_names))
+            rs
+        in
+        let n = Array.length arr in
+        let used = Array.make n false in
+        let best_free score =
+          let bi = ref (-1) and bs = ref infinity in
+          for k = 0 to n - 1 do
+            if not used.(k) then begin
+              let s = score k in
+              if !bi < 0 || s < !bs then begin
+                bi := k;
+                bs := s
+              end
+            end
+          done;
+          !bi
+        in
+        let start = best_free (fun k -> Estimate.rows est (fst arr.(k))) in
+        used.(start) <- true;
+        let acc_plan = ref (fst arr.(start)) in
+        let acc_names = ref (snd arr.(start)) in
+        let remaining = ref refs in
+        (* conjuncts over the starting leaf alone (or fully correlated)
+           wrap it immediately *)
+        let app, rest = List.partition (placeable !acc_names) !remaining in
+        if app <> [] then acc_plan := Select (conj (List.map fst app), !acc_plan);
+        remaining := rest;
+        let candidate k =
+          let leaf, lnames = arr.(k) in
+          let avail = !acc_names @ lnames in
+          let app, rest = List.partition (placeable avail) !remaining in
+          let plan =
+            match app with
+            | [] -> Cross (!acc_plan, leaf)
+            | cs -> Join (conj (List.map fst cs), !acc_plan, leaf)
+          in
+          (plan, rest, lnames)
+        in
+        for _ = 2 to n do
+          let bi =
+            best_free (fun k ->
+                let plan, _, _ = candidate k in
+                Estimate.rows est plan)
+          in
+          let plan, rest, lnames = candidate bi in
+          used.(bi) <- true;
+          acc_plan := plan;
+          acc_names := !acc_names @ lnames;
+          remaining := rest
+        done;
+        let tree =
+          match linked with
+          | [] -> !acc_plan
+          | cs -> Select (conj cs, !acc_plan)
+        in
+        let after =
+          if !acc_names = out_before then tree
+          else project (List.map (fun nm -> (Attr nm, nm)) out_before) tree
+        in
+        let unchanged = try after = q with Invalid_argument _ -> false in
+        if unchanged then None
+        else if Estimate.cost est after < 0.99 *. Estimate.cost est q then begin
+          Rewrite_trace.emit ~rule:"join-reorder"
+            ~path:(prefix @ [ Guard.op_label q ])
+            ~before:q ~after;
+          Some after
+        end
+        else None
+
+(* The walk: attempt a reorder at every maximal cluster root, then
+   descend — through the (possibly rebuilt) cluster spine without
+   re-attempting, and into leaves, sublink queries and every other
+   operator with the standard path scheme. *)
+let rec reorder_query db est (prefix : string list) (q : query) : query =
+  match q with
+  | Select _ | Cross _ | Join _ ->
+      let q =
+        match try_reorder db est prefix q with Some q' -> q' | None -> q
+      in
+      reorder_spine db est prefix q
+  | _ -> reorder_spine db est prefix q
+
+and reorder_spine db est prefix q =
+  let here = prefix @ [ Guard.op_label q ] in
+  let counter = ref 0 in
+  let sub e =
+    map_expr_query
+      (fun sq ->
+        incr counter;
+        reorder_query db est (here @ [ sublink_seg !counter ]) sq)
+      e
+  in
+  let child qual i =
+    reorder_query db est (prefix @ [ Guard.op_label q ^ qual ]) i
+  in
+  let spine qual i =
+    reorder_spine db est (prefix @ [ Guard.op_label q ^ qual ]) i
+  in
+  match q with
+  | Base _ | TableExpr _ -> q
+  | Select (c, i) ->
+      let c = sub c in
+      Select (c, spine "" i)
+  | Cross (a, b) ->
+      let a = spine "[left]" a in
+      Cross (a, spine "[right]" b)
+  | Join (c, a, b) ->
+      let c = sub c in
+      let a = spine "[left]" a in
+      Join (c, a, spine "[right]" b)
+  | LeftJoin (c, a, b) ->
+      let c = sub c in
+      let a = child "[left]" a in
+      LeftJoin (c, a, child "[right]" b)
+  | Project p ->
+      let cols = List.map (fun (e, nm) -> (sub e, nm)) p.cols in
+      Project { p with cols; proj_input = child "" p.proj_input }
+  | Agg a ->
+      let group_by = List.map (fun (e, nm) -> (sub e, nm)) a.group_by in
+      let aggs =
+        List.map
+          (fun call -> { call with agg_arg = Option.map sub call.agg_arg })
+          a.aggs
+      in
+      Agg { group_by; aggs; agg_input = child "" a.agg_input }
+  | Union (s, a, b) ->
+      let a = child "[left]" a in
+      Union (s, a, child "[right]" b)
+  | Inter (s, a, b) ->
+      let a = child "[left]" a in
+      Inter (s, a, child "[right]" b)
+  | Diff (s, a, b) ->
+      let a = child "[left]" a in
+      Diff (s, a, child "[right]" b)
+  | Order (keys, i) ->
+      let keys = List.map (fun (e, d) -> (sub e, d)) keys in
+      Order (keys, child "" i)
+  | Limit (k, i) -> Limit (k, child "" i)
+
 (* Entry point: simplify first (constant folding may expose TRUE/FALSE
-   selections and negation-free comparisons), push selections, then
-   simplify again — the pushdown phase's unsat-fold can leave sublink
-   atoms over empty literal relations, which the second pass folds to
-   constants (emitting its usual traced, certified rule applications) —
-   and finally drop the columns nothing above reads. *)
-let optimize ?(prune = true) db q =
-  let q' = optimize db [] (Simplify.query q) in
+   selections and negation-free comparisons), reorder join clusters by
+   estimated cost, push selections, then simplify again — the pushdown
+   phase's unsat-fold can leave sublink atoms over empty literal
+   relations, which the second pass folds to constants (emitting its
+   usual traced, certified rule applications) — and finally drop the
+   columns nothing above reads. *)
+let optimize ?(prune = true) ?(reorder = true) db q =
+  let q = Simplify.query q in
+  let q = if reorder then reorder_query db (Estimate.create db) [] q else q in
+  let q' = optimize db [] q in
   let q' = Simplify.query q' in
   if prune then prune_query db [] (all_out db q') q' else q'

@@ -42,6 +42,9 @@ let rules =
     ("drop-implied", "drop conjuncts implied by the remaining conjuncts");
     ( "implied-predicate",
       "derive a comparison for a column through join equalities" );
+    (* Optimizer: cost-based join reorder *)
+    ( "join-reorder",
+      "reorder a join cluster greedily by estimated cardinality" );
     (* Optimizer: selection pushdown *)
     ("pushdown-into-cross", "distribute conjuncts over a cross product");
     ("pushdown-into-join", "merge conjuncts into / distribute over a join");

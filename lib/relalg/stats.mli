@@ -1,0 +1,52 @@
+(** Table and column statistics for cardinality estimation
+    ({!Estimate}): row counts, estimated distinct-value counts,
+    null fractions, numeric min/max and equi-depth histograms,
+    collected in one deterministic sampling pass per table and cached
+    per catalog state ([(Database.uid, Database.version)]) — a mutated
+    or rebuilt catalog never serves stale statistics. *)
+
+(** Histogram resolution and sampling ceiling. *)
+val buckets : int
+
+val sample_cap : int
+
+type column = {
+  c_name : string;
+  c_null_frac : float;  (** fraction of sampled values that were NULL *)
+  c_ndv : float;  (** estimated distinct values, scaled to the table *)
+  c_min : float option;  (** numeric minimum over sampled non-nulls *)
+  c_max : float option;
+  c_hist : float array;
+      (** equi-depth bucket boundaries over sampled numeric non-nulls,
+          length [buckets + 1]; [||] for non-numeric or empty columns *)
+}
+
+type table = { t_rows : int; t_cols : column list }
+type t
+
+(** [of_relation rel]: uncached one-pass collection (inline
+    [TableExpr] relations). *)
+val of_relation : Relation.t -> table
+
+(** [collect db]: uncached collection over every table of [db]. *)
+val collect : Database.t -> t
+
+(** [of_db db]: cached collection — revalidated against
+    [Database.version db] on every call. *)
+val of_db : Database.t -> t
+
+(** Drop [db]'s cache entry (freeing memory; correctness never needs
+    it — version revalidation already rejects stale entries). *)
+val invalidate : Database.t -> unit
+
+val table : t -> string -> table option
+val column : table -> string -> column option
+
+(** [frac_le c x]: fraction of the column's non-null values [<= x],
+    interpolated within the histogram bucket holding [x]. *)
+val frac_le : column -> float -> float
+
+(** [frac_eq c x]: selectivity of [col = x] among non-null values. *)
+val frac_eq : column -> float -> float
+
+val to_string : t -> string

@@ -121,10 +121,16 @@ let budget s = s.s_budget
 let set_budget s v = s.s_budget <- v
 
 (* Query-boundary rebase: adopt the latest snapshot if the store moved
-   on, replaying this session's DDL on the new base. *)
+   on, replaying this session's DDL on the new base. The rebuilt
+   overlay is a fresh [Database.t] (fresh uid), so the {!Stats} cache
+   can never serve it the old overlay's statistics; dropping the dead
+   overlay's entry here just frees the memory eagerly. (DDL on a live
+   overlay bumps its version, which the cache revalidates against, so
+   session-local CREATE/DROP invalidate statistics automatically.) *)
 let pin s =
   let epoch, snap = snapshot s.s_store in
   if epoch <> s.s_epoch then begin
+    Stats.invalidate s.s_db;
     s.s_epoch <- epoch;
     s.s_db <- overlay_of snap s.s_ops
   end;
